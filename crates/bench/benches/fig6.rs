@@ -1,0 +1,34 @@
+//! Fig. 6 benchmark: ILP selection vs the greedy heuristic on the same
+//! candidate sets (the selection stage is what the figure isolates).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mbr_bench::{generate, library, model_for};
+use mbr_core::{Composer, ComposerOptions};
+
+fn bench_selection(c: &mut Criterion) {
+    let lib = library();
+    let spec = mbr_workloads::d1();
+    let design = generate(&spec, &lib);
+    let composer = Composer::new(ComposerOptions::default(), model_for(&spec));
+
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("ilp_flow", |b| {
+        b.iter(|| {
+            let mut work = design.clone();
+            composer.compose(&mut work, &lib).expect("flow")
+        });
+    });
+    group.bench_function("heuristic_flow", |b| {
+        b.iter(|| {
+            let mut work = design.clone();
+            composer.compose_heuristic(&mut work, &lib).expect("flow")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Clock-period calibration helper: failing-endpoint ratio per period.
+use mbr_liberty::standard_library;
+use mbr_sta::{DelayModel, Sta};
+
+fn main() {
+    let lib = standard_library();
+    for spec in mbr_workloads::all_presets() {
+        let design = spec.generate(&lib);
+        print!("{}: ", spec.name);
+        for period in [520.0, 560.0, 600.0, 650.0, 700.0, 760.0, 820.0] {
+            let base = DelayModel::default();
+            let model = DelayModel {
+                clock_period: period,
+                wire_res_per_dbu: base.wire_res_per_dbu * spec.wire_scale,
+                wire_cap_per_dbu: base.wire_cap_per_dbu * spec.wire_scale,
+                ..base
+            };
+            let sta = Sta::new(&design, &lib, model).unwrap();
+            let r = sta.report();
+            print!(
+                "{period}:{:.0}% ",
+                100.0 * r.failing_endpoints as f64 / r.endpoints().len() as f64
+            );
+        }
+        println!();
+    }
+}

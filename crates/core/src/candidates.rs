@@ -1,0 +1,585 @@
+//! Section 3: enumeration of valid candidate MBRs.
+//!
+//! The compatibility graph is decomposed (connected components → geometric
+//! K-partitioning under the node bound), each partition's maximal cliques
+//! are enumerated with Bron–Kerbosch, and every sub-clique whose total bit
+//! count matches a library width — or, when incomplete MBRs are allowed,
+//! rounds up to one under the area rule — becomes a candidate, weighted by
+//! the Section 3.2 blocking heuristic.
+
+use std::collections::HashSet;
+
+use mbr_graph::{partition_geometric, BitGraph};
+use mbr_liberty::{CellId, Library, ScanStyle};
+use mbr_netlist::{Design, InstId};
+
+use crate::compat::CompatGraph;
+use crate::weight::{weigh, RegisterIndex};
+use crate::ComposerOptions;
+
+/// A valid candidate MBR: a clique of compatible registers plus its
+/// pre-resolved library mapping and ILP weight.
+#[derive(Clone, Debug)]
+pub struct CandidateMbr {
+    /// Member registers.
+    pub members: Vec<InstId>,
+    /// Total connected bits the members contribute.
+    pub bits: u32,
+    /// Width of the target library cell (`> bits` for incomplete MBRs).
+    pub target_width: u8,
+    /// The library cell the candidate maps to (Section 4.1 selection:
+    /// drive-resistance ceiling = the members' minimum, then minimum clock
+    /// pin cap with the external-scan penalty).
+    pub cell: CellId,
+    /// ILP weight (always finite; `w = ∞` candidates are never created).
+    pub weight: f64,
+    /// Whether some D/Q pairs of the target cell stay unconnected.
+    pub incomplete: bool,
+}
+
+impl CandidateMbr {
+    /// Whether this is a "keep the register as is" singleton.
+    pub fn is_singleton(&self) -> bool {
+        self.members.len() == 1
+    }
+}
+
+/// The candidates of one partition, ready for the assignment ILP.
+#[derive(Clone, Debug)]
+pub struct CandidateSet {
+    /// The partition's registers (ILP elements, by local index).
+    pub elements: Vec<InstId>,
+    /// Candidates; `member_idx` entries index into `elements`.
+    pub candidates: Vec<CandidateMbr>,
+    /// Local element indices per candidate (parallel to `candidates`).
+    pub member_idx: Vec<Vec<usize>>,
+    /// The partition's maximal cliques, as local element index lists (used
+    /// by the Fig. 6 greedy baseline, which never sees sub-cliques).
+    pub maximal_cliques: Vec<Vec<usize>>,
+    /// Whether enumeration hit the per-partition cap.
+    pub truncated: bool,
+}
+
+/// Enumerates the candidate sets of every partition of the compatibility
+/// graph.
+pub fn enumerate_candidates(
+    design: &Design,
+    lib: &Library,
+    compat: &CompatGraph,
+    options: &ComposerOptions,
+) -> Vec<CandidateSet> {
+    let index = RegisterIndex::build(design);
+    let positions = compat.clock_positions();
+    let partitions = partition_geometric(&compat.graph, &positions, options.partition_max_nodes);
+
+    partitions
+        .iter()
+        .map(|part| enumerate_partition(design, lib, compat, &index, part, options))
+        .collect()
+}
+
+fn enumerate_partition(
+    design: &Design,
+    lib: &Library,
+    compat: &CompatGraph,
+    index: &RegisterIndex,
+    part: &[usize],
+    options: &ComposerOptions,
+) -> CandidateSet {
+    let bg = BitGraph::from_subgraph(&compat.graph, part);
+    let elements: Vec<InstId> = part.iter().map(|&n| compat.regs[n].inst).collect();
+    let bits: Vec<u32> = part
+        .iter()
+        .map(|&n| u32::from(compat.regs[n].width))
+        .collect();
+
+    let mut set = CandidateSet {
+        elements: elements.clone(),
+        candidates: Vec::new(),
+        member_idx: Vec::new(),
+        maximal_cliques: Vec::new(),
+        truncated: false,
+    };
+
+    // Singletons: keeping a register costs 1 toward the objective.
+    for (local, &inst) in elements.iter().enumerate() {
+        let reg = &compat.regs[part[local]];
+        set.candidates.push(CandidateMbr {
+            members: vec![inst],
+            bits: u32::from(reg.width),
+            target_width: reg.width,
+            cell: design.inst(inst).register_cell().expect("register"),
+            weight: 1.0,
+            incomplete: false,
+        });
+        set.member_idx.push(vec![local]);
+    }
+
+    // Every partition is class-pure (edges only join same-class registers),
+    // but isolated nodes of different classes can co-exist in singleton
+    // partitions; guard by reading the class per clique member instead.
+    let max_bits = part
+        .iter()
+        .map(|&n| u32::from(lib.max_width(compat.regs[n].class)))
+        .max()
+        .unwrap_or(0);
+
+    let mut seen: HashSet<u64> = HashSet::new();
+    let cap = options.max_candidates_per_partition;
+    // Dense partitions (e.g. fields of decomposed 1-bit registers) reject
+    // almost every subset as blocked (w = ∞), so bounding only *accepted*
+    // candidates would let enumeration grind through millions of subsets.
+    // Budget the visits as well.
+    let visit_budget = cap.saturating_mul(options.subclique_visit_multiplier.max(1));
+    let mut visited = 0usize;
+    for clique in bg.maximal_cliques() {
+        set.maximal_cliques.push(mask_locals(clique));
+        if clique.count_ones() < 2 {
+            continue;
+        }
+        let completed = bg.for_each_subclique(clique, &bits, max_bits, &mut |mask, total_bits| {
+            visited += 1;
+            let under_budget =
+                set.candidates.len() < cap + elements.len() && visited < visit_budget;
+            if mask.count_ones() < 2 || !seen.insert(mask) {
+                return under_budget;
+            }
+            if let Some((cand, idx)) = validate_candidate(
+                design, lib, compat, index, part, &bg, mask, total_bits, options,
+            ) {
+                set.candidates.push(cand);
+                set.member_idx.push(idx);
+            }
+            under_budget
+        });
+        if !completed {
+            set.truncated = true;
+            break;
+        }
+    }
+    set
+}
+
+/// Checks library-width validity, scan-order feasibility, the incomplete
+/// area rule, mapping feasibility and the weight; returns the candidate.
+#[allow(clippy::too_many_arguments)]
+fn validate_candidate(
+    design: &Design,
+    lib: &Library,
+    compat: &CompatGraph,
+    index: &RegisterIndex,
+    part: &[usize],
+    bg: &BitGraph,
+    mask: u64,
+    total_bits: u32,
+    options: &ComposerOptions,
+) -> Option<(CandidateMbr, Vec<usize>)> {
+    let locals: Vec<usize> = {
+        let mut v = Vec::new();
+        let mut m = mask;
+        while m != 0 {
+            v.push(m.trailing_zeros() as usize);
+            m &= m - 1;
+        }
+        v
+    };
+    let nodes: Vec<usize> = locals.iter().map(|&l| part[l]).collect();
+    let members: Vec<InstId> = nodes.iter().map(|&n| compat.regs[n].inst).collect();
+    let class = compat.regs[nodes[0]].class;
+    debug_assert!(
+        nodes.iter().all(|&n| compat.regs[n].class == class),
+        "cliques are class-pure"
+    );
+    let _ = bg;
+
+    // Width validity against the library.
+    let total_u8 = u8::try_from(total_bits).ok()?;
+    let exact = lib.widths(class).contains(&total_u8);
+    let target_width = if exact {
+        total_u8
+    } else if options.allow_incomplete {
+        lib.next_width_up(class, total_u8)?
+    } else {
+        return None;
+    };
+
+    // Scan-order feasibility: ordered-section members must be consecutive
+    // for an internal-scan MBR; otherwise a per-bit-scan cell is required.
+    let need_per_bit = match scan_consecutive(design, &members) {
+        ScanOrder::Unordered | ScanOrder::Consecutive => false,
+        ScanOrder::Gapped => true,
+    };
+
+    // Mapping (Section 4.1): the MBR must match the members' minimum drive
+    // resistance so timing never degrades.
+    let min_resistance = nodes
+        .iter()
+        .map(|&n| compat.regs[n].drive_resistance)
+        .fold(f64::INFINITY, f64::min);
+    let mut cell = lib.select_cell(class, target_width, Some(min_resistance), need_per_bit)?;
+
+    // Incomplete MBRs may not blow the area budget (paper: ≤ 5 %).
+    let replaced_area: f64 = nodes.iter().map(|&n| compat.regs[n].area).sum();
+    if !exact {
+        let area = lib.cell(cell).area;
+        if area > replaced_area * (1.0 + options.incomplete_area_overhead) {
+            // Maybe a cheaper (weaker-drive) variant fits the budget — the
+            // ceiling is the *members'* min resistance, and select_cell
+            // already minimized clock cap, not area; try area-first.
+            cell = lib
+                .cells_of(class, target_width)
+                .filter(|&id| {
+                    let c = lib.cell(id);
+                    c.drive_resistance <= min_resistance * (1.0 + 1e-9)
+                        && (!need_per_bit || c.scan_style == ScanStyle::PerBit)
+                        && c.area <= replaced_area * (1.0 + options.incomplete_area_overhead)
+                })
+                .min_by(|&a, &b| {
+                    lib.cell(a)
+                        .clock_pin_cap
+                        .partial_cmp(&lib.cell(b).clock_pin_cap)
+                        .expect("finite caps")
+                })?;
+        }
+    }
+
+    // Internal-scan cells additionally need the chain endpoints connectable
+    // (first SI / last SO); the netlist editor enforces wired-chain
+    // consecutiveness at merge time.
+    let weight = weigh(
+        design,
+        index,
+        &members,
+        total_bits,
+        options.use_blocking_weights,
+    )?;
+
+    Some((
+        CandidateMbr {
+            members,
+            bits: total_bits,
+            target_width,
+            cell,
+            weight,
+            incomplete: !exact,
+        },
+        locals,
+    ))
+}
+
+fn mask_locals(mask: u64) -> Vec<usize> {
+    let mut v = Vec::with_capacity(mask.count_ones() as usize);
+    let mut m = mask;
+    while m != 0 {
+        v.push(m.trailing_zeros() as usize);
+        m &= m - 1;
+    }
+    v
+}
+
+enum ScanOrder {
+    /// No member sits in an ordered scan section.
+    Unordered,
+    /// All members share a section and occupy consecutive positions.
+    Consecutive,
+    /// All members share a section but positions have gaps.
+    Gapped,
+}
+
+fn scan_consecutive(design: &Design, members: &[InstId]) -> ScanOrder {
+    let mut positions: Vec<u32> = Vec::new();
+    for &m in members {
+        let scan = design.inst(m).register_attrs().expect("register").scan;
+        match scan.and_then(|s| s.section) {
+            Some((_, pos)) => positions.push(pos),
+            None => return ScanOrder::Unordered, // edges guarantee uniformity
+        }
+    }
+    positions.sort_unstable();
+    let consecutive = positions.windows(2).all(|w| w[1] == w[0] + 1);
+    if consecutive {
+        ScanOrder::Consecutive
+    } else {
+        ScanOrder::Gapped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbr_geom::{Point, Rect};
+    use mbr_liberty::standard_library;
+    use mbr_netlist::RegisterAttrs;
+    use mbr_sta::{DelayModel, Sta};
+
+    fn setup(n: usize, spacing: i64) -> (Design, mbr_liberty::Library, Vec<InstId>) {
+        let lib = standard_library();
+        let die = Rect::new(Point::new(0, 0), Point::new(400_000, 400_000));
+        let mut d = Design::new("t", die);
+        let clk = d.add_net("clk");
+        let cell = lib.cell_by_name("DFF_1X1").unwrap();
+        let regs: Vec<InstId> = (0..n)
+            .map(|i| {
+                d.add_register(
+                    format!("r{i}"),
+                    &lib,
+                    cell,
+                    Point::new(1_000 + spacing * i as i64, 600),
+                    RegisterAttrs::clocked(clk),
+                )
+            })
+            .collect();
+        (d, lib, regs)
+    }
+
+    fn candidates_for(
+        d: &Design,
+        lib: &mbr_liberty::Library,
+        opts: &ComposerOptions,
+    ) -> Vec<CandidateSet> {
+        let sta = Sta::new(d, lib, DelayModel::default()).unwrap();
+        let compat = CompatGraph::build(d, lib, &sta, opts);
+        enumerate_candidates(d, lib, &compat, opts)
+    }
+
+    #[test]
+    fn four_free_flops_yield_all_library_width_subsets() {
+        let (d, lib, _) = setup(4, 2_000);
+        let opts = ComposerOptions {
+            allow_incomplete: false,
+            ..ComposerOptions::default()
+        };
+        let sets = candidates_for(&d, &lib, &opts);
+        assert_eq!(sets.len(), 1, "one partition");
+        let set = &sets[0];
+        // Widths {1,2,4}: C(4,2)=6 pairs, but the collinear layout makes the
+        // r0–r3 pair's test polygon swallow the centers of r1 and r2 —
+        // n = 2 ≥ b = 2 ⇒ w = ∞ and the candidate is dropped (Section 3.2).
+        // So: 5 pairs + the quad + 4 singletons.
+        let singles = set.candidates.iter().filter(|c| c.is_singleton()).count();
+        let pairs = set
+            .candidates
+            .iter()
+            .filter(|c| c.members.len() == 2)
+            .count();
+        let quads = set
+            .candidates
+            .iter()
+            .filter(|c| c.members.len() == 4)
+            .count();
+        let triples = set
+            .candidates
+            .iter()
+            .filter(|c| c.members.len() == 3)
+            .count();
+        assert_eq!(singles, 4);
+        assert_eq!(pairs, 5);
+        assert_eq!(quads, 1);
+        assert_eq!(triples, 0, "3-bit cells are not in the default library");
+        // The surviving blocked pairs carry the b·2ⁿ penalty weight.
+        assert!(
+            set.candidates
+                .iter()
+                .filter(|c| c.members.len() == 2)
+                .any(|c| c.weight == 4.0),
+            "one-blocker pairs weigh 2·2¹"
+        );
+    }
+
+    #[test]
+    fn incomplete_mbrs_appear_only_when_allowed() {
+        let (d, lib, _) = setup(3, 2_000);
+        let strict = ComposerOptions {
+            allow_incomplete: false,
+            ..ComposerOptions::default()
+        };
+        let sets = candidates_for(&d, &lib, &strict);
+        assert!(sets[0].candidates.iter().all(|c| !c.incomplete));
+        assert!(
+            sets[0].candidates.iter().all(|c| c.members.len() != 3),
+            "three 1-bit flops have no exact cell"
+        );
+
+        let loose = ComposerOptions {
+            allow_incomplete: true,
+            incomplete_area_overhead: 0.50, // generous budget for the test
+            ..ComposerOptions::default()
+        };
+        let sets = candidates_for(&d, &lib, &loose);
+        let triple = sets[0]
+            .candidates
+            .iter()
+            .find(|c| c.members.len() == 3)
+            .expect("3 bits round up to a 4-bit incomplete MBR");
+        assert!(triple.incomplete);
+        assert_eq!(triple.target_width, 4);
+        assert_eq!(lib.cell(triple.cell).width, 4);
+    }
+
+    #[test]
+    fn incomplete_area_rule_rejects_expensive_roundups() {
+        let (d, lib, _) = setup(3, 2_000);
+        // Zero overhead budget: a 4-bit cell always exceeds the area of
+        // three 1-bit cells... unless sharing makes it cheaper. In the
+        // default library 4×0.86 > 3×1.0 fails the 0 % budget.
+        let opts = ComposerOptions {
+            allow_incomplete: true,
+            incomplete_area_overhead: 0.0,
+            ..ComposerOptions::default()
+        };
+        let sets = candidates_for(&d, &lib, &opts);
+        assert!(
+            sets[0].candidates.iter().all(|c| c.members.len() != 3),
+            "4-bit incomplete must fail the strict area rule"
+        );
+    }
+
+    #[test]
+    fn weights_respect_the_blocking_heuristic() {
+        let (d, lib, _) = setup(2, 2_000);
+        let sets = candidates_for(&d, &lib, &ComposerOptions::default());
+        let pair = sets[0]
+            .candidates
+            .iter()
+            .find(|c| c.members.len() == 2)
+            .expect("pair exists");
+        assert!((pair.weight - 0.5).abs() < 1e-12, "clean 2-bit = 1/2");
+        assert!(sets[0]
+            .candidates
+            .iter()
+            .filter(|c| c.is_singleton())
+            .all(|c| c.weight == 1.0));
+    }
+
+    #[test]
+    fn mapping_respects_member_drive_resistance() {
+        let lib = standard_library();
+        let die = Rect::new(Point::new(0, 0), Point::new(400_000, 400_000));
+        let mut d = Design::new("t", die);
+        let clk = d.add_net("clk");
+        // One strong (X4) and one weak (X1) flop.
+        let strong = lib.cell_by_name("DFF_1X4").unwrap();
+        let weak = lib.cell_by_name("DFF_1X1").unwrap();
+        d.add_register(
+            "s",
+            &lib,
+            strong,
+            Point::new(1_000, 600),
+            RegisterAttrs::clocked(clk),
+        );
+        d.add_register(
+            "w",
+            &lib,
+            weak,
+            Point::new(3_000, 600),
+            RegisterAttrs::clocked(clk),
+        );
+        let sets = candidates_for(&d, &lib, &ComposerOptions::default());
+        let pair = sets[0]
+            .candidates
+            .iter()
+            .find(|c| c.members.len() == 2)
+            .expect("pair exists");
+        // The MBR must be at least as strong as the strongest member.
+        let r_x4 = lib
+            .cell(lib.cell_by_name("DFF_2X4").unwrap())
+            .drive_resistance;
+        assert!(lib.cell(pair.cell).drive_resistance <= r_x4 + 1e-12);
+    }
+
+    #[test]
+    fn partitions_bound_candidate_scope() {
+        let (d, lib, _) = setup(12, 2_000);
+        let opts = ComposerOptions {
+            partition_max_nodes: 4,
+            ..ComposerOptions::default()
+        };
+        let sets = candidates_for(&d, &lib, &opts);
+        // Median bisection: 12 → 6 + 6 → four parts of 3.
+        assert_eq!(sets.len(), 4, "12 nodes at bound 4 bisect twice");
+        for set in &sets {
+            assert!(set.elements.len() <= 4);
+            for c in &set.candidates {
+                assert!(c.members.len() <= 4);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod cap_tests {
+    use super::*;
+    use crate::compat::CompatGraph;
+    use mbr_geom::{Point, Rect};
+    use mbr_liberty::standard_library;
+    use mbr_netlist::{Design, RegisterAttrs};
+    use mbr_sta::{DelayModel, Sta};
+
+    /// A dense 20-flop cluster under a tiny candidate cap must truncate
+    /// rather than enumerate the full subset space.
+    #[test]
+    fn candidate_cap_truncates_dense_partitions() {
+        let lib = standard_library();
+        let die = Rect::new(Point::new(0, 0), Point::new(90_000, 90_000));
+        let mut d = Design::new("t", die);
+        let clk = d.add_net("clk");
+        let cell = lib.cell_by_name("DFF_1X1").unwrap();
+        for i in 0..20i64 {
+            d.add_register(
+                format!("r{i}"),
+                &lib,
+                cell,
+                Point::new(1_000 + 400 * i, 600),
+                RegisterAttrs::clocked(clk),
+            );
+        }
+        let opts = ComposerOptions {
+            max_candidates_per_partition: 50,
+            ..ComposerOptions::default()
+        };
+        let sta = Sta::new(&d, &lib, DelayModel::default()).unwrap();
+        let compat = CompatGraph::build(&d, &lib, &sta, &opts);
+        let sets = enumerate_candidates(&d, &lib, &compat, &opts);
+        let set = &sets[0];
+        assert!(set.truncated, "cap must trigger");
+        // Cap + singletons bounds the candidate count.
+        assert!(set.candidates.len() <= 50 + set.elements.len() + 1);
+        // Singletons always survive, so the ILP stays feasible.
+        let singles = set.candidates.iter().filter(|c| c.is_singleton()).count();
+        assert_eq!(singles, set.elements.len());
+    }
+
+    /// Maximal cliques recorded for the baseline cover all elements.
+    #[test]
+    fn maximal_cliques_cover_every_element() {
+        let lib = standard_library();
+        let die = Rect::new(Point::new(0, 0), Point::new(90_000, 90_000));
+        let mut d = Design::new("t", die);
+        let clk = d.add_net("clk");
+        let cell = lib.cell_by_name("DFF_1X1").unwrap();
+        for i in 0..10i64 {
+            d.add_register(
+                format!("r{i}"),
+                &lib,
+                cell,
+                Point::new(1_000 + 2_000 * i, 600),
+                RegisterAttrs::clocked(clk),
+            );
+        }
+        let opts = ComposerOptions::default();
+        let sta = Sta::new(&d, &lib, DelayModel::default()).unwrap();
+        let compat = CompatGraph::build(&d, &lib, &sta, &opts);
+        for set in enumerate_candidates(&d, &lib, &compat, &opts) {
+            let mut covered = vec![false; set.elements.len()];
+            for clique in &set.maximal_cliques {
+                for &e in clique {
+                    covered[e] = true;
+                }
+            }
+            assert!(
+                covered.iter().all(|&c| c),
+                "every node sits in some maximal clique"
+            );
+        }
+    }
+}

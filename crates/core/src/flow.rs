@@ -1,0 +1,511 @@
+//! The end-to-end composition flow (paper Fig. 4): timing → compatibility →
+//! candidates → assignment → mapping/placement → legalization → useful skew
+//! → sizing.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use mbr_cts::{assign_useful_skew, SkewReport};
+use mbr_geom::Rect;
+use mbr_liberty::Library;
+use mbr_lp::{SetPartition, SetPartitionError};
+use mbr_netlist::{Design, InstId, InstKind};
+use mbr_place::{legalize, LegalizeError, LegalizeReport, PlacementGrid};
+use mbr_sta::{DelayModel, Sta, StaError};
+
+use crate::candidates::{enumerate_candidates, CandidateMbr, CandidateSet};
+use crate::compat::CompatGraph;
+use crate::placement::{common_region, optimal_corner_lp, pin_boxes};
+use crate::sizing::downsize_mbrs;
+use crate::ComposerOptions;
+
+/// Why composition failed outright (individual candidate failures are
+/// skipped and counted, not fatal).
+#[derive(Debug)]
+pub enum ComposeError {
+    /// Initial or post-merge timing analysis failed.
+    Sta(StaError),
+    /// Legalization of the new MBRs failed.
+    Legalize(LegalizeError),
+    /// The assignment ILP was malformed (internal invariant violation).
+    Assign(SetPartitionError),
+}
+
+impl fmt::Display for ComposeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComposeError::Sta(e) => write!(f, "timing analysis failed: {e}"),
+            ComposeError::Legalize(e) => write!(f, "legalization failed: {e}"),
+            ComposeError::Assign(e) => write!(f, "assignment ILP failed: {e}"),
+        }
+    }
+}
+
+impl Error for ComposeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ComposeError::Sta(e) => Some(e),
+            ComposeError::Legalize(e) => Some(e),
+            ComposeError::Assign(e) => Some(e),
+        }
+    }
+}
+
+impl From<StaError> for ComposeError {
+    fn from(e: StaError) -> Self {
+        ComposeError::Sta(e)
+    }
+}
+
+impl From<LegalizeError> for ComposeError {
+    fn from(e: LegalizeError) -> Self {
+        ComposeError::Legalize(e)
+    }
+}
+
+impl From<SetPartitionError> for ComposeError {
+    fn from(e: SetPartitionError) -> Self {
+        ComposeError::Assign(e)
+    }
+}
+
+/// Statistics of one composition run.
+#[derive(Clone, Debug, Default)]
+pub struct ComposeOutcome {
+    /// Live registers before composition (each MBR counts as one).
+    pub registers_before: usize,
+    /// Live registers after composition.
+    pub registers_after: usize,
+    /// Composable registers found (Table 1 "Comp-Regs").
+    pub composable: usize,
+    /// Multi-register merges performed.
+    pub merges: usize,
+    /// Registers consumed by those merges.
+    pub merged_registers: usize,
+    /// Merges producing incomplete MBRs.
+    pub incomplete_mbrs: usize,
+    /// Selected merges that had to be skipped (e.g. wired scan chains).
+    pub skipped_merges: usize,
+    /// The newly created MBR instances.
+    pub new_mbrs: Vec<InstId>,
+    /// Partitions the compatibility graph decomposed into.
+    pub partitions: usize,
+    /// Candidates enumerated across all partitions (incl. singletons).
+    pub candidates_enumerated: usize,
+    /// Branch-and-bound nodes the assignment solver explored.
+    pub ilp_nodes: u64,
+    /// Legalization statistics for the new MBRs.
+    pub legalize: LegalizeReport,
+    /// Useful-skew statistics (when enabled).
+    pub skew: Option<SkewReport>,
+    /// MBRs downsized by the sizing step.
+    pub resized: usize,
+    /// Scan-chain stitching statistics, when enabled.
+    pub scan_stitch: Option<mbr_netlist::ScanStitchReport>,
+    /// For [`Composer::compose_with_decomposition`]: whether the speculative
+    /// decomposition won and was kept (`None` on the other entry points).
+    pub decomposition_kept: Option<bool>,
+    /// Wall-clock time of the whole run.
+    pub elapsed: Duration,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Strategy {
+    /// The paper's weighted set-partitioning ILP (Section 3.1).
+    Ilp,
+    /// The Fig. 6 comparison heuristic: greedy selection, no incomplete
+    /// MBRs.
+    Greedy,
+}
+
+/// The composition engine. Construct once, run on any number of designs.
+#[derive(Clone, Debug)]
+pub struct Composer {
+    options: ComposerOptions,
+    model: DelayModel,
+}
+
+impl Composer {
+    /// Creates a composer with the given options and delay model.
+    pub fn new(options: ComposerOptions, model: DelayModel) -> Self {
+        Composer { options, model }
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &ComposerOptions {
+        &self.options
+    }
+
+    /// The configured delay model.
+    pub fn model(&self) -> &DelayModel {
+        &self.model
+    }
+
+    /// Runs the full ILP-based composition flow on a placed design.
+    ///
+    /// # Errors
+    ///
+    /// See [`ComposeError`]. Individual merge rejections are not errors;
+    /// they are counted in [`ComposeOutcome::skipped_merges`].
+    pub fn compose(
+        &self,
+        design: &mut Design,
+        lib: &Library,
+    ) -> Result<ComposeOutcome, ComposeError> {
+        self.run(design, lib, Strategy::Ilp)
+    }
+
+    /// Runs the greedy baseline the paper compares against in Fig. 6 (after
+    /// \\[8\\] and \\[12\\]): the same clique enumeration, compatibility rules and
+    /// mapping, but candidates are selected greedily by ascending weight
+    /// instead of solving the assignment ILP, and incomplete MBRs are not
+    /// used (they are this paper's contribution).
+    ///
+    /// # Errors
+    ///
+    /// See [`ComposeError`].
+    pub fn compose_heuristic(
+        &self,
+        design: &mut Design,
+        lib: &Library,
+    ) -> Result<ComposeOutcome, ComposeError> {
+        self.run(design, lib, Strategy::Greedy)
+    }
+
+    /// The paper's future-work extension: decompose every modifiable
+    /// maximum-width MBR into single-bit registers, then run the ILP flow —
+    /// instead of skipping those MBRs entirely.
+    ///
+    /// Decomposition is *speculative*: scattering thousands of bits into
+    /// dense regions can leave them unmergeable (their test polygons are
+    /// full of other registers, so the Section 3.2 weights rightly veto
+    /// recomposition), which would end worse than not decomposing at all.
+    /// The flow therefore runs both variants and keeps the decomposed result
+    /// only when it wins on register count (ties broken toward the plain
+    /// flow); `EXPERIMENTS.md` discusses when that happens.
+    ///
+    /// # Errors
+    ///
+    /// See [`ComposeError`].
+    pub fn compose_with_decomposition(
+        &self,
+        design: &mut Design,
+        lib: &Library,
+    ) -> Result<ComposeOutcome, ComposeError> {
+        let mut plain = design.clone();
+        let plain_outcome = self.run(&mut plain, lib, Strategy::Ilp)?;
+
+        // The speculative arm probes thousands of dense single-bit
+        // partitions; tighter enumeration budgets keep it affordable
+        // without touching the plain flow's QoR.
+        let speculative = Composer::new(
+            ComposerOptions {
+                max_candidates_per_partition: self.options.max_candidates_per_partition.min(2_000),
+                subclique_visit_multiplier: self.options.subclique_visit_multiplier.min(16),
+                ..self.options.clone()
+            },
+            self.model,
+        );
+
+        // Split max-width MBRs whose class has a 1-bit cell to return to.
+        let mut dec = design.clone();
+        let targets: Vec<InstId> = dec
+            .registers()
+            .filter(|(id, inst)| {
+                let InstKind::Register { cell, attrs, .. } = &inst.kind else {
+                    return false;
+                };
+                if attrs.is_untouchable() {
+                    return false;
+                }
+                let c = lib.cell(*cell);
+                dec.register_width(*id) >= lib.max_width(c.class)
+                    && dec.register_width(*id) > 1
+                    && lib.widths(c.class).first() == Some(&1)
+            })
+            .map(|(id, _)| id)
+            .collect();
+        let mut split_bits: Vec<InstId> = Vec::new();
+        for id in targets {
+            let class = lib
+                .cell(dec.inst(id).register_cell().expect("register"))
+                .class;
+            if let Some(bit_cell) = lib.select_cell(class, 1, None, false) {
+                // Failure to split is not fatal; the MBR is simply kept.
+                if let Ok(bits) = dec.split_register(id, lib, bit_cell) {
+                    split_bits.extend(bits);
+                }
+            }
+        }
+        // The split bits land across the old footprints and may overlap
+        // neighbours; legalize them before composing.
+        if !split_bits.is_empty() {
+            let grid = infer_grid(&dec, lib);
+            legalize(&mut dec, &grid, &split_bits)?;
+        }
+        let dec_outcome = speculative.run(&mut dec, lib, Strategy::Ilp)?;
+
+        if dec_outcome.registers_after < plain_outcome.registers_after {
+            *design = dec;
+            Ok(ComposeOutcome {
+                decomposition_kept: Some(true),
+                ..dec_outcome
+            })
+        } else {
+            *design = plain;
+            Ok(ComposeOutcome {
+                decomposition_kept: Some(false),
+                ..plain_outcome
+            })
+        }
+    }
+
+    fn run(
+        &self,
+        design: &mut Design,
+        lib: &Library,
+        strategy: Strategy,
+    ) -> Result<ComposeOutcome, ComposeError> {
+        let start = Instant::now();
+        let mut outcome = ComposeOutcome {
+            registers_before: design.live_register_count(),
+            ..ComposeOutcome::default()
+        };
+
+        // 1. Timing analysis on the incoming placement.
+        let sta = Sta::new(design, lib, self.model)?;
+
+        // 2. Compatibility graph (Section 2).
+        let compat = CompatGraph::build(design, lib, &sta, &self.options);
+        outcome.composable = compat.regs.len();
+        let regions: HashMap<InstId, Rect> =
+            compat.regs.iter().map(|r| (r.inst, r.region)).collect();
+
+        // 3./4. Candidate enumeration with weights (Section 3).
+        let sets = enumerate_candidates(design, lib, &compat, &self.options);
+        outcome.partitions = sets.len();
+        outcome.candidates_enumerated = sets.iter().map(|s| s.candidates.len()).sum();
+
+        // 5. Assignment per partition (Section 3.1).
+        let mut selected: Vec<CandidateMbr> = Vec::new();
+        for set in &sets {
+            match strategy {
+                Strategy::Ilp => {
+                    let mut sp = SetPartition::new(set.elements.len());
+                    for idx in &set.member_idx {
+                        // weights are finite by construction
+                        let w = set.candidates[sp.num_candidates()].weight;
+                        sp.add_candidate(idx, w);
+                    }
+                    let sol = sp.solve_bounded(self.options.ilp_node_limit)?;
+                    outcome.ilp_nodes += sol.nodes_explored;
+                    for &ci in &sol.selected {
+                        if !set.candidates[ci].is_singleton() {
+                            selected.push(set.candidates[ci].clone());
+                        }
+                    }
+                }
+                Strategy::Greedy => {
+                    selected.extend(greedy_select(design, lib, set));
+                }
+            }
+        }
+
+        // 6. Mapping is pre-resolved per candidate; place (Section 4.2),
+        // merge, then legalize.
+        let mut new_mbrs = Vec::new();
+        for cand in &selected {
+            let cell = lib.cell(cand.cell);
+            let member_regions: Vec<Rect> = cand
+                .members
+                .iter()
+                .map(|m| {
+                    regions
+                        .get(m)
+                        .copied()
+                        .unwrap_or_else(|| design.inst(*m).rect())
+                })
+                .collect();
+            let region = common_region(&member_regions, cell, design.die());
+            let boxes = pin_boxes(design, &cand.members, cell);
+            let corner = optimal_corner_lp(&boxes, region);
+            match design.merge_registers(&cand.members, lib, cand.cell, corner) {
+                Ok(mbr) => {
+                    new_mbrs.push(mbr);
+                    outcome.merges += 1;
+                    outcome.merged_registers += cand.members.len();
+                    if cand.incomplete {
+                        outcome.incomplete_mbrs += 1;
+                    }
+                }
+                Err(_) => {
+                    outcome.skipped_merges += 1;
+                }
+            }
+        }
+
+        let grid = infer_grid(design, lib);
+        outcome.legalize = legalize(design, &grid, &new_mbrs)?;
+
+        // 7. Post-composition timing, useful skew, and sizing (Fig. 4).
+        let mut sta = Sta::new(design, lib, self.model)?;
+        if self.options.apply_useful_skew && !new_mbrs.is_empty() {
+            outcome.skew = Some(assign_useful_skew(
+                design,
+                lib,
+                &mut sta,
+                &new_mbrs,
+                &self.options.skew,
+            ));
+        }
+        if self.options.apply_sizing {
+            outcome.resized =
+                downsize_mbrs(design, lib, &mut sta, &new_mbrs, self.options.sizing_margin);
+        }
+
+        if self.options.stitch_scan_chains {
+            outcome.scan_stitch = Some(design.stitch_scan_chains(lib));
+        }
+
+        outcome.new_mbrs = new_mbrs;
+        outcome.registers_after = design.live_register_count();
+        outcome.elapsed = start.elapsed();
+        Ok(outcome)
+    }
+}
+
+/// The Fig. 6 baseline: the composition pipeline *without* the ILP.
+///
+/// [8]/[12]-style flows identify maximal cliques and map them to MBRs
+/// greedily; here the baseline consumes the same enumerated candidates (so
+/// compatibility, mapping and the congestion-aware profitability rules are
+/// identical) but selects them greedily by ascending weight instead of
+/// solving the set-partitioning ILP, and — like those heuristics — it never
+/// uses incomplete MBRs. Greedy selection strands registers wherever
+/// locally-best candidates overlap; the exact ILP packs them, which is
+/// precisely the advantage Fig. 6 measures.
+fn greedy_select(design: &Design, lib: &Library, set: &CandidateSet) -> Vec<CandidateMbr> {
+    let _ = (design, lib);
+    let mut order: Vec<usize> = (0..set.candidates.len())
+        .filter(|&i| {
+            let c = &set.candidates[i];
+            // Only profitable complete merges: cheaper than keeping the
+            // members as singletons (the same economics the ILP faces).
+            !c.is_singleton() && !c.incomplete && c.weight < c.members.len() as f64
+        })
+        .collect();
+    order.sort_by(|&a, &b| {
+        let ca = &set.candidates[a];
+        let cb = &set.candidates[b];
+        ca.weight
+            .partial_cmp(&cb.weight)
+            .expect("finite weights")
+            .then(cb.bits.cmp(&ca.bits))
+    });
+    let mut used = vec![false; set.elements.len()];
+    let mut out = Vec::new();
+    for i in order {
+        let idx = &set.member_idx[i];
+        if idx.iter().any(|&e| used[e]) {
+            continue;
+        }
+        for &e in idx {
+            used[e] = true;
+        }
+        out.push(set.candidates[i].clone());
+    }
+    out
+}
+
+/// Derives the legalization grid from the design die and the register
+/// library (row height = shortest cell, site width = GCD of cell widths).
+pub(crate) fn infer_grid(design: &Design, lib: &Library) -> PlacementGrid {
+    let mut row_height = i64::MAX;
+    let mut site = 0i64;
+    for (_, cell) in lib.cells() {
+        row_height = row_height.min(cell.footprint_h);
+        site = gcd(site, cell.footprint_w);
+    }
+    if row_height == i64::MAX {
+        row_height = 600;
+    }
+    if site == 0 {
+        site = 100;
+    }
+    PlacementGrid::new(design.die(), row_height, site)
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    if b == 0 {
+        a.abs()
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_works() {
+        assert_eq!(gcd(0, 100), 100);
+        assert_eq!(gcd(1200, 900), 300);
+        assert_eq!(gcd(700, 100), 100);
+    }
+}
+
+#[cfg(test)]
+mod stitch_tests {
+    use super::*;
+    use mbr_geom::Point;
+    use mbr_liberty::standard_library;
+    use mbr_netlist::{RegisterAttrs, ScanInfo};
+
+    #[test]
+    fn flow_can_stitch_scan_chains_after_composition() {
+        let lib = standard_library();
+        let die = Rect::new(Point::new(0, 0), Point::new(120_000, 120_000));
+        let mut d = Design::new("t", die);
+        let clk = d.add_net("clk");
+        let rst = d.add_net("rst");
+        let se = d.add_net("se");
+        for (name, net) in [("CLK", clk), ("RST", rst), ("SE", se)] {
+            let port = d.add_input_port(name, Point::new(0, 0), 1.0);
+            let pin = d.inst(port).pins[0];
+            d.connect(pin, net);
+        }
+        let cell = lib.cell_by_name("SDFF_R_1X1").unwrap();
+        for i in 0..6i64 {
+            let mut attrs = RegisterAttrs::clocked(clk);
+            attrs.reset = Some(rst);
+            attrs.scan_enable = Some(se);
+            attrs.scan = Some(ScanInfo {
+                partition: 0,
+                section: None,
+            });
+            d.add_register(
+                format!("s{i}"),
+                &lib,
+                cell,
+                Point::new(2_000 + 1_500 * i, 600),
+                attrs,
+            );
+        }
+        let composer = Composer::new(
+            ComposerOptions {
+                stitch_scan_chains: true,
+                ..ComposerOptions::default()
+            },
+            DelayModel::default(),
+        );
+        let outcome = composer.compose(&mut d, &lib).expect("flow");
+        let stitch = outcome.scan_stitch.expect("stitching ran");
+        assert_eq!(stitch.chains, 1);
+        assert_eq!(stitch.registers, d.live_register_count());
+        assert!(outcome.merges >= 1, "scan flops merged first");
+        assert!(d.validate().is_empty(), "{:?}", d.validate());
+    }
+}

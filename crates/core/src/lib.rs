@@ -1,0 +1,137 @@
+#![warn(missing_docs)]
+//! Timing-driven incremental multi-bit register composition using a
+//! placement-aware ILP — the primary contribution of the DAC'17 paper,
+//! reproduced end to end.
+//!
+//! The flow (paper Fig. 4), exposed through [`Composer`]:
+//!
+//! 1. **Timing analysis** of the placed design ([`mbr_sta`]).
+//! 2. **Compatibility graph** (Section 2): functional, scan, placement
+//!    (timing-feasible-region overlap) and timing (slack sign & similarity)
+//!    compatibility ([`compat`]).
+//! 3. **Candidate enumeration** (Section 3): connected components →
+//!    geometric K-partitioning with a node bound → Bron–Kerbosch maximal
+//!    cliques → valid sub-cliques matching library widths, with incomplete
+//!    MBRs admitted under the area rule ([`candidates`]).
+//! 4. **Placement-aware weights** (Section 3.2): convex-hull test polygons
+//!    and the `w = 1/b | b·2ⁿ | ∞` blocking heuristic ([`weight`]).
+//! 5. **Assignment ILP** (Section 3.1): weighted set partitioning solved
+//!    exactly per partition ([`mbr_lp::SetPartition`]).
+//! 6. **Mapping & placement** (Section 4): drive-matched cell selection and
+//!    the HPWL-minimizing placement LP over the common feasible region
+//!    ([`placement`]), followed by incremental legalization ([`mbr_place`]).
+//! 7. **Useful skew & sizing**: per-MBR clock offsets and drive downsizing
+//!    ([`mbr_cts`], [`sizing`]).
+//!
+//! The greedy maximal-clique baseline the paper compares against in Fig. 6
+//! lives in [`baseline`]; Table 1 / Fig. 5 metrics in [`metrics`]; the
+//! paper's stated future-work extension (decompose pre-existing MBRs and
+//! recompose) in [`Composer::compose_with_decomposition`].
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use mbr_core::{Composer, ComposerOptions};
+//! use mbr_liberty::standard_library;
+//! use mbr_sta::DelayModel;
+//!
+//! # fn load_design(_: &mbr_liberty::Library) -> mbr_netlist::Design { unimplemented!() }
+//! let lib = standard_library();
+//! let mut design = load_design(&lib);
+//! let composer = Composer::new(ComposerOptions::default(), DelayModel::default());
+//! let outcome = composer.compose(&mut design, &lib)?;
+//! println!("registers: {} -> {}", outcome.registers_before, outcome.registers_after);
+//! # Ok::<(), mbr_core::ComposeError>(())
+//! ```
+
+pub mod baseline;
+pub mod candidates;
+pub mod compat;
+pub mod metrics;
+pub mod placement;
+pub mod sizing;
+pub mod stats;
+pub mod weight;
+
+mod flow;
+
+pub use candidates::{CandidateMbr, CandidateSet};
+pub use compat::{CompatGraph, ComposableRegister};
+pub use flow::{ComposeError, ComposeOutcome, Composer};
+pub use metrics::{BitWidthHistogram, DesignMetrics};
+pub use stats::CandidateStats;
+
+use mbr_cts::SkewConfig;
+
+/// Tuning knobs of the composition flow. `Default` matches the paper's
+/// reported configuration (30-node partitions, incomplete MBRs at ≤ 5 % area
+/// overhead, weights on, useful skew on).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ComposerOptions {
+    /// Partition node bound for the compatibility graph (paper: 30; QoR
+    /// degrades below ~20, runtime explodes above without QoR gain).
+    pub partition_max_nodes: usize,
+    /// Admit incomplete MBRs (some D/Q pairs unconnected).
+    pub allow_incomplete: bool,
+    /// Maximum area overhead of an incomplete MBR relative to the registers
+    /// it replaces (paper experiments: 5 %).
+    pub incomplete_area_overhead: f64,
+    /// Maximum difference between two registers' D slacks (and separately Q
+    /// slacks) for timing compatibility, ps.
+    pub max_slack_difference: f64,
+    /// Cap on the feasible-region inflation radius, DBU. Slack converts to
+    /// distance per the delay model, but incremental composition keeps each
+    /// register inside a local placement window regardless of how much slack
+    /// it has — large windows would make post-merge legalization and the
+    /// slack estimates themselves unreliable.
+    pub max_region_radius: i64,
+    /// Use the placement-aware blocking weights (off = every candidate
+    /// weighs `1/b`, the ablation of Section 3.2's heuristic).
+    pub use_blocking_weights: bool,
+    /// Upper bound on enumerated candidates per partition (defence against
+    /// degenerate dense partitions; the paper's 30-node bound keeps typical
+    /// counts far below this).
+    pub max_candidates_per_partition: usize,
+    /// Branch-and-bound node budget per partition ILP; when hit, the best
+    /// incumbent (a valid cover) is used instead of the proven optimum.
+    pub ilp_node_limit: u64,
+    /// Sub-clique enumeration may *visit* at most
+    /// `max_candidates_per_partition × this` subsets per partition — dense
+    /// partitions reject almost every subset as blocked (`w = ∞`), so a
+    /// budget on accepted candidates alone would not bound runtime.
+    pub subclique_visit_multiplier: usize,
+    /// Apply useful skew to the composed MBRs (paper Fig. 4).
+    pub apply_useful_skew: bool,
+    /// Useful-skew parameters.
+    pub skew: SkewConfig,
+    /// Downsize MBR drive strength where slack allows after skew (paper
+    /// Fig. 4 "MBR sizing").
+    pub apply_sizing: bool,
+    /// Timing-safety margin kept in hand when sizing down, ps.
+    pub sizing_margin: f64,
+    /// Re-stitch scan chains after composition
+    /// ([`mbr_netlist::Design::stitch_scan_chains`]). Off by default: real
+    /// flows stitch once at the end of placement optimization, not per pass.
+    pub stitch_scan_chains: bool,
+}
+
+impl Default for ComposerOptions {
+    fn default() -> Self {
+        ComposerOptions {
+            partition_max_nodes: 30,
+            allow_incomplete: true,
+            incomplete_area_overhead: 0.05,
+            max_slack_difference: 300.0,
+            max_region_radius: 15_000,
+            use_blocking_weights: true,
+            max_candidates_per_partition: 20_000,
+            ilp_node_limit: 100_000,
+            subclique_visit_multiplier: 64,
+            apply_useful_skew: true,
+            skew: SkewConfig::default(),
+            apply_sizing: true,
+            sizing_margin: 5.0,
+            stitch_scan_chains: false,
+        }
+    }
+}

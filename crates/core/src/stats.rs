@@ -1,0 +1,160 @@
+//! Diagnostic statistics over the candidate space.
+//!
+//! Tuning the composer (partition bound, slack similarity, region radius,
+//! area budget) needs visibility into what the enumeration actually
+//! produced: how large the partitions are, how many candidates are clean
+//! versus blocked, and what the ILP can possibly cover.
+//! [`CandidateStats::collect`] distills exactly that.
+
+use std::collections::BTreeMap;
+
+use mbr_liberty::Library;
+use mbr_netlist::Design;
+use mbr_sta::Sta;
+
+use crate::candidates::enumerate_candidates;
+use crate::compat::CompatGraph;
+use crate::ComposerOptions;
+
+/// Aggregate statistics of the enumerated candidate space.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CandidateStats {
+    /// Composable registers (compatibility-graph nodes).
+    pub composable: usize,
+    /// Compatibility edges.
+    pub edges: usize,
+    /// Partition-size histogram (size → count).
+    pub partition_sizes: BTreeMap<usize, usize>,
+    /// Singleton ("keep") candidates.
+    pub singletons: usize,
+    /// Multi-register candidates with clean test polygons (`w ≤ 1`).
+    pub clean_multi: usize,
+    /// Multi-register candidates penalized by blockers (`w > 1`).
+    pub blocked_multi: usize,
+    /// Candidates that map to incomplete MBRs.
+    pub incomplete: usize,
+    /// Partitions whose enumeration hit the candidate cap.
+    pub truncated_partitions: usize,
+    /// Member-count histogram of the clean multi-register candidates.
+    pub clean_sizes: BTreeMap<usize, usize>,
+}
+
+impl CandidateStats {
+    /// Runs compatibility + enumeration (no ILP, no netlist edits) and
+    /// summarizes the candidate space under `options`.
+    pub fn collect(
+        design: &Design,
+        lib: &Library,
+        sta: &Sta,
+        options: &ComposerOptions,
+    ) -> CandidateStats {
+        let compat = CompatGraph::build(design, lib, sta, options);
+        let sets = enumerate_candidates(design, lib, &compat, options);
+        let mut stats = CandidateStats {
+            composable: compat.regs.len(),
+            edges: compat.graph.edge_count(),
+            ..CandidateStats::default()
+        };
+        for set in &sets {
+            *stats.partition_sizes.entry(set.elements.len()).or_insert(0) += 1;
+            if set.truncated {
+                stats.truncated_partitions += 1;
+            }
+            for cand in &set.candidates {
+                if cand.is_singleton() {
+                    stats.singletons += 1;
+                } else if cand.weight <= 1.0 {
+                    stats.clean_multi += 1;
+                    *stats.clean_sizes.entry(cand.members.len()).or_insert(0) += 1;
+                } else {
+                    stats.blocked_multi += 1;
+                }
+                if cand.incomplete {
+                    stats.incomplete += 1;
+                }
+            }
+        }
+        stats
+    }
+
+    /// Fraction of multi-register candidates that are clean (0 when there
+    /// are none) — the single strongest predictor of how much the ILP can
+    /// merge.
+    pub fn clean_fraction(&self) -> f64 {
+        let multi = self.clean_multi + self.blocked_multi;
+        if multi == 0 {
+            0.0
+        } else {
+            self.clean_multi as f64 / multi as f64
+        }
+    }
+
+    /// Largest partition seen.
+    pub fn max_partition(&self) -> usize {
+        self.partition_sizes.keys().max().copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbr_geom::{Point, Rect};
+    use mbr_liberty::standard_library;
+    use mbr_netlist::RegisterAttrs;
+    use mbr_sta::DelayModel;
+
+    #[test]
+    fn stats_reflect_the_candidate_space() {
+        let lib = standard_library();
+        let die = Rect::new(Point::new(0, 0), Point::new(90_000, 90_000));
+        let mut d = Design::new("t", die);
+        let clk = d.add_net("clk");
+        let cell = lib.cell_by_name("DFF_1X1").unwrap();
+        for i in 0..6i64 {
+            d.add_register(
+                format!("r{i}"),
+                &lib,
+                cell,
+                Point::new(1_000 + 1_500 * i, 600),
+                RegisterAttrs::clocked(clk),
+            );
+        }
+        let sta = Sta::new(&d, &lib, DelayModel::default()).unwrap();
+        let opts = ComposerOptions::default();
+        let stats = CandidateStats::collect(&d, &lib, &sta, &opts);
+        assert_eq!(stats.composable, 6);
+        assert_eq!(stats.singletons, 6);
+        assert!(stats.clean_multi > 0);
+        assert!(stats.clean_fraction() > 0.0 && stats.clean_fraction() <= 1.0);
+        assert_eq!(stats.max_partition(), 6);
+        assert_eq!(stats.truncated_partitions, 0);
+        // Every partition size accounted for.
+        let total: usize = stats.partition_sizes.values().sum();
+        assert!(total >= 1);
+    }
+
+    #[test]
+    fn partition_bound_caps_max_partition() {
+        let lib = standard_library();
+        let die = Rect::new(Point::new(0, 0), Point::new(90_000, 90_000));
+        let mut d = Design::new("t", die);
+        let clk = d.add_net("clk");
+        let cell = lib.cell_by_name("DFF_1X1").unwrap();
+        for i in 0..40i64 {
+            d.add_register(
+                format!("r{i}"),
+                &lib,
+                cell,
+                Point::new(1_000 + 800 * i, 600),
+                RegisterAttrs::clocked(clk),
+            );
+        }
+        let sta = Sta::new(&d, &lib, DelayModel::default()).unwrap();
+        let opts = ComposerOptions {
+            partition_max_nodes: 8,
+            ..ComposerOptions::default()
+        };
+        let stats = CandidateStats::collect(&d, &lib, &sta, &opts);
+        assert!(stats.max_partition() <= 8);
+    }
+}

@@ -1,0 +1,260 @@
+//! Section 3.2: placement-aware candidate weights.
+//!
+//! Each candidate MBR gets a *test polygon* — the convex hull of the corner
+//! points of its constituent registers' footprints. Registers whose center
+//! falls strictly inside that polygon but which are not constituents are
+//! *blocking registers*; with `b` total bits and `n` blockers the weight is
+//!
+//! ```text
+//!        ⎧ 1/b        n = 0          (clean: bigger is better)
+//! wᵢ  =  ⎨ b·2ⁿ       0 < n < b      (blocked: bigger is riskier)
+//!        ⎩ ∞          n ≥ b          (hopeless: drop the candidate)
+//! ```
+//!
+//! which reproduces every number in the paper's Fig. 3 (see the tests in
+//! `tests/fig3_example.rs`).
+
+use std::collections::HashMap;
+
+use mbr_geom::{convex_hull, Point};
+use mbr_netlist::{Design, InstId};
+
+/// Computed weight of a candidate: finite, or `None` for the `w = ∞` case
+/// (the candidate must not be offered to the ILP).
+pub type Weight = Option<f64>;
+
+/// Spatial index over register centers, used to count blocking registers
+/// without scanning the whole design per candidate.
+#[derive(Clone, Debug)]
+pub struct RegisterIndex {
+    /// Bucketed centers: cell -> (inst, center).
+    buckets: HashMap<(i64, i64), Vec<(InstId, Point)>>,
+    cell_size: i64,
+}
+
+impl RegisterIndex {
+    /// Indexes the centers of all live registers in the design (composable
+    /// or not — a fixed register in the middle of a candidate's polygon is
+    /// just as much of a routing obstacle).
+    pub fn build(design: &Design) -> RegisterIndex {
+        let cell_size = 20_000;
+        let mut buckets: HashMap<(i64, i64), Vec<(InstId, Point)>> = HashMap::new();
+        for (id, inst) in design.registers() {
+            let c = inst.center();
+            buckets
+                .entry((c.x.div_euclid(cell_size), c.y.div_euclid(cell_size)))
+                .or_default()
+                .push((id, c));
+        }
+        RegisterIndex { buckets, cell_size }
+    }
+
+    /// Register centers within the axis-aligned box `[lo, hi]`.
+    fn centers_in(&self, lo: Point, hi: Point) -> impl Iterator<Item = (InstId, Point)> + '_ {
+        let bx0 = lo.x.div_euclid(self.cell_size);
+        let bx1 = hi.x.div_euclid(self.cell_size);
+        let by0 = lo.y.div_euclid(self.cell_size);
+        let by1 = hi.y.div_euclid(self.cell_size);
+        (bx0..=bx1)
+            .flat_map(move |bx| (by0..=by1).map(move |by| (bx, by)))
+            .filter_map(move |key| self.buckets.get(&key))
+            .flatten()
+            .copied()
+            .filter(move |&(_, c)| lo.x <= c.x && c.x <= hi.x && lo.y <= c.y && c.y <= hi.y)
+    }
+}
+
+/// Counts the blocking registers of a candidate: live registers whose center
+/// lies strictly inside the convex hull of the members' footprint corners
+/// and which are not members themselves.
+pub fn blocking_registers(design: &Design, index: &RegisterIndex, members: &[InstId]) -> usize {
+    let mut corners = Vec::with_capacity(members.len() * 4);
+    for &m in members {
+        corners.extend(design.inst(m).rect().corners());
+    }
+    let hull = convex_hull(&corners);
+    let Some(bb) = hull.bounding_rect() else {
+        return 0;
+    };
+    index
+        .centers_in(bb.lo(), bb.hi())
+        .filter(|&(id, c)| !members.contains(&id) && hull.contains_strict(c))
+        .count()
+}
+
+/// The Section 3.2 weight for a candidate with `bits` total register bits
+/// and `blockers` blocking registers. Single-register "keep" candidates
+/// weigh exactly 1 (each register counts one toward the objective, matching
+/// the `Original: 1.00` rows of Fig. 3).
+pub fn candidate_weight(bits: u32, blockers: usize, members: usize) -> Weight {
+    debug_assert!(bits > 0 && members > 0);
+    if members == 1 {
+        return Some(1.0);
+    }
+    let b = f64::from(bits);
+    match blockers {
+        0 => Some(1.0 / b),
+        n if (n as u32) < bits => {
+            let w = b * 2f64.powi(n as i32);
+            w.is_finite().then_some(w)
+        }
+        _ => None,
+    }
+}
+
+/// Full weight computation for a member set: hull, blocker count, formula.
+pub fn weigh(
+    design: &Design,
+    index: &RegisterIndex,
+    members: &[InstId],
+    bits: u32,
+    use_blocking: bool,
+) -> Weight {
+    if !use_blocking {
+        // Ablation mode: pure 1/b preference, no placement awareness.
+        return if members.len() == 1 {
+            Some(1.0)
+        } else {
+            Some(1.0 / f64::from(bits))
+        };
+    }
+    let blockers = if members.len() == 1 {
+        0
+    } else {
+        blocking_registers(design, index, members)
+    };
+    candidate_weight(bits, blockers, members.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbr_geom::Rect;
+    use mbr_liberty::standard_library;
+    use mbr_netlist::RegisterAttrs;
+
+    #[test]
+    fn weight_formula_matches_the_paper() {
+        // Clean candidates prefer more bits.
+        assert_eq!(candidate_weight(8, 0, 8), Some(0.125));
+        assert_eq!(candidate_weight(4, 0, 4), Some(0.25));
+        assert_eq!(candidate_weight(3, 0, 3), Some(1.0 / 3.0));
+        // Blocked candidates grow exponentially.
+        assert_eq!(candidate_weight(8, 1, 8), Some(16.0));
+        assert_eq!(candidate_weight(4, 1, 4), Some(8.0));
+        assert_eq!(candidate_weight(2, 1, 2), Some(4.0));
+        assert_eq!(candidate_weight(3, 1, 3), Some(6.0));
+        // n >= b: infinite, dropped.
+        assert_eq!(candidate_weight(2, 2, 2), None);
+        assert_eq!(candidate_weight(3, 5, 3), None);
+        // Singletons always weigh 1.
+        assert_eq!(candidate_weight(4, 0, 1), Some(1.0));
+    }
+
+    #[test]
+    fn paper_tradeoff_two_fours_beat_one_blocked_eight() {
+        // From Section 3.2: {8 bits, 1 blocker} = 16 loses to
+        // {4, 0} + {4, 1} = 0.25 + 8 = 8.25.
+        let eight = candidate_weight(8, 1, 8).unwrap();
+        let split = candidate_weight(4, 0, 4).unwrap() + candidate_weight(4, 1, 4).unwrap();
+        assert!(split < eight);
+        assert_eq!(split, 8.25);
+    }
+
+    #[test]
+    fn blocking_detection_uses_strict_hull_containment() {
+        let lib = standard_library();
+        let die = Rect::new(Point::new(0, 0), Point::new(200_000, 200_000));
+        let mut d = Design::new("t", die);
+        let clk = d.add_net("clk");
+        let cell = lib.cell_by_name("DFF_1X1").unwrap();
+        // Triangle of members with one register dead center and one far out.
+        let m1 = d.add_register(
+            "m1",
+            &lib,
+            cell,
+            Point::new(0, 0),
+            RegisterAttrs::clocked(clk),
+        );
+        let m2 = d.add_register(
+            "m2",
+            &lib,
+            cell,
+            Point::new(40_000, 0),
+            RegisterAttrs::clocked(clk),
+        );
+        let m3 = d.add_register(
+            "m3",
+            &lib,
+            cell,
+            Point::new(20_000, 40_000),
+            RegisterAttrs::clocked(clk),
+        );
+        let _inside = d.add_register(
+            "inside",
+            &lib,
+            cell,
+            Point::new(20_000, 15_000),
+            RegisterAttrs::clocked(clk),
+        );
+        let _outside = d.add_register(
+            "outside",
+            &lib,
+            cell,
+            Point::new(150_000, 150_000),
+            RegisterAttrs::clocked(clk),
+        );
+        let index = RegisterIndex::build(&d);
+        assert_eq!(blocking_registers(&d, &index, &[m1, m2, m3]), 1);
+        // Pairs along the bottom edge don't capture the inside register.
+        assert_eq!(blocking_registers(&d, &index, &[m1, m2]), 0);
+        // Members never count as their own blockers.
+        assert_eq!(blocking_registers(&d, &index, &[m1, m2, m3]), 1);
+    }
+
+    #[test]
+    fn ablation_mode_ignores_blockers() {
+        let lib = standard_library();
+        let die = Rect::new(Point::new(0, 0), Point::new(200_000, 200_000));
+        let mut d = Design::new("t", die);
+        let clk = d.add_net("clk");
+        let cell = lib.cell_by_name("DFF_1X1").unwrap();
+        let m1 = d.add_register(
+            "m1",
+            &lib,
+            cell,
+            Point::new(0, 0),
+            RegisterAttrs::clocked(clk),
+        );
+        let m2 = d.add_register(
+            "m2",
+            &lib,
+            cell,
+            Point::new(40_000, 0),
+            RegisterAttrs::clocked(clk),
+        );
+        let m3 = d.add_register(
+            "m3",
+            &lib,
+            cell,
+            Point::new(20_000, 40_000),
+            RegisterAttrs::clocked(clk),
+        );
+        d.add_register(
+            "inside",
+            &lib,
+            cell,
+            Point::new(20_000, 15_000),
+            RegisterAttrs::clocked(clk),
+        );
+        let index = RegisterIndex::build(&d);
+        let members = [m1, m2, m3];
+        let with = weigh(&d, &index, &members, 3, true).unwrap();
+        let without = weigh(&d, &index, &members, 3, false).unwrap();
+        assert_eq!(with, 6.0, "blocked 3-bit candidate");
+        assert!(
+            (without - 1.0 / 3.0).abs() < 1e-12,
+            "ablation sees it clean"
+        );
+    }
+}

@@ -1,0 +1,323 @@
+//! The paper's Section 3 worked example (Figs. 1–3), end to end.
+//!
+//! Six registers A(1) B(1) C(1) D(1) E(4) F(2) with the Fig. 1
+//! compatibility graph and a placement reproducing Fig. 2's geometry:
+//! D sits between B and C (inside their test polygons), everything else is
+//! clean. The library offers {1, 2, 3, 4, 8}-bit MBRs as in the paper.
+//!
+//! Asserted against Fig. 3 (following the *text* formula `w = 1/bᵢ` with
+//! `bᵢ` = total bits; the figure's BF/CF entries print 0.50, which counts
+//! registers rather than bits and contradicts its own AE = 0.20 = 1/5 and
+//! AEC = 0.17 = 1/6 entries, so we take the text as normative — every other
+//! figure entry matches the formula exactly):
+//! * candidate weights: 0.5 for clean 2-bit pairs, 4.00 for BC (blocked by
+//!   D), 1/3 for clean 3-bit candidates (BF, CF, ABD, BCD, ACD), 6.00 for
+//!   ABC, 0.25 for ABCD, 8.00 for BCF (4 bits, blocked), 0.2/0.167 for the
+//!   incomplete AE/AEC,
+//! * the ILP optimum without incomplete MBRs: the paper's outcome — three
+//!   registers, {B,F} + {A,C,D} + E (or the symmetric tie),
+//! * the ILP optimum with incomplete MBRs: still three registers, now
+//!   {A,E} as an incomplete 8-bit MBR plus {B,F} and {C,D},
+//! * the area rule rejecting the A–E incomplete MBR at the paper's 5 %
+//!   overhead budget ("in reality, incomplete register AE would have been
+//!   rejected").
+
+use mbr_core::candidates::enumerate_candidates;
+use mbr_core::compat::{CompatGraph, ComposableRegister};
+use mbr_core::{CandidateSet, ComposerOptions};
+use mbr_geom::{Point, Rect};
+use mbr_graph::UnGraph;
+use mbr_liberty::{DriveClass, Library, MbrCell, RegisterClass, ScanStyle};
+use mbr_lp::SetPartition;
+use mbr_netlist::{Design, InstId, RegisterAttrs};
+use mbr_sta::SkewWindow;
+
+/// The example library: one DFF class at widths {1, 2, 3, 4, 8}.
+fn example_library() -> Library {
+    let mut lib = Library::new("fig3");
+    let class = lib.add_class(RegisterClass::flip_flop("DFF"));
+    for width in [1u8, 2, 3, 4, 8] {
+        let w = f64::from(width);
+        lib.add_cell(MbrCell {
+            name: format!("DFF_{width}"),
+            class,
+            width,
+            drive: DriveClass::X1,
+            area: 2.0 * w * (1.0 - 0.05 * (w - 1.0) / 7.0 * 3.0).max(0.8),
+            drive_resistance: 6.0,
+            intrinsic_delay: 60.0,
+            setup: 35.0,
+            clock_pin_cap: 0.9 + 0.2 * (w - 1.0),
+            d_pin_cap: 0.5,
+            leakage: w,
+            scan_style: ScanStyle::None,
+            footprint_w: 1_000 * i64::from(width),
+            footprint_h: 1_000,
+        });
+    }
+    lib
+}
+
+struct Example {
+    design: Design,
+    lib: Library,
+    compat: CompatGraph,
+    /// name → local node index (A=0 … F=5).
+    names: Vec<&'static str>,
+}
+
+/// Builds the Fig. 2 placement and the Fig. 1 graph.
+fn example() -> Example {
+    let lib = example_library();
+    let die = Rect::new(Point::new(-2_000, -2_000), Point::new(14_000, 14_000));
+    let mut design = Design::new("fig2", die);
+    let clk = design.add_net("clk");
+
+    // (name, width, lower-left corner) — scaled from the sketch in Fig. 2.
+    let placement: [(&str, u8, Point); 6] = [
+        ("A", 1, Point::new(1_000, 8_000)),
+        ("B", 1, Point::new(6_000, 9_000)),
+        ("C", 1, Point::new(7_000, 4_000)),
+        ("D", 1, Point::new(6_800, 6_500)),
+        ("E", 4, Point::new(0, 0)),
+        ("F", 2, Point::new(9_000, 6_000)),
+    ];
+    let mut insts: Vec<InstId> = Vec::new();
+    for (name, width, loc) in placement {
+        let cell = lib.cell_by_name(&format!("DFF_{width}")).expect("cell");
+        insts.push(design.add_register(name, &lib, cell, loc, RegisterAttrs::clocked(clk)));
+    }
+
+    // Fig. 1 edges.
+    let mut graph = UnGraph::new(6);
+    let (a, b, c, d, e, f) = (0, 1, 2, 3, 4, 5);
+    for (u, v) in [
+        (a, b),
+        (a, c),
+        (a, d),
+        (b, c),
+        (b, d),
+        (c, d),
+        (a, e),
+        (c, e),
+        (b, f),
+        (c, f),
+    ] {
+        graph.add_edge(u, v);
+    }
+
+    let class = lib.class_by_name("DFF").expect("class");
+    let regs: Vec<ComposableRegister> = insts
+        .iter()
+        .enumerate()
+        .map(|(i, &inst)| {
+            let width = placement[i].1;
+            ComposableRegister {
+                inst,
+                class,
+                width,
+                d_slack: None,
+                q_slack: None,
+                skew_window: SkewWindow {
+                    lo: f64::NEG_INFINITY,
+                    hi: f64::INFINITY,
+                },
+                region: die,
+                clock_pos: design.inst(inst).center(),
+                area: lib
+                    .cell(design.inst(inst).register_cell().expect("register"))
+                    .area,
+                drive_resistance: 6.0,
+            }
+        })
+        .collect();
+
+    Example {
+        design,
+        lib,
+        compat: CompatGraph { regs, graph },
+        names: vec!["A", "B", "C", "D", "E", "F"],
+    }
+}
+
+fn candidate_sets(ex: &Example, options: &ComposerOptions) -> Vec<CandidateSet> {
+    enumerate_candidates(&ex.design, &ex.lib, &ex.compat, options)
+}
+
+/// Weight of the candidate with exactly this member-name set, if present.
+fn weight_of(ex: &Example, sets: &[CandidateSet], members: &[&str]) -> Option<f64> {
+    let mut want: Vec<InstId> = members
+        .iter()
+        .map(|m| ex.design.inst_by_name(m).expect("named register"))
+        .collect();
+    want.sort_unstable();
+    for set in sets {
+        for cand in &set.candidates {
+            let mut have = cand.members.clone();
+            have.sort_unstable();
+            if have == want {
+                return Some(cand.weight);
+            }
+        }
+    }
+    None
+}
+
+#[test]
+fn all_fig3_weights_match() {
+    let ex = example();
+    let options = ComposerOptions {
+        allow_incomplete: true,
+        incomplete_area_overhead: 10.0, // Fig. 3 shows AE before the area rule
+        ..ComposerOptions::default()
+    };
+    let sets = candidate_sets(&ex, &options);
+
+    let close = |got: Option<f64>, want: f64, label: &str| {
+        let got = got.unwrap_or_else(|| panic!("candidate {label} missing"));
+        assert!(
+            (got - want).abs() < 1e-9,
+            "{label}: weight {got}, Fig. 3 says {want}"
+        );
+    };
+
+    // Originals.
+    for name in &ex.names {
+        close(weight_of(&ex, &sets, &[name]), 1.0, name);
+    }
+    // 2-register candidates.
+    close(weight_of(&ex, &sets, &["A", "B"]), 0.5, "AB");
+    close(weight_of(&ex, &sets, &["A", "D"]), 0.5, "AD");
+    close(weight_of(&ex, &sets, &["A", "C"]), 0.5, "AC");
+    close(weight_of(&ex, &sets, &["B", "D"]), 0.5, "BD");
+    close(weight_of(&ex, &sets, &["C", "D"]), 0.5, "CD");
+    close(weight_of(&ex, &sets, &["B", "C"]), 4.0, "BC (blocked by D)");
+    close(weight_of(&ex, &sets, &["B", "F"]), 1.0 / 3.0, "BF (3 bits)");
+    close(weight_of(&ex, &sets, &["C", "F"]), 1.0 / 3.0, "CF (3 bits)");
+    // 3-register candidates.
+    close(weight_of(&ex, &sets, &["A", "B", "D"]), 1.0 / 3.0, "ABD");
+    close(weight_of(&ex, &sets, &["B", "C", "D"]), 1.0 / 3.0, "BCD");
+    close(weight_of(&ex, &sets, &["A", "C", "D"]), 1.0 / 3.0, "ACD");
+    close(
+        weight_of(&ex, &sets, &["A", "B", "C"]),
+        6.0,
+        "ABC (blocked by D)",
+    );
+    close(
+        weight_of(&ex, &sets, &["B", "C", "F"]),
+        8.0,
+        "BCF (blocked by D)",
+    );
+    // 4-register clique.
+    close(weight_of(&ex, &sets, &["A", "B", "C", "D"]), 0.25, "ABCD");
+    // Incomplete candidates (map to the 8-bit cell).
+    close(weight_of(&ex, &sets, &["A", "E"]), 0.2, "AE (5 bits)");
+    close(
+        weight_of(&ex, &sets, &["A", "C", "E"]),
+        1.0 / 6.0,
+        "AEC (6 bits)",
+    );
+    // Their mapping really is the incomplete 8-bit cell.
+    for set in &sets {
+        for cand in &set.candidates {
+            if cand.bits == 5 || cand.bits == 6 {
+                assert!(cand.incomplete);
+                assert_eq!(ex.lib.cell(cand.cell).width, 8);
+            }
+        }
+    }
+}
+
+/// Solves the assignment ILP over the enumerated candidates and returns
+/// (selected member-name-sets, total cost).
+fn solve(ex: &Example, sets: &[CandidateSet]) -> (Vec<Vec<String>>, f64) {
+    let mut chosen = Vec::new();
+    let mut cost = 0.0;
+    for set in sets {
+        let mut sp = SetPartition::new(set.elements.len());
+        for (i, idx) in set.member_idx.iter().enumerate() {
+            let w = set.candidates[i].weight;
+            sp.add_candidate(idx, w);
+        }
+        let sol = sp.solve().expect("feasible: singletons exist");
+        cost += sol.cost;
+        for &ci in &sol.selected {
+            let mut names: Vec<String> = set.candidates[ci]
+                .members
+                .iter()
+                .map(|&m| ex.design.inst(m).name.clone())
+                .collect();
+            names.sort();
+            chosen.push(names);
+        }
+    }
+    chosen.sort();
+    (chosen, cost)
+}
+
+#[test]
+fn ilp_without_incomplete_mbrs_matches_fig3() {
+    let ex = example();
+    let options = ComposerOptions {
+        allow_incomplete: false,
+        ..ComposerOptions::default()
+    };
+    let sets = candidate_sets(&ex, &options);
+    let (chosen, cost) = solve(&ex, &sets);
+    // Paper: {B,F} + {A,C,D} + E — three registers, cost 1/3 + 1/3 + 1.
+    // ({C,F} + {A,B,D} + E is the symmetric tie at the same cost.)
+    assert_eq!(chosen.len(), 3, "six registers fold into three: {chosen:?}");
+    assert!((cost - (2.0 / 3.0 + 1.0)).abs() < 1e-9, "cost {cost}");
+    assert!(chosen.contains(&vec!["E".to_string()]), "E stays single");
+    let paper = [
+        vec!["B".to_string(), "F".to_string()],
+        vec!["A".to_string(), "C".to_string(), "D".to_string()],
+    ];
+    let tie = [
+        vec!["C".to_string(), "F".to_string()],
+        vec!["A".to_string(), "B".to_string(), "D".to_string()],
+    ];
+    let got: Vec<_> = chosen.iter().filter(|c| c.len() > 1).cloned().collect();
+    assert!(
+        paper.iter().all(|p| got.contains(p)) || tie.iter().all(|p| got.contains(p)),
+        "selection {got:?} is neither the paper solution nor its symmetric tie"
+    );
+}
+
+#[test]
+fn ilp_with_incomplete_mbrs_matches_fig3() {
+    let ex = example();
+    let options = ComposerOptions {
+        allow_incomplete: true,
+        incomplete_area_overhead: 10.0,
+        ..ComposerOptions::default()
+    };
+    let sets = candidate_sets(&ex, &options);
+    let (chosen, cost) = solve(&ex, &sets);
+    // Paper: incomplete A–E enables a different 3-register outcome, e.g.
+    // {A,E} + {B,F} + {C,D} at cost 1/5 + 1/3 + 1/2.
+    assert_eq!(chosen.len(), 3, "still three registers: {chosen:?}");
+    assert!((cost - (0.2 + 1.0 / 3.0 + 0.5)).abs() < 1e-9, "cost {cost}");
+    assert!(chosen.contains(&vec!["A".to_string(), "E".to_string()]));
+}
+
+#[test]
+fn area_rule_rejects_the_ae_incomplete_mbr() {
+    let ex = example();
+    // The paper's real configuration: 5 % overhead budget. The 8-bit cell is
+    // much bigger than A + E together, so the A–E candidate must vanish.
+    let options = ComposerOptions {
+        allow_incomplete: true,
+        incomplete_area_overhead: 0.05,
+        ..ComposerOptions::default()
+    };
+    let sets = candidate_sets(&ex, &options);
+    assert!(
+        weight_of(&ex, &sets, &["A", "E"]).is_none(),
+        "AE must be rejected by the area rule"
+    );
+    // And the solution falls back to the complete-MBR optimum.
+    let (chosen, cost) = solve(&ex, &sets);
+    assert_eq!(chosen.len(), 3);
+    assert!((cost - (2.0 / 3.0 + 1.0)).abs() < 1e-9);
+}

@@ -1,0 +1,74 @@
+//! Property tests of the Section 4.2 placement LP against the exact
+//! breakpoint-scan oracle, on random pin-box instances.
+
+use mbr_core::placement::{optimal_corner_brute, optimal_corner_lp, placement_cost, PinBox};
+use mbr_geom::{Point, Rect};
+use proptest::prelude::*;
+
+fn arb_boxes() -> impl Strategy<Value = Vec<PinBox>> {
+    prop::collection::vec(
+        (
+            0i64..90_000,
+            0i64..90_000,
+            0i64..8_000,
+            0i64..8_000,
+            0i64..4_000,
+            0i64..1_000,
+        ),
+        1..12,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .map(|(x, y, w, h, dx, dy)| PinBox {
+                offset: Point::new(dx, dy),
+                bbox: Rect::new(Point::new(x, y), Point::new(x + w, y + h)),
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The simplex solution of the placement LP achieves the same objective
+    /// as the exact separable-median oracle (positions may differ on ties).
+    #[test]
+    fn lp_matches_the_exact_oracle(boxes in arb_boxes()) {
+        let region = Rect::new(Point::new(0, 0), Point::new(100_000, 100_000));
+        let lp = optimal_corner_lp(&boxes, region);
+        let brute = optimal_corner_brute(&boxes, region);
+        prop_assert!(region.contains(lp), "lp corner {lp} outside region");
+        let lp_cost = placement_cost(&boxes, lp);
+        let brute_cost = placement_cost(&boxes, brute);
+        // The LP solves a continuous relaxation and rounds to integers; a
+        // 1-DBU rounding step can cost at most 2 per pin box and axis.
+        let tolerance = 4 * boxes.len() as i128;
+        prop_assert!(
+            lp_cost <= brute_cost + tolerance,
+            "lp {lp_cost} vs oracle {brute_cost}"
+        );
+        prop_assert!(
+            brute_cost <= lp_cost + tolerance,
+            "oracle must not beat lp by more than rounding: {brute_cost} vs {lp_cost}"
+        );
+    }
+
+    /// The optimum never loses to a random grid of alternative corners.
+    #[test]
+    fn oracle_beats_random_corners(boxes in arb_boxes(), probe_x in 0i64..100_000, probe_y in 0i64..100_000) {
+        let region = Rect::new(Point::new(0, 0), Point::new(100_000, 100_000));
+        let brute = optimal_corner_brute(&boxes, region);
+        let probe = Point::new(probe_x, probe_y);
+        prop_assert!(placement_cost(&boxes, brute) <= placement_cost(&boxes, probe));
+    }
+
+    /// Shrinking the feasible region never improves the objective.
+    #[test]
+    fn region_restriction_is_monotone(boxes in arb_boxes()) {
+        let big = Rect::new(Point::new(0, 0), Point::new(100_000, 100_000));
+        let small = Rect::new(Point::new(40_000, 40_000), Point::new(60_000, 60_000));
+        let in_big = placement_cost(&boxes, optimal_corner_brute(&boxes, big));
+        let in_small = placement_cost(&boxes, optimal_corner_brute(&boxes, small));
+        prop_assert!(in_big <= in_small);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests for the clock-tree builder: structural invariants over
+//! arbitrary sink placements.
+
+use mbr_cts::{build_clock_trees, synthesize_clock_tree, CtsConfig, TreeNodeKind};
+use mbr_geom::{Point, Rect};
+use mbr_liberty::standard_library;
+use mbr_netlist::{Design, RegisterAttrs};
+use proptest::prelude::*;
+
+fn design_with_sinks(points: &[(i64, i64)]) -> Design {
+    let lib = standard_library();
+    let die = Rect::new(Point::new(0, 0), Point::new(200_000, 200_000));
+    let mut d = Design::new("t", die);
+    let clk = d.add_net("clk");
+    let cell = lib.cell_by_name("DFF_1X1").expect("cell");
+    for (i, &(x, y)) in points.iter().enumerate() {
+        d.add_register(
+            format!("r{i}"),
+            &lib,
+            cell,
+            Point::new(x, y),
+            RegisterAttrs::clocked(clk),
+        );
+    }
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Tree structure: every sink appears once, every node reaches the
+    /// single root, fanout and level accounting are consistent.
+    #[test]
+    fn tree_invariants(points in prop::collection::vec((0i64..190_000, 0i64..190_000), 1..120)) {
+        let d = design_with_sinks(&points);
+        let cfg = CtsConfig::default();
+        let trees = build_clock_trees(&d, &cfg);
+        prop_assert_eq!(trees.len(), 1);
+        let tree = &trees[0];
+        prop_assert_eq!(tree.sink_count(), points.len());
+        prop_assert!(tree.buffer_count() >= 1);
+        prop_assert!(tree.nodes[tree.root].parent.is_none());
+
+        // Exactly one parentless node (the root), and it is a buffer.
+        let roots = tree
+            .nodes
+            .iter()
+            .filter(|n| n.parent.is_none())
+            .count();
+        prop_assert_eq!(roots, 1);
+        prop_assert_eq!(tree.nodes[tree.root].kind, TreeNodeKind::Buffer);
+
+        // Fanout limit holds for every buffer.
+        let mut fanout = vec![0usize; tree.nodes.len()];
+        for node in &tree.nodes {
+            if let Some(p) = node.parent {
+                fanout[p] += 1;
+            }
+        }
+        for (i, n) in tree.nodes.iter().enumerate() {
+            match n.kind {
+                TreeNodeKind::Buffer => prop_assert!(
+                    fanout[i] <= cfg.max_fanout,
+                    "buffer {i} drives {}",
+                    fanout[i]
+                ),
+                TreeNodeKind::Sink { .. } => prop_assert_eq!(fanout[i], 0, "sinks are leaves"),
+            }
+        }
+
+        // Acyclic: every node reaches the root within |nodes| hops.
+        for i in 0..tree.nodes.len() {
+            let mut cur = i;
+            let mut hops = 0;
+            while let Some(p) = tree.nodes[cur].parent {
+                cur = p;
+                hops += 1;
+                prop_assert!(hops <= tree.nodes.len());
+            }
+            prop_assert_eq!(cur, tree.root);
+        }
+    }
+
+    /// The aggregate report equals the per-tree metrics and scales
+    /// monotonically: removing sinks never increases total capacitance.
+    #[test]
+    fn report_is_monotone_in_sinks(points in prop::collection::vec((0i64..190_000, 0i64..190_000), 2..80)) {
+        let cfg = CtsConfig::default();
+        let full = synthesize_clock_tree(&design_with_sinks(&points), &cfg);
+        let fewer = synthesize_clock_tree(&design_with_sinks(&points[..points.len() / 2 + 1]), &cfg);
+        prop_assert!(fewer.sinks < full.sinks || points.len() <= 2);
+        prop_assert!(fewer.sink_cap_ff <= full.sink_cap_ff + 1e-9);
+        prop_assert!(fewer.buffers <= full.buffers);
+    }
+}

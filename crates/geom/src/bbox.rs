@@ -1,0 +1,159 @@
+use crate::{Dbu, Point, Rect};
+
+/// An accumulating bounding box for half-perimeter wire-length estimation.
+///
+/// A net's routed length is approximated by the half-perimeter of the
+/// bounding box of its pins (HPWL), the standard estimator in placement
+/// literature and the one the paper uses for the Section 4.2 MBR placement
+/// LP. `BoundingBox` starts empty and grows as pins are added.
+///
+/// # Examples
+///
+/// ```
+/// use mbr_geom::{BoundingBox, Point};
+///
+/// let mut bb = BoundingBox::new();
+/// assert_eq!(bb.hpwl(), 0);
+/// bb.add(Point::new(0, 0));
+/// bb.add(Point::new(30, 40));
+/// bb.add(Point::new(10, 10));
+/// assert_eq!(bb.hpwl(), 70);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct BoundingBox {
+    rect: Option<Rect>,
+}
+
+impl BoundingBox {
+    /// Creates an empty bounding box.
+    pub fn new() -> Self {
+        BoundingBox { rect: None }
+    }
+
+    /// Whether no point has been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.rect.is_none()
+    }
+
+    /// Expands the box to include `p`.
+    pub fn add(&mut self, p: Point) {
+        self.rect = Some(match self.rect {
+            None => Rect::point(p),
+            Some(r) => r.union(&Rect::point(p)),
+        });
+    }
+
+    /// Expands the box to include all of `r`.
+    pub fn add_rect(&mut self, r: Rect) {
+        self.rect = Some(match self.rect {
+            None => r,
+            Some(cur) => cur.union(&r),
+        });
+    }
+
+    /// The accumulated rectangle, if any point was added.
+    pub fn rect(&self) -> Option<Rect> {
+        self.rect
+    }
+
+    /// Half-perimeter wire-length of the box; `0` for empty or single-point
+    /// boxes (a net with one pin has no wire).
+    pub fn hpwl(&self) -> Dbu {
+        self.rect.map_or(0, |r| r.half_perimeter())
+    }
+}
+
+impl FromIterator<Point> for BoundingBox {
+    fn from_iter<I: IntoIterator<Item = Point>>(iter: I) -> Self {
+        let mut bb = BoundingBox::new();
+        for p in iter {
+            bb.add(p);
+        }
+        bb
+    }
+}
+
+impl Extend<Point> for BoundingBox {
+    fn extend<I: IntoIterator<Item = Point>>(&mut self, iter: I) {
+        for p in iter {
+            self.add(p);
+        }
+    }
+}
+
+/// HPWL of a pin set, as a convenience over [`BoundingBox`].
+///
+/// # Examples
+///
+/// ```
+/// use mbr_geom::{hpwl, Point};
+///
+/// assert_eq!(hpwl([Point::new(0, 0), Point::new(3, 4)]), 7);
+/// assert_eq!(hpwl([]), 0);
+/// ```
+pub fn hpwl<I: IntoIterator<Item = Point>>(pins: I) -> Dbu {
+    pins.into_iter().collect::<BoundingBox>().hpwl()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_singleton_have_zero_hpwl() {
+        let mut bb = BoundingBox::new();
+        assert!(bb.is_empty());
+        assert_eq!(bb.hpwl(), 0);
+        bb.add(Point::new(100, -100));
+        assert!(!bb.is_empty());
+        assert_eq!(bb.hpwl(), 0);
+        assert_eq!(bb.rect(), Some(Rect::point(Point::new(100, -100))));
+    }
+
+    #[test]
+    fn hpwl_matches_manual_bbox() {
+        let pts = [
+            Point::new(2, 9),
+            Point::new(-4, 3),
+            Point::new(7, -1),
+            Point::new(0, 0),
+        ];
+        // x span: -4..7 = 11, y span: -1..9 = 10
+        assert_eq!(hpwl(pts), 21);
+    }
+
+    #[test]
+    fn add_rect_grows_box() {
+        let mut bb = BoundingBox::new();
+        bb.add_rect(Rect::new(Point::new(0, 0), Point::new(2, 2)));
+        bb.add_rect(Rect::new(Point::new(5, 5), Point::new(6, 9)));
+        assert_eq!(bb.hpwl(), 6 + 9);
+    }
+
+    #[test]
+    fn from_iterator_and_extend_agree_with_sequential_add() {
+        let pts = vec![Point::new(1, 1), Point::new(4, 8), Point::new(-2, 3)];
+        let collected: BoundingBox = pts.iter().copied().collect();
+        let mut extended = BoundingBox::new();
+        extended.extend(pts.iter().copied());
+        let mut added = BoundingBox::new();
+        for &p in &pts {
+            added.add(p);
+        }
+        assert_eq!(collected, extended);
+        assert_eq!(collected, added);
+    }
+
+    #[test]
+    fn hpwl_is_insertion_order_independent() {
+        let mut pts = vec![
+            Point::new(3, 1),
+            Point::new(-7, 2),
+            Point::new(5, -9),
+            Point::new(0, 4),
+        ];
+        let forward = hpwl(pts.iter().copied());
+        pts.reverse();
+        assert_eq!(forward, hpwl(pts));
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the geometry substrate.
+//!
+//! The convex hull is load-bearing for the candidate-weighting scheme of the
+//! paper (blocking registers are detected by hull containment), so its
+//! invariants are checked against brute-force oracles here.
+
+use mbr_geom::{convex_hull, hpwl, Point, Rect};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-1000i64..1000, -1000i64..1000).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_points(max: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(arb_point(), 0..max)
+}
+
+proptest! {
+    /// Every input point is inside (or on) its own hull.
+    #[test]
+    fn hull_contains_all_inputs(pts in arb_points(40)) {
+        let hull = convex_hull(&pts);
+        for &p in &pts {
+            prop_assert!(hull.contains(p), "hull {hull} must contain input {p}");
+        }
+    }
+
+    /// Hull vertices are a subset of the input points.
+    #[test]
+    fn hull_vertices_are_input_points(pts in arb_points(40)) {
+        let hull = convex_hull(&pts);
+        for v in hull.vertices() {
+            prop_assert!(pts.contains(v));
+        }
+    }
+
+    /// The hull is convex: every vertex triple turns counter-clockwise.
+    #[test]
+    fn hull_is_convex_and_ccw(pts in arb_points(40)) {
+        let hull = convex_hull(&pts);
+        let v = hull.vertices();
+        if v.len() >= 3 {
+            let n = v.len();
+            for i in 0..n {
+                let turn = v[i].cross(v[(i + 1) % n], v[(i + 2) % n]);
+                prop_assert!(turn > 0, "vertices must be strictly convex CCW");
+            }
+        }
+    }
+
+    /// Hull is invariant under input permutation and duplication.
+    #[test]
+    fn hull_is_order_and_duplicate_invariant(pts in arb_points(25)) {
+        let base = convex_hull(&pts);
+        let mut shuffled = pts.clone();
+        shuffled.reverse();
+        shuffled.extend(pts.iter().copied()); // duplicate everything
+        prop_assert_eq!(base, convex_hull(&shuffled));
+    }
+
+    /// Strict containment implies closed containment, never the reverse on
+    /// the boundary.
+    #[test]
+    fn strict_implies_closed(pts in arb_points(30), probe in arb_point()) {
+        let hull = convex_hull(&pts);
+        if hull.contains_strict(probe) {
+            prop_assert!(hull.contains(probe));
+        }
+        for &v in hull.vertices() {
+            prop_assert!(hull.contains(v));
+            prop_assert!(!hull.contains_strict(v));
+        }
+    }
+
+    /// Containment matches a brute-force half-plane oracle over the input
+    /// points' hull edges.
+    #[test]
+    fn containment_matches_halfplane_oracle(pts in arb_points(20), probe in arb_point()) {
+        let hull = convex_hull(&pts);
+        if hull.vertices().len() >= 3 {
+            let v = hull.vertices();
+            let n = v.len();
+            let oracle = (0..n).all(|i| v[i].cross(v[(i + 1) % n], probe) >= 0);
+            prop_assert_eq!(hull.contains(probe), oracle);
+        }
+    }
+
+    /// HPWL equals the bounding-rect half perimeter and is monotone in
+    /// point-set inclusion.
+    #[test]
+    fn hpwl_is_monotone(pts in arb_points(30), extra in arb_point()) {
+        let base = hpwl(pts.iter().copied());
+        let mut more = pts.clone();
+        more.push(extra);
+        prop_assert!(hpwl(more) >= base);
+    }
+
+    /// Rect intersection is the greatest lower bound: contained in both
+    /// operands, and any point in both operands is in the intersection.
+    #[test]
+    fn rect_intersection_is_glb(
+        (a0, a1, b0, b1) in (arb_point(), arb_point(), arb_point(), arb_point()),
+        probe in arb_point(),
+    ) {
+        let a = Rect::new(a0, a1);
+        let b = Rect::new(b0, b1);
+        match a.intersection(&b) {
+            Some(i) => {
+                prop_assert!(a.contains_rect(&i) && b.contains_rect(&i));
+                prop_assert_eq!(a.contains(probe) && b.contains(probe), i.contains(probe));
+            }
+            None => {
+                prop_assert!(!(a.contains(probe) && b.contains(probe)));
+            }
+        }
+    }
+
+    /// Rect union covers both operands and is the smallest such box over the
+    /// corner set.
+    #[test]
+    fn rect_union_is_lub((a0, a1, b0, b1) in (arb_point(), arb_point(), arb_point(), arb_point())) {
+        let a = Rect::new(a0, a1);
+        let b = Rect::new(b0, b1);
+        let u = a.union(&b);
+        prop_assert!(u.contains_rect(&a) && u.contains_rect(&b));
+        let mut pts = Vec::new();
+        pts.extend(a.corners());
+        pts.extend(b.corners());
+        let hull_bb = convex_hull(&pts).bounding_rect().unwrap();
+        prop_assert_eq!(u, hull_bb);
+    }
+}

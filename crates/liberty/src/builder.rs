@@ -1,0 +1,355 @@
+//! Default 28 nm-class library generator.
+//!
+//! The synthetic benchmarks need a realistic MBR library. [`standard_library`]
+//! produces one with the classes and width mix a modern low-power library
+//! ships: plain/reset/reset-set flip-flops, enable flops, scan flops (internal
+//! and per-bit scan variants) and latches, at widths {1, 2, 4, 8} and drive
+//! grades X1/X2/X4. [`standard_library_with_widths`] lets tests reproduce the
+//! paper's Section 3 example library with widths {1, 2, 3, 4, 8}.
+//!
+//! The numeric model (area/cap sharing factors) follows the qualitative
+//! behaviour the paper relies on: an N-bit MBR is smaller and presents far
+//! less clock pin capacitance than N single-bit registers, with the per-bit
+//! saving growing with N.
+
+use mbr_geom::Dbu;
+
+use crate::{CellKind, DriveClass, Library, MbrCell, RegisterClass, ScanStyle};
+
+/// Parameters of the generated library; tweak to model other nodes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LibrarySpec {
+    /// Library name.
+    pub name: String,
+    /// Available MBR bit widths (ascending, deduplicated by the builder).
+    pub widths: Vec<u8>,
+    /// Standard-cell row height in DBU.
+    pub row_height: Dbu,
+    /// Placement site width in DBU.
+    pub site_width: Dbu,
+    /// Area of a 1-bit X1 flop, µm².
+    pub base_area: f64,
+    /// Drive resistance of an X1 flop, kΩ.
+    pub base_resistance: f64,
+    /// Intrinsic clk→Q delay of an X1 flop, ps.
+    pub base_intrinsic: f64,
+    /// Setup time, ps.
+    pub base_setup: f64,
+    /// Clock pin capacitance of a 1-bit flop, fF.
+    pub base_clock_cap: f64,
+    /// D pin capacitance, fF.
+    pub base_d_cap: f64,
+    /// Leakage of a 1-bit X1 flop, nW.
+    pub base_leakage: f64,
+}
+
+impl Default for LibrarySpec {
+    fn default() -> Self {
+        LibrarySpec {
+            name: "mbr28".into(),
+            widths: vec![1, 2, 4, 8],
+            row_height: 600,
+            site_width: 100,
+            base_area: 2.0,
+            base_resistance: 6.0,
+            base_intrinsic: 60.0,
+            base_setup: 35.0,
+            base_clock_cap: 0.9,
+            base_d_cap: 0.5,
+            base_leakage: 1.0,
+        }
+    }
+}
+
+impl LibrarySpec {
+    /// Per-bit area sharing factor for a `width`-bit MBR.
+    ///
+    /// Merging shares the clock inverters and well/tap overhead: 2-bit MBRs
+    /// spend ~93 % of the per-bit area of singles, 8-bit MBRs ~80 %.
+    fn area_factor(width: u8) -> f64 {
+        match width {
+            0 | 1 => 1.0,
+            2 => 0.93,
+            3 => 0.90,
+            4 => 0.86,
+            5..=7 => 0.83,
+            _ => 0.80,
+        }
+    }
+
+    /// Clock pin capacitance of a `width`-bit MBR, fF.
+    ///
+    /// One shared clock pin and internal clock buffering: grows mildly with
+    /// width instead of linearly, which is the whole point of MBRs. An 8-bit
+    /// MBR presents ≈2.0 fF versus 7.2 fF for eight singles.
+    fn clock_cap(&self, width: u8) -> f64 {
+        if width <= 1 {
+            self.base_clock_cap
+        } else {
+            0.65 * self.base_clock_cap + 0.185 * self.base_clock_cap * f64::from(width)
+        }
+    }
+
+    /// Builds the library.
+    pub fn build(&self) -> Library {
+        let mut widths = self.widths.clone();
+        widths.sort_unstable();
+        widths.dedup();
+        assert!(!widths.is_empty(), "library must offer at least one width");
+        assert!(widths[0] >= 1, "widths start at 1");
+
+        let mut lib = Library::new(self.name.clone());
+
+        // (name, kind, reset, set, enable, scan)
+        let classes: &[(&str, CellKind, bool, bool, bool, bool)] = &[
+            ("DFF", CellKind::FlipFlop, false, false, false, false),
+            ("DFF_R", CellKind::FlipFlop, true, false, false, false),
+            ("DFF_RS", CellKind::FlipFlop, true, true, false, false),
+            ("DFF_EN", CellKind::FlipFlop, false, false, true, false),
+            ("DFF_EN_R", CellKind::FlipFlop, true, false, true, false),
+            ("SDFF_R", CellKind::FlipFlop, true, false, false, true),
+            ("SDFF_EN_R", CellKind::FlipFlop, true, false, true, true),
+            ("DLAT", CellKind::Latch, false, false, false, false),
+            ("DLAT_R", CellKind::Latch, true, false, false, false),
+        ];
+
+        for &(name, kind, has_reset, has_set, has_enable, has_scan) in classes {
+            let class_id = lib.add_class(RegisterClass {
+                name: name.into(),
+                kind,
+                has_reset,
+                has_set,
+                has_enable,
+                has_scan,
+            });
+            // Control pins add area/leakage overhead per bit.
+            let ctrl_overhead = 1.0
+                + 0.08 * f64::from(u8::from(has_reset))
+                + 0.08 * f64::from(u8::from(has_set))
+                + 0.12 * f64::from(u8::from(has_enable))
+                + 0.15 * f64::from(u8::from(has_scan));
+            for &width in &widths {
+                let scan_styles: &[ScanStyle] = if has_scan {
+                    if width == 1 {
+                        &[ScanStyle::Internal]
+                    } else {
+                        &[ScanStyle::Internal, ScanStyle::PerBit]
+                    }
+                } else {
+                    &[ScanStyle::None]
+                };
+                for &scan_style in scan_styles {
+                    for grade in DriveClass::ALL {
+                        // Drive upsizing costs area in the output stage only.
+                        let drive_area = 1.0 + 0.18 * (grade.strength() - 1.0);
+                        // Per-bit scan wiring costs a little extra area.
+                        let scan_area = if scan_style == ScanStyle::PerBit {
+                            1.06
+                        } else {
+                            1.0
+                        };
+                        let area = self.base_area
+                            * f64::from(width)
+                            * Self::area_factor(width)
+                            * ctrl_overhead
+                            * drive_area
+                            * scan_area;
+                        let sites = (area / (self.base_area * 0.5)).ceil().max(2.0) as Dbu;
+                        let suffix = match scan_style {
+                            ScanStyle::PerBit => "E",
+                            _ => "",
+                        };
+                        let cell = MbrCell {
+                            name: format!("{name}_{width}{grade}{suffix}"),
+                            class: class_id,
+                            width,
+                            drive: grade,
+                            area,
+                            drive_resistance: self.base_resistance / grade.strength(),
+                            intrinsic_delay: self.base_intrinsic
+                                * (1.0 - 0.04 * (grade.strength().log2())),
+                            setup: self.base_setup,
+                            clock_pin_cap: self.clock_cap(width)
+                                * (1.0 + 0.1 * (grade.strength() - 1.0)),
+                            d_pin_cap: self.base_d_cap,
+                            leakage: self.base_leakage
+                                * f64::from(width)
+                                * ctrl_overhead
+                                * (1.0 + 0.3 * (grade.strength() - 1.0)),
+                            scan_style,
+                            footprint_w: sites * self.site_width,
+                            footprint_h: self.row_height,
+                        };
+                        lib.add_cell(cell);
+                    }
+                }
+            }
+        }
+        lib
+    }
+}
+
+/// The default 28 nm-class register library with widths {1, 2, 4, 8}.
+///
+/// # Examples
+///
+/// ```
+/// use mbr_liberty::standard_library;
+///
+/// let lib = standard_library();
+/// assert!(lib.cell_count() > 50);
+/// let dff = lib.class_by_name("DFF").expect("plain flop class");
+/// assert_eq!(lib.max_width(dff), 8);
+/// ```
+pub fn standard_library() -> Library {
+    LibrarySpec::default().build()
+}
+
+/// The default library with a custom width set, e.g. `{1, 2, 3, 4, 8}` as in
+/// the paper's Section 3 worked example.
+pub fn standard_library_with_widths(widths: &[u8]) -> Library {
+    LibrarySpec {
+        widths: widths.to_vec(),
+        ..LibrarySpec::default()
+    }
+    .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mbr_clock_cap_beats_equivalent_singles() {
+        let lib = standard_library();
+        let class = lib.class_by_name("DFF_R").unwrap();
+        for &w in lib.widths(class) {
+            if w == 1 {
+                continue;
+            }
+            let single = lib
+                .cells_of(class, 1)
+                .map(|id| lib.cell(id).clock_pin_cap)
+                .fold(f64::INFINITY, f64::min);
+            let mbr = lib
+                .cells_of(class, w)
+                .map(|id| lib.cell(id).clock_pin_cap)
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                mbr < single * f64::from(w),
+                "{w}-bit MBR clock cap {mbr} must beat {w} singles {}",
+                single * f64::from(w)
+            );
+        }
+    }
+
+    #[test]
+    fn mbr_area_per_bit_decreases_with_width() {
+        let lib = standard_library();
+        let class = lib.class_by_name("DFF").unwrap();
+        let per_bit: Vec<f64> = lib
+            .widths(class)
+            .iter()
+            .map(|&w| {
+                lib.cells_of(class, w)
+                    .map(|id| lib.cell(id).area_per_bit())
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        for pair in per_bit.windows(2) {
+            assert!(
+                pair[1] < pair[0],
+                "area/bit must shrink with width: {per_bit:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn stronger_drive_means_lower_resistance() {
+        let lib = standard_library();
+        let class = lib.class_by_name("DFF").unwrap();
+        let x1 = lib.drive_resistance(class, DriveClass::X1).unwrap();
+        let x2 = lib.drive_resistance(class, DriveClass::X2).unwrap();
+        let x4 = lib.drive_resistance(class, DriveClass::X4).unwrap();
+        assert!(x1 > x2 && x2 > x4);
+        assert_eq!(x1, 2.0 * x2);
+    }
+
+    #[test]
+    fn scan_classes_offer_both_scan_styles_at_multibit_widths() {
+        let lib = standard_library();
+        let class = lib.class_by_name("SDFF_R").unwrap();
+        let styles: Vec<ScanStyle> = lib
+            .cells_of(class, 4)
+            .map(|id| lib.cell(id).scan_style)
+            .collect();
+        assert!(styles.contains(&ScanStyle::Internal));
+        assert!(styles.contains(&ScanStyle::PerBit));
+        // Single-bit scan flops only come with internal style.
+        assert!(lib
+            .cells_of(class, 1)
+            .all(|id| lib.cell(id).scan_style == ScanStyle::Internal));
+    }
+
+    #[test]
+    fn custom_width_set_is_respected() {
+        let lib = standard_library_with_widths(&[1, 2, 3, 4, 8]);
+        let class = lib.class_by_name("DFF").unwrap();
+        assert_eq!(lib.widths(class), &[1, 2, 3, 4, 8]);
+        assert_eq!(lib.next_width_up(class, 5), Some(8));
+        assert_eq!(lib.next_width_up(class, 3), Some(3));
+    }
+
+    #[test]
+    fn footprints_are_site_aligned() {
+        let spec = LibrarySpec::default();
+        let lib = spec.build();
+        for (_, cell) in lib.cells() {
+            assert_eq!(cell.footprint_w % spec.site_width, 0, "{}", cell.name);
+            assert_eq!(cell.footprint_h, spec.row_height);
+        }
+    }
+}
+
+#[cfg(test)]
+mod spec_tests {
+    use super::*;
+
+    #[test]
+    fn custom_geometry_propagates_to_cells() {
+        let spec = LibrarySpec {
+            row_height: 800,
+            site_width: 200,
+            ..LibrarySpec::default()
+        };
+        let lib = spec.build();
+        for (_, cell) in lib.cells() {
+            assert_eq!(cell.footprint_h, 800);
+            assert_eq!(cell.footprint_w % 200, 0, "{}", cell.name);
+        }
+    }
+
+    #[test]
+    fn scaling_base_area_scales_every_cell() {
+        let small = LibrarySpec::default().build();
+        let big = LibrarySpec {
+            base_area: 4.0,
+            ..LibrarySpec::default()
+        }
+        .build();
+        for (_, cell) in small.cells() {
+            let other = big.cell(big.cell_by_name(&cell.name).expect("same cells"));
+            assert!((other.area / cell.area - 2.0).abs() < 1e-9, "{}", cell.name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one width")]
+    fn empty_width_set_panics() {
+        LibrarySpec {
+            widths: vec![],
+            ..LibrarySpec::default()
+        }
+        .build();
+    }
+}

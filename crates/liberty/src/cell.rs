@@ -1,0 +1,244 @@
+use std::fmt;
+
+use mbr_geom::Dbu;
+
+use crate::ClassId;
+
+/// How a multi-bit register cell exposes scan connectivity.
+///
+/// Section 2 of the paper distinguishes MBRs with a single internal scan
+/// chain (one scan-in, one scan-out pin; bits chained inside the cell) from
+/// MBRs with independent scan in/out pins per D/Q pair. Section 4.1 notes the
+/// latter are penalized during mapping because the external chain consumes
+/// routing resources.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ScanStyle {
+    /// No scan circuitry at all.
+    #[default]
+    None,
+    /// One shared scan-in/scan-out pair; the chain is internal to the cell,
+    /// so constituent registers must come from the same ordered scan section.
+    Internal,
+    /// Independent scan in/out pins per bit; several scan chains may cross
+    /// the cell, at the cost of external chain routing.
+    PerBit,
+}
+
+impl fmt::Display for ScanStyle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ScanStyle::None => "none",
+            ScanStyle::Internal => "internal",
+            ScanStyle::PerBit => "perbit",
+        })
+    }
+}
+
+/// Sequential-element kind of a register class.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum CellKind {
+    /// Edge-triggered flip-flop.
+    #[default]
+    FlipFlop,
+    /// Level-sensitive latch.
+    Latch,
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CellKind::FlipFlop => "ff",
+            CellKind::Latch => "latch",
+        })
+    }
+}
+
+/// Named drive-strength grades used by the default library.
+///
+/// A grade halves the drive resistance of the previous one, the usual
+/// standard-cell sizing ladder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DriveClass {
+    /// Weakest, smallest drive.
+    X1,
+    /// Double drive.
+    X2,
+    /// Quadruple drive.
+    X4,
+}
+
+impl DriveClass {
+    /// All grades, weakest first.
+    pub const ALL: [DriveClass; 3] = [DriveClass::X1, DriveClass::X2, DriveClass::X4];
+
+    /// Multiplier relative to X1 drive (1, 2, 4).
+    pub fn strength(self) -> f64 {
+        match self {
+            DriveClass::X1 => 1.0,
+            DriveClass::X2 => 2.0,
+            DriveClass::X4 => 4.0,
+        }
+    }
+}
+
+impl fmt::Display for DriveClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DriveClass::X1 => "X1",
+            DriveClass::X2 => "X2",
+            DriveClass::X4 => "X4",
+        })
+    }
+}
+
+/// A functional-equivalence class of register cells.
+///
+/// Registers can only be merged with registers of the *same* class (Section
+/// 2, "functionally compatible"): same control-pin set and same element kind.
+/// Whether two *instances* of the same class are actually compatible further
+/// depends on their control nets and clock-gating conditions — that check
+/// lives in the netlist layer.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct RegisterClass {
+    /// Library-unique class name, e.g. `"DFF_RS"`.
+    pub name: String,
+    /// Flip-flop or latch.
+    pub kind: CellKind,
+    /// Has an asynchronous reset pin.
+    pub has_reset: bool,
+    /// Has an asynchronous set pin.
+    pub has_set: bool,
+    /// Has a synchronous load-enable pin.
+    pub has_enable: bool,
+    /// Class members carry scan circuitry (scan-enable pin present).
+    pub has_scan: bool,
+}
+
+impl RegisterClass {
+    /// A plain D flip-flop class with the given name and no control pins.
+    pub fn flip_flop(name: impl Into<String>) -> Self {
+        RegisterClass {
+            name: name.into(),
+            kind: CellKind::FlipFlop,
+            has_reset: false,
+            has_set: false,
+            has_enable: false,
+            has_scan: false,
+        }
+    }
+
+    /// Number of control pins shared when merging registers of this class
+    /// (clock is always shared; reset/set/enable/scan-enable when present).
+    pub fn shared_control_pins(&self) -> usize {
+        1 + usize::from(self.has_reset)
+            + usize::from(self.has_set)
+            + usize::from(self.has_enable)
+            + usize::from(self.has_scan)
+    }
+}
+
+/// A register cell in the library: a `width`-bit MBR (width 1 = plain
+/// register) with a linear timing model.
+///
+/// The Q-output delay model is `intrinsic + drive_resistance × load_cap`
+/// (ps = ps + kΩ·fF), the "drive resistance" abstraction of Section 4.1. The
+/// paper uses CCS models in production; the linear model preserves the
+/// ordering decisions the mapper makes (stronger cell ⇒ lower resistance ⇒
+/// can drive more load within the same slack).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MbrCell {
+    /// Library-unique cell name, e.g. `"DFF_R_4X2"`.
+    pub name: String,
+    /// Functional class this cell belongs to.
+    pub class: ClassId,
+    /// Number of D/Q bit pairs (1–64).
+    pub width: u8,
+    /// Named drive grade (informational; timing uses `drive_resistance`).
+    pub drive: DriveClass,
+    /// Cell area in µm².
+    pub area: f64,
+    /// Output drive resistance per Q pin, kΩ.
+    pub drive_resistance: f64,
+    /// Intrinsic clk→Q delay, ps.
+    pub intrinsic_delay: f64,
+    /// Setup time requirement at D, ps.
+    pub setup: f64,
+    /// Capacitance of the (single, shared) clock pin, fF.
+    pub clock_pin_cap: f64,
+    /// Capacitance of each D input pin, fF.
+    pub d_pin_cap: f64,
+    /// Leakage power, nW.
+    pub leakage: f64,
+    /// Scan connectivity style.
+    pub scan_style: ScanStyle,
+    /// Footprint width in DBU (multiple of the site width).
+    pub footprint_w: Dbu,
+    /// Footprint height in DBU (one row).
+    pub footprint_h: Dbu,
+}
+
+impl MbrCell {
+    /// Area per bit, µm² — the quantity the incomplete-MBR admission rule of
+    /// Section 3 compares against the average area per bit of the replaced
+    /// registers.
+    pub fn area_per_bit(&self) -> f64 {
+        self.area / f64::from(self.width)
+    }
+
+    /// clk→Q delay in ps when driving `load` fF.
+    pub fn q_delay(&self, load: f64) -> f64 {
+        self.intrinsic_delay + self.drive_resistance * load
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drive_class_ladder() {
+        assert!(DriveClass::X1 < DriveClass::X2);
+        assert_eq!(DriveClass::X4.strength(), 4.0);
+        assert_eq!(DriveClass::ALL.len(), 3);
+        assert_eq!(DriveClass::X2.to_string(), "X2");
+    }
+
+    #[test]
+    fn shared_control_pin_count() {
+        let mut class = RegisterClass::flip_flop("DFF");
+        assert_eq!(class.shared_control_pins(), 1); // clock only
+        class.has_reset = true;
+        class.has_scan = true;
+        assert_eq!(class.shared_control_pins(), 3);
+    }
+
+    #[test]
+    fn q_delay_is_linear_in_load() {
+        let cell = MbrCell {
+            name: "T".into(),
+            class: ClassId::from_index(0),
+            width: 4,
+            drive: DriveClass::X1,
+            area: 6.0,
+            drive_resistance: 2.0,
+            intrinsic_delay: 50.0,
+            setup: 30.0,
+            clock_pin_cap: 1.5,
+            d_pin_cap: 0.5,
+            leakage: 4.0,
+            scan_style: ScanStyle::None,
+            footprint_w: 4000,
+            footprint_h: 600,
+        };
+        assert_eq!(cell.q_delay(0.0), 50.0);
+        assert_eq!(cell.q_delay(10.0), 70.0);
+        assert_eq!(cell.area_per_bit(), 1.5);
+    }
+
+    #[test]
+    fn scan_style_display() {
+        assert_eq!(ScanStyle::None.to_string(), "none");
+        assert_eq!(ScanStyle::Internal.to_string(), "internal");
+        assert_eq!(ScanStyle::PerBit.to_string(), "perbit");
+    }
+}

@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+//! Standard-cell library model for multi-bit register (MBR) composition.
+//!
+//! The DAC'17 flow consumes a register-cell library with, per functional
+//! class, a family of MBR cells of different bit widths and drive strengths.
+//! This crate provides:
+//!
+//! * [`RegisterClass`] / [`ClassId`] — functional-equivalence classes
+//!   (presence of reset/set/enable pins, latch vs flip-flop, scan),
+//! * [`MbrCell`] / [`CellKind`] — a library cell: bit width, footprint, area,
+//!   linear timing model (drive resistance × load + intrinsic delay, exactly
+//!   the model Section 4.1 of the paper reasons with), pin capacitances,
+//!   leakage, and scan style,
+//! * [`Library`] — indexed queries: available widths per class, drive-matched
+//!   cell selection with clock-pin-cap tie-breaking and external-scan
+//!   penalties ([`Library::select_cell`]),
+//! * a handwritten parser/writer for the compact `.mbrlib` text format
+//!   ([`Library::parse`], [`Library::to_mbrlib`]),
+//! * [`standard_library`] — the default 28 nm-class library used by the
+//!   synthetic benchmarks, with widths {1, 2, 4, 8} (plus a {1, 2, 3, 4, 8}
+//!   variant mirroring the paper's Section 3 example).
+//!
+//! Units across the workspace: time in **ps**, capacitance in **fF**,
+//! resistance in **kΩ** (so kΩ × fF = ps), area in **µm²**, geometry in DBU
+//! (1 nm).
+//!
+//! # Examples
+//!
+//! ```
+//! use mbr_liberty::{standard_library, DriveClass};
+//!
+//! let lib = standard_library();
+//! let class = lib.class_by_name("DFF_R").expect("default class");
+//! assert_eq!(lib.widths(class), &[1, 2, 4, 8]);
+//!
+//! // Pick the smallest-clock-cap 4-bit cell at least as strong as X2.
+//! let max_r = lib.drive_resistance(class, DriveClass::X2);
+//! let cell = lib.select_cell(class, 4, max_r, false).expect("4-bit DFF_R exists");
+//! assert_eq!(lib.cell(cell).width, 4);
+//! ```
+
+mod builder;
+mod cell;
+mod library;
+mod parse;
+
+pub use builder::{standard_library, standard_library_with_widths, LibrarySpec};
+pub use cell::{CellKind, DriveClass, MbrCell, RegisterClass, ScanStyle};
+pub use library::{CellId, ClassId, Library};
+pub use parse::ParseLibraryError;

@@ -1,0 +1,444 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{DriveClass, MbrCell, RegisterClass, ScanStyle};
+
+/// Index of a [`RegisterClass`] inside a [`Library`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClassId(u32);
+
+impl ClassId {
+    /// Builds an id from a raw arena index.
+    pub fn from_index(i: usize) -> Self {
+        ClassId(i as u32)
+    }
+
+    /// Raw arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "class#{}", self.0)
+    }
+}
+
+/// Index of an [`MbrCell`] inside a [`Library`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CellId(u32);
+
+impl CellId {
+    /// Builds an id from a raw arena index.
+    pub fn from_index(i: usize) -> Self {
+        CellId(i as u32)
+    }
+
+    /// Raw arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cell#{}", self.0)
+    }
+}
+
+/// A register-cell library: functional classes and the MBR cells that
+/// implement them, with the indexed queries the composition flow needs.
+///
+/// Construct with [`Library::new`] + [`Library::add_class`] /
+/// [`Library::add_cell`], by parsing a `.mbrlib` file ([`Library::parse`]),
+/// or use [`crate::standard_library`].
+#[derive(Clone, Debug, Default)]
+pub struct Library {
+    name: String,
+    classes: Vec<RegisterClass>,
+    cells: Vec<MbrCell>,
+    class_by_name: HashMap<String, ClassId>,
+    cell_by_name: HashMap<String, CellId>,
+    /// Per class: sorted, deduplicated available bit widths.
+    widths_by_class: Vec<Vec<u8>>,
+    /// Per class: cell ids sorted by (width, drive_resistance desc).
+    cells_by_class: Vec<Vec<CellId>>,
+}
+
+impl Library {
+    /// Creates an empty library with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Library {
+            name: name.into(),
+            ..Library::default()
+        }
+    }
+
+    /// Library name (from the `.mbrlib` header).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Registers a functional class.
+    ///
+    /// Returns the existing id if a class with the same name was already
+    /// added (the definition must then be identical).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a different class was already registered under this name.
+    pub fn add_class(&mut self, class: RegisterClass) -> ClassId {
+        if let Some(&id) = self.class_by_name.get(&class.name) {
+            assert_eq!(
+                self.classes[id.index()],
+                class,
+                "conflicting redefinition of register class {}",
+                class.name
+            );
+            return id;
+        }
+        let id = ClassId::from_index(self.classes.len());
+        self.class_by_name.insert(class.name.clone(), id);
+        self.classes.push(class);
+        self.widths_by_class.push(Vec::new());
+        self.cells_by_class.push(Vec::new());
+        id
+    }
+
+    /// Adds a cell to the library.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell name is already taken, its class id is out of
+    /// range, or its width is zero.
+    pub fn add_cell(&mut self, cell: MbrCell) -> CellId {
+        assert!(cell.width >= 1, "cell {} must have width >= 1", cell.name);
+        assert!(
+            cell.class.index() < self.classes.len(),
+            "cell {} references unknown {}",
+            cell.name,
+            cell.class
+        );
+        assert!(
+            !self.cell_by_name.contains_key(&cell.name),
+            "duplicate cell name {}",
+            cell.name
+        );
+        let id = CellId::from_index(self.cells.len());
+        self.cell_by_name.insert(cell.name.clone(), id);
+        let class = cell.class.index();
+        let widths = &mut self.widths_by_class[class];
+        if let Err(pos) = widths.binary_search(&cell.width) {
+            widths.insert(pos, cell.width);
+        }
+        let list = &mut self.cells_by_class[class];
+        let key = |c: &MbrCell| (c.width, std::cmp::Reverse(ordered(c.drive_resistance)));
+        let pos = list.partition_point(|&other| key(&self.cells[other.index()]) <= key(&cell));
+        list.insert(pos, id);
+        self.cells.push(cell);
+        id
+    }
+
+    /// All classes, in insertion order.
+    pub fn classes(&self) -> impl ExactSizeIterator<Item = (ClassId, &RegisterClass)> {
+        self.classes
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ClassId::from_index(i), c))
+    }
+
+    /// All cells, in insertion order.
+    pub fn cells(&self) -> impl ExactSizeIterator<Item = (CellId, &MbrCell)> {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (CellId::from_index(i), c))
+    }
+
+    /// The class definition for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn class(&self, id: ClassId) -> &RegisterClass {
+        &self.classes[id.index()]
+    }
+
+    /// The cell definition for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn cell(&self, id: CellId) -> &MbrCell {
+        &self.cells[id.index()]
+    }
+
+    /// Looks a class up by name.
+    pub fn class_by_name(&self, name: &str) -> Option<ClassId> {
+        self.class_by_name.get(name).copied()
+    }
+
+    /// Looks a cell up by name.
+    pub fn cell_by_name(&self, name: &str) -> Option<CellId> {
+        self.cell_by_name.get(name).copied()
+    }
+
+    /// Available bit widths for a class, sorted ascending.
+    ///
+    /// Clique enumeration restricts candidate MBR sizes to this set (plus
+    /// larger widths when incomplete MBRs are allowed).
+    pub fn widths(&self, class: ClassId) -> &[u8] {
+        &self.widths_by_class[class.index()]
+    }
+
+    /// Largest available width for a class (0 if the class has no cells).
+    pub fn max_width(&self, class: ClassId) -> u8 {
+        self.widths_by_class[class.index()]
+            .last()
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Smallest library width `>= bits`, i.e. the cell an incomplete MBR of
+    /// `bits` connected bits would map to. `None` if `bits` exceeds the
+    /// largest width.
+    pub fn next_width_up(&self, class: ClassId, bits: u8) -> Option<u8> {
+        self.widths_by_class[class.index()]
+            .iter()
+            .copied()
+            .find(|&w| w >= bits)
+    }
+
+    /// Cells of `class` with exactly `width` bits.
+    pub fn cells_of(&self, class: ClassId, width: u8) -> impl Iterator<Item = CellId> + '_ {
+        self.cells_by_class[class.index()]
+            .iter()
+            .copied()
+            .filter(move |&id| self.cells[id.index()].width == width)
+    }
+
+    /// Drive resistance of the `class`/`grade` cells (width-independent in
+    /// the default library), if any cell with that grade exists.
+    pub fn drive_resistance(&self, class: ClassId, grade: DriveClass) -> Option<f64> {
+        self.cells_by_class[class.index()]
+            .iter()
+            .map(|&id| &self.cells[id.index()])
+            .find(|c| c.drive == grade)
+            .map(|c| c.drive_resistance)
+    }
+
+    /// Section 4.1 mapping rule: select the library cell for an assigned MBR.
+    ///
+    /// Among cells of `class` with exactly `width` bits whose drive
+    /// resistance does not exceed `max_resistance` (the minimum drive
+    /// resistance over the registers being replaced — so timing never
+    /// degrades; pass `None` to accept any drive), pick the cell with the
+    /// lowest *effective* clock pin capacitance, where external-scan
+    /// (`ScanStyle::PerBit`) cells are penalized by `PER_BIT_SCAN_PENALTY`
+    /// unless `need_per_bit_scan` forces them.
+    ///
+    /// Returns `None` when no cell satisfies the constraints (the caller then
+    /// relaxes: the composition engine rejects the candidate).
+    pub fn select_cell(
+        &self,
+        class: ClassId,
+        width: u8,
+        max_resistance: Option<f64>,
+        need_per_bit_scan: bool,
+    ) -> Option<CellId> {
+        self.cells_of(class, width)
+            .filter(|&id| {
+                let c = &self.cells[id.index()];
+                if let Some(r) = max_resistance {
+                    // Small tolerance: "matches closely" per the paper.
+                    if c.drive_resistance > r * (1.0 + 1e-9) {
+                        return false;
+                    }
+                }
+                if need_per_bit_scan {
+                    c.scan_style == ScanStyle::PerBit
+                } else {
+                    true
+                }
+            })
+            .min_by(|&a, &b| {
+                let fa = self.mapping_merit(a);
+                let fb = self.mapping_merit(b);
+                fa.partial_cmp(&fb).expect("pin caps are finite")
+            })
+    }
+
+    /// Figure of merit used by [`Library::select_cell`]: clock pin cap with
+    /// the external-scan routing penalty applied (Section 4.1).
+    fn mapping_merit(&self, id: CellId) -> f64 {
+        /// Multiplier on the clock-cap merit of external-scan cells,
+        /// reflecting their scan-chain routing cost.
+        const PER_BIT_SCAN_PENALTY: f64 = 4.0;
+        let c = &self.cells[id.index()];
+        let penalty = if c.scan_style == ScanStyle::PerBit {
+            PER_BIT_SCAN_PENALTY
+        } else {
+            1.0
+        };
+        c.clock_pin_cap * penalty
+    }
+
+    /// Number of cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+}
+
+/// Total-ordering key for finite f64s (drive resistances are never NaN).
+fn ordered(x: f64) -> u64 {
+    debug_assert!(x.is_finite());
+    let bits = x.to_bits();
+    if bits >> 63 == 0 {
+        bits | (1 << 63)
+    } else {
+        !bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CellKind, RegisterClass};
+
+    fn cell(
+        name: &str,
+        class: ClassId,
+        width: u8,
+        drive: DriveClass,
+        r: f64,
+        cclk: f64,
+    ) -> MbrCell {
+        MbrCell {
+            name: name.into(),
+            class,
+            width,
+            drive,
+            area: f64::from(width) * 2.0,
+            drive_resistance: r,
+            intrinsic_delay: 50.0,
+            setup: 30.0,
+            clock_pin_cap: cclk,
+            d_pin_cap: 0.5,
+            leakage: f64::from(width),
+            scan_style: ScanStyle::None,
+            footprint_w: 1000 * i64::from(width),
+            footprint_h: 600,
+        }
+    }
+
+    fn small_lib() -> (Library, ClassId) {
+        let mut lib = Library::new("test");
+        let c = lib.add_class(RegisterClass::flip_flop("DFF"));
+        lib.add_cell(cell("DFF_1X1", c, 1, DriveClass::X1, 6.0, 0.9));
+        lib.add_cell(cell("DFF_1X2", c, 1, DriveClass::X2, 3.0, 1.1));
+        lib.add_cell(cell("DFF_4X1", c, 4, DriveClass::X1, 6.0, 1.4));
+        lib.add_cell(cell("DFF_4X2", c, 4, DriveClass::X2, 3.0, 1.7));
+        lib.add_cell(cell("DFF_8X1", c, 8, DriveClass::X1, 6.0, 2.1));
+        (lib, c)
+    }
+
+    #[test]
+    fn widths_are_sorted_and_deduped() {
+        let (lib, c) = small_lib();
+        assert_eq!(lib.widths(c), &[1, 4, 8]);
+        assert_eq!(lib.max_width(c), 8);
+    }
+
+    #[test]
+    fn next_width_up_rounds_to_library_sizes() {
+        let (lib, c) = small_lib();
+        assert_eq!(lib.next_width_up(c, 1), Some(1));
+        assert_eq!(lib.next_width_up(c, 2), Some(4));
+        assert_eq!(lib.next_width_up(c, 3), Some(4));
+        assert_eq!(lib.next_width_up(c, 5), Some(8));
+        assert_eq!(lib.next_width_up(c, 9), None);
+    }
+
+    #[test]
+    fn select_cell_honours_drive_ceiling_and_min_clock_cap() {
+        let (lib, c) = small_lib();
+        // No ceiling: the X1 (weaker) cell has the lower clock cap, pick it.
+        let id = lib.select_cell(c, 4, None, false).unwrap();
+        assert_eq!(lib.cell(id).name, "DFF_4X1");
+        // Ceiling at 3 kΩ: only the X2 qualifies.
+        let id = lib.select_cell(c, 4, Some(3.0), false).unwrap();
+        assert_eq!(lib.cell(id).name, "DFF_4X2");
+        // Ceiling below every cell: no mapping.
+        assert!(lib.select_cell(c, 4, Some(1.0), false).is_none());
+        // Width not in library: no mapping.
+        assert!(lib.select_cell(c, 3, None, false).is_none());
+    }
+
+    #[test]
+    fn per_bit_scan_cells_lose_ties_unless_required() {
+        let mut lib = Library::new("scan");
+        let c = lib.add_class(RegisterClass {
+            name: "SDFF".into(),
+            kind: CellKind::FlipFlop,
+            has_reset: false,
+            has_set: false,
+            has_enable: false,
+            has_scan: true,
+        });
+        let mut internal = cell("SDFF_4_INT", c, 4, DriveClass::X1, 6.0, 1.6);
+        internal.scan_style = ScanStyle::Internal;
+        let mut perbit = cell("SDFF_4_EXT", c, 4, DriveClass::X1, 6.0, 1.4);
+        perbit.scan_style = ScanStyle::PerBit;
+        lib.add_cell(internal);
+        lib.add_cell(perbit);
+        // Even though the per-bit cell has lower raw clock cap, the 4× scan
+        // routing penalty makes the internal-scan cell win.
+        let id = lib.select_cell(c, 4, None, false).unwrap();
+        assert_eq!(lib.cell(id).name, "SDFF_4_INT");
+        // When per-bit scan is required (non-consecutive ordered-scan regs),
+        // only the external-scan cell qualifies.
+        let id = lib.select_cell(c, 4, None, true).unwrap();
+        assert_eq!(lib.cell(id).name, "SDFF_4_EXT");
+    }
+
+    #[test]
+    fn name_lookups_round_trip() {
+        let (lib, c) = small_lib();
+        assert_eq!(lib.class_by_name("DFF"), Some(c));
+        assert!(lib.class_by_name("NOPE").is_none());
+        let id = lib.cell_by_name("DFF_8X1").unwrap();
+        assert_eq!(lib.cell(id).width, 8);
+    }
+
+    #[test]
+    fn re_adding_identical_class_is_idempotent() {
+        let mut lib = Library::new("t");
+        let a = lib.add_class(RegisterClass::flip_flop("DFF"));
+        let b = lib.add_class(RegisterClass::flip_flop("DFF"));
+        assert_eq!(a, b);
+        assert_eq!(lib.class_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "conflicting redefinition")]
+    fn conflicting_class_redefinition_panics() {
+        let mut lib = Library::new("t");
+        lib.add_class(RegisterClass::flip_flop("DFF"));
+        let mut other = RegisterClass::flip_flop("DFF");
+        other.has_reset = true;
+        lib.add_class(other);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate cell name")]
+    fn duplicate_cell_name_panics() {
+        let (mut lib, c) = small_lib();
+        lib.add_cell(cell("DFF_1X1", c, 1, DriveClass::X1, 6.0, 0.9));
+    }
+}

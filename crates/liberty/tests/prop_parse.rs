@@ -1,0 +1,53 @@
+//! Parser robustness: the handwritten `.mbrlib` parser must never panic,
+//! whatever bytes it is fed, and must round-trip everything it accepts.
+
+use mbr_liberty::{standard_library_with_widths, Library};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary text: parse returns Ok or Err, never panics.
+    #[test]
+    fn parse_never_panics_on_arbitrary_text(src in ".{0,400}") {
+        let _ = Library::parse(&src);
+    }
+
+    /// Mutilated valid input (truncated at a random point): still no panic,
+    /// and errors carry a plausible location.
+    #[test]
+    fn parse_survives_truncation(cut in 0usize..2000) {
+        let full = standard_library_with_widths(&[1, 2, 4]).to_mbrlib();
+        let cut = cut.min(full.len());
+        // Truncate on a char boundary.
+        let mut end = cut;
+        while !full.is_char_boundary(end) {
+            end -= 1;
+        }
+        match Library::parse(&full[..end]) {
+            Ok(lib) => {
+                // Only the complete text parses to the full library.
+                prop_assert!(end == full.len() || lib.cell_count() == 0 || end > 0);
+            }
+            Err(e) => {
+                prop_assert!(e.line >= 1 && e.col >= 1);
+            }
+        }
+    }
+
+    /// Whatever widths we build the default library with, serialization
+    /// round-trips exactly.
+    #[test]
+    fn library_round_trips_for_any_width_set(widths in prop::collection::btree_set(1u8..32, 1..6)) {
+        let widths: Vec<u8> = widths.into_iter().collect();
+        let lib = standard_library_with_widths(&widths);
+        let text = lib.to_mbrlib();
+        let re = Library::parse(&text).expect("own output parses");
+        prop_assert_eq!(re.cell_count(), lib.cell_count());
+        prop_assert_eq!(re.class_count(), lib.class_count());
+        for (_, cell) in lib.cells() {
+            let other = re.cell(re.cell_by_name(&cell.name).expect("cell name survives"));
+            prop_assert_eq!(other, cell);
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Branch-and-bound integer programming over the LP relaxation.
+//!
+//! Generic but intended for small instances (the cross-check path for the
+//! composition ILP and tests); the production composition path is the
+//! specialized [`crate::SetPartition`] solver.
+
+use crate::{LpError, LpProblem, Sense, VarId};
+
+/// Integrality requirement of a variable.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum VarKind {
+    /// Continuous variable.
+    #[default]
+    Continuous,
+    /// Must take an integer value at the optimum.
+    Integer,
+}
+
+/// An optimal ILP solution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IlpSolution {
+    /// Objective value at the optimum.
+    pub objective: f64,
+    /// Value per variable (integral for integer variables, up to tolerance).
+    pub values: Vec<f64>,
+}
+
+impl IlpSolution {
+    /// Value of one variable.
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values[var.index()]
+    }
+
+    /// Rounded value of an integer variable.
+    pub fn int_value(&self, var: VarId) -> i64 {
+        self.values[var.index()].round() as i64
+    }
+}
+
+/// A mixed-integer linear program: an [`LpProblem`] plus integrality marks.
+///
+/// # Examples
+///
+/// ```
+/// use mbr_lp::{IlpProblem, Sense};
+///
+/// // Knapsack: max 5a + 4b + 3c, 2a + 3b + c <= 4, binaries.
+/// let mut ilp = IlpProblem::new();
+/// let a = ilp.add_binary(-5.0);
+/// let b = ilp.add_binary(-4.0);
+/// let c = ilp.add_binary(-3.0);
+/// ilp.add_constraint(&[(a, 2.0), (b, 3.0), (c, 1.0)], Sense::Le, 4.0);
+/// let sol = ilp.solve()?;
+/// assert_eq!(sol.int_value(a), 1);
+/// assert_eq!(sol.int_value(b), 0);
+/// assert_eq!(sol.int_value(c), 1);
+/// # Ok::<(), mbr_lp::LpError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct IlpProblem {
+    lp: LpProblem,
+    kinds: Vec<VarKind>,
+}
+
+impl IlpProblem {
+    /// Creates an empty problem.
+    pub fn new() -> Self {
+        IlpProblem::default()
+    }
+
+    /// Adds a variable with bounds, objective coefficient and kind.
+    pub fn add_var(&mut self, lo: f64, hi: f64, obj: f64, kind: VarKind) -> VarId {
+        let id = self.lp.add_var(lo, hi, obj);
+        self.kinds.push(kind);
+        id
+    }
+
+    /// Adds a binary (0/1 integer) variable with objective coefficient `obj`.
+    pub fn add_binary(&mut self, obj: f64) -> VarId {
+        self.add_var(0.0, 1.0, obj, VarKind::Integer)
+    }
+
+    /// Adds the row `Σ coeffᵢ·xᵢ (sense) rhs`.
+    pub fn add_constraint(&mut self, terms: &[(VarId, f64)], sense: Sense, rhs: f64) {
+        self.lp.add_constraint(terms, sense, rhs);
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.lp.num_vars()
+    }
+
+    /// Solves by depth-first branch-and-bound on the LP relaxation,
+    /// branching on the most fractional integer variable.
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::Infeasible`] when no integral point exists,
+    /// [`LpError::Unbounded`] when the relaxation is unbounded.
+    pub fn solve(&self) -> Result<IlpSolution, LpError> {
+        const INT_EPS: f64 = 1e-6;
+
+        let root = self.lp.clone();
+        let mut best: Option<IlpSolution> = None;
+        // Each stack entry is an LP with tightened bounds, realized by
+        // appending bound rows (cheap relative to our instance sizes).
+        let mut stack = vec![root];
+        let mut relaxation_unbounded = false;
+
+        while let Some(lp) = stack.pop() {
+            let sol = match lp.solve() {
+                Ok(s) => s,
+                Err(LpError::Infeasible) => continue,
+                Err(LpError::Unbounded) => {
+                    relaxation_unbounded = true;
+                    continue;
+                }
+            };
+            if let Some(ref incumbent) = best {
+                if sol.objective >= incumbent.objective - 1e-9 {
+                    continue; // bound: relaxation can't beat the incumbent
+                }
+            }
+            // Find the most fractional integer variable.
+            let mut branch: Option<(usize, f64)> = None;
+            for (i, kind) in self.kinds.iter().enumerate() {
+                if *kind == VarKind::Integer {
+                    let v = sol.values[i];
+                    let frac = (v - v.round()).abs();
+                    if frac > INT_EPS {
+                        let dist = (v.fract().abs() - 0.5).abs();
+                        if branch.is_none_or(|(_, d)| dist < d) {
+                            branch = Some((i, dist));
+                        }
+                    }
+                }
+            }
+            match branch {
+                None => {
+                    // Integral: new incumbent (strictly better, checked above).
+                    best = Some(IlpSolution {
+                        objective: sol.objective,
+                        values: sol.values,
+                    });
+                }
+                Some((i, _)) => {
+                    let v = sol.values[i];
+                    let var = VarId(i);
+                    let mut down = lp.clone();
+                    down.add_constraint(&[(var, 1.0)], Sense::Le, v.floor());
+                    let mut up = lp;
+                    up.add_constraint(&[(var, 1.0)], Sense::Ge, v.ceil());
+                    stack.push(down);
+                    stack.push(up);
+                }
+            }
+        }
+        match best {
+            Some(sol) => Ok(sol),
+            None if relaxation_unbounded => Err(LpError::Unbounded),
+            None => Err(LpError::Infeasible),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_lp_passes_through() {
+        let mut ilp = IlpProblem::new();
+        let x = ilp.add_var(0.0, 10.0, -1.0, VarKind::Continuous);
+        ilp.add_constraint(&[(x, 2.0)], Sense::Le, 7.0);
+        let sol = ilp.solve().unwrap();
+        assert!((sol.value(x) - 3.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn integrality_changes_the_optimum() {
+        // max x (= min -x), 2x <= 7: LP gives 3.5, ILP gives 3.
+        let mut ilp = IlpProblem::new();
+        let x = ilp.add_var(0.0, 10.0, -1.0, VarKind::Integer);
+        ilp.add_constraint(&[(x, 2.0)], Sense::Le, 7.0);
+        let sol = ilp.solve().unwrap();
+        assert_eq!(sol.int_value(x), 3);
+        assert!((sol.objective + 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn solves_small_set_partitioning() {
+        // Elements {0,1,2}; candidates: {0,1} w=1, {1,2} w=1, {2} w=0.6,
+        // {0} w=0.7, {1} w=0.9, {0,1,2} w=1.8.
+        // Exact covers: {01}+{2}=1.6, {0}+{12}=1.7, singles=2.2, whole=1.8.
+        let mut ilp = IlpProblem::new();
+        let x01 = ilp.add_binary(1.0);
+        let x12 = ilp.add_binary(1.0);
+        let x2 = ilp.add_binary(0.6);
+        let x0 = ilp.add_binary(0.7);
+        let x1 = ilp.add_binary(0.9);
+        let xall = ilp.add_binary(1.8);
+        ilp.add_constraint(&[(x01, 1.0), (x0, 1.0), (xall, 1.0)], Sense::Eq, 1.0);
+        ilp.add_constraint(
+            &[(x01, 1.0), (x12, 1.0), (x1, 1.0), (xall, 1.0)],
+            Sense::Eq,
+            1.0,
+        );
+        ilp.add_constraint(&[(x12, 1.0), (x2, 1.0), (xall, 1.0)], Sense::Eq, 1.0);
+        let sol = ilp.solve().unwrap();
+        assert!((sol.objective - 1.6).abs() < 1e-6);
+        assert_eq!(sol.int_value(x01), 1);
+        assert_eq!(sol.int_value(x2), 1);
+    }
+
+    #[test]
+    fn infeasible_integer_problem() {
+        // 2x = 1 with x integer in [0, 1].
+        let mut ilp = IlpProblem::new();
+        let x = ilp.add_var(0.0, 1.0, 0.0, VarKind::Integer);
+        ilp.add_constraint(&[(x, 2.0)], Sense::Eq, 1.0);
+        assert_eq!(ilp.solve(), Err(LpError::Infeasible));
+    }
+
+    #[test]
+    fn negative_integer_values() {
+        // min x, -3.5 <= x <= 5, x integer ⇒ x = -3.
+        let mut ilp = IlpProblem::new();
+        let x = ilp.add_var(-3.5, 5.0, 1.0, VarKind::Integer);
+        let sol = ilp.solve().unwrap();
+        assert_eq!(sol.int_value(x), -3);
+    }
+}

@@ -1,0 +1,808 @@
+//! Exact weighted set partitioning: the specialized solver behind the
+//! Section 3.1 composition ILP.
+//!
+//! The ILP
+//!
+//! ```text
+//! minimize   Σ wᵢ xᵢ
+//! subject to ∀ register j:  Σᵢ aᵢⱼ xᵢ = 1,   xᵢ ∈ {0, 1}
+//! ```
+//!
+//! is a weighted set-partitioning problem: pick a subset of candidates so
+//! that every element (register) is covered exactly once at minimum total
+//! weight. The solver here is an exact depth-first branch-and-bound:
+//!
+//! * **dominance reduction**: among candidates covering the same element
+//!   set, only the cheapest is kept;
+//! * **greedy incumbent**: a best-ratio greedy cover provides the initial
+//!   upper bound;
+//! * **fractional lower bound**: `Σ_e min_{S∋e} w_S/|S|` over uncovered
+//!   elements prunes the search;
+//! * **element selection**: branch on the uncovered element with the fewest
+//!   admissible candidates (fail-first).
+//!
+//! Instances coming from the composition flow always include singleton
+//! candidates, so they are feasible by construction; the solver nevertheless
+//! reports infeasibility correctly for arbitrary inputs.
+
+use std::error::Error;
+use std::fmt;
+
+/// One column of the partitioning problem: a candidate subset with a weight.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Candidate {
+    /// Elements covered by this candidate (deduplicated, any order).
+    pub elements: Vec<usize>,
+    /// Selection cost `wᵢ` (must be finite and non-negative; the `w = ∞`
+    /// candidates of the paper are simply not added).
+    pub weight: f64,
+}
+
+/// Why a set-partitioning instance could not be solved.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SetPartitionError {
+    /// No exact cover exists.
+    Infeasible,
+    /// A candidate referenced an element `>= num_elements`.
+    ElementOutOfRange {
+        /// The candidate index.
+        candidate: usize,
+        /// The offending element.
+        element: usize,
+    },
+    /// A candidate had a negative, NaN, or infinite weight.
+    BadWeight {
+        /// The candidate index.
+        candidate: usize,
+    },
+}
+
+impl fmt::Display for SetPartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetPartitionError::Infeasible => write!(f, "no exact cover exists"),
+            SetPartitionError::ElementOutOfRange { candidate, element } => {
+                write!(
+                    f,
+                    "candidate {candidate} references element {element} out of range"
+                )
+            }
+            SetPartitionError::BadWeight { candidate } => {
+                write!(
+                    f,
+                    "candidate {candidate} has a non-finite or negative weight"
+                )
+            }
+        }
+    }
+}
+
+impl Error for SetPartitionError {}
+
+/// An optimal (or budget-limited best-found) exact cover.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SetPartitionSolution {
+    /// Indices (into the original candidate list) of the selected columns.
+    pub selected: Vec<usize>,
+    /// Total weight of the selection.
+    pub cost: f64,
+    /// Branch-and-bound nodes explored (for diagnostics and the runtime
+    /// experiments).
+    pub nodes_explored: u64,
+    /// Whether the search ran to completion (`false` only for
+    /// [`SetPartition::solve_bounded`] runs that hit their node budget; the
+    /// returned cover is then the best incumbent, not proven optimal).
+    pub proven_optimal: bool,
+}
+
+/// A weighted set-partitioning instance (see the module-level docs).
+///
+/// # Examples
+///
+/// ```
+/// use mbr_lp::SetPartition;
+///
+/// let mut sp = SetPartition::new(3);
+/// sp.add_candidate(&[0], 1.0);
+/// sp.add_candidate(&[1], 1.0);
+/// sp.add_candidate(&[2], 1.0);
+/// sp.add_candidate(&[0, 1], 0.5);
+/// sp.add_candidate(&[1, 2], 0.5);
+/// let sol = sp.solve()?;
+/// assert!((sol.cost - 1.5).abs() < 1e-9); // {0,1} + {2}
+/// # Ok::<(), mbr_lp::SetPartitionError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct SetPartition {
+    num_elements: usize,
+    candidates: Vec<Candidate>,
+}
+
+impl SetPartition {
+    /// Creates an instance over elements `0..num_elements`.
+    pub fn new(num_elements: usize) -> Self {
+        SetPartition {
+            num_elements,
+            candidates: Vec::new(),
+        }
+    }
+
+    /// Adds a candidate column; returns its index. Duplicate elements within
+    /// one candidate are deduplicated.
+    pub fn add_candidate(&mut self, elements: &[usize], weight: f64) -> usize {
+        let mut elements = elements.to_vec();
+        elements.sort_unstable();
+        elements.dedup();
+        self.candidates.push(Candidate { elements, weight });
+        self.candidates.len() - 1
+    }
+
+    /// Number of elements.
+    pub fn num_elements(&self) -> usize {
+        self.num_elements
+    }
+
+    /// Number of candidate columns.
+    pub fn num_candidates(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Solves the instance exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`SetPartitionError::Infeasible`] when no exact cover exists, or a
+    /// validation error for malformed candidates.
+    pub fn solve(&self) -> Result<SetPartitionSolution, SetPartitionError> {
+        self.solve_bounded(u64::MAX)
+    }
+
+    /// Like [`SetPartition::solve`], but stops branching after exploring
+    /// `max_nodes` search nodes and returns the best cover found so far
+    /// (always a valid exact cover thanks to the greedy incumbent).
+    /// [`SetPartitionSolution::proven_optimal`] reports whether the budget
+    /// was hit. The composition flow uses this to bound worst-case runtime
+    /// on degenerate dense partitions.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SetPartition::solve`].
+    pub fn solve_bounded(&self, max_nodes: u64) -> Result<SetPartitionSolution, SetPartitionError> {
+        // ---- validation ----
+        for (i, cand) in self.candidates.iter().enumerate() {
+            if !cand.weight.is_finite() || cand.weight < 0.0 {
+                return Err(SetPartitionError::BadWeight { candidate: i });
+            }
+            if let Some(&e) = cand.elements.iter().find(|&&e| e >= self.num_elements) {
+                return Err(SetPartitionError::ElementOutOfRange {
+                    candidate: i,
+                    element: e,
+                });
+            }
+        }
+        if self.num_elements == 0 {
+            return Ok(SetPartitionSolution {
+                selected: Vec::new(),
+                cost: 0.0,
+                nodes_explored: 0,
+                proven_optimal: true,
+            });
+        }
+
+        // ---- dominance reduction: cheapest candidate per element set ----
+        // `active[i]` = candidate survives into the search.
+        let mut order: Vec<usize> = (0..self.candidates.len())
+            .filter(|&i| !self.candidates[i].elements.is_empty())
+            .collect();
+        order.sort_by(|&a, &b| {
+            let ca = &self.candidates[a];
+            let cb = &self.candidates[b];
+            ca.elements
+                .cmp(&cb.elements)
+                .then(ca.weight.partial_cmp(&cb.weight).expect("finite weights"))
+        });
+        let mut active: Vec<usize> = Vec::with_capacity(order.len());
+        for &i in &order {
+            if let Some(&prev) = active.last() {
+                if self.candidates[prev].elements == self.candidates[i].elements {
+                    continue; // dominated: same set, weight >= prev
+                }
+            }
+            active.push(i);
+        }
+
+        // Candidates covering each element.
+        let mut covers: Vec<Vec<usize>> = vec![Vec::new(); self.num_elements];
+        for &i in &active {
+            for &e in &self.candidates[i].elements {
+                covers[e].push(i);
+            }
+        }
+        if covers.iter().any(|c| c.is_empty()) {
+            return Err(SetPartitionError::Infeasible);
+        }
+
+        // Composition partitions are <= 30 registers: a bitmask search is
+        // an order of magnitude faster there. Larger instances take the
+        // general path.
+        if self.num_elements <= 64 {
+            let searcher =
+                MaskSearcher::build(&self.candidates, &covers, self.num_elements, max_nodes);
+            return searcher.run().ok_or(SetPartitionError::Infeasible);
+        }
+        let searcher = Searcher {
+            candidates: &self.candidates,
+            covers: &covers,
+            num_elements: self.num_elements,
+            max_nodes,
+        };
+        searcher.run().ok_or(SetPartitionError::Infeasible)
+    }
+}
+
+/// Bitmask-specialized branch-and-bound for instances with at most 64
+/// elements (every composition partition). Element sets are `u64` masks,
+/// the admissible lower bound and the pivot order are precomputed, and each
+/// element's candidate list is pre-sorted by weight, so per-node work is
+/// O(elements + |covers(pivot)|) with single-AND conflict checks.
+struct MaskSearcher {
+    /// Candidate masks, parallel to `weights` (original indices retained).
+    masks: Vec<u64>,
+    weights: Vec<f64>,
+    original: Vec<usize>,
+    /// Per element: indices into `masks`, ascending weight.
+    covers: Vec<Vec<u32>>,
+    /// Static admissible share per element: min over covering candidates of
+    /// weight/|set| (ignores conflicts, hence a valid lower bound).
+    share: Vec<f64>,
+    full: u64,
+    num_elements: usize,
+    max_nodes: u64,
+}
+
+impl MaskSearcher {
+    fn build(
+        candidates: &[Candidate],
+        covers: &[Vec<usize>],
+        num_elements: usize,
+        max_nodes: u64,
+    ) -> MaskSearcher {
+        // Active candidates are exactly those present in the covers lists.
+        let mut active: Vec<usize> = covers.iter().flatten().copied().collect();
+        active.sort_unstable();
+        active.dedup();
+        let mut remap = vec![u32::MAX; candidates.len()];
+        let mut masks = Vec::with_capacity(active.len());
+        let mut weights = Vec::with_capacity(active.len());
+        let mut original = Vec::with_capacity(active.len());
+        for (slot, &i) in active.iter().enumerate() {
+            remap[i] = slot as u32;
+            let mut mask = 0u64;
+            for &e in &candidates[i].elements {
+                mask |= 1 << e;
+            }
+            masks.push(mask);
+            weights.push(candidates[i].weight);
+            original.push(i);
+        }
+        let mut share = vec![f64::INFINITY; num_elements];
+        let mut local_covers: Vec<Vec<u32>> = vec![Vec::new(); num_elements];
+        for (e, list) in covers.iter().enumerate() {
+            for &i in list {
+                let slot = remap[i];
+                local_covers[e].push(slot);
+                let s = weights[slot as usize] / candidates[i].elements.len() as f64;
+                if s < share[e] {
+                    share[e] = s;
+                }
+            }
+            local_covers[e].sort_by(|&a, &b| {
+                weights[a as usize]
+                    .partial_cmp(&weights[b as usize])
+                    .expect("finite weights")
+            });
+        }
+        let full = if num_elements == 64 {
+            u64::MAX
+        } else {
+            (1u64 << num_elements) - 1
+        };
+        MaskSearcher {
+            masks,
+            weights,
+            original,
+            covers: local_covers,
+            share,
+            full,
+            num_elements,
+            max_nodes,
+        }
+    }
+
+    fn run(&self) -> Option<SetPartitionSolution> {
+        // Greedy incumbent (best ratio of weight per newly covered element).
+        let mut best: Option<(Vec<u32>, f64)> = self.greedy();
+        let mut chosen: Vec<u32> = Vec::new();
+        let mut nodes = 0u64;
+        self.dfs(0, 0.0, &mut chosen, &mut best, &mut nodes);
+        let proven_optimal = nodes < self.max_nodes;
+        best.map(|(sel, cost)| SetPartitionSolution {
+            selected: sel.iter().map(|&s| self.original[s as usize]).collect(),
+            cost,
+            nodes_explored: nodes,
+            proven_optimal,
+        })
+    }
+
+    fn greedy(&self) -> Option<(Vec<u32>, f64)> {
+        let mut covered = 0u64;
+        let mut sel = Vec::new();
+        let mut cost = 0.0;
+        while covered != self.full {
+            let mut best: Option<(u32, f64)> = None;
+            for slot in 0..self.masks.len() {
+                let mask = self.masks[slot];
+                if mask & covered != 0 {
+                    continue;
+                }
+                let ratio = self.weights[slot] / mask.count_ones() as f64;
+                if best.is_none_or(|(_, r)| ratio < r) {
+                    best = Some((slot as u32, ratio));
+                }
+            }
+            let (slot, _) = best?;
+            covered |= self.masks[slot as usize];
+            cost += self.weights[slot as usize];
+            sel.push(slot);
+        }
+        Some((sel, cost))
+    }
+
+    fn lower_bound(&self, covered: u64) -> f64 {
+        let mut lb = 0.0;
+        let mut uncovered = self.full & !covered;
+        while uncovered != 0 {
+            let e = uncovered.trailing_zeros() as usize;
+            uncovered &= uncovered - 1;
+            lb += self.share[e];
+        }
+        lb
+    }
+
+    fn dfs(
+        &self,
+        covered: u64,
+        cost: f64,
+        chosen: &mut Vec<u32>,
+        best: &mut Option<(Vec<u32>, f64)>,
+        nodes: &mut u64,
+    ) {
+        if *nodes >= self.max_nodes {
+            return;
+        }
+        *nodes += 1;
+        if covered == self.full {
+            if best.as_ref().is_none_or(|&(_, b)| cost < b - 1e-12) {
+                *best = Some((chosen.clone(), cost));
+            }
+            return;
+        }
+        if let Some((_, b)) = best {
+            if cost + self.lower_bound(covered) >= *b - 1e-12 {
+                return;
+            }
+        }
+        // Pivot: uncovered element with the fewest static covers (cheap,
+        // near fail-first).
+        let mut pivot = usize::MAX;
+        let mut pivot_count = usize::MAX;
+        let mut uncovered = self.full & !covered;
+        while uncovered != 0 {
+            let e = uncovered.trailing_zeros() as usize;
+            uncovered &= uncovered - 1;
+            let count = self.covers[e].len();
+            if count < pivot_count {
+                pivot_count = count;
+                pivot = e;
+            }
+        }
+        debug_assert!(pivot < self.num_elements);
+        for &slot in &self.covers[pivot] {
+            let mask = self.masks[slot as usize];
+            if mask & covered != 0 {
+                continue;
+            }
+            chosen.push(slot);
+            self.dfs(
+                covered | mask,
+                cost + self.weights[slot as usize],
+                chosen,
+                best,
+                nodes,
+            );
+            chosen.pop();
+        }
+    }
+}
+
+struct Searcher<'a> {
+    candidates: &'a [Candidate],
+    covers: &'a [Vec<usize>],
+    num_elements: usize,
+    max_nodes: u64,
+}
+
+struct SearchState {
+    covered: Vec<bool>,
+    n_covered: usize,
+    chosen: Vec<usize>,
+    cost: f64,
+    best: Option<(Vec<usize>, f64)>,
+    nodes: u64,
+}
+
+impl<'a> Searcher<'a> {
+    fn run(&self) -> Option<SetPartitionSolution> {
+        let mut state = SearchState {
+            covered: vec![false; self.num_elements],
+            n_covered: 0,
+            chosen: Vec::new(),
+            cost: 0.0,
+            best: None,
+            nodes: 0,
+        };
+        // Greedy incumbent: repeatedly take the candidate with the best
+        // weight-per-newly-covered-element ratio that doesn't overlap.
+        if let Some((sel, cost)) = self.greedy() {
+            state.best = Some((sel, cost));
+        }
+        self.dfs(&mut state);
+        let nodes = state.nodes;
+        let proven_optimal = nodes < self.max_nodes;
+        state.best.map(|(selected, cost)| SetPartitionSolution {
+            selected,
+            cost,
+            nodes_explored: nodes,
+            proven_optimal,
+        })
+    }
+
+    fn greedy(&self) -> Option<(Vec<usize>, f64)> {
+        let mut covered = vec![false; self.num_elements];
+        let mut n_covered = 0;
+        let mut sel = Vec::new();
+        let mut cost = 0.0;
+        let all: Vec<usize> = {
+            let mut v: Vec<usize> = self.covers.iter().flatten().copied().collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        while n_covered < self.num_elements {
+            let mut best: Option<(usize, f64)> = None;
+            for &i in &all {
+                let cand = &self.candidates[i];
+                if cand.elements.iter().any(|&e| covered[e]) {
+                    continue;
+                }
+                let ratio = cand.weight / cand.elements.len() as f64;
+                if best.is_none_or(|(_, r)| ratio < r) {
+                    best = Some((i, ratio));
+                }
+            }
+            let (i, _) = best?;
+            for &e in &self.candidates[i].elements {
+                covered[e] = true;
+            }
+            n_covered += self.candidates[i].elements.len();
+            cost += self.candidates[i].weight;
+            sel.push(i);
+        }
+        Some((sel, cost))
+    }
+
+    /// Admissible lower bound on completing a partial cover: each uncovered
+    /// element needs some candidate, and a candidate of weight w covering k
+    /// uncovered elements contributes w/k per element.
+    fn lower_bound(&self, covered: &[bool]) -> f64 {
+        let mut lb = 0.0;
+        for e in 0..self.num_elements {
+            if covered[e] {
+                continue;
+            }
+            let mut best = f64::INFINITY;
+            for &i in &self.covers[e] {
+                let cand = &self.candidates[i];
+                if cand.elements.iter().any(|&x| covered[x]) {
+                    continue;
+                }
+                let share = cand.weight / cand.elements.len() as f64;
+                if share < best {
+                    best = share;
+                }
+            }
+            if best.is_infinite() {
+                return f64::INFINITY; // dead end
+            }
+            lb += best;
+        }
+        lb
+    }
+
+    fn dfs(&self, s: &mut SearchState) {
+        if s.nodes >= self.max_nodes {
+            return;
+        }
+        s.nodes += 1;
+        if s.n_covered == self.num_elements {
+            let better = s
+                .best
+                .as_ref()
+                .is_none_or(|&(_, best_cost)| s.cost < best_cost - 1e-12);
+            if better {
+                s.best = Some((s.chosen.clone(), s.cost));
+            }
+            return;
+        }
+        if let Some((_, best_cost)) = s.best {
+            let lb = self.lower_bound(&s.covered);
+            if s.cost + lb >= best_cost - 1e-12 {
+                return;
+            }
+        }
+        // Fail-first: branch on the uncovered element with the fewest
+        // admissible candidates.
+        let mut pivot: Option<(usize, usize)> = None;
+        for e in 0..self.num_elements {
+            if s.covered[e] {
+                continue;
+            }
+            let count = self.covers[e]
+                .iter()
+                .filter(|&&i| !self.candidates[i].elements.iter().any(|&x| s.covered[x]))
+                .count();
+            if count == 0 {
+                return; // dead end
+            }
+            if pivot.is_none_or(|(_, c)| count < c) {
+                pivot = Some((e, count));
+            }
+        }
+        let (e, _) = pivot.expect("some element uncovered");
+        // Try cheaper candidates first for earlier incumbent improvements.
+        let mut options: Vec<usize> = self.covers[e]
+            .iter()
+            .copied()
+            .filter(|&i| !self.candidates[i].elements.iter().any(|&x| s.covered[x]))
+            .collect();
+        options.sort_by(|&a, &b| {
+            self.candidates[a]
+                .weight
+                .partial_cmp(&self.candidates[b].weight)
+                .expect("finite weights")
+        });
+        for i in options {
+            let cand = &self.candidates[i];
+            for &x in &cand.elements {
+                s.covered[x] = true;
+            }
+            s.n_covered += cand.elements.len();
+            s.cost += cand.weight;
+            s.chosen.push(i);
+
+            self.dfs(s);
+
+            s.chosen.pop();
+            s.cost -= cand.weight;
+            s.n_covered -= cand.elements.len();
+            for &x in &cand.elements {
+                s.covered[x] = false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefers_one_big_clean_candidate_over_singletons() {
+        // Mirrors the paper's weighting: a clean 8-bit MBR (w = 1/8) beats
+        // two clean 4-bit MBRs (w = 1/4 + 1/4).
+        let mut sp = SetPartition::new(8);
+        for e in 0..8 {
+            sp.add_candidate(&[e], 1.0); // singletons, w = 1/1
+        }
+        let four_a = sp.add_candidate(&[0, 1, 2, 3], 0.25);
+        let four_b = sp.add_candidate(&[4, 5, 6, 7], 0.25);
+        let eight = sp.add_candidate(&[0, 1, 2, 3, 4, 5, 6, 7], 0.125);
+        let sol = sp.solve().unwrap();
+        assert_eq!(sol.selected, vec![eight]);
+        assert!((sol.cost - 0.125).abs() < 1e-12);
+        let _ = (four_a, four_b);
+    }
+
+    #[test]
+    fn blocked_large_candidate_loses_to_split() {
+        // The paper's Section 3.2 example: an 8-bit MBR with one obstacle
+        // (w = 8·2¹ = 16) loses to a clean 4-bit (w = 1/4) plus a 4-bit with
+        // one obstacle (w = 4·2¹ = 8): 8.25 < 16.
+        // (No singleton columns here: the point is the paper's pairwise
+        // comparison — with singletons at w = 1 the ILP would rightly prefer
+        // four singles at 4.0 over the blocked 4-bit at 8.0.)
+        let mut sp = SetPartition::new(8);
+        let _eight = sp.add_candidate(&[0, 1, 2, 3, 4, 5, 6, 7], 16.0);
+        let four_clean = sp.add_candidate(&[0, 1, 2, 3], 0.25);
+        let four_blocked = sp.add_candidate(&[4, 5, 6, 7], 8.0);
+        let sol = sp.solve().unwrap();
+        let mut sel = sol.selected.clone();
+        sel.sort_unstable();
+        assert_eq!(sel, vec![four_clean, four_blocked]);
+        assert!((sol.cost - 8.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infeasible_when_an_element_is_uncoverable() {
+        let mut sp = SetPartition::new(2);
+        sp.add_candidate(&[0], 1.0);
+        assert_eq!(sp.solve(), Err(SetPartitionError::Infeasible));
+    }
+
+    #[test]
+    fn infeasible_when_overlaps_force_double_cover() {
+        // Elements {0,1,2}: candidates {0,1} and {1,2} only — any pair
+        // double-covers 1, single leaves something uncovered.
+        let mut sp = SetPartition::new(3);
+        sp.add_candidate(&[0, 1], 1.0);
+        sp.add_candidate(&[1, 2], 1.0);
+        assert_eq!(sp.solve(), Err(SetPartitionError::Infeasible));
+    }
+
+    #[test]
+    fn dominance_keeps_cheapest_duplicate() {
+        let mut sp = SetPartition::new(2);
+        sp.add_candidate(&[0, 1], 5.0);
+        let cheap = sp.add_candidate(&[0, 1], 2.0);
+        let sol = sp.solve().unwrap();
+        assert_eq!(sol.selected, vec![cheap]);
+        assert_eq!(sol.cost, 2.0);
+    }
+
+    #[test]
+    fn empty_instance_is_trivially_solved() {
+        let sp = SetPartition::new(0);
+        let sol = sp.solve().unwrap();
+        assert!(sol.selected.is_empty());
+        assert_eq!(sol.cost, 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_weights_and_ranges() {
+        let mut sp = SetPartition::new(2);
+        sp.add_candidate(&[0, 5], 1.0);
+        assert!(matches!(
+            sp.solve(),
+            Err(SetPartitionError::ElementOutOfRange { element: 5, .. })
+        ));
+        let mut sp = SetPartition::new(1);
+        sp.add_candidate(&[0], f64::INFINITY);
+        assert!(matches!(
+            sp.solve(),
+            Err(SetPartitionError::BadWeight { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_weight_candidates_are_allowed() {
+        let mut sp = SetPartition::new(2);
+        sp.add_candidate(&[0], 0.0);
+        sp.add_candidate(&[1], 0.0);
+        sp.add_candidate(&[0, 1], 1.0);
+        let sol = sp.solve().unwrap();
+        assert_eq!(sol.cost, 0.0);
+        assert_eq!(sol.selected.len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod bounded_tests {
+    use super::*;
+
+    #[test]
+    fn bounded_solve_returns_a_valid_cover_under_tiny_budget() {
+        // Many overlapping candidates: force an early stop.
+        let n = 12;
+        let mut sp = SetPartition::new(n);
+        for e in 0..n {
+            sp.add_candidate(&[e], 1.0);
+        }
+        for a in 0..n {
+            for b in (a + 1)..n {
+                sp.add_candidate(&[a, b], 0.9);
+            }
+        }
+        let sol = sp.solve_bounded(3).unwrap();
+        assert!(sol.nodes_explored <= 3, "budget respected");
+        // Still an exact cover.
+        let mut covered = vec![false; n];
+        for &i in &sol.selected {
+            // Reconstruct coverage through the public candidate list order:
+            // singletons first (index < n), pairs after.
+            let elems: Vec<usize> = if i < n {
+                vec![i]
+            } else {
+                let k = i - n;
+                // inverse of the (a, b) enumeration
+                let mut idx = 0;
+                let mut found = (0, 0);
+                'outer: for a in 0..n {
+                    for b in (a + 1)..n {
+                        if idx == k {
+                            found = (a, b);
+                            break 'outer;
+                        }
+                        idx += 1;
+                    }
+                }
+                vec![found.0, found.1]
+            };
+            for e in elems {
+                assert!(!covered[e]);
+                covered[e] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+
+        // The unbounded solve proves optimality and does at least as well.
+        let full = sp.solve().unwrap();
+        assert!(full.proven_optimal);
+        assert!(full.cost <= sol.cost + 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod general_path_tests {
+    use super::*;
+
+    /// Instances with more than 64 elements take the general (non-bitmask)
+    /// search; verify it on a chain structure with a known optimum.
+    #[test]
+    fn general_path_solves_large_chain_instances() {
+        // Elements 0..100; pairs {2i, 2i+1} at 0.6 beat singletons at 1.0:
+        // optimum = 50 × 0.6 = 30.
+        let n = 100;
+        let mut sp = SetPartition::new(n);
+        for e in 0..n {
+            sp.add_candidate(&[e], 1.0);
+        }
+        for i in 0..n / 2 {
+            sp.add_candidate(&[2 * i, 2 * i + 1], 0.6);
+        }
+        // Distractor overlapping pairs that can never all be used.
+        for i in 0..n - 1 {
+            sp.add_candidate(&[i, i + 1], 0.7);
+        }
+        let sol = sp.solve().expect("feasible");
+        assert!((sol.cost - 30.0).abs() < 1e-9, "cost {}", sol.cost);
+        assert!(sol.proven_optimal);
+        assert_eq!(sol.selected.len(), 50);
+    }
+
+    /// The two search paths agree on a 64-element boundary instance (the
+    /// largest size the mask path accepts).
+    #[test]
+    fn boundary_instance_solves_exactly() {
+        let n = 64;
+        let mut sp = SetPartition::new(n);
+        for e in 0..n {
+            sp.add_candidate(&[e], 1.0);
+        }
+        for i in (0..n).step_by(4) {
+            sp.add_candidate(&[i, i + 1, i + 2, i + 3], 0.25);
+        }
+        let sol = sp.solve().expect("feasible");
+        assert!((sol.cost - 16.0 * 0.25).abs() < 1e-9);
+        assert_eq!(sol.selected.len(), 16);
+    }
+}

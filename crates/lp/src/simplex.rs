@@ -1,0 +1,295 @@
+//! Dense two-phase primal simplex on an explicit tableau.
+//!
+//! Operates on the *standard form* `min c·x  s.t.  A x = b, x ≥ 0, b ≥ 0`.
+//! [`crate::problem`] converts user models (bounded variables, inequality
+//! rows) into this form. The pivoting rule is largest-reduced-cost with a
+//! switch to Bland's rule after a stall threshold, which guarantees
+//! termination on degenerate problems.
+
+// Tableau algebra is most legible with explicit row/column indices; the
+// iterator forms clippy prefers obscure the pivoting math.
+#![allow(clippy::needless_range_loop)]
+
+/// Numerical tolerance for feasibility/optimality decisions.
+pub(crate) const EPS: f64 = 1e-9;
+
+/// Outcome of a standard-form simplex run.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum SimplexOutcome {
+    /// Optimal basic solution found: variable values and objective.
+    Optimal { x: Vec<f64>, objective: f64 },
+    /// The feasible region is unbounded in the direction of the objective.
+    Unbounded,
+    /// Phase 1 could not drive the artificial variables to zero.
+    Infeasible,
+}
+
+/// Solves `min c·x  s.t.  A x = b, x ≥ 0` (with `b ≥ 0`) by the two-phase
+/// primal simplex.
+///
+/// `a` is row-major `m × n`, `b` has length `m`, `c` length `n`.
+///
+/// # Panics
+///
+/// Panics (debug assertions) on dimension mismatches or negative `b`.
+pub(crate) fn solve_standard_form(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> SimplexOutcome {
+    let m = a.len();
+    let n = c.len();
+    debug_assert!(a.iter().all(|row| row.len() == n));
+    debug_assert_eq!(b.len(), m);
+    debug_assert!(b.iter().all(|&v| v >= -EPS), "standard form needs b >= 0");
+
+    if m == 0 {
+        // No constraints: optimum is at x = 0 unless some cost is negative,
+        // in which case the problem is unbounded.
+        if c.iter().any(|&ci| ci < -EPS) {
+            return SimplexOutcome::Unbounded;
+        }
+        return SimplexOutcome::Optimal {
+            x: vec![0.0; n],
+            objective: 0.0,
+        };
+    }
+
+    // Tableau layout: columns [0..n) structural, [n..n+m) artificial, col
+    // n+m = rhs. Row m = phase-1 objective, row m+1 = phase-2 objective.
+    let cols = n + m + 1;
+    let mut t = vec![vec![0.0f64; cols]; m + 2];
+    for (i, row) in a.iter().enumerate() {
+        t[i][..n].copy_from_slice(row);
+        t[i][n + i] = 1.0;
+        t[i][cols - 1] = b[i];
+    }
+    // Phase-1 objective: minimize sum of artificials → reduced costs start
+    // as -(sum of constraint rows) over structural columns.
+    for j in 0..cols {
+        let mut s = 0.0;
+        for i in 0..m {
+            s += t[i][j];
+        }
+        t[m][j] = if (n..n + m).contains(&j) { 0.0 } else { -s };
+    }
+    // Phase-2 objective row (original costs).
+    t[m + 1][..n].copy_from_slice(c);
+
+    let mut basis: Vec<usize> = (n..n + m).collect();
+
+    if run_phase(&mut t, &mut basis, m, cols, m) == PhaseResult::Unbounded {
+        // Phase 1 objective is bounded below by 0, so this cannot happen;
+        // treat defensively as infeasible.
+        return SimplexOutcome::Infeasible;
+    }
+    // Feasible iff the artificial sum reached (numerically) zero.
+    if -t[m][cols - 1] > 1e-7 {
+        return SimplexOutcome::Infeasible;
+    }
+
+    // Drive any artificial variable still in the basis out of it (degenerate
+    // rows), pivoting on any structural column with a nonzero entry.
+    for i in 0..m {
+        if basis[i] >= n {
+            if let Some(j) = (0..n).find(|&j| t[i][j].abs() > EPS) {
+                pivot(&mut t, &mut basis, i, j, cols);
+            }
+            // If no structural pivot exists the row is 0 = 0; harmless.
+        }
+    }
+
+    // Phase 2: forbid artificial columns by removing them from pricing.
+    for j in n..n + m {
+        for r in t.iter_mut() {
+            r[j] = 0.0;
+        }
+    }
+    // Re-derive phase-2 reduced costs for the current basis.
+    for i in 0..m {
+        let bj = basis[i];
+        if bj < n && t[m + 1][bj].abs() > EPS {
+            let coeff = t[m + 1][bj];
+            for j in 0..cols {
+                t[m + 1][j] -= coeff * t[i][j];
+            }
+        }
+    }
+
+    match run_phase(&mut t, &mut basis, m, cols, m + 1) {
+        PhaseResult::Unbounded => SimplexOutcome::Unbounded,
+        PhaseResult::Optimal => {
+            let mut x = vec![0.0; n];
+            for i in 0..m {
+                if basis[i] < n {
+                    x[basis[i]] = t[i][cols - 1];
+                }
+            }
+            let objective = x.iter().zip(c).map(|(xi, ci)| xi * ci).sum();
+            SimplexOutcome::Optimal { x, objective }
+        }
+    }
+}
+
+#[derive(PartialEq)]
+enum PhaseResult {
+    Optimal,
+    Unbounded,
+}
+
+/// Runs simplex iterations minimizing objective row `obj_row` in place.
+fn run_phase(
+    t: &mut [Vec<f64>],
+    basis: &mut [usize],
+    m: usize,
+    cols: usize,
+    obj_row: usize,
+) -> PhaseResult {
+    let n_all = cols - 1;
+    let mut iters = 0usize;
+    // After this many iterations switch to Bland's rule (anti-cycling).
+    let stall_threshold = 50 * (m + n_all) + 1000;
+    loop {
+        iters += 1;
+        let bland = iters > stall_threshold;
+        // Pricing: pick the entering column.
+        let mut enter = None;
+        if bland {
+            for j in 0..n_all {
+                if t[obj_row][j] < -EPS {
+                    enter = Some(j);
+                    break;
+                }
+            }
+        } else {
+            let mut best = -EPS;
+            for j in 0..n_all {
+                if t[obj_row][j] < best {
+                    best = t[obj_row][j];
+                    enter = Some(j);
+                }
+            }
+        }
+        let Some(j) = enter else {
+            return PhaseResult::Optimal;
+        };
+        // Ratio test: pick the leaving row.
+        let mut leave: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for i in 0..m {
+            if t[i][j] > EPS {
+                let ratio = t[i][cols - 1] / t[i][j];
+                let better = ratio < best_ratio - EPS
+                    || (ratio < best_ratio + EPS && leave.is_some_and(|l| basis[i] < basis[l]));
+                if leave.is_none() || better {
+                    best_ratio = ratio;
+                    leave = Some(i);
+                }
+            }
+        }
+        let Some(i) = leave else {
+            return PhaseResult::Unbounded;
+        };
+        pivot(t, basis, i, j, cols);
+    }
+}
+
+/// Gauss-Jordan pivot on `(row, col)`, updating the basis.
+fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize, cols: usize) {
+    let p = t[row][col];
+    debug_assert!(p.abs() > EPS, "pivot on (near-)zero element");
+    for j in 0..cols {
+        t[row][j] /= p;
+    }
+    for r in 0..t.len() {
+        if r != row {
+            let factor = t[r][col];
+            if factor.abs() > EPS {
+                for j in 0..cols {
+                    t[r][j] -= factor * t[row][j];
+                }
+            }
+        }
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn optimal(outcome: SimplexOutcome) -> (Vec<f64>, f64) {
+        match outcome {
+            SimplexOutcome::Optimal { x, objective } => (x, objective),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn solves_textbook_lp() {
+        // min -3x - 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  (as equalities
+        // with slacks s1..s3). Known optimum x=2, y=6, obj=-36.
+        let a = vec![
+            vec![1.0, 0.0, 1.0, 0.0, 0.0],
+            vec![0.0, 2.0, 0.0, 1.0, 0.0],
+            vec![3.0, 2.0, 0.0, 0.0, 1.0],
+        ];
+        let b = vec![4.0, 12.0, 18.0];
+        let c = vec![-3.0, -5.0, 0.0, 0.0, 0.0];
+        let (x, obj) = optimal(solve_standard_form(&a, &b, &c));
+        assert!((obj + 36.0).abs() < 1e-7);
+        assert!((x[0] - 2.0).abs() < 1e-7);
+        assert!((x[1] - 6.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        // x = 1 and x = 2 simultaneously.
+        let a = vec![vec![1.0], vec![1.0]];
+        let b = vec![1.0, 2.0];
+        let c = vec![0.0];
+        assert_eq!(solve_standard_form(&a, &b, &c), SimplexOutcome::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        // min -x s.t. x - s = 0 (x >= s, both free upward).
+        let a = vec![vec![1.0, -1.0]];
+        let b = vec![0.0];
+        let c = vec![-1.0, 0.0];
+        assert_eq!(solve_standard_form(&a, &b, &c), SimplexOutcome::Unbounded);
+    }
+
+    #[test]
+    fn handles_equality_rows_needing_artificials() {
+        // min x + y s.t. x + y = 5, x - y = 1  → x=3, y=2, obj=5.
+        let a = vec![vec![1.0, 1.0], vec![1.0, -1.0]];
+        let b = vec![5.0, 1.0];
+        let c = vec![1.0, 1.0];
+        let (x, obj) = optimal(solve_standard_form(&a, &b, &c));
+        assert!((obj - 5.0).abs() < 1e-7);
+        assert!((x[0] - 3.0).abs() < 1e-7);
+        assert!((x[1] - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degeneracy: multiple rows tie in the ratio test.
+        let a = vec![
+            vec![1.0, 1.0, 1.0, 0.0, 0.0],
+            vec![1.0, 1.0, 0.0, 1.0, 0.0],
+            vec![1.0, 0.0, 0.0, 0.0, 1.0],
+        ];
+        let b = vec![1.0, 1.0, 1.0];
+        let c = vec![-1.0, -1.0, 0.0, 0.0, 0.0];
+        let (_, obj) = optimal(solve_standard_form(&a, &b, &c));
+        assert!((obj + 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn empty_constraint_set() {
+        let (x, obj) = optimal(solve_standard_form(&[], &[], &[1.0, 2.0]));
+        assert_eq!(x, vec![0.0, 0.0]);
+        assert_eq!(obj, 0.0);
+        assert_eq!(
+            solve_standard_form(&[], &[], &[-1.0]),
+            SimplexOutcome::Unbounded
+        );
+    }
+}

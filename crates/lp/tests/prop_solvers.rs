@@ -1,0 +1,162 @@
+//! Cross-checks between the three solver paths.
+//!
+//! The dedicated set-partitioning branch-and-bound is the production solver
+//! for the composition ILP, so it is verified here against both a
+//! brute-force enumerator and the generic simplex-based branch-and-bound.
+
+use mbr_lp::{IlpProblem, LpProblem, Sense, SetPartition};
+use proptest::prelude::*;
+
+/// Brute-force optimum of a set-partitioning instance by subset enumeration.
+fn brute_force(num_elements: usize, cands: &[(Vec<usize>, f64)]) -> Option<f64> {
+    let n = cands.len();
+    assert!(n <= 16, "brute force is exponential");
+    let mut best: Option<f64> = None;
+    'subsets: for mask in 0u32..(1 << n) {
+        let mut covered = vec![false; num_elements];
+        let mut cost = 0.0;
+        for (i, (elems, w)) in cands.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                for &e in elems {
+                    if covered[e] {
+                        continue 'subsets; // double cover
+                    }
+                    covered[e] = true;
+                }
+                cost += w;
+            }
+        }
+        if covered.iter().all(|&c| c) && best.is_none_or(|b| cost < b) {
+            best = Some(cost);
+        }
+    }
+    best
+}
+
+fn arb_instance() -> impl Strategy<Value = (usize, Vec<(Vec<usize>, f64)>)> {
+    (2usize..7).prop_flat_map(|n| {
+        let cand = (prop::collection::btree_set(0..n, 1..=n.min(4)), 0u32..100)
+            .prop_map(|(set, w)| (set.into_iter().collect::<Vec<_>>(), f64::from(w) / 10.0));
+        (Just(n), prop::collection::vec(cand, 1..10))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The dedicated solver matches brute force exactly (cost and
+    /// feasibility verdict).
+    #[test]
+    fn setpart_matches_brute_force((n, cands) in arb_instance()) {
+        let mut sp = SetPartition::new(n);
+        for (elems, w) in &cands {
+            sp.add_candidate(elems, *w);
+        }
+        let expected = brute_force(n, &cands);
+        match (sp.solve(), expected) {
+            (Ok(sol), Some(best)) => {
+                prop_assert!((sol.cost - best).abs() < 1e-9,
+                    "solver cost {} vs brute force {}", sol.cost, best);
+                // Verify the selection is an exact cover with the claimed cost.
+                let mut covered = vec![false; n];
+                let mut cost = 0.0;
+                for &i in &sol.selected {
+                    for &e in &cands[i].0 {
+                        prop_assert!(!covered[e], "double cover of {e}");
+                        covered[e] = true;
+                    }
+                    cost += cands[i].1;
+                }
+                prop_assert!(covered.iter().all(|&c| c), "not a cover");
+                prop_assert!((cost - sol.cost).abs() < 1e-9);
+            }
+            (Err(_), None) => {}
+            (got, want) => prop_assert!(false, "solver {got:?} vs oracle {want:?}"),
+        }
+    }
+
+    /// The generic ILP branch-and-bound agrees with the dedicated solver.
+    #[test]
+    fn ilp_matches_setpart((n, cands) in arb_instance()) {
+        let mut sp = SetPartition::new(n);
+        let mut ilp = IlpProblem::new();
+        let mut vars = Vec::new();
+        for (elems, w) in &cands {
+            sp.add_candidate(elems, *w);
+            vars.push(ilp.add_binary(*w));
+        }
+        for e in 0..n {
+            let terms: Vec<_> = cands
+                .iter()
+                .enumerate()
+                .filter(|(_, (elems, _))| elems.contains(&e))
+                .map(|(i, _)| (vars[i], 1.0))
+                .collect();
+            ilp.add_constraint(&terms, Sense::Eq, 1.0);
+        }
+        match (sp.solve(), ilp.solve()) {
+            (Ok(a), Ok(b)) => prop_assert!((a.cost - b.objective).abs() < 1e-6,
+                "setpart {} vs ilp {}", a.cost, b.objective),
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "setpart {a:?} vs ilp {b:?}"),
+        }
+    }
+
+    /// LP relaxation of the partition problem never exceeds the ILP optimum
+    /// (weak duality sanity on the solver stack).
+    #[test]
+    fn lp_relaxation_lower_bounds_ilp((n, cands) in arb_instance()) {
+        let mut sp = SetPartition::new(n);
+        let mut lp = LpProblem::new();
+        let mut vars = Vec::new();
+        for (elems, w) in &cands {
+            sp.add_candidate(elems, *w);
+            vars.push(lp.add_var(0.0, 1.0, *w));
+        }
+        for e in 0..n {
+            let terms: Vec<_> = cands
+                .iter()
+                .enumerate()
+                .filter(|(_, (elems, _))| elems.contains(&e))
+                .map(|(i, _)| (vars[i], 1.0))
+                .collect();
+            lp.add_constraint(&terms, Sense::Eq, 1.0);
+        }
+        if let Ok(int) = sp.solve() {
+            let relax = lp.solve().expect("ILP-feasible implies LP-feasible");
+            prop_assert!(relax.objective <= int.cost + 1e-6);
+        }
+    }
+
+    /// Random small LPs: the simplex solution satisfies all constraints and
+    /// is not beaten by any feasible corner of a sampled grid.
+    #[test]
+    fn lp_solution_is_feasible_and_locally_optimal(
+        c1 in -5i32..5, c2 in -5i32..5,
+        b1 in 1i32..10, b2 in 1i32..10,
+    ) {
+        // min c1 x + c2 y s.t. x + y <= b1, x - y <= b2, 0 <= x,y <= 20.
+        let mut lp = LpProblem::new();
+        let x = lp.add_var(0.0, 20.0, f64::from(c1));
+        let y = lp.add_var(0.0, 20.0, f64::from(c2));
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], Sense::Le, f64::from(b1));
+        lp.add_constraint(&[(x, 1.0), (y, -1.0)], Sense::Le, f64::from(b2));
+        let sol = lp.solve().expect("bounded feasible");
+        let (xv, yv) = (sol.value(x), sol.value(y));
+        prop_assert!(xv >= -1e-7 && yv >= -1e-7 && xv <= 20.0 + 1e-7 && yv <= 20.0 + 1e-7);
+        prop_assert!(xv + yv <= f64::from(b1) + 1e-7);
+        prop_assert!(xv - yv <= f64::from(b2) + 1e-7);
+        // Grid search oracle.
+        let mut best = f64::INFINITY;
+        for gx in 0..=80 {
+            for gy in 0..=80 {
+                let (px, py) = (gx as f64 * 0.25, gy as f64 * 0.25);
+                if px + py <= f64::from(b1) + 1e-9 && px - py <= f64::from(b2) + 1e-9 {
+                    best = best.min(f64::from(c1) * px + f64::from(c2) * py);
+                }
+            }
+        }
+        prop_assert!(sol.objective <= best + 1e-6,
+            "simplex {} vs grid {}", sol.objective, best);
+    }
+}

@@ -1,0 +1,80 @@
+use mbr_geom::Dbu;
+
+/// A combinational gate model: an n-input, single-output cell with a linear
+/// delay model, the minimum the timing substrate needs to stitch realistic
+/// register-to-register paths through logic clouds.
+///
+/// Delay through the gate is `intrinsic + drive_resistance × load` (ps), the
+/// same linear model the register library uses.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CombModel {
+    /// Model name, e.g. `"NAND2"`.
+    pub name: String,
+    /// Number of input pins.
+    pub inputs: u8,
+    /// Cell area, µm².
+    pub area: f64,
+    /// Capacitance of each input pin, fF.
+    pub input_cap: f64,
+    /// Output drive resistance, kΩ.
+    pub drive_resistance: f64,
+    /// Intrinsic delay, ps.
+    pub intrinsic_delay: f64,
+    /// Footprint width in DBU.
+    pub footprint_w: Dbu,
+    /// Footprint height in DBU (one row).
+    pub footprint_h: Dbu,
+}
+
+impl CombModel {
+    /// A generic 2-input gate sized for the default 28 nm-class library.
+    pub fn nand2() -> Self {
+        CombModel {
+            name: "NAND2".into(),
+            inputs: 2,
+            area: 0.8,
+            input_cap: 0.7,
+            drive_resistance: 4.0,
+            intrinsic_delay: 18.0,
+            footprint_w: 400,
+            footprint_h: 600,
+        }
+    }
+
+    /// A buffer/inverter-style single-input gate.
+    pub fn buffer() -> Self {
+        CombModel {
+            name: "BUF".into(),
+            inputs: 1,
+            area: 0.5,
+            input_cap: 0.6,
+            drive_resistance: 2.5,
+            intrinsic_delay: 14.0,
+            footprint_w: 300,
+            footprint_h: 600,
+        }
+    }
+
+    /// Propagation delay in ps when driving `load` fF.
+    pub fn delay(&self, load: f64) -> f64 {
+        self.intrinsic_delay + self.drive_resistance * load
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_is_linear() {
+        let g = CombModel::nand2();
+        assert_eq!(g.delay(0.0), g.intrinsic_delay);
+        assert!(g.delay(5.0) > g.delay(1.0));
+    }
+
+    #[test]
+    fn presets_have_expected_arity() {
+        assert_eq!(CombModel::nand2().inputs, 2);
+        assert_eq!(CombModel::buffer().inputs, 1);
+    }
+}

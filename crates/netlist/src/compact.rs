@@ -1,0 +1,200 @@
+//! Arena compaction: rebuilding a design without tombstones.
+//!
+//! Composition leaves merged-away registers (and their emptied nets) in the
+//! arenas as tombstones so ids stay stable during the flow. Long-lived
+//! databases eventually want the garbage collected; [`Design::compact`]
+//! rebuilds a fresh, dense design with identical live content.
+
+use crate::{Design, InstKind, PinKind, PortDir};
+use mbr_liberty::Library;
+
+impl Design {
+    /// Returns a tombstone-free copy of this design: identical live
+    /// instances, nets and connectivity, with freshly dense id spaces.
+    ///
+    /// Instance and net *names* are preserved and remain the portable way to
+    /// refer to entities across compaction; raw ids ([`crate::InstId`],
+    /// [`crate::NetId`], [`crate::PinId`]) are **not** stable across this
+    /// call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a live register references a library cell not present in
+    /// `lib` (the same library that built the design).
+    pub fn compact(&self, lib: &Library) -> Design {
+        let mut out = Design::new(self.name().to_string(), self.die());
+
+        // Live nets first, preserving names (and hence order-independent
+        // identity).
+        for (_, net) in self.live_nets() {
+            out.add_net(net.name.clone());
+        }
+        for (_, model) in self.comb_models() {
+            out.add_comb_model(model.clone());
+        }
+
+        let map_net = |design: &mut Design, old: crate::NetId| {
+            let name = self.net(old).name.clone();
+            design.add_net(name)
+        };
+
+        for (old_id, inst) in self.live_insts() {
+            match &inst.kind {
+                InstKind::Register { cell, attrs, .. } => {
+                    let mut attrs = attrs.clone();
+                    attrs.clock = map_net(&mut out, attrs.clock);
+                    attrs.reset = attrs.reset.map(|n| map_net(&mut out, n));
+                    attrs.set = attrs.set.map(|n| map_net(&mut out, n));
+                    attrs.enable = attrs.enable.map(|n| map_net(&mut out, n));
+                    attrs.scan_enable = attrs.scan_enable.map(|n| map_net(&mut out, n));
+                    let new_id = out.add_register(inst.name.clone(), lib, *cell, inst.loc, attrs);
+                    // Data and scan pins re-connect by kind.
+                    for &p in &inst.pins {
+                        let pin = self.pin(p);
+                        let Some(net) = pin.net else { continue };
+                        if matches!(
+                            pin.kind,
+                            PinKind::D(_)
+                                | PinKind::Q(_)
+                                | PinKind::ScanIn(_)
+                                | PinKind::ScanOut(_)
+                        ) {
+                            let new_net = map_net(&mut out, net);
+                            let new_pin = out
+                                .find_pin(new_id, pin.kind)
+                                .expect("same cell, same pins");
+                            out.connect(new_pin, new_net);
+                        }
+                    }
+                    // Connected-bit accounting carries over (incomplete MBRs).
+                    let connected = out.register_bit_pins(new_id).len() as u8;
+                    if let InstKind::Register { connected_bits, .. } =
+                        &mut out.inst_mut(new_id).kind
+                    {
+                        *connected_bits = connected;
+                    }
+                }
+                InstKind::Comb { model } => {
+                    let new_id = out.add_comb(inst.name.clone(), *model, inst.loc);
+                    for &p in &inst.pins {
+                        let pin = self.pin(p);
+                        let Some(net) = pin.net else { continue };
+                        let new_net = map_net(&mut out, net);
+                        let new_pin = out.find_pin(new_id, pin.kind).expect("same model");
+                        out.connect(new_pin, new_net);
+                    }
+                }
+                InstKind::Port {
+                    dir,
+                    drive_resistance,
+                    load,
+                } => {
+                    let new_id = match dir {
+                        PortDir::Input => {
+                            out.add_input_port(inst.name.clone(), inst.loc, *drive_resistance)
+                        }
+                        PortDir::Output => out.add_output_port(inst.name.clone(), inst.loc, *load),
+                    };
+                    if let Some(net) = self.pin(inst.pins[0]).net {
+                        let new_net = map_net(&mut out, net);
+                        let new_pin = out.inst(new_id).pins[0];
+                        out.connect(new_pin, new_net);
+                    }
+                }
+            }
+            let _ = old_id;
+        }
+        out
+    }
+
+    /// Number of tombstoned (dead) instances awaiting compaction.
+    pub fn dead_inst_count(&self) -> usize {
+        self.all_insts().filter(|(_, i)| !i.alive).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Design, PinKind, RegisterAttrs};
+    use mbr_geom::{Point, Rect};
+    use mbr_liberty::standard_library;
+
+    #[test]
+    fn compaction_preserves_live_content_and_drops_tombstones() {
+        let lib = standard_library();
+        let die = Rect::new(Point::new(0, 0), Point::new(120_000, 120_000));
+        let mut d = Design::new("t", die);
+        let clk = d.add_net("clk");
+        let port = d.add_input_port("CLK", Point::new(0, 0), 0.5);
+        d.connect(d.inst(port).pins[0], clk);
+        let cell = lib.cell_by_name("DFF_1X1").unwrap();
+        let mut regs = Vec::new();
+        for i in 0..6i64 {
+            let r = d.add_register(
+                format!("r{i}"),
+                &lib,
+                cell,
+                Point::new(2_000 * (i + 1), 600),
+                RegisterAttrs::clocked(clk),
+            );
+            let dn = d.add_net(format!("d{i}"));
+            let qn = d.add_net(format!("q{i}"));
+            let pi = d.add_input_port(format!("PI{i}"), Point::new(0, 600 * (i + 1)), 1.0);
+            d.connect(d.inst(pi).pins[0], dn);
+            d.connect(d.find_pin(r, PinKind::D(0)).unwrap(), dn);
+            d.connect(d.find_pin(r, PinKind::Q(0)).unwrap(), qn);
+            let po = d.add_output_port(format!("PO{i}"), Point::new(100_000, 600 * (i + 1)), 1.0);
+            d.connect(d.inst(po).pins[0], qn);
+            regs.push(r);
+        }
+        // Merge four of them → four tombstones.
+        let cell4 = lib.cell_by_name("DFF_4X1").unwrap();
+        d.merge_registers(&regs[..4], &lib, cell4, Point::new(3_000, 600))
+            .expect("merge");
+        assert_eq!(d.dead_inst_count(), 4);
+
+        let compacted = d.compact(&lib);
+        assert_eq!(compacted.dead_inst_count(), 0);
+        assert_eq!(compacted.live_inst_count(), d.live_inst_count());
+        assert_eq!(compacted.live_register_count(), d.live_register_count());
+        assert_eq!(compacted.total_register_bits(), d.total_register_bits());
+        assert_eq!(compacted.wirelength(), d.wirelength());
+        assert!(
+            compacted.validate().is_empty(),
+            "{:?}",
+            compacted.validate()
+        );
+        // Arena is dense: every instance is live.
+        assert_eq!(compacted.all_insts().count(), compacted.live_inst_count());
+        // Names persist; the MBR kept its connected-bits accounting.
+        let mbr = compacted
+            .inst_by_name("mbr_0")
+            .expect("generated MBR name survives");
+        assert_eq!(compacted.register_width(mbr), 4);
+    }
+
+    #[test]
+    fn compaction_of_clean_design_is_identity_modulo_ids() {
+        let lib = standard_library();
+        let die = Rect::new(Point::new(0, 0), Point::new(60_000, 60_000));
+        let mut d = Design::new("t", die);
+        let clk = d.add_net("clk");
+        let cp = d.add_input_port("CLK", Point::new(0, 0), 0.5);
+        d.connect(d.inst(cp).pins[0], clk);
+        let cell = lib.cell_by_name("DFF_R_2X2").unwrap();
+        let mut attrs = RegisterAttrs::clocked(clk);
+        let rst = d.add_net("rst");
+        let rp = d.add_input_port("RST", Point::new(0, 600), 1.0);
+        d.connect(d.inst(rp).pins[0], rst);
+        attrs.reset = Some(rst);
+        attrs.clock_offset = 17.5;
+        d.add_register("r", &lib, cell, Point::new(5_000, 600), attrs);
+
+        let c = d.compact(&lib);
+        assert_eq!(c.live_inst_count(), d.live_inst_count());
+        let r = c.inst_by_name("r").expect("name survives");
+        let a = c.inst(r).register_attrs().expect("reg");
+        assert_eq!(a.clock_offset, 17.5);
+        assert_eq!(c.net(a.reset.unwrap()).name, "rst");
+    }
+}

@@ -1,0 +1,960 @@
+//! Netlist editing for MBR composition: merging registers into an MBR and
+//! the inverse decomposition.
+//!
+//! Scan-chain note: production flows stitch scan chains *after* placement
+//! optimization, so SI/SO data nets are often not yet routed when MBR
+//! composition runs. The editor supports both situations: unwired scan data
+//! pins impose no constraints; wired internal-scan chains are preserved when
+//! the merged registers are chain-consecutive (the only configuration the
+//! Section 2 ordered-section rule admits for internal-scan MBRs), and
+//! per-bit-scan cells carry each bit's SI/SO across like D/Q pins.
+
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+use mbr_geom::Point;
+use mbr_liberty::{CellId, Library, ScanStyle};
+
+use crate::{Design, InstId, InstKind, PinKind, ScanInfo};
+
+/// Why a netlist edit was rejected. The design is left unchanged whenever an
+/// error is returned.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EditError {
+    /// The group of registers to merge was empty.
+    EmptyGroup,
+    /// The same instance appeared twice in the group.
+    DuplicateInGroup(String),
+    /// A group member is not a live register.
+    NotALiveRegister(String),
+    /// A group member is marked `fixed` or `size_only`.
+    Untouchable(String),
+    /// A group member's functional class differs from the target cell's.
+    ClassMismatch {
+        /// Offending instance name.
+        inst: String,
+        /// Class the target MBR cell implements.
+        expected: String,
+        /// Class the instance has.
+        found: String,
+    },
+    /// Control nets (clock, gating group, reset, set, enable, scan enable)
+    /// differ across the group.
+    IncompatibleControl {
+        /// Which control differs.
+        what: &'static str,
+        /// Offending instance name.
+        inst: String,
+    },
+    /// The group's total bit count exceeds the target cell width.
+    WidthOverflow {
+        /// Bits the group needs.
+        need: usize,
+        /// Bits the target cell has.
+        have: u8,
+    },
+    /// Scan partitions differ across the group.
+    ScanPartitionMismatch(String),
+    /// An internal-scan merge would break a wired scan chain (the registers
+    /// are not chain-consecutive).
+    ScanChainBroken(String),
+    /// `split_register` target cell is not a 1-bit cell of the same class.
+    BadSplitTarget(String),
+}
+
+impl fmt::Display for EditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EditError::EmptyGroup => write!(f, "register group is empty"),
+            EditError::DuplicateInGroup(n) => write!(f, "register {n} listed twice in group"),
+            EditError::NotALiveRegister(n) => write!(f, "{n} is not a live register"),
+            EditError::Untouchable(n) => write!(f, "register {n} is fixed or size-only"),
+            EditError::ClassMismatch {
+                inst,
+                expected,
+                found,
+            } => write!(
+                f,
+                "register {inst} has class {found}, target cell implements {expected}"
+            ),
+            EditError::IncompatibleControl { what, inst } => {
+                write!(f, "register {inst} disagrees on {what} with the group")
+            }
+            EditError::WidthOverflow { need, have } => {
+                write!(f, "group needs {need} bits but target cell has {have}")
+            }
+            EditError::ScanPartitionMismatch(n) => {
+                write!(f, "register {n} is in a different scan partition")
+            }
+            EditError::ScanChainBroken(n) => write!(
+                f,
+                "internal-scan merge would break the wired scan chain at {n}"
+            ),
+            EditError::BadSplitTarget(n) => {
+                write!(
+                    f,
+                    "split target cell {n} must be a 1-bit cell of the same class"
+                )
+            }
+        }
+    }
+}
+
+impl Error for EditError {}
+
+impl Design {
+    /// Merges a group of compatible live registers into one instance of the
+    /// library MBR cell `new_cell`, placed with its lower-left corner at
+    /// `loc`.
+    ///
+    /// Bit k of the new MBR takes over the D and Q nets of the k-th source
+    /// bit, walking the group in scan order (sources in ordered scan
+    /// sections are sorted by chain position first, so an internal scan
+    /// chain through the MBR preserves the section order, per Section 2).
+    /// Control pins (clock, reset, set, enable, scan enable) connect to the
+    /// shared nets the group agrees on. Source registers become tombstones.
+    ///
+    /// If the target cell is wider than the group's total bit count, the
+    /// result is an *incomplete* MBR: surplus D/Q pins stay unconnected and
+    /// [`Design::register_width`] reports only the connected bits.
+    ///
+    /// The new register's useful-skew [`crate::RegisterAttrs::clock_offset`] starts
+    /// at 0; skew assignment runs later in the flow.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EditError`] — and leaves the design untouched — if the
+    /// group is empty or has duplicates, any member is not a live register or
+    /// is designer-protected, classes or control nets disagree, the bits
+    /// don't fit, or a wired internal scan chain cannot be preserved.
+    pub fn merge_registers(
+        &mut self,
+        group: &[InstId],
+        lib: &Library,
+        new_cell: CellId,
+        loc: Point,
+    ) -> Result<InstId, EditError> {
+        if group.is_empty() {
+            return Err(EditError::EmptyGroup);
+        }
+        let mut seen = HashSet::new();
+        for &g in group {
+            if !seen.insert(g) {
+                return Err(EditError::DuplicateInGroup(self.inst(g).name.clone()));
+            }
+        }
+
+        let target = lib.cell(new_cell);
+        let target_class = lib.class(target.class);
+
+        // ---- validation (no mutation yet) ----
+        let mut total_bits = 0usize;
+        for &g in group {
+            let inst = self.inst(g);
+            if !inst.is_register() {
+                return Err(EditError::NotALiveRegister(inst.name.clone()));
+            }
+            let attrs = inst.register_attrs().expect("checked register");
+            if attrs.is_untouchable() {
+                return Err(EditError::Untouchable(inst.name.clone()));
+            }
+            let cell = lib.cell(inst.register_cell().expect("register"));
+            if cell.class != target.class {
+                return Err(EditError::ClassMismatch {
+                    inst: inst.name.clone(),
+                    expected: target_class.name.clone(),
+                    found: lib.class(cell.class).name.clone(),
+                });
+            }
+            total_bits += usize::from(self.register_width(g));
+        }
+        if total_bits > usize::from(target.width) {
+            return Err(EditError::WidthOverflow {
+                need: total_bits,
+                have: target.width,
+            });
+        }
+
+        let first_attrs = self
+            .inst(group[0])
+            .register_attrs()
+            .expect("register")
+            .clone();
+        for &g in &group[1..] {
+            let attrs = self.inst(g).register_attrs().expect("register");
+            let name = || self.inst(g).name.clone();
+            if attrs.clock != first_attrs.clock {
+                return Err(EditError::IncompatibleControl {
+                    what: "clock",
+                    inst: name(),
+                });
+            }
+            if attrs.gate_group != first_attrs.gate_group {
+                return Err(EditError::IncompatibleControl {
+                    what: "clock gating group",
+                    inst: name(),
+                });
+            }
+            if attrs.reset != first_attrs.reset {
+                return Err(EditError::IncompatibleControl {
+                    what: "reset",
+                    inst: name(),
+                });
+            }
+            if attrs.set != first_attrs.set {
+                return Err(EditError::IncompatibleControl {
+                    what: "set",
+                    inst: name(),
+                });
+            }
+            if attrs.enable != first_attrs.enable {
+                return Err(EditError::IncompatibleControl {
+                    what: "enable",
+                    inst: name(),
+                });
+            }
+            if attrs.scan_enable != first_attrs.scan_enable {
+                return Err(EditError::IncompatibleControl {
+                    what: "scan enable",
+                    inst: name(),
+                });
+            }
+            match (attrs.scan, first_attrs.scan) {
+                (Some(a), Some(b)) if a.partition != b.partition => {
+                    return Err(EditError::ScanPartitionMismatch(name()));
+                }
+                _ => {}
+            }
+        }
+
+        // Order sources by scan position where known, so an internal chain
+        // through the MBR keeps the section order.
+        let mut ordered: Vec<InstId> = group.to_vec();
+        ordered.sort_by_key(|&g| {
+            self.inst(g)
+                .register_attrs()
+                .and_then(|a| a.scan)
+                .and_then(|s| s.section)
+                .map_or((u32::MAX, u32::MAX), |(sec, pos)| (sec, pos))
+        });
+
+        // Internal-scan chain preservation check (only when data pins are
+        // actually wired).
+        if target.scan_style == ScanStyle::Internal {
+            for pair in ordered.windows(2) {
+                let so = self
+                    .find_pin(pair[0], PinKind::ScanOut(0))
+                    .and_then(|p| self.pin(p).net);
+                let si = self
+                    .find_pin(pair[1], PinKind::ScanIn(0))
+                    .and_then(|p| self.pin(p).net);
+                if let (Some(so), Some(si)) = (so, si) {
+                    if so != si {
+                        return Err(EditError::ScanChainBroken(self.inst(pair[1]).name.clone()));
+                    }
+                }
+            }
+        }
+
+        // ---- mutation ----
+        let merged_scan = merged_scan_info(self, &ordered);
+        let mut attrs = first_attrs;
+        attrs.clock_offset = 0.0;
+        attrs.scan = merged_scan;
+        let name = self.generate_name("mbr_");
+        let mbr = self.add_register(name, lib, new_cell, loc, attrs);
+
+        // Collect the scan-boundary nets before sources are killed.
+        let chain_in = self
+            .find_pin(ordered[0], PinKind::ScanIn(0))
+            .and_then(|p| self.pin(p).net);
+        let chain_out = self
+            .find_pin(*ordered.last().expect("nonempty"), PinKind::ScanOut(0))
+            .and_then(|p| self.pin(p).net);
+
+        let mut k: u8 = 0;
+        for &src in &ordered {
+            let src_cell = lib.cell(self.inst(src).register_cell().expect("register"));
+            for bit in self.register_bit_pins(src) {
+                let d_net = self.pin(bit.d).net;
+                let q_net = self.pin(bit.q).net;
+                if let Some(n) = d_net {
+                    let new_d = self.find_pin(mbr, PinKind::D(k)).expect("pin exists");
+                    self.connect(new_d, n);
+                }
+                if let Some(n) = q_net {
+                    let new_q = self.find_pin(mbr, PinKind::Q(k)).expect("pin exists");
+                    self.connect(new_q, n);
+                }
+                // Per-bit scan cells carry each bit's chain hop across.
+                if target.scan_style == ScanStyle::PerBit {
+                    let src_si = match src_cell.scan_style {
+                        ScanStyle::PerBit => self.find_pin(src, PinKind::ScanIn(bit.bit)),
+                        ScanStyle::Internal if bit.bit == 0 => {
+                            self.find_pin(src, PinKind::ScanIn(0))
+                        }
+                        _ => None,
+                    };
+                    let src_so = match src_cell.scan_style {
+                        ScanStyle::PerBit => self.find_pin(src, PinKind::ScanOut(bit.bit)),
+                        ScanStyle::Internal
+                            if usize::from(bit.bit) + 1 == usize::from(src_cell.width) =>
+                        {
+                            self.find_pin(src, PinKind::ScanOut(0))
+                        }
+                        _ => None,
+                    };
+                    if let Some(n) = src_si.and_then(|p| self.pin(p).net) {
+                        let new_si = self.find_pin(mbr, PinKind::ScanIn(k)).expect("pin exists");
+                        self.connect(new_si, n);
+                    }
+                    if let Some(n) = src_so.and_then(|p| self.pin(p).net) {
+                        let new_so = self.find_pin(mbr, PinKind::ScanOut(k)).expect("pin exists");
+                        self.connect(new_so, n);
+                    }
+                }
+                k += 1;
+            }
+        }
+
+        if target.scan_style == ScanStyle::Internal {
+            if let Some(n) = chain_in {
+                let si = self.find_pin(mbr, PinKind::ScanIn(0)).expect("pin exists");
+                self.connect(si, n);
+            }
+            if let Some(n) = chain_out {
+                let so = self.find_pin(mbr, PinKind::ScanOut(0)).expect("pin exists");
+                self.connect(so, n);
+            }
+        }
+
+        // Record how many bits are actually wired (incomplete MBR support).
+        if let InstKind::Register { connected_bits, .. } = &mut self.inst_mut(mbr).kind {
+            *connected_bits = k;
+        }
+
+        for &src in &ordered {
+            self.kill_instance(src);
+        }
+        Ok(mbr)
+    }
+
+    /// Swaps a register's library cell for another cell of the same class
+    /// and width — the "MBR sizing" move of the paper's Fig. 4 flow (after
+    /// useful skew widens the slack, drive strengths can be reduced to cut
+    /// area and clock pin capacitance).
+    ///
+    /// Connectivity and placement are preserved; pin capacitances and the
+    /// footprint are updated from the new cell.
+    ///
+    /// # Errors
+    ///
+    /// [`EditError::BadSplitTarget`] if `new_cell` differs in class or
+    /// width; [`EditError::NotALiveRegister`] if `inst` is not a live
+    /// register; [`EditError::Untouchable`] if the register is `fixed`
+    /// (`size_only` registers can be resized).
+    pub fn resize_register(
+        &mut self,
+        inst: InstId,
+        lib: &Library,
+        new_cell: CellId,
+    ) -> Result<(), EditError> {
+        let instance = self.inst(inst);
+        if !instance.is_register() {
+            return Err(EditError::NotALiveRegister(instance.name.clone()));
+        }
+        if instance.register_attrs().expect("register").fixed {
+            return Err(EditError::Untouchable(instance.name.clone()));
+        }
+        let old = lib.cell(instance.register_cell().expect("register"));
+        let new = lib.cell(new_cell);
+        if new.class != old.class || new.width != old.width {
+            return Err(EditError::BadSplitTarget(new.name.clone()));
+        }
+        let pins = instance.pins.clone();
+        for p in pins {
+            let kind = self.pin(p).kind;
+            let new_cap = match kind {
+                PinKind::Clock => Some(new.clock_pin_cap),
+                PinKind::D(_)
+                | PinKind::Reset
+                | PinKind::Set
+                | PinKind::Enable
+                | PinKind::ScanEnable
+                | PinKind::ScanIn(_) => Some(new.d_pin_cap),
+                _ => None,
+            };
+            if let Some(cap) = new_cap {
+                self.pin_set_cap(p, cap);
+            }
+        }
+        let instance = self.inst_mut(inst);
+        instance.width = new.footprint_w;
+        instance.height = new.footprint_h;
+        if let InstKind::Register { cell, .. } = &mut instance.kind {
+            *cell = new_cell;
+        }
+        Ok(())
+    }
+
+    /// Decomposes a (multi-bit) register into 1-bit registers of `bit_cell`,
+    /// one per connected bit — the inverse of [`Design::merge_registers`]
+    /// and the paper's stated future-work enabler (decompose pre-existing
+    /// 8-bit MBRs, then recompose them with the placement-aware ILP).
+    ///
+    /// The new registers are placed side by side across the footprint of the
+    /// original. Returns the new instance ids, in bit order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EditError`] if `inst` is not a live, modifiable register
+    /// or `bit_cell` is not a 1-bit cell of the same functional class.
+    pub fn split_register(
+        &mut self,
+        inst: InstId,
+        lib: &Library,
+        bit_cell: CellId,
+    ) -> Result<Vec<InstId>, EditError> {
+        let instance = self.inst(inst);
+        if !instance.is_register() {
+            return Err(EditError::NotALiveRegister(instance.name.clone()));
+        }
+        let attrs = instance.register_attrs().expect("register").clone();
+        if attrs.is_untouchable() {
+            return Err(EditError::Untouchable(instance.name.clone()));
+        }
+        let src_cell = lib.cell(instance.register_cell().expect("register"));
+        let target = lib.cell(bit_cell);
+        if target.width != 1 || target.class != src_cell.class {
+            return Err(EditError::BadSplitTarget(target.name.clone()));
+        }
+
+        let base = instance.loc;
+        let bits = self.register_bit_pins(inst);
+        let mut out = Vec::with_capacity(bits.len());
+        for (i, bit) in bits.iter().enumerate() {
+            let d_net = self.pin(bit.d).net;
+            let q_net = self.pin(bit.q).net;
+            let mut bit_attrs = attrs.clone();
+            bit_attrs.clock_offset = 0.0;
+            // Keep the section id but give each bit its own slot in order.
+            if let Some(scan) = &mut bit_attrs.scan {
+                if let Some((sec, pos)) = scan.section {
+                    scan.section = Some((sec, pos + i as u32));
+                }
+            }
+            let name = self.generate_name("bit_");
+            let loc = Point::new(base.x + target.footprint_w * i as i64, base.y);
+            let new_reg = self.add_register(name, lib, bit_cell, loc, bit_attrs);
+            if let Some(n) = d_net {
+                let p = self.find_pin(new_reg, PinKind::D(0)).expect("pin exists");
+                self.connect(p, n);
+            }
+            if let Some(n) = q_net {
+                let p = self.find_pin(new_reg, PinKind::Q(0)).expect("pin exists");
+                self.connect(p, n);
+            }
+            out.push(new_reg);
+        }
+        self.kill_instance(inst);
+        Ok(out)
+    }
+}
+
+/// Scan info of a merged group: the common partition, plus the section/start
+/// position when the whole group forms one consecutive ordered run.
+fn merged_scan_info(design: &Design, ordered: &[InstId]) -> Option<ScanInfo> {
+    let infos: Vec<ScanInfo> = ordered
+        .iter()
+        .filter_map(|&g| design.inst(g).register_attrs().and_then(|a| a.scan))
+        .collect();
+    if infos.is_empty() {
+        return None;
+    }
+    let partition = infos[0].partition;
+    let mut section = infos[0].section;
+    if infos.len() != ordered.len() {
+        section = None;
+    } else {
+        for pair in infos.windows(2) {
+            match (pair[0].section, pair[1].section) {
+                (Some((s0, p0)), Some((s1, p1))) if s0 == s1 && p1 == p0 + 1 => {}
+                _ => {
+                    section = None;
+                    break;
+                }
+            }
+        }
+    }
+    Some(ScanInfo {
+        partition,
+        section: section.map(|_| infos[0].section.expect("present")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RegisterAttrs;
+    use mbr_geom::Rect;
+    use mbr_liberty::standard_library;
+
+    fn die() -> Rect {
+        Rect::new(Point::new(0, 0), Point::new(100_000, 100_000))
+    }
+
+    /// Builds `n` 1-bit DFF_R registers with wired D/Q nets, sharing clock
+    /// and reset.
+    fn fixture(n: usize) -> (Design, Vec<InstId>, mbr_liberty::Library) {
+        let lib = standard_library();
+        let mut d = Design::new("t", die());
+        let clk = d.add_net("clk");
+        let rst = d.add_net("rst");
+        let cell = lib.cell_by_name("DFF_R_1X1").unwrap();
+        let mut regs = Vec::new();
+        for i in 0..n {
+            let mut attrs = RegisterAttrs::clocked(clk);
+            attrs.reset = Some(rst);
+            let r = d.add_register(
+                format!("r{i}"),
+                &lib,
+                cell,
+                Point::new(2_000 * i as i64, 600),
+                attrs,
+            );
+            let dn = d.add_net(format!("d{i}"));
+            let qn = d.add_net(format!("q{i}"));
+            let dp = d.find_pin(r, PinKind::D(0)).unwrap();
+            let qp = d.find_pin(r, PinKind::Q(0)).unwrap();
+            d.connect(dp, dn);
+            d.connect(qp, qn);
+            regs.push(r);
+        }
+        (d, regs, lib)
+    }
+
+    #[test]
+    fn merge_rewires_data_nets_bit_by_bit() {
+        let (mut d, regs, lib) = fixture(4);
+        let cell4 = lib.cell_by_name("DFF_R_4X1").unwrap();
+        let mbr = d
+            .merge_registers(&regs, &lib, cell4, Point::new(1_000, 600))
+            .expect("compatible merge");
+        assert_eq!(d.register_width(mbr), 4);
+        assert_eq!(d.live_register_count(), 1);
+        // Every original D/Q net now lands on the MBR.
+        for i in 0..4u8 {
+            let dn = d.net_by_name(&format!("d{i}")).unwrap();
+            let sink = d.net_sinks(dn).next().expect("net still has its sink");
+            assert_eq!(d.pin(sink).inst, mbr);
+            assert_eq!(d.pin(sink).kind, PinKind::D(i));
+        }
+        // Sources are tombstones with no connections.
+        for &r in &regs {
+            assert!(!d.inst(r).alive);
+            assert!(d.inst(r).pins.iter().all(|&p| d.pin(p).net.is_none()));
+        }
+        // Clock net has exactly one clock sink now.
+        let clk = d.net_by_name("clk").unwrap();
+        assert_eq!(d.net_sinks(clk).count(), 1);
+    }
+
+    #[test]
+    fn merge_into_wider_cell_yields_incomplete_mbr() {
+        let (mut d, regs, lib) = fixture(3);
+        let cell4 = lib.cell_by_name("DFF_R_4X1").unwrap();
+        let mbr = d
+            .merge_registers(&regs, &lib, cell4, Point::new(0, 0))
+            .expect("3 bits into a 4-bit cell");
+        assert_eq!(d.register_width(mbr), 3, "only connected bits count");
+        assert_eq!(d.register_bit_pins(mbr).len(), 3);
+        // The 4th bit's pins are unconnected.
+        let d3 = d.find_pin(mbr, PinKind::D(3)).unwrap();
+        assert_eq!(d.pin(d3).net, None);
+    }
+
+    #[test]
+    fn merge_rejects_mixed_clocks() {
+        let (mut d, mut regs, lib) = fixture(2);
+        let clk2 = d.add_net("clk2");
+        let cell = lib.cell_by_name("DFF_R_1X1").unwrap();
+        let mut attrs = RegisterAttrs::clocked(clk2);
+        attrs.reset = d.net_by_name("rst").map(Some).unwrap();
+        let odd = d.add_register("odd", &lib, cell, Point::new(9_000, 600), attrs);
+        regs.push(odd);
+        let cell4 = lib.cell_by_name("DFF_R_4X1").unwrap();
+        let err = d
+            .merge_registers(&regs, &lib, cell4, Point::ORIGIN)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EditError::IncompatibleControl { what: "clock", .. }
+        ));
+        // Design untouched.
+        assert_eq!(d.live_register_count(), 3);
+    }
+
+    #[test]
+    fn merge_rejects_width_overflow_and_duplicates() {
+        let (mut d, regs, lib) = fixture(3);
+        let cell2 = lib.cell_by_name("DFF_R_2X1").unwrap();
+        let err = d
+            .merge_registers(&regs, &lib, cell2, Point::ORIGIN)
+            .unwrap_err();
+        assert_eq!(err, EditError::WidthOverflow { need: 3, have: 2 });
+
+        let dup = [regs[0], regs[0]];
+        let err = d
+            .merge_registers(&dup, &lib, cell2, Point::ORIGIN)
+            .unwrap_err();
+        assert!(matches!(err, EditError::DuplicateInGroup(_)));
+    }
+
+    #[test]
+    fn merge_rejects_untouchable_and_dead_registers() {
+        let (mut d, regs, lib) = fixture(2);
+        d.inst_mut(regs[0]).register_attrs_mut().unwrap().fixed = true;
+        let cell2 = lib.cell_by_name("DFF_R_2X1").unwrap();
+        let err = d
+            .merge_registers(&regs, &lib, cell2, Point::ORIGIN)
+            .unwrap_err();
+        assert!(matches!(err, EditError::Untouchable(_)));
+
+        d.inst_mut(regs[0]).register_attrs_mut().unwrap().fixed = false;
+        let mbr = d
+            .merge_registers(&regs, &lib, cell2, Point::ORIGIN)
+            .unwrap();
+        let err = d
+            .merge_registers(&[regs[0], mbr], &lib, cell2, Point::ORIGIN)
+            .unwrap_err();
+        assert!(matches!(err, EditError::NotALiveRegister(_)));
+    }
+
+    #[test]
+    fn merge_rejects_class_mismatch() {
+        let (mut d, mut regs, lib) = fixture(1);
+        let clk = d.net_by_name("clk").unwrap();
+        let plain = lib.cell_by_name("DFF_1X1").unwrap();
+        let other = d.add_register(
+            "p0",
+            &lib,
+            plain,
+            Point::new(4_000, 600),
+            RegisterAttrs::clocked(clk),
+        );
+        regs.push(other);
+        let cell2 = lib.cell_by_name("DFF_R_2X1").unwrap();
+        let err = d
+            .merge_registers(&regs, &lib, cell2, Point::ORIGIN)
+            .unwrap_err();
+        assert!(matches!(err, EditError::ClassMismatch { .. }));
+    }
+
+    #[test]
+    fn merge_two_mbrs_concatenates_bits() {
+        let (mut d, regs, lib) = fixture(4);
+        let cell2 = lib.cell_by_name("DFF_R_2X1").unwrap();
+        let a = d
+            .merge_registers(&regs[..2], &lib, cell2, Point::new(0, 0))
+            .unwrap();
+        let b = d
+            .merge_registers(&regs[2..], &lib, cell2, Point::new(4_000, 0))
+            .unwrap();
+        let cell4 = lib.cell_by_name("DFF_R_4X1").unwrap();
+        let big = d
+            .merge_registers(&[a, b], &lib, cell4, Point::new(2_000, 0))
+            .unwrap();
+        assert_eq!(d.register_width(big), 4);
+        assert_eq!(d.live_register_count(), 1);
+        // All four original D nets reach the 4-bit MBR.
+        for i in 0..4u8 {
+            let dn = d.net_by_name(&format!("d{i}")).unwrap();
+            let sink = d.net_sinks(dn).next().unwrap();
+            assert_eq!(d.pin(sink).inst, big);
+        }
+    }
+
+    #[test]
+    fn split_register_is_inverse_of_merge() {
+        let (mut d, regs, lib) = fixture(4);
+        let cell4 = lib.cell_by_name("DFF_R_4X1").unwrap();
+        let mbr = d
+            .merge_registers(&regs, &lib, cell4, Point::new(1_000, 600))
+            .unwrap();
+        let cell1 = lib.cell_by_name("DFF_R_1X1").unwrap();
+        let bits = d.split_register(mbr, &lib, cell1).expect("split");
+        assert_eq!(bits.len(), 4);
+        assert_eq!(d.live_register_count(), 4);
+        for (i, &b) in bits.iter().enumerate() {
+            assert_eq!(d.register_width(b), 1);
+            let dn = d.net_by_name(&format!("d{i}")).unwrap();
+            let sink = d.net_sinks(dn).next().unwrap();
+            assert_eq!(d.pin(sink).inst, b, "bit order preserved through split");
+        }
+    }
+
+    #[test]
+    fn split_rejects_wrong_target() {
+        let (mut d, regs, lib) = fixture(2);
+        let cell2 = lib.cell_by_name("DFF_R_2X1").unwrap();
+        let mbr = d
+            .merge_registers(&regs, &lib, cell2, Point::ORIGIN)
+            .unwrap();
+        // Wrong class.
+        let plain1 = lib.cell_by_name("DFF_1X1").unwrap();
+        assert!(matches!(
+            d.split_register(mbr, &lib, plain1),
+            Err(EditError::BadSplitTarget(_))
+        ));
+        // Wrong width.
+        let wide = lib.cell_by_name("DFF_R_4X1").unwrap();
+        assert!(matches!(
+            d.split_register(mbr, &lib, wide),
+            Err(EditError::BadSplitTarget(_))
+        ));
+    }
+
+    #[test]
+    fn merged_scan_info_keeps_consecutive_sections() {
+        let lib = standard_library();
+        let mut d = Design::new("t", die());
+        let clk = d.add_net("clk");
+        let rst = d.add_net("rst");
+        let se = d.add_net("se");
+        let cell = lib.cell_by_name("SDFF_R_1X1").unwrap();
+        let mut regs = Vec::new();
+        for i in 0..2u32 {
+            let mut attrs = RegisterAttrs::clocked(clk);
+            attrs.reset = Some(rst);
+            attrs.scan_enable = Some(se);
+            attrs.scan = Some(ScanInfo {
+                partition: 3,
+                section: Some((7, 10 + i)),
+            });
+            regs.push(d.add_register(
+                format!("s{i}"),
+                &lib,
+                cell,
+                Point::new(2_000 * i as i64, 600),
+                attrs,
+            ));
+        }
+        let cell2 = lib.cell_by_name("SDFF_R_2X1").unwrap();
+        let mbr = d
+            .merge_registers(&regs, &lib, cell2, Point::ORIGIN)
+            .unwrap();
+        let scan = d.inst(mbr).register_attrs().unwrap().scan.unwrap();
+        assert_eq!(scan.partition, 3);
+        assert_eq!(scan.section, Some((7, 10)));
+    }
+
+    #[test]
+    fn merged_scan_info_drops_nonconsecutive_sections() {
+        let lib = standard_library();
+        let mut d = Design::new("t", die());
+        let clk = d.add_net("clk");
+        let rst = d.add_net("rst");
+        let se = d.add_net("se");
+        let cell = lib.cell_by_name("SDFF_R_1X1").unwrap();
+        let mut regs = Vec::new();
+        for (i, pos) in [(0u32, 10u32), (1, 15)] {
+            let mut attrs = RegisterAttrs::clocked(clk);
+            attrs.reset = Some(rst);
+            attrs.scan_enable = Some(se);
+            attrs.scan = Some(ScanInfo {
+                partition: 3,
+                section: Some((7, pos)),
+            });
+            regs.push(d.add_register(
+                format!("s{i}"),
+                &lib,
+                cell,
+                Point::new(2_000 * i as i64, 600),
+                attrs,
+            ));
+        }
+        let cell2 = lib.cell_by_name("SDFF_R_2X1").unwrap();
+        let mbr = d
+            .merge_registers(&regs, &lib, cell2, Point::ORIGIN)
+            .unwrap();
+        let scan = d.inst(mbr).register_attrs().unwrap().scan.unwrap();
+        assert_eq!(scan.partition, 3);
+        assert_eq!(
+            scan.section, None,
+            "gapped positions lose the order guarantee"
+        );
+    }
+
+    #[test]
+    fn wired_internal_scan_chain_is_respected() {
+        let lib = standard_library();
+        let mut d = Design::new("t", die());
+        let clk = d.add_net("clk");
+        let rst = d.add_net("rst");
+        let se = d.add_net("se");
+        let cell = lib.cell_by_name("SDFF_R_1X1").unwrap();
+        let mut regs = Vec::new();
+        for i in 0..3 {
+            let mut attrs = RegisterAttrs::clocked(clk);
+            attrs.reset = Some(rst);
+            attrs.scan_enable = Some(se);
+            attrs.scan = Some(ScanInfo {
+                partition: 0,
+                section: None,
+            });
+            regs.push(d.add_register(
+                format!("s{i}"),
+                &lib,
+                cell,
+                Point::new(2_000 * i, 600),
+                attrs,
+            ));
+        }
+        // Wire the chain s0 -> s1 -> s2.
+        let head = d.add_net("scan_head");
+        let mid0 = d.add_net("scan_mid0");
+        let mid1 = d.add_net("scan_mid1");
+        let tail = d.add_net("scan_tail");
+        let chain = [head, mid0, mid1, tail];
+        for (i, &r) in regs.iter().enumerate() {
+            let si = d.find_pin(r, PinKind::ScanIn(0)).unwrap();
+            let so = d.find_pin(r, PinKind::ScanOut(0)).unwrap();
+            d.connect(si, chain[i]);
+            d.connect(so, chain[i + 1]);
+        }
+        // Merging the chain-consecutive pair {s0, s1} works and keeps the
+        // chain boundary nets.
+        let cell2 = lib.cell_by_name("SDFF_R_2X1").unwrap();
+        let mbr = d
+            .merge_registers(&regs[..2], &lib, cell2, Point::ORIGIN)
+            .expect("consecutive merge ok");
+        let si = d.find_pin(mbr, PinKind::ScanIn(0)).unwrap();
+        let so = d.find_pin(mbr, PinKind::ScanOut(0)).unwrap();
+        assert_eq!(d.pin(si).net, Some(head));
+        assert_eq!(d.pin(so).net, Some(mid1));
+
+        // Merging the now non-consecutive pair {mbr, s2}... is consecutive
+        // (mbr.SO drives mid1 which feeds s2.SI), so it succeeds too.
+        let cell4 = lib.cell_by_name("SDFF_R_4X1").unwrap();
+        let big = d
+            .merge_registers(&[mbr, regs[2]], &lib, cell4, Point::ORIGIN)
+            .expect("still chain-consecutive");
+        let si = d.find_pin(big, PinKind::ScanIn(0)).unwrap();
+        let so = d.find_pin(big, PinKind::ScanOut(0)).unwrap();
+        assert_eq!(d.pin(si).net, Some(head));
+        assert_eq!(d.pin(so).net, Some(tail));
+    }
+
+    #[test]
+    fn wired_nonconsecutive_internal_scan_merge_fails() {
+        let lib = standard_library();
+        let mut d = Design::new("t", die());
+        let clk = d.add_net("clk");
+        let rst = d.add_net("rst");
+        let se = d.add_net("se");
+        let cell = lib.cell_by_name("SDFF_R_1X1").unwrap();
+        let mut regs = Vec::new();
+        for i in 0..3 {
+            let mut attrs = RegisterAttrs::clocked(clk);
+            attrs.reset = Some(rst);
+            attrs.scan_enable = Some(se);
+            regs.push(d.add_register(
+                format!("s{i}"),
+                &lib,
+                cell,
+                Point::new(2_000 * i, 600),
+                attrs,
+            ));
+        }
+        let head = d.add_net("scan_head");
+        let mid0 = d.add_net("scan_mid0");
+        let mid1 = d.add_net("scan_mid1");
+        let tail = d.add_net("scan_tail");
+        let chain = [head, mid0, mid1, tail];
+        for (i, &r) in regs.iter().enumerate() {
+            let si = d.find_pin(r, PinKind::ScanIn(0)).unwrap();
+            let so = d.find_pin(r, PinKind::ScanOut(0)).unwrap();
+            d.connect(si, chain[i]);
+            d.connect(so, chain[i + 1]);
+        }
+        // {s0, s2} skips s1: internal-scan merge must refuse.
+        let cell2 = lib.cell_by_name("SDFF_R_2X1").unwrap();
+        let err = d
+            .merge_registers(&[regs[0], regs[2]], &lib, cell2, Point::ORIGIN)
+            .unwrap_err();
+        assert!(matches!(err, EditError::ScanChainBroken(_)));
+    }
+}
+
+#[cfg(test)]
+mod resize_tests {
+    use super::*;
+    use crate::RegisterAttrs;
+    use mbr_geom::Rect;
+    use mbr_liberty::standard_library;
+
+    #[test]
+    fn resize_swaps_drive_grade_in_place() {
+        let lib = standard_library();
+        let die = Rect::new(Point::new(0, 0), Point::new(90_000, 90_000));
+        let mut d = Design::new("t", die);
+        let clk = d.add_net("clk");
+        let x2 = lib.cell_by_name("DFF_4X2").unwrap();
+        let r = d.add_register(
+            "r",
+            &lib,
+            x2,
+            Point::new(1_000, 600),
+            RegisterAttrs::clocked(clk),
+        );
+        let ck = d.register_clock_pin(r);
+        let cap_before = d.pin(ck).cap;
+
+        let x1 = lib.cell_by_name("DFF_4X1").unwrap();
+        d.resize_register(r, &lib, x1).expect("same class/width");
+        assert_eq!(d.inst(r).register_cell(), Some(x1));
+        assert!(
+            d.pin(ck).cap < cap_before,
+            "weaker drive has lower clock cap"
+        );
+        assert_eq!(d.register_width(r), 4);
+    }
+
+    #[test]
+    fn resize_rejects_width_or_class_change_and_fixed() {
+        let lib = standard_library();
+        let die = Rect::new(Point::new(0, 0), Point::new(90_000, 90_000));
+        let mut d = Design::new("t", die);
+        let clk = d.add_net("clk");
+        let cell = lib.cell_by_name("DFF_4X1").unwrap();
+        let r = d.add_register(
+            "r",
+            &lib,
+            cell,
+            Point::new(1_000, 600),
+            RegisterAttrs::clocked(clk),
+        );
+
+        let wrong_width = lib.cell_by_name("DFF_8X1").unwrap();
+        assert!(matches!(
+            d.resize_register(r, &lib, wrong_width),
+            Err(EditError::BadSplitTarget(_))
+        ));
+        let rst = d.add_net("rst");
+        let _ = rst;
+        let wrong_class = lib.cell_by_name("DFF_EN_4X1");
+        if let Some(wc) = wrong_class {
+            assert!(matches!(
+                d.resize_register(r, &lib, wc),
+                Err(EditError::BadSplitTarget(_))
+            ));
+        }
+        d.inst_mut(r).register_attrs_mut().unwrap().fixed = true;
+        let same = lib.cell_by_name("DFF_4X2").unwrap();
+        assert!(matches!(
+            d.resize_register(r, &lib, same),
+            Err(EditError::Untouchable(_))
+        ));
+    }
+}

@@ -1,0 +1,72 @@
+//! Typed arena indices for netlist entities.
+//!
+//! All cross-references in the design database are `u32` indices wrapped in
+//! newtypes, the idiomatic representation for EDA databases in Rust: cheap to
+//! copy, trivially serializable, and immune to borrow-checker fights that
+//! pointer-based netlists cause.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Builds an id from a raw arena index.
+            pub fn from_index(i: usize) -> Self {
+                debug_assert!(i <= u32::MAX as usize);
+                $name(i as u32)
+            }
+
+            /// Raw arena index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "#{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id! {
+    /// Index of an instance (register, combinational gate, or port).
+    InstId, "inst"
+}
+define_id! {
+    /// Index of a net.
+    NetId, "net"
+}
+define_id! {
+    /// Index of a pin.
+    PinId, "pin"
+}
+define_id! {
+    /// Index of a combinational gate model.
+    CombModelId, "comb"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_indices() {
+        let id = InstId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.to_string(), "inst#42");
+        assert_eq!(NetId::from_index(7).to_string(), "net#7");
+        assert_eq!(PinId::from_index(0).to_string(), "pin#0");
+        assert_eq!(CombModelId::from_index(3).to_string(), "comb#3");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(NetId::from_index(1) < NetId::from_index(2));
+    }
+}

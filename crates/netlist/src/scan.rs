@@ -1,0 +1,373 @@
+//! Scan-chain stitching: wiring the scan data path after composition.
+//!
+//! Production flows stitch (or re-stitch) scan chains once placement
+//! optimization — including MBR composition — has settled, which is why the
+//! composition engine treats scan mostly as *constraints* (partitions,
+//! ordered sections) rather than wires. This module provides the stitching
+//! step itself: [`Design::stitch_scan_chains`] builds one chain per scan
+//! partition, honouring ordered sections and otherwise routing the chain
+//! through a nearest-neighbour tour to keep scan wirelength down.
+//!
+//! Internal-scan MBRs contribute one hop (their shared SI/SO pins);
+//! per-bit-scan MBRs are chained bit through bit. Any pre-existing scan-data
+//! wiring is replaced.
+
+use mbr_geom::{Dbu, Point};
+use mbr_liberty::{Library, ScanStyle};
+
+use crate::{Design, InstId, NetId, PinId, PinKind};
+
+/// Statistics from [`Design::stitch_scan_chains`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScanStitchReport {
+    /// Chains built (one per populated scan partition).
+    pub chains: usize,
+    /// Registers stitched onto chains.
+    pub registers: usize,
+    /// Total chain wirelength (sum of hop Manhattan distances), DBU.
+    pub wirelength: Dbu,
+}
+
+impl Design {
+    /// Builds one scan chain per scan partition over all live scan-capable
+    /// registers that carry scan membership, replacing any existing scan
+    /// data wiring.
+    ///
+    /// Chain order: registers in ordered sections come first, section by
+    /// section in chain-position order (the invariant MBR composition
+    /// preserved); the remaining registers follow in a greedy
+    /// nearest-neighbour tour from the last ordered element (or the
+    /// partition's leftmost register). Each chain gets fresh
+    /// `scan_in_<p>`/`scan_out_<p>` ports on the die's left/right edges.
+    pub fn stitch_scan_chains(&mut self, lib: &Library) -> ScanStitchReport {
+        // Collect (partition, inst) for live scan-capable registers.
+        let mut by_partition: std::collections::BTreeMap<u16, Vec<InstId>> =
+            std::collections::BTreeMap::new();
+        for (id, inst) in self.registers() {
+            let Some(scan) = inst.register_attrs().expect("register").scan else {
+                continue;
+            };
+            let cell = lib.cell(inst.register_cell().expect("register"));
+            if cell.scan_style == ScanStyle::None {
+                continue;
+            }
+            by_partition.entry(scan.partition).or_default().push(id);
+        }
+
+        let mut report = ScanStitchReport::default();
+        let die = self.die();
+        for (partition, regs) in by_partition {
+            let ordered = chain_order(self, &regs);
+            // Disconnect existing scan-data wiring.
+            for &r in &ordered {
+                let pins: Vec<PinId> = self
+                    .inst(r)
+                    .pins
+                    .iter()
+                    .copied()
+                    .filter(|&p| {
+                        matches!(self.pin(p).kind, PinKind::ScanIn(_) | PinKind::ScanOut(_))
+                    })
+                    .collect();
+                for p in pins {
+                    // Old chain stubs may end at head/tail ports; take the
+                    // ports off the nets too so nothing is left undriven.
+                    if let Some(net) = self.pin(p).net {
+                        let port_pins: Vec<PinId> = self
+                            .net(net)
+                            .pins
+                            .iter()
+                            .copied()
+                            .filter(|&q| self.pin(q).kind == PinKind::Port)
+                            .collect();
+                        for q in port_pins {
+                            self.disconnect(q);
+                        }
+                    }
+                    self.disconnect(p);
+                }
+            }
+
+            // Head/tail ports at the die edges, vertically spread per
+            // partition.
+            let y = die.lo().y + 600 * (1 + Dbu::from(partition));
+            let head = self.unique_port_name(&format!("scan_in_{partition}"));
+            let tail = self.unique_port_name(&format!("scan_out_{partition}"));
+            let head_port = self.add_input_port(head, Point::new(die.lo().x, y), 1.0);
+            let tail_port = self.add_output_port(tail, Point::new(die.hi().x, y), 1.0);
+
+            let mut net_counter = 0usize;
+            let mut new_net = |design: &mut Design| -> NetId {
+                // Names must be fresh even across re-stitching runs.
+                loop {
+                    let name = format!("scan_p{partition}_{net_counter}");
+                    net_counter += 1;
+                    if design.net_by_name(&name).is_none() {
+                        return design.add_net(name);
+                    }
+                }
+            };
+
+            let mut upstream: PinId = self.inst(head_port).pins[0];
+            let mut upstream_pos = self.pin_position(upstream);
+            for &r in &ordered {
+                let cell = lib.cell(self.inst(r).register_cell().expect("register"));
+                let hops: Vec<(PinId, PinId)> = match cell.scan_style {
+                    ScanStyle::Internal => {
+                        let si = self.find_pin(r, PinKind::ScanIn(0)).expect("SI");
+                        let so = self.find_pin(r, PinKind::ScanOut(0)).expect("SO");
+                        vec![(si, so)]
+                    }
+                    ScanStyle::PerBit => (0..cell.width)
+                        .map(|b| {
+                            (
+                                self.find_pin(r, PinKind::ScanIn(b)).expect("SI"),
+                                self.find_pin(r, PinKind::ScanOut(b)).expect("SO"),
+                            )
+                        })
+                        .collect(),
+                    ScanStyle::None => unreachable!("filtered above"),
+                };
+                for (si, so) in hops {
+                    let net = new_net(self);
+                    self.connect(upstream, net);
+                    self.connect(si, net);
+                    let si_pos = self.pin_position(si);
+                    report.wirelength += upstream_pos.manhattan(si_pos);
+                    upstream = so;
+                    upstream_pos = self.pin_position(so);
+                }
+                report.registers += 1;
+            }
+            // Close the chain into the tail port.
+            let net = new_net(self);
+            let tail_pin = self.inst(tail_port).pins[0];
+            self.connect(upstream, net);
+            self.connect(tail_pin, net);
+            report.wirelength += upstream_pos.manhattan(self.pin_position(tail_pin));
+            report.chains += 1;
+        }
+        report
+    }
+
+    fn unique_port_name(&self, base: &str) -> String {
+        if self.inst_by_name(base).is_none() {
+            return base.to_string();
+        }
+        let mut i = 1;
+        loop {
+            let name = format!("{base}_{i}");
+            if self.inst_by_name(&name).is_none() {
+                return name;
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Chain order for one partition: ordered sections first (by section id and
+/// position), then a nearest-neighbour tour over the rest.
+fn chain_order(design: &Design, regs: &[InstId]) -> Vec<InstId> {
+    let mut sectioned: Vec<(u32, u32, InstId)> = Vec::new();
+    let mut free: Vec<InstId> = Vec::new();
+    for &r in regs {
+        match design
+            .inst(r)
+            .register_attrs()
+            .expect("register")
+            .scan
+            .and_then(|s| s.section)
+        {
+            Some((sec, pos)) => sectioned.push((sec, pos, r)),
+            None => free.push(r),
+        }
+    }
+    sectioned.sort_unstable();
+    let mut order: Vec<InstId> = sectioned.into_iter().map(|(_, _, r)| r).collect();
+
+    // Nearest-neighbour tour over the unordered rest.
+    let mut cursor = order
+        .last()
+        .map(|&r| design.inst(r).center())
+        .unwrap_or_else(|| {
+            free.iter()
+                .map(|&r| design.inst(r).center())
+                .min_by_key(|p| (p.x, p.y))
+                .unwrap_or(Point::ORIGIN)
+        });
+    let mut remaining = free;
+    while !remaining.is_empty() {
+        let (k, _) = remaining
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &r)| design.inst(r).center().manhattan(cursor))
+            .expect("nonempty");
+        let r = remaining.swap_remove(k);
+        cursor = design.inst(r).center();
+        order.push(r);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RegisterAttrs, ScanInfo};
+    use mbr_geom::Rect;
+    use mbr_liberty::standard_library;
+
+    fn die() -> Rect {
+        Rect::new(Point::new(0, 0), Point::new(120_000, 120_000))
+    }
+
+    /// Walks the chain from a head port, returning visited instance names.
+    fn walk_chain(d: &Design, head: &str) -> Vec<String> {
+        let port = d.inst_by_name(head).expect("head port");
+        let mut pin = d.inst(port).pins[0];
+        let mut visited = Vec::new();
+        while let Some(net) = d.pin(pin).net {
+            let Some(sink) = d.net_sinks(net).next() else {
+                break;
+            };
+            let inst = d.pin(sink).inst;
+            match d.pin(sink).kind {
+                PinKind::ScanIn(b) => {
+                    if b == 0 || visited.last() != Some(&d.inst(inst).name) {
+                        visited.push(d.inst(inst).name.clone());
+                    }
+                    // Continue from the matching scan-out pin.
+                    pin = d.find_pin(inst, PinKind::ScanOut(b)).expect("matching SO");
+                }
+                PinKind::Port => break, // reached the tail
+                other => panic!("unexpected chain sink {other:?}"),
+            }
+        }
+        visited
+    }
+
+    #[test]
+    fn stitches_partitions_in_section_order_then_by_distance() {
+        let lib = standard_library();
+        let mut d = Design::new("t", die());
+        let clk = d.add_net("clk");
+        let rst = d.add_net("rst");
+        let se = d.add_net("se");
+        for (name, net) in [("CLK", clk), ("RST", rst), ("SE", se)] {
+            let port = d.add_input_port(name, Point::new(0, 0), 1.0);
+            let pin = d.inst(port).pins[0];
+            d.connect(pin, net);
+        }
+        let cell = lib.cell_by_name("SDFF_R_1X1").unwrap();
+        let add = |name: &str, x: i64, part: u16, sec: Option<(u32, u32)>, d: &mut Design| {
+            let mut attrs = RegisterAttrs::clocked(clk);
+            attrs.reset = Some(rst);
+            attrs.scan_enable = Some(se);
+            attrs.scan = Some(ScanInfo {
+                partition: part,
+                section: sec,
+            });
+            d.add_register(name, &lib, cell, Point::new(x, 600), attrs)
+        };
+        // Partition 0: an ordered section (reverse placement order to prove
+        // the section order wins) plus two free registers.
+        add("s1", 50_000, 0, Some((3, 1)), &mut d);
+        add("s0", 60_000, 0, Some((3, 0)), &mut d);
+        add("far", 90_000, 0, None, &mut d);
+        add("near", 55_000, 0, None, &mut d);
+        // Partition 1: a lone register.
+        add("solo", 10_000, 1, None, &mut d);
+
+        let report = d.stitch_scan_chains(&lib);
+        assert_eq!(report.chains, 2);
+        assert_eq!(report.registers, 5);
+        assert!(report.wirelength > 0);
+        assert!(d.validate().is_empty(), "{:?}", d.validate());
+
+        let chain0 = walk_chain(&d, "scan_in_0");
+        assert_eq!(
+            chain0,
+            ["s0", "s1", "near", "far"],
+            "section order, then NN tour"
+        );
+        let chain1 = walk_chain(&d, "scan_in_1");
+        assert_eq!(chain1, ["solo"]);
+    }
+
+    #[test]
+    fn per_bit_cells_chain_through_every_bit() {
+        let lib = standard_library();
+        let mut d = Design::new("t", die());
+        let clk = d.add_net("clk");
+        let rst = d.add_net("rst");
+        let se = d.add_net("se");
+        for (name, net) in [("CLK", clk), ("RST", rst), ("SE", se)] {
+            let port = d.add_input_port(name, Point::new(0, 0), 1.0);
+            let pin = d.inst(port).pins[0];
+            d.connect(pin, net);
+        }
+        let perbit = lib
+            .cells()
+            .find(|(_, c)| c.scan_style == ScanStyle::PerBit && c.width == 4)
+            .map(|(id, _)| id)
+            .expect("library has per-bit cells");
+        let mut attrs = RegisterAttrs::clocked(clk);
+        attrs.reset = Some(rst);
+        attrs.scan_enable = Some(se);
+        attrs.scan = Some(ScanInfo {
+            partition: 0,
+            section: None,
+        });
+        let r = d.add_register("pb", &lib, perbit, Point::new(30_000, 600), attrs);
+
+        let report = d.stitch_scan_chains(&lib);
+        assert_eq!(report.registers, 1);
+        assert!(d.validate().is_empty());
+        // All four bit hops are wired: SI(0..4) and SO(0..3) carry nets.
+        for b in 0..4u8 {
+            let si = d.find_pin(r, PinKind::ScanIn(b)).unwrap();
+            assert!(d.pin(si).net.is_some(), "SI({b}) wired");
+        }
+        let chain = walk_chain(&d, "scan_in_0");
+        assert_eq!(chain, ["pb"]);
+    }
+
+    #[test]
+    fn restitching_replaces_old_wiring() {
+        let lib = standard_library();
+        let mut d = Design::new("t", die());
+        let clk = d.add_net("clk");
+        let rst = d.add_net("rst");
+        let se = d.add_net("se");
+        for (name, net) in [("CLK", clk), ("RST", rst), ("SE", se)] {
+            let port = d.add_input_port(name, Point::new(0, 0), 1.0);
+            let pin = d.inst(port).pins[0];
+            d.connect(pin, net);
+        }
+        let cell = lib.cell_by_name("SDFF_R_1X1").unwrap();
+        for i in 0..3i64 {
+            let mut attrs = RegisterAttrs::clocked(clk);
+            attrs.reset = Some(rst);
+            attrs.scan_enable = Some(se);
+            attrs.scan = Some(ScanInfo {
+                partition: 0,
+                section: None,
+            });
+            d.add_register(
+                format!("r{i}"),
+                &lib,
+                cell,
+                Point::new(10_000 * (i + 1), 600),
+                attrs,
+            );
+        }
+        let first = d.stitch_scan_chains(&lib);
+        let second = d.stitch_scan_chains(&lib);
+        assert_eq!(first.registers, second.registers);
+        assert!(d.validate().is_empty(), "{:?}", d.validate());
+        // The second stitching created new ports (unique names).
+        assert!(d.inst_by_name("scan_in_0").is_some());
+        assert!(d.inst_by_name("scan_in_0_1").is_some());
+        let chain = walk_chain(&d, "scan_in_0_1");
+        assert_eq!(chain.len(), 3);
+    }
+}

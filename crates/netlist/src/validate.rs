@@ -1,0 +1,201 @@
+//! Design-rule validation: structural checks run by tests and after edits.
+
+use std::fmt;
+
+use crate::{Design, InstKind, NetId, PinDir, PinId};
+
+/// A structural problem found by [`Design::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidationIssue {
+    /// A live net has more than one driving (output) pin.
+    MultipleDrivers {
+        /// The net.
+        net: NetId,
+        /// The competing drivers.
+        drivers: Vec<PinId>,
+    },
+    /// A live net has sinks but no driver.
+    UndrivenNet {
+        /// The net.
+        net: NetId,
+    },
+    /// A live net's pin list references a pin that does not point back.
+    DanglingNetPin {
+        /// The net.
+        net: NetId,
+        /// The inconsistent pin.
+        pin: PinId,
+    },
+    /// A live instance footprint leaves the die area.
+    OutsideDie {
+        /// The offending instance name.
+        inst: String,
+    },
+    /// A pin on a dead instance is still connected to a net.
+    DeadInstanceConnected {
+        /// The offending instance name.
+        inst: String,
+    },
+}
+
+impl fmt::Display for ValidationIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationIssue::MultipleDrivers { net, drivers } => {
+                write!(f, "{net} has {} drivers", drivers.len())
+            }
+            ValidationIssue::UndrivenNet { net } => write!(f, "{net} has sinks but no driver"),
+            ValidationIssue::DanglingNetPin { net, pin } => {
+                write!(f, "{net} lists {pin} which does not reference it back")
+            }
+            ValidationIssue::OutsideDie { inst } => write!(f, "{inst} is outside the die"),
+            ValidationIssue::DeadInstanceConnected { inst } => {
+                write!(f, "dead instance {inst} still has connected pins")
+            }
+        }
+    }
+}
+
+impl Design {
+    /// Runs structural design-rule checks and returns every issue found.
+    ///
+    /// An empty result means: each live net has exactly one driver (or is a
+    /// driverless constant-like net with no sinks), net↔pin references are
+    /// consistent, dead instances are fully disconnected, and all live
+    /// instances sit inside the die.
+    pub fn validate(&self) -> Vec<ValidationIssue> {
+        let mut issues = Vec::new();
+
+        for (net_id, net) in self.live_nets() {
+            let mut drivers = Vec::new();
+            for &p in &net.pins {
+                let pin = self.pin(p);
+                if pin.net != Some(net_id) {
+                    issues.push(ValidationIssue::DanglingNetPin {
+                        net: net_id,
+                        pin: p,
+                    });
+                }
+                if pin.dir == PinDir::Output {
+                    drivers.push(p);
+                }
+            }
+            if drivers.len() > 1 {
+                issues.push(ValidationIssue::MultipleDrivers {
+                    net: net_id,
+                    drivers,
+                });
+            } else if drivers.is_empty() && self.net_sinks(net_id).next().is_some() {
+                issues.push(ValidationIssue::UndrivenNet { net: net_id });
+            }
+        }
+
+        let die = self.die();
+        for (_, inst) in self.all_insts() {
+            if inst.alive {
+                if !matches!(inst.kind, InstKind::Port { .. }) && !die.contains_rect(&inst.rect()) {
+                    issues.push(ValidationIssue::OutsideDie {
+                        inst: inst.name.clone(),
+                    });
+                }
+            } else if inst.pins.iter().any(|&p| self.pin(p).net.is_some()) {
+                issues.push(ValidationIssue::DeadInstanceConnected {
+                    inst: inst.name.clone(),
+                });
+            }
+        }
+        issues
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RegisterAttrs;
+    use mbr_geom::{Point, Rect};
+    use mbr_liberty::standard_library;
+
+    fn die() -> Rect {
+        Rect::new(Point::new(0, 0), Point::new(100_000, 100_000))
+    }
+
+    #[test]
+    fn clean_design_validates() {
+        let lib = standard_library();
+        let mut d = Design::new("t", die());
+        let clk = d.add_net("clk");
+        let cp = d.add_input_port("CLK", Point::ORIGIN, 1.0);
+        d.connect(d.inst(cp).pins[0], clk);
+        let cell = lib.cell_by_name("DFF_1X1").unwrap();
+        let r = d.add_register(
+            "r0",
+            &lib,
+            cell,
+            Point::new(1000, 600),
+            RegisterAttrs::clocked(clk),
+        );
+        let q = d.add_net("q");
+        d.connect(d.find_pin(r, crate::PinKind::Q(0)).unwrap(), q);
+        let out = d.add_output_port("O", Point::new(90_000, 0), 1.0);
+        d.connect(d.inst(out).pins[0], q);
+        assert!(d.validate().is_empty(), "{:?}", d.validate());
+    }
+
+    #[test]
+    fn detects_multiple_drivers() {
+        let lib = standard_library();
+        let mut d = Design::new("t", die());
+        let clk = d.add_net("clk");
+        let cp = d.add_input_port("CLK", Point::ORIGIN, 1.0);
+        d.connect(d.inst(cp).pins[0], clk);
+        let cell = lib.cell_by_name("DFF_1X1").unwrap();
+        let r0 = d.add_register(
+            "r0",
+            &lib,
+            cell,
+            Point::new(1000, 600),
+            RegisterAttrs::clocked(clk),
+        );
+        let r1 = d.add_register(
+            "r1",
+            &lib,
+            cell,
+            Point::new(3000, 600),
+            RegisterAttrs::clocked(clk),
+        );
+        let n = d.add_net("n");
+        d.connect(d.find_pin(r0, crate::PinKind::Q(0)).unwrap(), n);
+        d.connect(d.find_pin(r1, crate::PinKind::Q(0)).unwrap(), n);
+        d.connect(d.find_pin(r0, crate::PinKind::D(0)).unwrap(), n);
+        let issues = d.validate();
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::MultipleDrivers { .. })));
+    }
+
+    #[test]
+    fn detects_undriven_net_and_outside_die() {
+        let lib = standard_library();
+        let mut d = Design::new("t", die());
+        let clk = d.add_net("clk");
+        let cell = lib.cell_by_name("DFF_1X1").unwrap();
+        let r = d.add_register(
+            "r0",
+            &lib,
+            cell,
+            Point::new(99_900, 99_900), // footprint exceeds the die
+            RegisterAttrs::clocked(clk),
+        );
+        let n = d.add_net("n");
+        d.connect(d.find_pin(r, crate::PinKind::D(0)).unwrap(), n);
+        let issues = d.validate();
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::UndrivenNet { .. })));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::OutsideDie { .. })));
+        // clk is undriven too (no clock port in this fixture).
+        assert!(issues.len() >= 3);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for netlist editing: merge/split round-trips preserve
+//! connectivity, bits, and validity for arbitrary group shapes.
+
+use mbr_geom::{Point, Rect};
+use mbr_liberty::standard_library;
+use mbr_netlist::{Design, InstId, NetId, PinKind, RegisterAttrs};
+use proptest::prelude::*;
+
+/// Builds `n` 1-bit registers with individually wired D/Q nets driven by an
+/// input port (so validation stays clean).
+fn fixture(n: usize) -> (Design, Vec<InstId>, Vec<(NetId, NetId)>) {
+    let lib = standard_library();
+    let die = Rect::new(Point::new(0, 0), Point::new(200_000, 200_000));
+    let mut d = Design::new("t", die);
+    let clk = d.add_net("clk");
+    let clk_port = d.add_input_port("CLK", Point::new(0, 0), 0.5);
+    d.connect(d.inst(clk_port).pins[0], clk);
+    let cell = lib.cell_by_name("DFF_1X1").expect("cell");
+    let mut regs = Vec::new();
+    let mut nets = Vec::new();
+    for i in 0..n {
+        let r = d.add_register(
+            format!("r{i}"),
+            &lib,
+            cell,
+            Point::new(2_000 * (i as i64 + 1), 600),
+            RegisterAttrs::clocked(clk),
+        );
+        let dn = d.add_net(format!("d{i}"));
+        let qn = d.add_net(format!("q{i}"));
+        let port = d.add_input_port(format!("PI{i}"), Point::new(0, 600 * (i as i64 + 1)), 1.0);
+        d.connect(d.inst(port).pins[0], dn);
+        d.connect(d.find_pin(r, PinKind::D(0)).expect("D"), dn);
+        d.connect(d.find_pin(r, PinKind::Q(0)).expect("Q"), qn);
+        let out = d.add_output_port(
+            format!("PO{i}"),
+            Point::new(199_000, 600 * (i as i64 + 1)),
+            1.0,
+        );
+        d.connect(d.inst(out).pins[0], qn);
+        regs.push(r);
+        nets.push((dn, qn));
+    }
+    (d, regs, nets)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Merge a random subset into the smallest fitting cell, then split it
+    /// back: every original D/Q net must end up on exactly one 1-bit
+    /// register again, and the netlist must stay valid throughout.
+    #[test]
+    fn merge_then_split_restores_connectivity(
+        n in 2usize..9,
+        pick_mask in 0u16..512,
+    ) {
+        let lib = standard_library();
+        let (mut d, regs, nets) = fixture(n);
+        let group: Vec<InstId> = (0..n).filter(|i| pick_mask & (1 << i) != 0).map(|i| regs[i]).collect();
+        prop_assume!(group.len() >= 2);
+
+        let bits_before = d.total_register_bits();
+        let class = lib
+            .cell(d.inst(group[0]).register_cell().expect("reg"))
+            .class;
+        let Some(width) = lib.next_width_up(class, group.len() as u8) else {
+            return Ok(()); // more bits than the library offers
+        };
+        let cell = lib.select_cell(class, width, None, false).expect("cell exists");
+
+        let mbr = d
+            .merge_registers(&group, &lib, cell, Point::new(5_000, 600))
+            .expect("compatible by construction");
+        prop_assert_eq!(d.total_register_bits(), bits_before);
+        prop_assert!(d.validate().is_empty(), "{:?}", d.validate());
+
+        let bit_cell = lib.select_cell(class, 1, None, false).expect("1-bit cell");
+        let bits = d.split_register(mbr, &lib, bit_cell).expect("split");
+        prop_assert_eq!(bits.len(), group.len());
+        prop_assert_eq!(d.total_register_bits(), bits_before);
+        prop_assert!(d.validate().is_empty(), "{:?}", d.validate());
+
+        // Every original D/Q net pair is reunited on a single register.
+        for (i, &r) in regs.iter().enumerate() {
+            let (dn, qn) = nets[i];
+            let d_owner = d
+                .net_sinks(dn)
+                .map(|p| d.pin(p).inst)
+                .find(|&inst| d.inst(inst).is_register());
+            let q_owner = d.net_driver(qn).map(|p| d.pin(p).inst);
+            prop_assert!(d_owner.is_some(), "net d{} kept its register sink", i);
+            prop_assert_eq!(d_owner, q_owner, "bit {} D/Q stayed together", i);
+            let _ = r;
+        }
+    }
+}

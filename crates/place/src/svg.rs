@@ -1,0 +1,161 @@
+//! SVG rendering of placements: the quickest way to *see* what composition
+//! did — registers, logic, and the newly created MBRs on the die.
+
+use std::fmt::Write as _;
+
+use mbr_netlist::{Design, InstId, InstKind};
+
+/// Rendering options for [`render_svg`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct SvgOptions {
+    /// Output image width in pixels (height follows the die aspect ratio).
+    pub width_px: f64,
+    /// Fill for plain registers.
+    pub register_fill: String,
+    /// Fill for combinational cells.
+    pub comb_fill: String,
+    /// Fill for highlighted instances (e.g. new MBRs).
+    pub highlight_fill: String,
+    /// Draw instance names (legible only for small designs).
+    pub labels: bool,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions {
+            width_px: 1000.0,
+            register_fill: "#4a90d9".into(),
+            comb_fill: "#c8c8c8".into(),
+            highlight_fill: "#e05050".into(),
+            labels: false,
+        }
+    }
+}
+
+/// Renders the live placement as an SVG document. Instances listed in
+/// `highlight` (typically the MBRs composition just created) draw in the
+/// highlight colour on top of everything else; ports are not drawn.
+pub fn render_svg(design: &Design, highlight: &[InstId], options: &SvgOptions) -> String {
+    let die = design.die();
+    let scale = options.width_px / die.width().max(1) as f64;
+    let height_px = die.height() as f64 * scale;
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{:.0}" height="{:.0}" viewBox="0 0 {:.0} {:.0}">"##,
+        options.width_px, height_px, options.width_px, height_px
+    );
+    let _ = writeln!(
+        svg,
+        r##"<rect x="0" y="0" width="{:.0}" height="{:.0}" fill="#ffffff" stroke="#000000"/>"##,
+        options.width_px, height_px
+    );
+
+    // SVG y grows downward; die y grows upward. Flip.
+    let place = |x: i64, y: i64, w: i64, h: i64| {
+        let px = (x - die.lo().x) as f64 * scale;
+        let py = (die.hi().y - y - h) as f64 * scale;
+        (px, py, w as f64 * scale, h as f64 * scale)
+    };
+
+    let draw = |svg: &mut String, id: InstId, fill: &str| {
+        let inst = design.inst(id);
+        if matches!(inst.kind, InstKind::Port { .. }) {
+            return;
+        }
+        let r = inst.rect();
+        let (x, y, w, h) = place(r.lo().x, r.lo().y, r.width(), r.height());
+        let _ = writeln!(
+            svg,
+            r##"<rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{h:.2}" fill="{fill}" stroke="#333333" stroke-width="0.3"/>"##,
+        );
+        if options.labels {
+            let _ = writeln!(
+                svg,
+                r##"<text x="{:.2}" y="{:.2}" font-size="{:.2}">{}</text>"##,
+                x,
+                y + h,
+                (h * 0.8).max(4.0),
+                inst.name
+            );
+        }
+    };
+
+    let highlighted: std::collections::HashSet<InstId> = highlight.iter().copied().collect();
+    // Background layer: logic, then registers, then highlights on top.
+    for (id, inst) in design.live_insts() {
+        if matches!(inst.kind, InstKind::Comb { .. }) && !highlighted.contains(&id) {
+            draw(&mut svg, id, &options.comb_fill);
+        }
+    }
+    for (id, inst) in design.live_insts() {
+        if matches!(inst.kind, InstKind::Register { .. }) && !highlighted.contains(&id) {
+            draw(&mut svg, id, &options.register_fill);
+        }
+    }
+    for &id in highlight {
+        if design.inst(id).alive {
+            draw(&mut svg, id, &options.highlight_fill);
+        }
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbr_geom::{Point, Rect};
+    use mbr_liberty::standard_library;
+    use mbr_netlist::RegisterAttrs;
+
+    #[test]
+    fn svg_contains_one_rect_per_drawable_instance() {
+        let lib = standard_library();
+        let die = Rect::new(Point::new(0, 0), Point::new(60_000, 60_000));
+        let mut d = Design::new("t", die);
+        let clk = d.add_net("clk");
+        let cell = lib.cell_by_name("DFF_1X1").unwrap();
+        let mut ids = Vec::new();
+        for i in 0..5i64 {
+            ids.push(d.add_register(
+                format!("r{i}"),
+                &lib,
+                cell,
+                Point::new(2_000 * (i + 1), 600),
+                RegisterAttrs::clocked(clk),
+            ));
+        }
+        d.add_input_port("CLK", Point::new(0, 0), 1.0); // ports are not drawn
+
+        let svg = render_svg(&d, &ids[..2], &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        // Die background + 5 registers.
+        assert_eq!(svg.matches("<rect").count(), 1 + 5);
+        assert_eq!(svg.matches("#e05050").count(), 2, "two highlights");
+        assert_eq!(svg.matches("#4a90d9").count(), 3, "three plain registers");
+    }
+
+    #[test]
+    fn labels_appear_when_requested() {
+        let lib = standard_library();
+        let die = Rect::new(Point::new(0, 0), Point::new(30_000, 30_000));
+        let mut d = Design::new("t", die);
+        let clk = d.add_net("clk");
+        let cell = lib.cell_by_name("DFF_1X1").unwrap();
+        d.add_register(
+            "alpha",
+            &lib,
+            cell,
+            Point::new(1_000, 600),
+            RegisterAttrs::clocked(clk),
+        );
+        let opts = SvgOptions {
+            labels: true,
+            ..SvgOptions::default()
+        };
+        let svg = render_svg(&d, &[], &opts);
+        assert!(svg.contains(">alpha</text>"));
+    }
+}

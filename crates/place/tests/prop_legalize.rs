@@ -1,0 +1,110 @@
+//! Property tests: legalization must produce overlap-free, grid-aligned
+//! placements for arbitrary register soups, and congestion must be
+//! deterministic.
+
+use mbr_geom::{Point, Rect};
+use mbr_liberty::standard_library;
+use mbr_netlist::{Design, InstId, RegisterAttrs};
+use mbr_place::{congestion, legalize, overlaps, CongestionConfig, PlacementGrid};
+use proptest::prelude::*;
+
+fn arb_cells() -> impl Strategy<Value = Vec<(u8, i64, i64)>> {
+    // (width class index, x, y) — positions may collide arbitrarily.
+    prop::collection::vec((0u8..4, 0i64..50_000, 0i64..50_000), 1..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Whatever soup of overlapping registers we drop, legalization makes
+    /// the placement overlap-free, row/site aligned, and inside the die.
+    #[test]
+    fn legalization_always_produces_legal_placements(cells in arb_cells()) {
+        let lib = standard_library();
+        let die = Rect::new(Point::new(0, 0), Point::new(60_000, 60_000));
+        let mut d = Design::new("t", die);
+        let clk = d.add_net("clk");
+        let widths = [1u8, 2, 4, 8];
+        let mut ids: Vec<InstId> = Vec::new();
+        for (i, (w, x, y)) in cells.iter().enumerate() {
+            let cell = lib
+                .cell_by_name(&format!("DFF_{}X1", widths[*w as usize]))
+                .expect("cell");
+            ids.push(d.add_register(
+                format!("r{i}"),
+                &lib,
+                cell,
+                Point::new(*x, *y),
+                RegisterAttrs::clocked(clk),
+            ));
+        }
+        let grid = PlacementGrid::new(die, 600, 100);
+        let report = legalize(&mut d, &grid, &ids).expect("room exists");
+        prop_assert!(overlaps(&d).is_empty(), "overlaps after legalization");
+        for &id in &ids {
+            let inst = d.inst(id);
+            prop_assert_eq!(inst.loc.x % 100, 0, "site aligned");
+            prop_assert_eq!(inst.loc.y % 600, 0, "row aligned");
+            prop_assert!(die.contains_rect(&inst.rect()), "inside the die");
+        }
+        // Displacement stats are consistent.
+        prop_assert!(report.total_displacement >= report.max_displacement);
+        prop_assert!(report.moved <= ids.len());
+    }
+
+    /// Legalizing an already-legal placement moves nothing.
+    #[test]
+    fn legalization_is_idempotent(cells in arb_cells()) {
+        let lib = standard_library();
+        let die = Rect::new(Point::new(0, 0), Point::new(60_000, 60_000));
+        let mut d = Design::new("t", die);
+        let clk = d.add_net("clk");
+        let widths = [1u8, 2, 4, 8];
+        let mut ids = Vec::new();
+        for (i, (w, x, y)) in cells.iter().enumerate() {
+            let cell = lib
+                .cell_by_name(&format!("DFF_{}X1", widths[*w as usize]))
+                .expect("cell");
+            ids.push(d.add_register(
+                format!("r{i}"),
+                &lib,
+                cell,
+                Point::new(*x, *y),
+                RegisterAttrs::clocked(clk),
+            ));
+        }
+        let grid = PlacementGrid::new(die, 600, 100);
+        legalize(&mut d, &grid, &ids).expect("room");
+        let positions: Vec<Point> = ids.iter().map(|&i| d.inst(i).loc).collect();
+        let second = legalize(&mut d, &grid, &ids).expect("still room");
+        prop_assert_eq!(second.moved, 0, "legal placement must be a fixpoint");
+        for (&id, &pos) in ids.iter().zip(&positions) {
+            prop_assert_eq!(d.inst(id).loc, pos);
+        }
+    }
+
+    /// Congestion estimation is deterministic and bounded.
+    #[test]
+    fn congestion_is_deterministic(cells in arb_cells()) {
+        let lib = standard_library();
+        let die = Rect::new(Point::new(0, 0), Point::new(60_000, 60_000));
+        let mut d = Design::new("t", die);
+        let clk = d.add_net("clk");
+        for (i, (_, x, y)) in cells.iter().enumerate() {
+            let cell = lib.cell_by_name("DFF_1X1").expect("cell");
+            d.add_register(
+                format!("r{i}"),
+                &lib,
+                cell,
+                Point::new(*x, *y),
+                RegisterAttrs::clocked(clk),
+            );
+        }
+        let cfg = CongestionConfig::default();
+        let a = congestion(&d, &cfg);
+        let b = congestion(&d, &cfg);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.overflow_edges <= a.total_edges);
+        prop_assert!(a.avg_utilization <= a.max_utilization + 1e-12);
+    }
+}

@@ -1,0 +1,522 @@
+//! Timing-graph construction and propagation.
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+use mbr_liberty::Library;
+use mbr_netlist::{Design, InstId, InstKind, PinDir, PinId, PinKind, PortDir};
+
+use crate::report::TimingReport;
+use crate::DelayModel;
+
+/// Why timing analysis failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StaError {
+    /// The combinational netlist contains a cycle through the named
+    /// instance (registers break cycles; pure gate loops are illegal).
+    CombinationalLoop {
+        /// An instance on the cycle.
+        inst: String,
+    },
+}
+
+impl fmt::Display for StaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StaError::CombinationalLoop { inst } => {
+                write!(f, "combinational loop through {inst}")
+            }
+        }
+    }
+}
+
+impl Error for StaError {}
+
+/// One directed timing arc.
+#[derive(Clone, Copy, Debug)]
+struct Arc {
+    to: u32,
+    delay: f64,
+}
+
+/// The static timing analyzer: timing graph plus the latest results.
+///
+/// Build with [`Sta::new`]; read results via [`Sta::report`]. After moving
+/// instances or changing clock offsets, call [`Sta::update_after_change`]
+/// with the touched instances for an incremental update, or rebuild with
+/// [`Sta::new`] after structural edits (merges/splits).
+#[derive(Clone, Debug)]
+pub struct Sta {
+    model: DelayModel,
+    /// Forward arcs per pin.
+    arcs: Vec<Vec<Arc>>,
+    /// Reverse arcs per pin (for required-time propagation).
+    rev: Vec<Vec<Arc>>,
+    /// Fixed arrival per pin for sources (input ports, register Q).
+    source_arrival: Vec<Option<f64>>,
+    /// Fixed required per pin for endpoints (register D, output ports).
+    endpoint_required: Vec<Option<f64>>,
+    report: TimingReport,
+}
+
+impl Sta {
+    /// Builds the timing graph for `design` and runs a full analysis.
+    ///
+    /// # Errors
+    ///
+    /// [`StaError::CombinationalLoop`] if gates form a cycle not broken by
+    /// a register.
+    pub fn new(design: &Design, lib: &Library, model: DelayModel) -> Result<Self, StaError> {
+        let n = design.all_insts().map(|(_, i)| i.pins.len()).sum::<usize>();
+        let mut sta = Sta {
+            model,
+            arcs: vec![Vec::new(); n],
+            rev: vec![Vec::new(); n],
+            source_arrival: vec![None; n],
+            endpoint_required: vec![None; n],
+            report: TimingReport::empty(n),
+        };
+        sta.build_arcs(design, lib)?;
+        sta.full_propagate(design);
+        Ok(sta)
+    }
+
+    /// The latest timing results.
+    pub fn report(&self) -> &TimingReport {
+        &self.report
+    }
+
+    /// The model this analyzer was built with.
+    pub fn model(&self) -> &DelayModel {
+        &self.model
+    }
+
+    fn pin_count(&self) -> usize {
+        self.arcs.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Graph construction
+    // ------------------------------------------------------------------
+
+    fn build_arcs(&mut self, design: &Design, lib: &Library) -> Result<(), StaError> {
+        for a in &mut self.arcs {
+            a.clear();
+        }
+        for a in &mut self.rev {
+            a.clear();
+        }
+        for s in &mut self.source_arrival {
+            *s = None;
+        }
+        for e in &mut self.endpoint_required {
+            *e = None;
+        }
+
+        // Net arcs (driver → sinks) and instance sources/endpoints.
+        for (net_id, _) in design.live_nets() {
+            if design.is_clock_net(net_id) {
+                continue; // ideal clock: no graph arcs
+            }
+            let Some(driver) = design.net_driver(net_id) else {
+                continue;
+            };
+            let dpos = design.pin_position(driver);
+            for sink in design.net_sinks(net_id) {
+                let spos = design.pin_position(sink);
+                let delay = self
+                    .model
+                    .wire_delay(dpos.manhattan(spos), design.pin(sink).cap);
+                self.add_arc(driver, sink, delay);
+            }
+        }
+
+        for (inst_id, inst) in design.live_insts() {
+            match &inst.kind {
+                InstKind::Register { cell, attrs, .. } => {
+                    let c = lib.cell(*cell);
+                    for bit in design.register_bit_pins(inst_id) {
+                        // Q pins are launch sources.
+                        if let Some(net) = design.pin(bit.q).net {
+                            let load = self.net_load(design, net);
+                            self.source_arrival[bit.q.index()] =
+                                Some(attrs.clock_offset + c.q_delay(load));
+                        }
+                        // D pins are capture endpoints.
+                        if design.pin(bit.d).net.is_some() {
+                            self.endpoint_required[bit.d.index()] =
+                                Some(self.model.clock_period + attrs.clock_offset - c.setup);
+                        }
+                    }
+                }
+                InstKind::Comb { model } => {
+                    let m = design.comb_model(*model);
+                    let out = design
+                        .find_pin(inst_id, PinKind::GateOut)
+                        .expect("gates have an output");
+                    let load = design
+                        .pin(out)
+                        .net
+                        .map_or(0.0, |net| self.net_load(design, net));
+                    let delay = m.delay(load);
+                    for &p in &inst.pins {
+                        if design.pin(p).dir == PinDir::Input
+                            && matches!(design.pin(p).kind, PinKind::GateIn(_))
+                        {
+                            self.add_arc(p, out, delay);
+                        }
+                    }
+                }
+                InstKind::Port {
+                    dir,
+                    drive_resistance,
+                    ..
+                } => {
+                    let pin = inst.pins[0];
+                    match dir {
+                        PortDir::Input => {
+                            let load = design
+                                .pin(pin)
+                                .net
+                                .map_or(0.0, |net| self.net_load(design, net));
+                            self.source_arrival[pin.index()] =
+                                Some(self.model.input_arrival + drive_resistance * load);
+                        }
+                        PortDir::Output => {
+                            if design.pin(pin).net.is_some() {
+                                self.endpoint_required[pin.index()] =
+                                    Some(self.model.clock_period - self.model.output_margin);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Cycle check via Kahn's algorithm over the arc graph.
+        self.check_acyclic(design)
+    }
+
+    fn add_arc(&mut self, from: PinId, to: PinId, delay: f64) {
+        self.arcs[from.index()].push(Arc {
+            to: to.index() as u32,
+            delay,
+        });
+        self.rev[to.index()].push(Arc {
+            to: from.index() as u32,
+            delay,
+        });
+    }
+
+    /// Total load on a net: sink pin caps + distributed wire cap (HPWL).
+    fn net_load(&self, design: &Design, net: mbr_netlist::NetId) -> f64 {
+        design.net_pin_cap(net) + self.model.wire_cap_per_dbu * design.net_hpwl(net) as f64
+    }
+
+    fn check_acyclic(&self, design: &Design) -> Result<(), StaError> {
+        let n = self.pin_count();
+        let mut indeg = vec![0u32; n];
+        for arcs in &self.arcs {
+            for a in arcs {
+                indeg[a.to as usize] += 1;
+            }
+        }
+        let mut queue: VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0usize;
+        while let Some(v) = queue.pop_front() {
+            seen += 1;
+            for a in &self.arcs[v] {
+                indeg[a.to as usize] -= 1;
+                if indeg[a.to as usize] == 0 {
+                    queue.push_back(a.to as usize);
+                }
+            }
+        }
+        if seen == n {
+            Ok(())
+        } else {
+            let culprit = (0..n)
+                .find(|&i| indeg[i] > 0)
+                .map(|i| {
+                    design
+                        .inst(design.pin(PinId::from_index(i)).inst)
+                        .name
+                        .clone()
+                })
+                .unwrap_or_default();
+            Err(StaError::CombinationalLoop { inst: culprit })
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Propagation
+    // ------------------------------------------------------------------
+
+    fn full_propagate(&mut self, design: &Design) {
+        let n = self.pin_count();
+        let seeds: Vec<usize> = (0..n).collect();
+        self.propagate_arrivals(&seeds);
+        self.propagate_required(&seeds);
+        self.report.refresh_endpoints(&self.endpoint_required);
+        let _ = design;
+    }
+
+    /// Recomputes arrivals for (at least) the given seed pins and everything
+    /// downstream of a change, by monotone worklist relaxation on the DAG.
+    fn propagate_arrivals(&mut self, seeds: &[usize]) {
+        let mut queue: VecDeque<usize> = seeds.iter().copied().collect();
+        let mut queued = vec![false; self.pin_count()];
+        for &s in seeds {
+            queued[s] = true;
+        }
+        while let Some(v) = queue.pop_front() {
+            queued[v] = false;
+            // Recompute arrival(v) from sources and fan-in.
+            let mut arr = self.source_arrival[v].unwrap_or(f64::NEG_INFINITY);
+            for a in &self.rev[v] {
+                let ua = self.report.arrival[a.to as usize];
+                if ua > f64::NEG_INFINITY {
+                    arr = arr.max(ua + a.delay);
+                }
+            }
+            if (arr - self.report.arrival[v]).abs() > 1e-12 {
+                self.report.arrival[v] = arr;
+                for a in &self.arcs[v] {
+                    let t = a.to as usize;
+                    if !queued[t] {
+                        queued[t] = true;
+                        queue.push_back(t);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Required-time mirror of [`Sta::propagate_arrivals`].
+    fn propagate_required(&mut self, seeds: &[usize]) {
+        let mut queue: VecDeque<usize> = seeds.iter().copied().collect();
+        let mut queued = vec![false; self.pin_count()];
+        for &s in seeds {
+            queued[s] = true;
+        }
+        while let Some(v) = queue.pop_front() {
+            queued[v] = false;
+            let mut req = self.endpoint_required[v].unwrap_or(f64::INFINITY);
+            for a in &self.arcs[v] {
+                let tr = self.report.required[a.to as usize];
+                if tr < f64::INFINITY {
+                    req = req.min(tr - a.delay);
+                }
+            }
+            if (req - self.report.required[v]).abs() > 1e-12 {
+                self.report.required[v] = req;
+                for a in &self.rev[v] {
+                    let t = a.to as usize;
+                    if !queued[t] {
+                        queued[t] = true;
+                        queue.push_back(t);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Incremental re-analysis after `touched` instances moved or changed
+    /// clock offsets (no structural netlist edits!). Rebuilds the delays of
+    /// arcs on adjacent nets and re-propagates only the affected cones.
+    ///
+    /// After structural edits (merges/splits), rebuild with [`Sta::new`] —
+    /// the pin arena has grown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the design's pin count differs from the graph (structural
+    /// edit happened).
+    pub fn update_after_change(&mut self, design: &Design, lib: &Library, touched: &[InstId]) {
+        let n: usize = design.all_insts().map(|(_, i)| i.pins.len()).sum();
+        assert_eq!(
+            n,
+            self.pin_count(),
+            "structural edit detected: rebuild Sta with Sta::new"
+        );
+
+        let mut seeds: Vec<usize> = Vec::new();
+        for &inst_id in touched {
+            let inst = design.inst(inst_id);
+            for &p in &inst.pins {
+                seeds.push(p.index());
+                // Refresh arcs and loads of the adjacent net.
+                if let Some(net) = design.pin(p).net {
+                    if design.is_clock_net(net) {
+                        continue;
+                    }
+                    if let Some(driver) = design.net_driver(net) {
+                        // Recompute wire arcs of this net.
+                        let dpos = design.pin_position(driver);
+                        self.arcs[driver.index()].clear();
+                        for sink in design.net_sinks(net) {
+                            let spos = design.pin_position(sink);
+                            let delay = self
+                                .model
+                                .wire_delay(dpos.manhattan(spos), design.pin(sink).cap);
+                            // Update reverse arc in place.
+                            if let Some(r) = self.rev[sink.index()]
+                                .iter_mut()
+                                .find(|r| r.to as usize == driver.index())
+                            {
+                                r.delay = delay;
+                            }
+                            self.arcs[driver.index()].push(Arc {
+                                to: sink.index() as u32,
+                                delay,
+                            });
+                            seeds.push(sink.index());
+                        }
+                        seeds.push(driver.index());
+                        // Driver cell arc / source arrival depends on load.
+                        self.refresh_driver(design, lib, driver);
+                    }
+                }
+            }
+            // Clock offsets change launch/capture times.
+            if let InstKind::Register { cell, attrs, .. } = &inst.kind {
+                let c = lib.cell(*cell);
+                for bit in design.register_bit_pins(inst_id) {
+                    if let Some(net) = design.pin(bit.q).net {
+                        let load = self.net_load(design, net);
+                        self.source_arrival[bit.q.index()] =
+                            Some(attrs.clock_offset + c.q_delay(load));
+                    }
+                    if design.pin(bit.d).net.is_some() {
+                        self.endpoint_required[bit.d.index()] =
+                            Some(self.model.clock_period + attrs.clock_offset - c.setup);
+                    }
+                }
+            }
+        }
+
+        seeds.sort_unstable();
+        seeds.dedup();
+        self.propagate_arrivals(&seeds);
+        self.propagate_required(&seeds);
+        self.report.refresh_endpoints(&self.endpoint_required);
+    }
+
+    /// Refreshes the load-dependent delay of whatever drives `driver`.
+    fn refresh_driver(&mut self, design: &Design, lib: &Library, driver: PinId) {
+        let pin = design.pin(driver);
+        let inst = design.inst(pin.inst);
+        match (&inst.kind, pin.kind) {
+            (InstKind::Register { cell, attrs, .. }, PinKind::Q(_)) => {
+                let c = lib.cell(*cell);
+                if let Some(net) = pin.net {
+                    let load = self.net_load(design, net);
+                    self.source_arrival[driver.index()] =
+                        Some(attrs.clock_offset + c.q_delay(load));
+                }
+            }
+            (InstKind::Comb { model }, PinKind::GateOut) => {
+                let m = design.comb_model(*model);
+                let load = pin.net.map_or(0.0, |net| self.net_load(design, net));
+                let delay = m.delay(load);
+                for &p in &inst.pins {
+                    if matches!(design.pin(p).kind, PinKind::GateIn(_)) {
+                        for a in &mut self.arcs[p.index()] {
+                            if a.to as usize == driver.index() {
+                                a.delay = delay;
+                            }
+                        }
+                        for r in &mut self.rev[driver.index()] {
+                            if r.to as usize == p.index() {
+                                r.delay = delay;
+                            }
+                        }
+                    }
+                }
+            }
+            (
+                InstKind::Port {
+                    dir: PortDir::Input,
+                    drive_resistance,
+                    ..
+                },
+                _,
+            ) => {
+                if let Some(net) = pin.net {
+                    let load = self.net_load(design, net);
+                    self.source_arrival[driver.index()] =
+                        Some(self.model.input_arrival + drive_resistance * load);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// One traced timing path, worst-arrival pin by pin from a launch point to
+/// an endpoint.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimingPath {
+    /// The endpoint (register D pin or output port).
+    pub endpoint: PinId,
+    /// Endpoint slack, ps.
+    pub slack: f64,
+    /// Pins from the launch source to the endpoint, inclusive.
+    pub pins: Vec<PinId>,
+    /// Arrival time at the endpoint, ps.
+    pub arrival: f64,
+    /// Required time at the endpoint, ps.
+    pub required: f64,
+}
+
+impl Sta {
+    /// Traces the `k` worst timing paths: for each of the `k` smallest-slack
+    /// endpoints, the chain of worst-arrival predecessors back to its launch
+    /// point (a register Q pin or an input port).
+    ///
+    /// Paths are returned worst first. Endpoints without a defined slack
+    /// (unreachable cones) are skipped.
+    pub fn worst_paths(&self, k: usize) -> Vec<TimingPath> {
+        let mut endpoints: Vec<(f64, PinId)> = self
+            .report
+            .endpoints()
+            .iter()
+            .filter_map(|&p| self.report.slack(p).map(|s| (s, p)))
+            .collect();
+        endpoints.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite slacks"));
+        endpoints
+            .into_iter()
+            .take(k)
+            .map(|(slack, endpoint)| {
+                let mut pins = vec![endpoint];
+                let mut v = endpoint.index();
+                // Walk the dominant fan-in arc until a source is reached.
+                loop {
+                    let arr_v = self.report.arrival[v];
+                    if let Some(src) = self.source_arrival[v] {
+                        if (src - arr_v).abs() <= 1e-9 {
+                            break; // launched here
+                        }
+                    }
+                    let Some(pred) = self.rev[v].iter().find(|a| {
+                        let ua = self.report.arrival[a.to as usize];
+                        ua > f64::NEG_INFINITY && (ua + a.delay - arr_v).abs() <= 1e-9
+                    }) else {
+                        break;
+                    };
+                    v = pred.to as usize;
+                    pins.push(PinId::from_index(v));
+                }
+                pins.reverse();
+                TimingPath {
+                    endpoint,
+                    slack,
+                    pins,
+                    arrival: self.report.arrival[endpoint.index()],
+                    required: self.report.required[endpoint.index()],
+                }
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,197 @@
+//! Timing results: per-pin slack, endpoint statistics, register slack
+//! summaries and useful-skew windows.
+
+use mbr_netlist::{Design, InstId, PinId};
+
+/// The feasible useful-skew window of a register (Fishburn bounds).
+///
+/// Adding `δ` to the register's clock offset raises its D-side slack by `δ`
+/// and lowers its Q-side (downstream) slack by `δ`, so without creating new
+/// violations `δ ∈ [-slack_D, +slack_Q]`. A register with negative D slack
+/// *wants* a positive offset; one with negative Q slack wants a negative
+/// offset — exactly the "opposite forces" the Section 2 timing-compatibility
+/// rule avoids mixing inside one MBR.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SkewWindow {
+    /// Lower bound on the additional offset (`-slack_D`).
+    pub lo: f64,
+    /// Upper bound on the additional offset (`+slack_Q`).
+    pub hi: f64,
+}
+
+impl SkewWindow {
+    /// Whether some offset in the window exists (`lo <= hi`).
+    pub fn is_feasible(&self) -> bool {
+        self.lo <= self.hi
+    }
+
+    /// The midpoint offset — the balanced choice used by skew assignment.
+    pub fn midpoint(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    /// Intersection with another window.
+    pub fn intersect(&self, other: &SkewWindow) -> SkewWindow {
+        SkewWindow {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.min(other.hi),
+        }
+    }
+}
+
+/// Results of a timing analysis. Produced by [`crate::Sta`]; indexes are pin
+/// ids of the analyzed design.
+#[derive(Clone, Debug)]
+pub struct TimingReport {
+    /// Latest arrival per pin (`-∞` where unreachable).
+    pub(crate) arrival: Vec<f64>,
+    /// Earliest required per pin (`+∞` where unconstrained).
+    pub(crate) required: Vec<f64>,
+    /// Endpoint pins (register D pins and output ports).
+    pub(crate) endpoints: Vec<PinId>,
+    /// Worst negative slack over endpoints (positive = all met), ps.
+    pub wns: f64,
+    /// Total negative slack (sum over violating endpoints, ≤ 0), ps.
+    pub tns: f64,
+    /// Number of endpoints with negative slack.
+    pub failing_endpoints: usize,
+}
+
+impl TimingReport {
+    pub(crate) fn empty(num_pins: usize) -> Self {
+        TimingReport {
+            arrival: vec![f64::NEG_INFINITY; num_pins],
+            required: vec![f64::INFINITY; num_pins],
+            endpoints: Vec::new(),
+            wns: f64::INFINITY,
+            tns: 0.0,
+            failing_endpoints: 0,
+        }
+    }
+
+    pub(crate) fn refresh_endpoints(&mut self, endpoint_required: &[Option<f64>]) {
+        self.endpoints = endpoint_required
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.map(|_| PinId::from_index(i)))
+            .collect();
+        self.wns = f64::INFINITY;
+        self.tns = 0.0;
+        self.failing_endpoints = 0;
+        for &p in &self.endpoints {
+            if let Some(s) = self.slack(p) {
+                self.wns = self.wns.min(s);
+                if s < 0.0 {
+                    self.tns += s;
+                    self.failing_endpoints += 1;
+                }
+            }
+        }
+        if self.endpoints.is_empty() {
+            self.wns = 0.0;
+        }
+    }
+
+    /// Arrival time at a pin, if reachable from any source.
+    pub fn arrival(&self, pin: PinId) -> Option<f64> {
+        let a = self.arrival[pin.index()];
+        (a > f64::NEG_INFINITY).then_some(a)
+    }
+
+    /// Required time at a pin, if constrained by any endpoint.
+    pub fn required(&self, pin: PinId) -> Option<f64> {
+        let r = self.required[pin.index()];
+        (r < f64::INFINITY).then_some(r)
+    }
+
+    /// Slack at a pin (`required − arrival`); `None` when either side is
+    /// undefined (unconstrained or unreachable pins).
+    pub fn slack(&self, pin: PinId) -> Option<f64> {
+        match (self.arrival(pin), self.required(pin)) {
+            (Some(a), Some(r)) => Some(r - a),
+            _ => None,
+        }
+    }
+
+    /// Timing endpoints (register D pins and constrained output ports).
+    pub fn endpoints(&self) -> &[PinId] {
+        &self.endpoints
+    }
+
+    /// Worst D-pin slack of a register over its connected bits.
+    ///
+    /// Unconstrained bits (e.g. D fed straight from an unconstrained source)
+    /// are skipped; a register with no constrained D pin reports `None`.
+    pub fn register_d_slack(&self, design: &Design, inst: InstId) -> Option<f64> {
+        design
+            .register_bit_pins(inst)
+            .iter()
+            .filter_map(|b| self.slack(b.d))
+            .min_by(|a, b| a.partial_cmp(b).expect("slacks are finite"))
+    }
+
+    /// Worst Q-pin slack of a register over its connected bits.
+    pub fn register_q_slack(&self, design: &Design, inst: InstId) -> Option<f64> {
+        design
+            .register_bit_pins(inst)
+            .iter()
+            .filter_map(|b| self.slack(b.q))
+            .min_by(|a, b| a.partial_cmp(b).expect("slacks are finite"))
+    }
+
+    /// Histogram of endpoint slacks over `bins` equal-width buckets between
+    /// the worst and best endpoint slack (plus the bounds). Used to
+    /// calibrate clock periods and to sanity-check workload generators.
+    ///
+    /// Returns `(lo, hi, counts)`; empty designs yield `(0, 0, [])`.
+    pub fn slack_histogram(&self, bins: usize) -> (f64, f64, Vec<usize>) {
+        let slacks: Vec<f64> = self
+            .endpoints
+            .iter()
+            .filter_map(|&p| self.slack(p))
+            .collect();
+        if slacks.is_empty() || bins == 0 {
+            return (0.0, 0.0, Vec::new());
+        }
+        let lo = slacks.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = slacks.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut counts = vec![0usize; bins];
+        let span = (hi - lo).max(1e-12);
+        for s in slacks {
+            let b = (((s - lo) / span) * bins as f64) as usize;
+            counts[b.min(bins - 1)] += 1;
+        }
+        (lo, hi, counts)
+    }
+
+    /// The feasible additional-skew window of a register:
+    /// `[-slack_D, +slack_Q]`, treating missing sides as unbounded in the
+    /// harmless direction (an unconstrained D pin never limits negative
+    /// skew, an unloaded Q never limits positive skew).
+    pub fn skew_window(&self, design: &Design, inst: InstId) -> SkewWindow {
+        let d = self.register_d_slack(design, inst);
+        let q = self.register_q_slack(design, inst);
+        SkewWindow {
+            lo: d.map_or(f64::NEG_INFINITY, |s| -s),
+            hi: q.map_or(f64::INFINITY, |s| s),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skew_window_math() {
+        let w = SkewWindow {
+            lo: -10.0,
+            hi: 30.0,
+        };
+        assert!(w.is_feasible());
+        assert_eq!(w.midpoint(), 10.0);
+        let i = w.intersect(&SkewWindow { lo: 0.0, hi: 50.0 });
+        assert_eq!(i, SkewWindow { lo: 0.0, hi: 30.0 });
+        assert!(!SkewWindow { lo: 5.0, hi: -5.0 }.is_feasible());
+    }
+}

@@ -1,0 +1,94 @@
+//! Scan-aware composition: how scan partitions and ordered scan sections
+//! constrain merging (paper Section 2, "scan compatibility"), and how
+//! non-consecutive ordered registers fall back to per-bit-scan MBR cells
+//! (Section 4.1).
+//!
+//! ```text
+//! cargo run --release --example scan_aware
+//! ```
+
+use mbr::core::{Composer, ComposerOptions};
+use mbr::geom::{Point, Rect};
+use mbr::liberty::{standard_library, ScanStyle};
+use mbr::netlist::{Design, RegisterAttrs, ScanInfo};
+use mbr::sta::DelayModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lib = standard_library();
+    let die = Rect::new(Point::new(0, 0), Point::new(100_000, 100_000));
+    let mut design = Design::new("scan_demo", die);
+    let clk = design.add_net("clk");
+    let rst = design.add_net("rst_n");
+    let se = design.add_net("scan_en");
+
+    let cell = lib.cell_by_name("SDFF_R_1X1").expect("scan flop");
+    let mut mk = |name: &str, x: i64, scan: Option<ScanInfo>| {
+        let mut attrs = RegisterAttrs::clocked(clk);
+        attrs.reset = Some(rst);
+        attrs.scan_enable = Some(se);
+        attrs.scan = scan;
+        design.add_register(name, &lib, cell, Point::new(x, 600), attrs)
+    };
+
+    // Partition 0, ordered section 7 at consecutive positions 0..4: these
+    // may merge into an internal-scan MBR that preserves the chain order.
+    for (i, x) in [2_000i64, 4_000, 6_000, 8_000].into_iter().enumerate() {
+        mk(
+            &format!("ord{i}"),
+            x,
+            Some(ScanInfo {
+                partition: 0,
+                section: Some((7, i as u32)),
+            }),
+        );
+    }
+    // Partition 0, unordered: free to merge with each other (chains are
+    // re-stitched after placement optimization) but never with the ordered
+    // section above.
+    for (i, x) in [12_000i64, 14_000, 16_000, 18_000].into_iter().enumerate() {
+        mk(
+            &format!("free{i}"),
+            x,
+            Some(ScanInfo {
+                partition: 0,
+                section: None,
+            }),
+        );
+    }
+    // Partition 1: a different chain; incompatible with everything above.
+    mk(
+        "lonely",
+        22_000,
+        Some(ScanInfo {
+            partition: 1,
+            section: None,
+        }),
+    );
+
+    let before = design.live_register_count();
+    let composer = Composer::new(ComposerOptions::default(), DelayModel::default());
+    let outcome = composer.compose(&mut design, &lib)?;
+
+    println!("registers: {before} -> {}", design.live_register_count());
+    for &mbr in &outcome.new_mbrs {
+        let inst = design.inst(mbr);
+        let cell = lib.cell(inst.register_cell().expect("register"));
+        let scan = inst.register_attrs().expect("register").scan;
+        println!(
+            "  {} -> {} (scan style {:?}, scan info {:?})",
+            inst.name, cell.name, cell.scan_style, scan
+        );
+    }
+    // The ordered section merges into one MBR and keeps its section tag;
+    // the unordered flops merge separately; `lonely` stays single.
+    let lonely = design.inst_by_name("lonely").expect("exists");
+    assert!(
+        design.inst(lonely).alive,
+        "cross-partition merging is illegal"
+    );
+    assert!(outcome.new_mbrs.iter().any(|&m| lib
+        .cell(design.inst(m).register_cell().expect("reg"))
+        .scan_style
+        != ScanStyle::None));
+    Ok(())
+}

@@ -1,0 +1,179 @@
+//! `mbr-compose` — command-line front end to the composition flow.
+//!
+//! ```text
+//! mbr-compose --lib cells.mbrlib --design in.design --out composed.design \
+//!             [--period 1000] [--no-incomplete] [--no-weights] [--no-skew] \
+//!             [--heuristic] [--decompose] [--stitch-scan] [--partition-bound 30]
+//! ```
+//!
+//! Reads a register library (`.mbrlib`) and a placed design (`.design`),
+//! runs the DAC'17 composition flow, prints a Table-1-style report, and
+//! writes the composed design. Exits non-zero on any parse or flow error.
+
+use std::process::ExitCode;
+
+use mbr::core::{Composer, ComposerOptions, DesignMetrics};
+use mbr::cts::CtsConfig;
+use mbr::liberty::Library;
+use mbr::netlist::Design;
+use mbr::place::CongestionConfig;
+use mbr::sta::DelayModel;
+
+struct Args {
+    lib: String,
+    design: String,
+    out: Option<String>,
+    period: f64,
+    heuristic: bool,
+    decompose: bool,
+    options: ComposerOptions,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mbr-compose --lib <file.mbrlib> --design <file.design> [--out <file.design>]\n\
+         \x20                 [--period <ps>] [--partition-bound <n>] [--region-radius <dbu>]\n\
+         \x20                 [--no-incomplete] [--no-weights] [--no-skew] [--no-sizing]\n\
+         \x20                 [--stitch-scan] [--heuristic] [--decompose]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        lib: String::new(),
+        design: String::new(),
+        out: None,
+        period: 1000.0,
+        heuristic: false,
+        decompose: false,
+        options: ComposerOptions::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {what}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--lib" => args.lib = value("--lib"),
+            "--design" => args.design = value("--design"),
+            "--out" => args.out = Some(value("--out")),
+            "--period" => args.period = value("--period").parse().unwrap_or_else(|_| usage()),
+            "--partition-bound" => {
+                args.options.partition_max_nodes = value("--partition-bound")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--region-radius" => {
+                args.options.max_region_radius =
+                    value("--region-radius").parse().unwrap_or_else(|_| usage())
+            }
+            "--no-incomplete" => args.options.allow_incomplete = false,
+            "--no-weights" => args.options.use_blocking_weights = false,
+            "--no-skew" => args.options.apply_useful_skew = false,
+            "--no-sizing" => args.options.apply_sizing = false,
+            "--stitch-scan" => args.options.stitch_scan_chains = true,
+            "--heuristic" => args.heuristic = true,
+            "--decompose" => args.decompose = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage()
+            }
+        }
+    }
+    if args.lib.is_empty() || args.design.is_empty() {
+        usage();
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("mbr-compose: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let lib_text = std::fs::read_to_string(&args.lib)?;
+    let lib = Library::parse(&lib_text)?;
+    let design_text = std::fs::read_to_string(&args.design)?;
+    let mut design = Design::parse(&design_text, &lib)?;
+
+    let issues = design.validate();
+    if !issues.is_empty() {
+        eprintln!(
+            "warning: {} validation issues in the input design:",
+            issues.len()
+        );
+        for issue in issues.iter().take(5) {
+            eprintln!("  {issue}");
+        }
+    }
+
+    let model = DelayModel {
+        clock_period: args.period,
+        ..DelayModel::default()
+    };
+    let cts = CtsConfig::default();
+    let cong = CongestionConfig::default();
+
+    let base = DesignMetrics::measure(&design, &lib, model, &cts, &cong)?;
+    let composer = Composer::new(args.options.clone(), model);
+    let outcome = if args.decompose {
+        composer.compose_with_decomposition(&mut design, &lib)?
+    } else if args.heuristic {
+        composer.compose_heuristic(&mut design, &lib)?
+    } else {
+        composer.compose(&mut design, &lib)?
+    };
+    let ours = DesignMetrics::measure(&design, &lib, model, &cts, &cong)?;
+
+    println!("design `{}` @ {} ps clock", design.name(), args.period);
+    let row = |label: &str, m: &DesignMetrics| {
+        println!(
+            "  {label:>4}: regs {:>6}  clk cap {:>8.2} pF  clk bufs {:>4}  tns {:>10.2} ns  fail {:>5}  ovfl {:>5}",
+            m.total_regs, m.clk_cap_pf, m.clk_bufs, m.tns_ns, m.failing_endpoints, m.ovfl_edges
+        );
+    };
+    row("base", &base);
+    row("ours", &ours);
+    println!(
+        "  flow: {} merges / {} registers consumed / {} incomplete / {} resized / {:?}",
+        outcome.merges,
+        outcome.merged_registers,
+        outcome.incomplete_mbrs,
+        outcome.resized,
+        outcome.elapsed,
+    );
+    if let Some(kept) = outcome.decomposition_kept {
+        println!(
+            "  decomposition: {}",
+            if kept {
+                "kept (it won)"
+            } else {
+                "rejected (plain flow was better)"
+            }
+        );
+    }
+    if let Some(stitch) = outcome.scan_stitch {
+        println!(
+            "  scan: {} chains over {} registers, {} dbu",
+            stitch.chains, stitch.registers, stitch.wirelength
+        );
+    }
+
+    if let Some(out) = &args.out {
+        std::fs::write(out, design.to_design_text(&lib))?;
+        println!("  wrote {out}");
+    }
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Facade crate for the MBR composition workspace.
+//!
+//! Re-exports every subsystem under one roof so examples and downstream users
+//! can depend on a single crate. See the individual crates for detail:
+//!
+//! * [`mbr_core`] — the DAC'17 composition engine (start here),
+//! * [`mbr_workloads`] — synthetic benchmark designs `d1()..d5()`,
+//! * [`mbr_netlist`] / [`mbr_liberty`] — design database and cell library,
+//! * [`mbr_sta`] / [`mbr_place`] / [`mbr_cts`] — timing, placement and
+//!   clock-tree substrates,
+//! * [`mbr_lp`] / [`mbr_graph`] / [`mbr_geom`] — solver, clique and geometry
+//!   machinery.
+//!
+//! # Examples
+//!
+//! ```
+//! use mbr::core::{Composer, ComposerOptions};
+//! use mbr::liberty::standard_library;
+//! use mbr::sta::DelayModel;
+//!
+//! let lib = standard_library();
+//! let spec = mbr::workloads::DesignSpec {
+//!     name: "doc".into(),
+//!     seed: 1,
+//!     cluster_grid: 2,
+//!     groups_per_cluster: 4,
+//!     regs_per_group: 3..=4,
+//!     width_mix: [0.6, 0.2, 0.1, 0.1],
+//!     fixed_fraction: 0.0,
+//!     scan_fraction: 0.0,
+//!     ordered_scan_fraction: 0.0,
+//!     extra_buffer_depth: 2,
+//!     utilization: 0.4,
+//!     clock_period: 800.0,
+//!     clock_domains: 1,
+//!     wire_scale: 1.0,
+//! };
+//! let mut design = spec.generate(&lib);
+//! let composer = Composer::new(ComposerOptions::default(), DelayModel::default());
+//! let outcome = composer.compose(&mut design, &lib)?;
+//! assert!(outcome.registers_after < outcome.registers_before);
+//! # Ok::<(), mbr::core::ComposeError>(())
+//! ```
+
+pub use mbr_core as core;
+pub use mbr_cts as cts;
+pub use mbr_geom as geom;
+pub use mbr_graph as graph;
+pub use mbr_liberty as liberty;
+pub use mbr_lp as lp;
+pub use mbr_netlist as netlist;
+pub use mbr_place as place;
+pub use mbr_sta as sta;
+pub use mbr_workloads as workloads;

@@ -1,0 +1,48 @@
+//! Scale test for the handwritten EDA parsers: a full benchmark design
+//! (≈10 k instances) round-trips through `.design` text, and the library
+//! through `.mbrlib`, with every metric intact.
+
+use mbr::liberty::{standard_library, Library};
+use mbr::netlist::Design;
+use mbr::workloads::d1;
+
+#[test]
+fn full_benchmark_design_round_trips_through_text() {
+    let lib = standard_library();
+    let design = d1().generate(&lib);
+
+    // Library round-trip.
+    let lib2 = Library::parse(&lib.to_mbrlib()).expect("library parses");
+    assert_eq!(lib2.cell_count(), lib.cell_count());
+
+    // Design round-trip (10k instances, ~MB of text).
+    let text = design.to_design_text(&lib);
+    assert!(
+        text.len() > 100_000,
+        "non-trivial file: {} bytes",
+        text.len()
+    );
+    let design2 = Design::parse(&text, &lib2).expect("design parses");
+
+    assert_eq!(design2.live_inst_count(), design.live_inst_count());
+    assert_eq!(design2.live_register_count(), design.live_register_count());
+    assert_eq!(design2.total_register_bits(), design.total_register_bits());
+    assert_eq!(design2.wirelength(), design.wirelength());
+    assert!(design2.validate().is_empty());
+
+    // Attributes spot-check on every 97th register.
+    for (i, (id, inst)) in design.registers().enumerate() {
+        if i % 97 != 0 {
+            continue;
+        }
+        let other_id = design2.inst_by_name(&inst.name).expect("name survives");
+        let other = design2.inst(other_id);
+        assert_eq!(other.loc, inst.loc);
+        let a = inst.register_attrs().expect("reg");
+        let b = other.register_attrs().expect("reg");
+        assert_eq!(a.gate_group, b.gate_group);
+        assert_eq!(a.scan, b.scan);
+        assert_eq!(a.fixed, b.fixed);
+        assert_eq!(design2.register_width(other_id), design.register_width(id));
+    }
+}
