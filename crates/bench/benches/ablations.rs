@@ -1,102 +1,8 @@
-//! Ablation benchmarks for the design choices DESIGN.md calls out:
-//! partition bound (runtime vs QoR), blocking weights, incomplete MBRs.
+//! Ablation bench target: partition bound and feature toggles.
+//!
+//! Run with `cargo bench -p mbr-bench --bench ablations`; results land in
+//! `BENCH_ablations.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mbr_bench::{generate, library, model_for};
-use mbr_core::{Composer, ComposerOptions};
-use mbr_workloads::DesignSpec;
-
-/// A ~500-register design: large enough for the sweeps to differentiate,
-/// small enough for Criterion's repeated sampling.
-fn bench_spec() -> DesignSpec {
-    DesignSpec {
-        name: "bench_small".into(),
-        seed: 0xBE7C,
-        cluster_grid: 3,
-        groups_per_cluster: 10,
-        regs_per_group: 3..=6,
-        width_mix: [0.45, 0.25, 0.18, 0.12],
-        fixed_fraction: 0.12,
-        scan_fraction: 0.25,
-        ordered_scan_fraction: 0.2,
-        extra_buffer_depth: 3,
-        utilization: 0.4,
-        clock_period: 500.0,
-        clock_domains: 1,
-        wire_scale: 1.0,
-    }
+fn main() {
+    mbr_bench::suites::ablations();
 }
-
-fn bench_partition_bound(c: &mut Criterion) {
-    let lib = library();
-    let spec = bench_spec();
-    let design = generate(&spec, &lib);
-    let mut group = c.benchmark_group("ablation_partition_bound");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    group.measurement_time(std::time::Duration::from_secs(3));
-    for bound in [10usize, 20, 30, 40] {
-        let composer = Composer::new(
-            ComposerOptions {
-                partition_max_nodes: bound,
-                ..ComposerOptions::default()
-            },
-            model_for(&spec),
-        );
-        group.bench_with_input(BenchmarkId::from_parameter(bound), &design, |b, d| {
-            b.iter(|| {
-                let mut work = d.clone();
-                composer.compose(&mut work, &lib).expect("flow")
-            });
-        });
-    }
-    group.finish();
-}
-
-fn bench_feature_toggles(c: &mut Criterion) {
-    let lib = library();
-    let spec = bench_spec();
-    let design = generate(&spec, &lib);
-    let mut group = c.benchmark_group("ablation_features");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    group.measurement_time(std::time::Duration::from_secs(3));
-    let cases = [
-        ("default", ComposerOptions::default()),
-        (
-            "no_weights",
-            ComposerOptions {
-                use_blocking_weights: false,
-                ..ComposerOptions::default()
-            },
-        ),
-        (
-            "no_incomplete",
-            ComposerOptions {
-                allow_incomplete: false,
-                ..ComposerOptions::default()
-            },
-        ),
-        (
-            "no_skew_no_sizing",
-            ComposerOptions {
-                apply_useful_skew: false,
-                apply_sizing: false,
-                ..ComposerOptions::default()
-            },
-        ),
-    ];
-    for (name, options) in cases {
-        let composer = Composer::new(options, model_for(&spec));
-        group.bench_with_input(BenchmarkId::from_parameter(name), &design, |b, d| {
-            b.iter(|| {
-                let mut work = d.clone();
-                composer.compose(&mut work, &lib).expect("flow")
-            });
-        });
-    }
-    group.finish();
-}
-
-criterion_group!(benches, bench_partition_bound, bench_feature_toggles);
-criterion_main!(benches);

@@ -1,39 +1,8 @@
-//! Fig. 5 benchmark: measuring the bit-width histogram and the full design
-//! metrics (STA + CTS + congestion + wirelength) used for every table row.
+//! Fig. 5 bench target: histogram and design-metrics measurement.
+//!
+//! Run with `cargo bench -p mbr-bench --bench fig5`; results land in
+//! `BENCH_fig5.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use mbr_bench::{generate, library, model_for};
-use mbr_core::{BitWidthHistogram, DesignMetrics};
-use mbr_cts::CtsConfig;
-use mbr_place::CongestionConfig;
-
-fn bench_metrics(c: &mut Criterion) {
-    let lib = library();
-    let spec = mbr_workloads::d1();
-    let design = generate(&spec, &lib);
-    let model = model_for(&spec);
-
-    let mut group = c.benchmark_group("fig5");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.bench_function("bitwidth_histogram", |b| {
-        b.iter(|| BitWidthHistogram::measure(&design));
-    });
-    group.bench_function("design_metrics", |b| {
-        b.iter(|| {
-            DesignMetrics::measure(
-                &design,
-                &lib,
-                model,
-                &CtsConfig::default(),
-                &CongestionConfig::default(),
-            )
-            .expect("metrics")
-        });
-    });
-    group.finish();
+fn main() {
+    mbr_bench::suites::fig5();
 }
-
-criterion_group!(benches, bench_metrics);
-criterion_main!(benches);

@@ -1,34 +1,8 @@
-//! Fig. 6 benchmark: ILP selection vs the greedy heuristic on the same
-//! candidate sets (the selection stage is what the figure isolates).
+//! Fig. 6 bench target: ILP vs heuristic selection.
+//!
+//! Run with `cargo bench -p mbr-bench --bench fig6`; results land in
+//! `BENCH_fig6.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use mbr_bench::{generate, library, model_for};
-use mbr_core::{Composer, ComposerOptions};
-
-fn bench_selection(c: &mut Criterion) {
-    let lib = library();
-    let spec = mbr_workloads::d1();
-    let design = generate(&spec, &lib);
-    let composer = Composer::new(ComposerOptions::default(), model_for(&spec));
-
-    let mut group = c.benchmark_group("fig6");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.bench_function("ilp_flow", |b| {
-        b.iter(|| {
-            let mut work = design.clone();
-            composer.compose(&mut work, &lib).expect("flow")
-        });
-    });
-    group.bench_function("heuristic_flow", |b| {
-        b.iter(|| {
-            let mut work = design.clone();
-            composer.compose_heuristic(&mut work, &lib).expect("flow")
-        });
-    });
-    group.finish();
+fn main() {
+    mbr_bench::suites::fig6();
 }
-
-criterion_group!(benches, bench_selection);
-criterion_main!(benches);

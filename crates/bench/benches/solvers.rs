@@ -1,108 +1,8 @@
-//! Micro-benchmarks of the algorithmic substrates: the set-partitioning
-//! branch-and-bound, the simplex LP, Bron–Kerbosch, and the convex hull.
+//! Solver micro-bench target: set-partitioning, simplex, cliques, hulls.
+//!
+//! Run with `cargo bench -p mbr-bench --bench solvers`; results land in
+//! `BENCH_solvers.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use mbr_geom::{convex_hull, Point};
-use mbr_graph::{BitGraph, UnGraph};
-use mbr_lp::{LpProblem, Sense, SetPartition};
-
-fn xorshift(state: &mut u64) -> u64 {
-    *state ^= *state << 13;
-    *state ^= *state >> 7;
-    *state ^= *state << 17;
-    *state
+fn main() {
+    mbr_bench::suites::solvers();
 }
-
-fn bench_setpart(c: &mut Criterion) {
-    // A 30-element instance shaped like a composition partition: singletons
-    // plus overlapping pair/quad candidates.
-    let n = 30usize;
-    let mut sp = SetPartition::new(n);
-    for e in 0..n {
-        sp.add_candidate(&[e], 1.0);
-    }
-    let mut state = 0x5EED_u64;
-    for _ in 0..200 {
-        let a = (xorshift(&mut state) % n as u64) as usize;
-        let b = (a + 1 + (xorshift(&mut state) % 4) as usize).min(n - 1);
-        if a != b {
-            sp.add_candidate(&[a, b], 0.5);
-        }
-        let q: Vec<usize> = (0..4)
-            .map(|_| (xorshift(&mut state) % n as u64) as usize)
-            .collect();
-        sp.add_candidate(&q, 0.25);
-    }
-    c.bench_function("setpart_30_elements", |b| {
-        b.iter(|| sp.solve_bounded(50_000).expect("feasible"))
-    });
-}
-
-fn bench_simplex(c: &mut Criterion) {
-    // The Section 4.2 placement LP shape: 2 position vars + 4 helpers per
-    // pin over 16 pins.
-    let mut lp = LpProblem::new();
-    let x = lp.add_var(0.0, 100_000.0, 0.0);
-    let y = lp.add_var(0.0, 100_000.0, 0.0);
-    let mut state = 0xF00D_u64;
-    for _ in 0..16 {
-        let bx = (xorshift(&mut state) % 90_000) as f64;
-        let by = (xorshift(&mut state) % 90_000) as f64;
-        let hx = lp.add_var(f64::NEG_INFINITY, f64::INFINITY, 1.0);
-        let lx = lp.add_var(f64::NEG_INFINITY, f64::INFINITY, -1.0);
-        let hy = lp.add_var(f64::NEG_INFINITY, f64::INFINITY, 1.0);
-        let ly = lp.add_var(f64::NEG_INFINITY, f64::INFINITY, -1.0);
-        lp.add_constraint(&[(hx, 1.0)], Sense::Ge, bx);
-        lp.add_constraint(&[(hx, 1.0), (x, -1.0)], Sense::Ge, 0.0);
-        lp.add_constraint(&[(lx, 1.0)], Sense::Le, bx);
-        lp.add_constraint(&[(lx, 1.0), (x, -1.0)], Sense::Le, 0.0);
-        lp.add_constraint(&[(hy, 1.0)], Sense::Ge, by);
-        lp.add_constraint(&[(hy, 1.0), (y, -1.0)], Sense::Ge, 0.0);
-        lp.add_constraint(&[(ly, 1.0)], Sense::Le, by);
-        lp.add_constraint(&[(ly, 1.0), (y, -1.0)], Sense::Le, 0.0);
-    }
-    c.bench_function("simplex_placement_lp_16_pins", |b| {
-        b.iter(|| lp.solve().expect("feasible"))
-    });
-}
-
-fn bench_bron_kerbosch(c: &mut Criterion) {
-    // A 30-node graph at ~50 % density — the partition-bound worst case.
-    let n = 30;
-    let mut g = UnGraph::new(n);
-    let mut state = 0xBEEF_u64;
-    for i in 0..n {
-        for j in (i + 1)..n {
-            if xorshift(&mut state) % 100 < 50 {
-                g.add_edge(i, j);
-            }
-        }
-    }
-    let nodes: Vec<usize> = (0..n).collect();
-    let bg = BitGraph::from_subgraph(&g, &nodes);
-    c.bench_function("bron_kerbosch_30_nodes", |b| {
-        b.iter(|| bg.maximal_cliques())
-    });
-}
-
-fn bench_convex_hull(c: &mut Criterion) {
-    let mut state = 0xCAFE_u64;
-    let pts: Vec<Point> = (0..64)
-        .map(|_| {
-            Point::new(
-                (xorshift(&mut state) % 100_000) as i64,
-                (xorshift(&mut state) % 100_000) as i64,
-            )
-        })
-        .collect();
-    c.bench_function("convex_hull_64_corners", |b| b.iter(|| convex_hull(&pts)));
-}
-
-criterion_group!(
-    benches,
-    bench_setpart,
-    bench_simplex,
-    bench_bron_kerbosch,
-    bench_convex_hull
-);
-criterion_main!(benches);

@@ -1,60 +1,8 @@
-//! Table 1 benchmark: the full composition flow per design.
+//! Table 1 bench target: the full composition flow per design.
 //!
-//! The paper reports ~60 min CPU per design on 30–50 k-register netlists;
-//! these presets are scaled ~18× down, so seconds here correspond to that
-//! hour there. Run with `cargo bench -p mbr-bench --bench table1`.
+//! Run with `cargo bench -p mbr-bench --bench table1`; results land in
+//! `BENCH_table1.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mbr_bench::{generate, library, model_for};
-use mbr_core::{Composer, ComposerOptions};
-
-fn bench_compose(c: &mut Criterion) {
-    let lib = library();
-    let mut group = c.benchmark_group("table1_compose");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    group.measurement_time(std::time::Duration::from_secs(3));
-    for spec in [mbr_workloads::d1(), mbr_workloads::d3()] {
-        let design = generate(&spec, &lib);
-        let composer = Composer::new(ComposerOptions::default(), model_for(&spec));
-        group.bench_with_input(BenchmarkId::from_parameter(&spec.name), &design, |b, d| {
-            b.iter(|| {
-                let mut work = d.clone();
-                composer.compose(&mut work, &lib).expect("flow succeeds")
-            });
-        });
-    }
-    group.finish();
+fn main() {
+    mbr_bench::suites::table1();
 }
-
-fn bench_stages(c: &mut Criterion) {
-    use mbr_core::candidates::enumerate_candidates;
-    use mbr_core::compat::CompatGraph;
-    use mbr_sta::Sta;
-
-    let lib = library();
-    let spec = mbr_workloads::d1();
-    let design = generate(&spec, &lib);
-    let model = model_for(&spec);
-    let options = ComposerOptions::default();
-
-    let mut group = c.benchmark_group("table1_stages");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.bench_function("sta_full", |b| {
-        b.iter(|| Sta::new(&design, &lib, model).expect("acyclic"));
-    });
-    let sta = Sta::new(&design, &lib, model).expect("acyclic");
-    group.bench_function("compat_graph", |b| {
-        b.iter(|| CompatGraph::build(&design, &lib, &sta, &options));
-    });
-    let compat = CompatGraph::build(&design, &lib, &sta, &options);
-    group.bench_function("enumerate_candidates", |b| {
-        b.iter(|| enumerate_candidates(&design, &lib, &compat, &options));
-    });
-    group.finish();
-}
-
-criterion_group!(benches, bench_compose, bench_stages);
-criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Runs the benchmark suites and writes `BENCH_<suite>.json` files.
+//!
+//! Usage: `cargo run --release -p mbr-bench --bin bench -- [suite ...]`
+//! where each suite is one of `table1`, `fig5`, `fig6`, `ablations`,
+//! `solvers`; with no arguments every suite runs. Set `MBR_BENCH_QUICK=1`
+//! for a three-sample smoke run.
+
+use mbr_bench::suites;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        suites::run_all();
+        return;
+    }
+    for name in &args {
+        match name.as_str() {
+            "table1" => suites::table1(),
+            "fig5" => suites::fig5(),
+            "fig6" => suites::fig6(),
+            "ablations" => suites::ablations(),
+            "solvers" => suites::solvers(),
+            other => {
+                eprintln!(
+                    "unknown suite `{other}` (expected table1|fig5|fig6|ablations|solvers)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+}

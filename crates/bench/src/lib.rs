@@ -1,9 +1,13 @@
 //! Shared harness for regenerating the paper's tables and figures.
 //!
 //! The `repro` binary (`cargo run -p mbr-bench --bin repro -- <experiment>`)
-//! prints each table/figure; the Criterion benches under `benches/` measure
-//! the same flows. Both build on the helpers here so every experiment runs
-//! the exact same configuration.
+//! prints each table/figure; the [`suites`] benchmarks (reachable both via
+//! `cargo bench -p mbr-bench` and `cargo run -p mbr-bench --bin bench`)
+//! measure the same flows on the in-workspace `mbr_test::bench` harness.
+//! Both build on the helpers here so every experiment runs the exact same
+//! configuration.
+
+pub mod suites;
 
 use mbr_core::{ComposeOutcome, Composer, ComposerOptions, DesignMetrics};
 use mbr_cts::CtsConfig;

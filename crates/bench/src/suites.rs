@@ -1,0 +1,282 @@
+//! The five benchmark suites, shared between the `benches/` targets and the
+//! `bench` binary.
+//!
+//! Each function builds one [`mbr_test::bench::Suite`], times its workloads,
+//! and finishes it, which prints a summary table and writes
+//! `BENCH_<suite>.json`. Run everything with
+//! `cargo run --release -p mbr-bench --bin bench`, or a single suite with
+//! `cargo bench -p mbr-bench --bench <suite>`. Set `MBR_BENCH_QUICK=1` for a
+//! three-sample smoke run.
+
+use mbr_core::{Composer, ComposerOptions};
+use mbr_test::bench::Suite;
+use mbr_workloads::DesignSpec;
+
+use crate::{generate, library, model_for};
+
+/// Table 1: the full composition flow per design, plus its stages.
+///
+/// The paper reports ~60 min CPU per design on 30–50 k-register netlists;
+/// these presets are scaled ~18× down, so seconds here correspond to that
+/// hour there.
+pub fn table1() {
+    use mbr_core::candidates::enumerate_candidates;
+    use mbr_core::compat::CompatGraph;
+    use mbr_sta::Sta;
+
+    let lib = library();
+    let mut suite = Suite::new("table1");
+    for spec in [mbr_workloads::d1(), mbr_workloads::d3()] {
+        let design = generate(&spec, &lib);
+        let composer = Composer::new(ComposerOptions::default(), model_for(&spec));
+        suite.bench(&format!("compose/{}", spec.name), || {
+            let mut work = design.clone();
+            composer.compose(&mut work, &lib).expect("flow succeeds")
+        });
+    }
+
+    let spec = mbr_workloads::d1();
+    let design = generate(&spec, &lib);
+    let model = model_for(&spec);
+    let options = ComposerOptions::default();
+    suite.bench("stages/sta_full", || {
+        Sta::new(&design, &lib, model).expect("acyclic")
+    });
+    let sta = Sta::new(&design, &lib, model).expect("acyclic");
+    suite.bench("stages/compat_graph", || {
+        CompatGraph::build(&design, &lib, &sta, &options)
+    });
+    let compat = CompatGraph::build(&design, &lib, &sta, &options);
+    suite.bench("stages/enumerate_candidates", || {
+        enumerate_candidates(&design, &lib, &compat, &options)
+    });
+    suite.finish();
+}
+
+/// Fig. 5: the bit-width histogram and the full design metrics
+/// (STA + CTS + congestion + wirelength) used for every table row.
+pub fn fig5() {
+    use mbr_core::{BitWidthHistogram, DesignMetrics};
+    use mbr_cts::CtsConfig;
+    use mbr_place::CongestionConfig;
+
+    let lib = library();
+    let spec = mbr_workloads::d1();
+    let design = generate(&spec, &lib);
+    let model = model_for(&spec);
+
+    let mut suite = Suite::new("fig5");
+    suite.bench("bitwidth_histogram", || BitWidthHistogram::measure(&design));
+    suite.bench("design_metrics", || {
+        DesignMetrics::measure(
+            &design,
+            &lib,
+            model,
+            &CtsConfig::default(),
+            &CongestionConfig::default(),
+        )
+        .expect("metrics")
+    });
+    suite.finish();
+}
+
+/// Fig. 6: ILP selection vs the greedy heuristic on the same candidate sets
+/// (the selection stage is what the figure isolates).
+pub fn fig6() {
+    let lib = library();
+    let spec = mbr_workloads::d1();
+    let design = generate(&spec, &lib);
+    let composer = Composer::new(ComposerOptions::default(), model_for(&spec));
+
+    let mut suite = Suite::new("fig6");
+    suite.bench("ilp_flow", || {
+        let mut work = design.clone();
+        composer.compose(&mut work, &lib).expect("flow")
+    });
+    suite.bench("heuristic_flow", || {
+        let mut work = design.clone();
+        composer.compose_heuristic(&mut work, &lib).expect("flow")
+    });
+    suite.finish();
+}
+
+/// A ~500-register design: large enough for the ablation sweeps to
+/// differentiate, small enough for repeated sampling.
+fn ablation_spec() -> DesignSpec {
+    DesignSpec {
+        name: "bench_small".into(),
+        seed: 0xBE7C,
+        cluster_grid: 3,
+        groups_per_cluster: 10,
+        regs_per_group: 3..=6,
+        width_mix: [0.45, 0.25, 0.18, 0.12],
+        fixed_fraction: 0.12,
+        scan_fraction: 0.25,
+        ordered_scan_fraction: 0.2,
+        extra_buffer_depth: 3,
+        utilization: 0.4,
+        clock_period: 500.0,
+        clock_domains: 1,
+        wire_scale: 1.0,
+    }
+}
+
+/// Ablations for the design choices DESIGN.md calls out: partition bound
+/// (runtime vs QoR), blocking weights, incomplete MBRs.
+pub fn ablations() {
+    let lib = library();
+    let spec = ablation_spec();
+    let design = generate(&spec, &lib);
+
+    let mut suite = Suite::new("ablations");
+    for bound in [10usize, 20, 30, 40] {
+        let composer = Composer::new(
+            ComposerOptions {
+                partition_max_nodes: bound,
+                ..ComposerOptions::default()
+            },
+            model_for(&spec),
+        );
+        suite.bench(&format!("partition_bound/{bound}"), || {
+            let mut work = design.clone();
+            composer.compose(&mut work, &lib).expect("flow")
+        });
+    }
+
+    let cases = [
+        ("default", ComposerOptions::default()),
+        (
+            "no_weights",
+            ComposerOptions {
+                use_blocking_weights: false,
+                ..ComposerOptions::default()
+            },
+        ),
+        (
+            "no_incomplete",
+            ComposerOptions {
+                allow_incomplete: false,
+                ..ComposerOptions::default()
+            },
+        ),
+        (
+            "no_skew_no_sizing",
+            ComposerOptions {
+                apply_useful_skew: false,
+                apply_sizing: false,
+                ..ComposerOptions::default()
+            },
+        ),
+    ];
+    for (name, options) in cases {
+        let composer = Composer::new(options, model_for(&spec));
+        suite.bench(&format!("features/{name}"), || {
+            let mut work = design.clone();
+            composer.compose(&mut work, &lib).expect("flow")
+        });
+    }
+    suite.finish();
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// Micro-benchmarks of the algorithmic substrates: the set-partitioning
+/// branch-and-bound, the simplex LP, Bron–Kerbosch, and the convex hull.
+pub fn solvers() {
+    use mbr_geom::{convex_hull, Point};
+    use mbr_graph::{BitGraph, UnGraph};
+    use mbr_lp::{LpProblem, Sense, SetPartition};
+
+    let mut suite = Suite::new("solvers");
+
+    // A 30-element instance shaped like a composition partition: singletons
+    // plus overlapping pair/quad candidates.
+    let n = 30usize;
+    let mut sp = SetPartition::new(n);
+    for e in 0..n {
+        sp.add_candidate(&[e], 1.0);
+    }
+    let mut state = 0x5EED_u64;
+    for _ in 0..200 {
+        let a = (xorshift(&mut state) % n as u64) as usize;
+        let b = (a + 1 + (xorshift(&mut state) % 4) as usize).min(n - 1);
+        if a != b {
+            sp.add_candidate(&[a, b], 0.5);
+        }
+        let q: Vec<usize> = (0..4)
+            .map(|_| (xorshift(&mut state) % n as u64) as usize)
+            .collect();
+        sp.add_candidate(&q, 0.25);
+    }
+    suite.bench("setpart_30_elements", || {
+        sp.solve_bounded(50_000).expect("feasible")
+    });
+
+    // The Section 4.2 placement LP shape: 2 position vars + 4 helpers per
+    // pin over 16 pins.
+    let mut lp = LpProblem::new();
+    let x = lp.add_var(0.0, 100_000.0, 0.0);
+    let y = lp.add_var(0.0, 100_000.0, 0.0);
+    let mut state = 0xF00D_u64;
+    for _ in 0..16 {
+        let bx = (xorshift(&mut state) % 90_000) as f64;
+        let by = (xorshift(&mut state) % 90_000) as f64;
+        let hx = lp.add_var(f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        let lx = lp.add_var(f64::NEG_INFINITY, f64::INFINITY, -1.0);
+        let hy = lp.add_var(f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        let ly = lp.add_var(f64::NEG_INFINITY, f64::INFINITY, -1.0);
+        lp.add_constraint(&[(hx, 1.0)], Sense::Ge, bx);
+        lp.add_constraint(&[(hx, 1.0), (x, -1.0)], Sense::Ge, 0.0);
+        lp.add_constraint(&[(lx, 1.0)], Sense::Le, bx);
+        lp.add_constraint(&[(lx, 1.0), (x, -1.0)], Sense::Le, 0.0);
+        lp.add_constraint(&[(hy, 1.0)], Sense::Ge, by);
+        lp.add_constraint(&[(hy, 1.0), (y, -1.0)], Sense::Ge, 0.0);
+        lp.add_constraint(&[(ly, 1.0)], Sense::Le, by);
+        lp.add_constraint(&[(ly, 1.0), (y, -1.0)], Sense::Le, 0.0);
+    }
+    suite.bench("simplex_placement_lp_16_pins", || {
+        lp.solve().expect("feasible")
+    });
+
+    // A 30-node graph at ~50 % density — the partition-bound worst case.
+    let n = 30;
+    let mut g = UnGraph::new(n);
+    let mut state = 0xBEEF_u64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if xorshift(&mut state) % 100 < 50 {
+                g.add_edge(i, j);
+            }
+        }
+    }
+    let nodes: Vec<usize> = (0..n).collect();
+    let bg = BitGraph::from_subgraph(&g, &nodes);
+    suite.bench("bron_kerbosch_30_nodes", || bg.maximal_cliques());
+
+    let mut state = 0xCAFE_u64;
+    let pts: Vec<Point> = (0..64)
+        .map(|_| {
+            Point::new(
+                (xorshift(&mut state) % 100_000) as i64,
+                (xorshift(&mut state) % 100_000) as i64,
+            )
+        })
+        .collect();
+    suite.bench("convex_hull_64_corners", || convex_hull(&pts));
+
+    suite.finish();
+}
+
+/// Runs every suite, in a deterministic order.
+pub fn run_all() {
+    table1();
+    fig5();
+    fig6();
+    ablations();
+    solvers();
+}

@@ -3,10 +3,11 @@
 
 use mbr_core::placement::{optimal_corner_brute, optimal_corner_lp, placement_cost, PinBox};
 use mbr_geom::{Point, Rect};
-use proptest::prelude::*;
+use mbr_test::check::{vec_of, Gen};
+use mbr_test::{prop_assert, props};
 
-fn arb_boxes() -> impl Strategy<Value = Vec<PinBox>> {
-    prop::collection::vec(
+fn arb_boxes() -> impl Gen<Value = Vec<PinBox>> {
+    vec_of(
         (
             0i64..90_000,
             0i64..90_000,
@@ -15,7 +16,7 @@ fn arb_boxes() -> impl Strategy<Value = Vec<PinBox>> {
             0i64..4_000,
             0i64..1_000,
         ),
-        1..12,
+        1usize..12,
     )
     .prop_map(|raw| {
         raw.into_iter()
@@ -27,12 +28,11 @@ fn arb_boxes() -> impl Strategy<Value = Vec<PinBox>> {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+props! {
+    cases = 64;
 
     /// The simplex solution of the placement LP achieves the same objective
     /// as the exact separable-median oracle (positions may differ on ties).
-    #[test]
     fn lp_matches_the_exact_oracle(boxes in arb_boxes()) {
         let region = Rect::new(Point::new(0, 0), Point::new(100_000, 100_000));
         let lp = optimal_corner_lp(&boxes, region);
@@ -54,7 +54,6 @@ proptest! {
     }
 
     /// The optimum never loses to a random grid of alternative corners.
-    #[test]
     fn oracle_beats_random_corners(boxes in arb_boxes(), probe_x in 0i64..100_000, probe_y in 0i64..100_000) {
         let region = Rect::new(Point::new(0, 0), Point::new(100_000, 100_000));
         let brute = optimal_corner_brute(&boxes, region);
@@ -63,7 +62,6 @@ proptest! {
     }
 
     /// Shrinking the feasible region never improves the objective.
-    #[test]
     fn region_restriction_is_monotone(boxes in arb_boxes()) {
         let big = Rect::new(Point::new(0, 0), Point::new(100_000, 100_000));
         let small = Rect::new(Point::new(40_000, 40_000), Point::new(60_000, 60_000));

@@ -5,7 +5,8 @@ use mbr_cts::{build_clock_trees, synthesize_clock_tree, CtsConfig, TreeNodeKind}
 use mbr_geom::{Point, Rect};
 use mbr_liberty::standard_library;
 use mbr_netlist::{Design, RegisterAttrs};
-use proptest::prelude::*;
+use mbr_test::check::vec_of;
+use mbr_test::{prop_assert, prop_assert_eq, props};
 
 fn design_with_sinks(points: &[(i64, i64)]) -> Design {
     let lib = standard_library();
@@ -25,13 +26,10 @@ fn design_with_sinks(points: &[(i64, i64)]) -> Design {
     d
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
+props! {
     /// Tree structure: every sink appears once, every node reaches the
     /// single root, fanout and level accounting are consistent.
-    #[test]
-    fn tree_invariants(points in prop::collection::vec((0i64..190_000, 0i64..190_000), 1..120)) {
+    fn tree_invariants(points in vec_of((0i64..190_000, 0i64..190_000), 1usize..120)) {
         let d = design_with_sinks(&points);
         let cfg = CtsConfig::default();
         let trees = build_clock_trees(&d, &cfg);
@@ -83,8 +81,7 @@ proptest! {
 
     /// The aggregate report equals the per-tree metrics and scales
     /// monotonically: removing sinks never increases total capacitance.
-    #[test]
-    fn report_is_monotone_in_sinks(points in prop::collection::vec((0i64..190_000, 0i64..190_000), 2..80)) {
+    fn report_is_monotone_in_sinks(points in vec_of((0i64..190_000, 0i64..190_000), 2usize..80)) {
         let cfg = CtsConfig::default();
         let full = synthesize_clock_tree(&design_with_sinks(&points), &cfg);
         let fewer = synthesize_clock_tree(&design_with_sinks(&points[..points.len() / 2 + 1]), &cfg);

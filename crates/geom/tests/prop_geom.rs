@@ -5,19 +5,19 @@
 //! invariants are checked against brute-force oracles here.
 
 use mbr_geom::{convex_hull, hpwl, Point, Rect};
-use proptest::prelude::*;
+use mbr_test::check::{vec_of, Gen};
+use mbr_test::{prop_assert, prop_assert_eq, props};
 
-fn arb_point() -> impl Strategy<Value = Point> {
+fn arb_point() -> impl Gen<Value = Point> {
     (-1000i64..1000, -1000i64..1000).prop_map(|(x, y)| Point::new(x, y))
 }
 
-fn arb_points(max: usize) -> impl Strategy<Value = Vec<Point>> {
-    prop::collection::vec(arb_point(), 0..max)
+fn arb_points(max: usize) -> impl Gen<Value = Vec<Point>> {
+    vec_of(arb_point(), 0..max)
 }
 
-proptest! {
+props! {
     /// Every input point is inside (or on) its own hull.
-    #[test]
     fn hull_contains_all_inputs(pts in arb_points(40)) {
         let hull = convex_hull(&pts);
         for &p in &pts {
@@ -26,7 +26,6 @@ proptest! {
     }
 
     /// Hull vertices are a subset of the input points.
-    #[test]
     fn hull_vertices_are_input_points(pts in arb_points(40)) {
         let hull = convex_hull(&pts);
         for v in hull.vertices() {
@@ -35,7 +34,6 @@ proptest! {
     }
 
     /// The hull is convex: every vertex triple turns counter-clockwise.
-    #[test]
     fn hull_is_convex_and_ccw(pts in arb_points(40)) {
         let hull = convex_hull(&pts);
         let v = hull.vertices();
@@ -49,7 +47,6 @@ proptest! {
     }
 
     /// Hull is invariant under input permutation and duplication.
-    #[test]
     fn hull_is_order_and_duplicate_invariant(pts in arb_points(25)) {
         let base = convex_hull(&pts);
         let mut shuffled = pts.clone();
@@ -60,7 +57,6 @@ proptest! {
 
     /// Strict containment implies closed containment, never the reverse on
     /// the boundary.
-    #[test]
     fn strict_implies_closed(pts in arb_points(30), probe in arb_point()) {
         let hull = convex_hull(&pts);
         if hull.contains_strict(probe) {
@@ -74,7 +70,6 @@ proptest! {
 
     /// Containment matches a brute-force half-plane oracle over the input
     /// points' hull edges.
-    #[test]
     fn containment_matches_halfplane_oracle(pts in arb_points(20), probe in arb_point()) {
         let hull = convex_hull(&pts);
         if hull.vertices().len() >= 3 {
@@ -87,7 +82,6 @@ proptest! {
 
     /// HPWL equals the bounding-rect half perimeter and is monotone in
     /// point-set inclusion.
-    #[test]
     fn hpwl_is_monotone(pts in arb_points(30), extra in arb_point()) {
         let base = hpwl(pts.iter().copied());
         let mut more = pts.clone();
@@ -97,7 +91,6 @@ proptest! {
 
     /// Rect intersection is the greatest lower bound: contained in both
     /// operands, and any point in both operands is in the intersection.
-    #[test]
     fn rect_intersection_is_glb(
         (a0, a1, b0, b1) in (arb_point(), arb_point(), arb_point(), arb_point()),
         probe in arb_point(),
@@ -117,7 +110,6 @@ proptest! {
 
     /// Rect union covers both operands and is the smallest such box over the
     /// corner set.
-    #[test]
     fn rect_union_is_lub((a0, a1, b0, b1) in (arb_point(), arb_point(), arb_point(), arb_point())) {
         let a = Rect::new(a0, a1);
         let b = Rect::new(b0, b1);

@@ -2,11 +2,12 @@
 
 use mbr_geom::Point;
 use mbr_graph::{partition_geometric, BitGraph, UnGraph};
-use proptest::prelude::*;
+use mbr_test::check::{any_u64, Gen};
+use mbr_test::{prop_assert, prop_assert_eq, props};
 
 /// Random graph on up to 12 nodes as an edge-probability matrix seed.
-fn arb_graph() -> impl Strategy<Value = UnGraph> {
-    (2usize..12, any::<u64>()).prop_map(|(n, seed)| {
+fn arb_graph() -> impl Gen<Value = UnGraph> {
+    (2usize..12, any_u64()).prop_map(|(n, seed)| {
         let mut g = UnGraph::new(n);
         let mut state = seed | 1;
         for i in 0..n {
@@ -52,11 +53,8 @@ fn brute_force_maximal_cliques(g: &UnGraph) -> Vec<Vec<usize>> {
     cliques
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
+props! {
     /// Bron–Kerbosch output equals the brute-force maximal clique set.
-    #[test]
     fn bron_kerbosch_matches_brute_force(g in arb_graph()) {
         let nodes: Vec<usize> = (0..g.len()).collect();
         let bg = BitGraph::from_subgraph(&g, &nodes);
@@ -71,7 +69,6 @@ proptest! {
 
     /// Every enumerated sub-clique is a clique, within budget, and the count
     /// matches direct subset counting.
-    #[test]
     fn subcliques_are_cliques_within_budget(g in arb_graph(), budget in 1u32..6) {
         let nodes: Vec<usize> = (0..g.len()).collect();
         let bg = BitGraph::from_subgraph(&g, &nodes);
@@ -106,8 +103,7 @@ proptest! {
     }
 
     /// Partitioning is a partition: bound respected, all nodes covered once.
-    #[test]
-    fn geometric_partition_is_a_partition(g in arb_graph(), max_nodes in 1usize..8, seed in any::<u64>()) {
+    fn geometric_partition_is_a_partition(g in arb_graph(), max_nodes in 1usize..8, seed in any_u64()) {
         let mut state = seed | 1;
         let positions: Vec<Point> = (0..g.len())
             .map(|_| {

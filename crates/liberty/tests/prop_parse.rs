@@ -2,20 +2,19 @@
 //! whatever bytes it is fed, and must round-trip everything it accepts.
 
 use mbr_liberty::{standard_library_with_widths, Library};
-use proptest::prelude::*;
+use mbr_test::check::{btree_set_of, string_any};
+use mbr_test::{prop_assert, prop_assert_eq, props};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+props! {
+    cases = 256;
 
     /// Arbitrary text: parse returns Ok or Err, never panics.
-    #[test]
-    fn parse_never_panics_on_arbitrary_text(src in ".{0,400}") {
+    fn parse_never_panics_on_arbitrary_text(src in string_any(0usize..400)) {
         let _ = Library::parse(&src);
     }
 
     /// Mutilated valid input (truncated at a random point): still no panic,
     /// and errors carry a plausible location.
-    #[test]
     fn parse_survives_truncation(cut in 0usize..2000) {
         let full = standard_library_with_widths(&[1, 2, 4]).to_mbrlib();
         let cut = cut.min(full.len());
@@ -37,8 +36,7 @@ proptest! {
 
     /// Whatever widths we build the default library with, serialization
     /// round-trips exactly.
-    #[test]
-    fn library_round_trips_for_any_width_set(widths in prop::collection::btree_set(1u8..32, 1..6)) {
+    fn library_round_trips_for_any_width_set(widths in btree_set_of(1u8..32, 1usize..6)) {
         let widths: Vec<u8> = widths.into_iter().collect();
         let lib = standard_library_with_widths(&widths);
         let text = lib.to_mbrlib();

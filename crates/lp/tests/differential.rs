@@ -1,0 +1,130 @@
+//! Differential solver test (ISSUE satellite): the specialized
+//! set-partitioning branch-and-bound, the generic simplex-based ILP
+//! branch-and-bound, and brute-force subset enumeration must agree on the
+//! optimal objective of randomized register-partition instances of up to 14
+//! registers.
+
+use mbr_lp::{IlpProblem, Sense, SetPartition};
+use mbr_test::Rng;
+
+/// Brute-force optimum by enumerating every candidate subset.
+fn brute_force(num_elements: usize, cands: &[(Vec<usize>, f64)]) -> Option<f64> {
+    let n = cands.len();
+    assert!(n <= 18, "brute force is exponential");
+    let mut best: Option<f64> = None;
+    'subsets: for mask in 0u32..(1 << n) {
+        let mut covered = vec![false; num_elements];
+        let mut cost = 0.0;
+        for (i, (elems, w)) in cands.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                for &e in elems {
+                    if covered[e] {
+                        continue 'subsets;
+                    }
+                    covered[e] = true;
+                }
+                cost += w;
+            }
+        }
+        if covered.iter().all(|&c| c) && best.is_none_or(|b| cost < b) {
+            best = Some(cost);
+        }
+    }
+    best
+}
+
+/// One randomized instance shaped like a composition partition: `n`
+/// registers, singleton candidates for (most of) them, plus random
+/// multi-register merge candidates with width-dependent costs.
+fn random_instance(rng: &mut Rng, n: usize) -> Vec<(Vec<usize>, f64)> {
+    let mut cands = Vec::new();
+    for e in 0..n {
+        // Occasionally omit a singleton so some instances are infeasible
+        // unless a group covers the register — and some are infeasible
+        // outright, exercising the Err path of all three solvers.
+        if rng.f64() < 0.9 {
+            cands.push((vec![e], 1.0));
+        }
+    }
+    let groups = rng.gen_range(1usize..12);
+    for _ in 0..groups {
+        if cands.len() >= 18 {
+            break; // keep the brute-force oracle tractable (2^18 subsets)
+        }
+        let size = rng.gen_range(2usize..=4.min(n));
+        let mut group: Vec<usize> = Vec::new();
+        while group.len() < size {
+            let e = rng.gen_range(0..n);
+            if !group.contains(&e) {
+                group.push(e);
+            }
+        }
+        group.sort_unstable();
+        // A merged k-bit register is cheaper than k singles, as in Table 2.
+        let cost = size as f64 * rng.gen_range(0.3..0.9);
+        cands.push((group, cost));
+    }
+    cands
+}
+
+#[test]
+fn all_three_solvers_agree_on_random_partitions() {
+    let mut rng = Rng::seed_from_u64(0x5e7_9a27);
+    for round in 0..120 {
+        let n = rng.gen_range(2usize..=14);
+        let cands = random_instance(&mut rng, n);
+
+        let mut sp = SetPartition::new(n);
+        let mut ilp = IlpProblem::new();
+        let mut vars = Vec::new();
+        for (elems, w) in &cands {
+            sp.add_candidate(elems, *w);
+            vars.push(ilp.add_binary(*w));
+        }
+        for e in 0..n {
+            let terms: Vec<_> = cands
+                .iter()
+                .enumerate()
+                .filter(|(_, (elems, _))| elems.contains(&e))
+                .map(|(i, _)| (vars[i], 1.0))
+                .collect();
+            ilp.add_constraint(&terms, Sense::Eq, 1.0);
+        }
+
+        let oracle = brute_force(n, &cands);
+        let sp_result = sp.solve();
+        let ilp_result = ilp.solve();
+        match (&sp_result, &ilp_result, oracle) {
+            (Ok(a), Ok(b), Some(best)) => {
+                assert!(
+                    (a.cost - best).abs() < 1e-9,
+                    "round {round}: setpart {} vs brute force {best}",
+                    a.cost
+                );
+                assert!(
+                    (b.objective - best).abs() < 1e-6,
+                    "round {round}: simplex B&B {} vs brute force {best}",
+                    b.objective
+                );
+                // The selected candidates must be an exact cover at the
+                // claimed cost, not just a matching number.
+                let mut covered = vec![false; n];
+                let mut cost = 0.0;
+                for &i in &a.selected {
+                    for &e in &cands[i].0 {
+                        assert!(!covered[e], "round {round}: double cover of {e}");
+                        covered[e] = true;
+                    }
+                    cost += cands[i].1;
+                }
+                assert!(covered.iter().all(|&c| c), "round {round}: not a cover");
+                assert!((cost - a.cost).abs() < 1e-9);
+            }
+            (Err(_), Err(_), None) => {}
+            (a, b, want) => panic!(
+                "round {round}: solver verdicts disagree: setpart {a:?}, \
+                 ilp {b:?}, brute force {want:?}"
+            ),
+        }
+    }
+}

@@ -5,7 +5,8 @@
 //! brute-force enumerator and the generic simplex-based branch-and-bound.
 
 use mbr_lp::{IlpProblem, LpProblem, Sense, SetPartition};
-use proptest::prelude::*;
+use mbr_test::check::{btree_set_of, just, vec_of, Gen};
+use mbr_test::{prop_assert, props};
 
 /// Brute-force optimum of a set-partitioning instance by subset enumeration.
 fn brute_force(num_elements: usize, cands: &[(Vec<usize>, f64)]) -> Option<f64> {
@@ -33,20 +34,19 @@ fn brute_force(num_elements: usize, cands: &[(Vec<usize>, f64)]) -> Option<f64> 
     best
 }
 
-fn arb_instance() -> impl Strategy<Value = (usize, Vec<(Vec<usize>, f64)>)> {
+fn arb_instance() -> impl Gen<Value = (usize, Vec<(Vec<usize>, f64)>)> {
     (2usize..7).prop_flat_map(|n| {
-        let cand = (prop::collection::btree_set(0..n, 1..=n.min(4)), 0u32..100)
+        let cand = (btree_set_of(0usize..n, 1usize..=n.min(4)), 0u32..100)
             .prop_map(|(set, w)| (set.into_iter().collect::<Vec<_>>(), f64::from(w) / 10.0));
-        (Just(n), prop::collection::vec(cand, 1..10))
+        (just(n), vec_of(cand, 1usize..10))
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+props! {
+    cases = 64;
 
     /// The dedicated solver matches brute force exactly (cost and
     /// feasibility verdict).
-    #[test]
     fn setpart_matches_brute_force((n, cands) in arb_instance()) {
         let mut sp = SetPartition::new(n);
         for (elems, w) in &cands {
@@ -76,7 +76,6 @@ proptest! {
     }
 
     /// The generic ILP branch-and-bound agrees with the dedicated solver.
-    #[test]
     fn ilp_matches_setpart((n, cands) in arb_instance()) {
         let mut sp = SetPartition::new(n);
         let mut ilp = IlpProblem::new();
@@ -104,7 +103,6 @@ proptest! {
 
     /// LP relaxation of the partition problem never exceeds the ILP optimum
     /// (weak duality sanity on the solver stack).
-    #[test]
     fn lp_relaxation_lower_bounds_ilp((n, cands) in arb_instance()) {
         let mut sp = SetPartition::new(n);
         let mut lp = LpProblem::new();
@@ -130,7 +128,6 @@ proptest! {
 
     /// Random small LPs: the simplex solution satisfies all constraints and
     /// is not beaten by any feasible corner of a sampled grid.
-    #[test]
     fn lp_solution_is_feasible_and_locally_optimal(
         c1 in -5i32..5, c2 in -5i32..5,
         b1 in 1i32..10, b2 in 1i32..10,

@@ -4,7 +4,7 @@
 use mbr_geom::{Point, Rect};
 use mbr_liberty::standard_library;
 use mbr_netlist::{Design, InstId, NetId, PinKind, RegisterAttrs};
-use proptest::prelude::*;
+use mbr_test::{prop_assert, prop_assert_eq, prop_assume, props};
 
 /// Builds `n` 1-bit registers with individually wired D/Q nets driven by an
 /// input port (so validation stays clean).
@@ -44,13 +44,10 @@ fn fixture(n: usize) -> (Design, Vec<InstId>, Vec<(NetId, NetId)>) {
     (d, regs, nets)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
+props! {
     /// Merge a random subset into the smallest fitting cell, then split it
     /// back: every original D/Q net must end up on exactly one 1-bit
     /// register again, and the netlist must stay valid throughout.
-    #[test]
     fn merge_then_split_restores_connectivity(
         n in 2usize..9,
         pick_mask in 0u16..512,
@@ -65,7 +62,7 @@ proptest! {
             .cell(d.inst(group[0]).register_cell().expect("reg"))
             .class;
         let Some(width) = lib.next_width_up(class, group.len() as u8) else {
-            return Ok(()); // more bits than the library offers
+            return; // more bits than the library offers
         };
         let cell = lib.select_cell(class, width, None, false).expect("cell exists");
 

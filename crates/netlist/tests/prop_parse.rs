@@ -3,20 +3,19 @@
 use mbr_geom::{Point, Rect};
 use mbr_liberty::standard_library;
 use mbr_netlist::{Design, PinKind, RegisterAttrs};
-use proptest::prelude::*;
+use mbr_test::check::string_any;
+use mbr_test::{prop_assert, props};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+props! {
+    cases = 256;
 
     /// Arbitrary text never panics the `.design` parser.
-    #[test]
-    fn parse_never_panics_on_arbitrary_text(src in ".{0,400}") {
+    fn parse_never_panics_on_arbitrary_text(src in string_any(0usize..400)) {
         let lib = standard_library();
         let _ = Design::parse(&src, &lib);
     }
 
     /// Truncated valid input never panics and reports locations.
-    #[test]
     fn parse_survives_truncation(cut in 0usize..4000) {
         let lib = standard_library();
         let full = sample_design(&lib).to_design_text(&lib);

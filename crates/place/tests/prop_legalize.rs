@@ -6,19 +6,17 @@ use mbr_geom::{Point, Rect};
 use mbr_liberty::standard_library;
 use mbr_netlist::{Design, InstId, RegisterAttrs};
 use mbr_place::{congestion, legalize, overlaps, CongestionConfig, PlacementGrid};
-use proptest::prelude::*;
+use mbr_test::check::{vec_of, Gen};
+use mbr_test::{prop_assert, prop_assert_eq, props};
 
-fn arb_cells() -> impl Strategy<Value = Vec<(u8, i64, i64)>> {
+fn arb_cells() -> impl Gen<Value = Vec<(u8, i64, i64)>> {
     // (width class index, x, y) — positions may collide arbitrarily.
-    prop::collection::vec((0u8..4, 0i64..50_000, 0i64..50_000), 1..40)
+    vec_of((0u8..4, 0i64..50_000, 0i64..50_000), 1usize..40)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
+props! {
     /// Whatever soup of overlapping registers we drop, legalization makes
     /// the placement overlap-free, row/site aligned, and inside the die.
-    #[test]
     fn legalization_always_produces_legal_placements(cells in arb_cells()) {
         let lib = standard_library();
         let die = Rect::new(Point::new(0, 0), Point::new(60_000, 60_000));
@@ -53,7 +51,6 @@ proptest! {
     }
 
     /// Legalizing an already-legal placement moves nothing.
-    #[test]
     fn legalization_is_idempotent(cells in arb_cells()) {
         let lib = standard_library();
         let die = Rect::new(Point::new(0, 0), Point::new(60_000, 60_000));
@@ -84,7 +81,6 @@ proptest! {
     }
 
     /// Congestion estimation is deterministic and bounded.
-    #[test]
     fn congestion_is_deterministic(cells in arb_cells()) {
         let lib = standard_library();
         let die = Rect::new(Point::new(0, 0), Point::new(60_000, 60_000));

@@ -349,6 +349,13 @@ impl Sta {
                 // Refresh arcs and loads of the adjacent net.
                 if let Some(net) = design.pin(p).net {
                     if design.is_clock_net(net) {
+                        // Ideal clock: no wire arcs, but the driving port's
+                        // load-dependent source arrival still tracks the
+                        // net's HPWL, which this instance's position feeds.
+                        if let Some(driver) = design.net_driver(net) {
+                            self.refresh_driver(design, lib, driver);
+                            seeds.push(driver.index());
+                        }
                         continue;
                     }
                     if let Some(driver) = design.net_driver(net) {

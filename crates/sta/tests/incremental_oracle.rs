@@ -1,0 +1,101 @@
+//! Incremental-STA oracle test: random sequences of placement moves and
+//! clock-skew edits on the `d1()` workload must leave
+//! [`Sta::update_after_change`] in exactly the state a full re-analysis
+//! produces — same arrivals, requireds, slacks, TNS, and failing-endpoint
+//! count at every pin.
+
+use mbr_geom::Point;
+use mbr_liberty::standard_library;
+use mbr_netlist::InstId;
+use mbr_sta::{DelayModel, Sta};
+use mbr_test::Rng;
+
+/// One randomized edit session: `edits` rounds of moves/skews, checking the
+/// incremental report against a from-scratch analysis after every round.
+fn run_session(seed: u64, rounds: usize, edits_per_round: usize) {
+    let lib = standard_library();
+    let spec = mbr_workloads::d1();
+    let mut design = spec.generate(&lib);
+    let model = DelayModel {
+        clock_period: spec.clock_period,
+        ..DelayModel::default()
+    };
+    let mut sta = Sta::new(&design, &lib, model).expect("d1 is acyclic");
+    let regs: Vec<InstId> = design.registers().map(|(id, _)| id).collect();
+    let die = design.die();
+    let mut rng = Rng::seed_from_u64(seed);
+
+    for round in 0..rounds {
+        let mut touched = Vec::new();
+        for _ in 0..edits_per_round {
+            let reg = regs[rng.gen_range(0..regs.len())];
+            if rng.gen_bool(0.5) {
+                // Placement move anywhere on the die.
+                let x = rng.gen_range(die.lo().x..die.hi().x);
+                let y = rng.gen_range(die.lo().y..die.hi().y);
+                design.inst_mut(reg).loc = Point::new(x, y);
+            } else {
+                // Useful-skew edit within a plausible window.
+                let offset = rng.gen_range(-50.0..50.0);
+                design
+                    .inst_mut(reg)
+                    .register_attrs_mut()
+                    .expect("registers have attrs")
+                    .clock_offset = offset;
+            }
+            touched.push(reg);
+        }
+        sta.update_after_change(&design, &lib, &touched);
+
+        let full = Sta::new(&design, &lib, model).expect("still acyclic");
+        for (_, inst) in design.live_insts() {
+            for &p in &inst.pins {
+                for (what, a, b) in [
+                    ("arrival", sta.report().arrival(p), full.report().arrival(p)),
+                    (
+                        "required",
+                        sta.report().required(p),
+                        full.report().required(p),
+                    ),
+                    ("slack", sta.report().slack(p), full.report().slack(p)),
+                ] {
+                    match (a, b) {
+                        (Some(x), Some(y)) => assert!(
+                            (x - y).abs() < 1e-9,
+                            "seed {seed:#x} round {round}: {what} mismatch at {p}: \
+                             incremental {x} vs full {y}"
+                        ),
+                        (None, None) => {}
+                        other => panic!(
+                            "seed {seed:#x} round {round}: {what} presence mismatch \
+                             at {p}: {other:?}"
+                        ),
+                    }
+                }
+            }
+        }
+        assert!(
+            (sta.report().tns - full.report().tns).abs() < 1e-9,
+            "seed {seed:#x} round {round}: tns drifted: incremental {} vs full {}",
+            sta.report().tns,
+            full.report().tns
+        );
+        assert!(
+            (sta.report().wns - full.report().wns).abs() < 1e-9,
+            "seed {seed:#x} round {round}: wns drifted"
+        );
+        assert_eq!(
+            sta.report().failing_endpoints,
+            full.report().failing_endpoints,
+            "seed {seed:#x} round {round}: failing endpoint count drifted"
+        );
+    }
+}
+
+#[test]
+fn incremental_matches_full_reanalysis_over_random_edit_sequences() {
+    // Three independent sessions: sparse edits, bursty edits, long drift.
+    run_session(0xD1_0001, 4, 1);
+    run_session(0xD1_0002, 3, 8);
+    run_session(0xD1_0003, 2, 40);
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+//! Hermetic test and bench substrate for the MBR workspace.
+//!
+//! The build environment is offline, so this crate replaces the three
+//! external dev-dependencies the workspace used to pull from crates.io:
+//!
+//! * [`rng`] — a seeded xoshiro256**/SplitMix64 deterministic PRNG with the
+//!   small API surface the workspace actually uses (`u64`, `f64`,
+//!   `gen_range`, `shuffle`), replacing `rand`,
+//! * [`check`] — a minimal property-testing harness (the [`props!`] runner
+//!   macro, generator combinators, choice-stream shrinking by halving and
+//!   truncation, `MBR_TEST_CASES`/`MBR_TEST_SEED` environment control,
+//!   deterministic seed reporting on failure), replacing `proptest`,
+//! * [`bench`] — a micro-bench harness (warmup, timed iterations,
+//!   median/min/mean reporting, machine-readable `BENCH_<suite>.json`
+//!   output), replacing `criterion`.
+//!
+//! Everything is deterministic: a property failure prints the per-case seed
+//! and the shrunken counterexample, and rerunning with
+//! `MBR_TEST_SEED=<seed> MBR_TEST_CASES=1` reproduces it exactly.
+//!
+//! # Examples
+//!
+//! ```
+//! use mbr_test::props;
+//!
+//! mbr_test::props! {
+//!     /// Reversing twice is the identity.
+//!     fn double_reverse_is_identity(xs in mbr_test::check::vec_of(0i64..100, 0usize..16)) {
+//!         let mut ys = xs.clone();
+//!         ys.reverse();
+//!         ys.reverse();
+//!         mbr_test::prop_assert_eq!(xs, ys);
+//!     }
+//! }
+//! # fn main() {}
+//! ```
+
+pub mod bench;
+pub mod check;
+pub mod rng;
+
+pub use rng::Rng;

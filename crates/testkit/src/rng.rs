@@ -1,0 +1,239 @@
+//! Seeded, dependency-free pseudo-random numbers.
+//!
+//! The generator is xoshiro256** (Blackman & Vigna) seeded through
+//! SplitMix64, the standard pairing: SplitMix64 decorrelates nearby seeds
+//! (the workload presets use seeds like `0xD1`, `0xD2`, …) and never
+//! produces the all-zero state xoshiro cannot leave.
+//!
+//! The API mirrors the subset of `rand` the workspace used, so call sites
+//! read the same: [`Rng::seed_from_u64`], [`Rng::gen_range`],
+//! [`Rng::f64`], [`Rng::shuffle`].
+
+/// Advances a SplitMix64 state and returns the next output.
+///
+/// Exposed because the property harness also uses it to derive independent
+/// per-case seeds from one base seed.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Anything that can produce a stream of uniform `u64`s.
+///
+/// Implemented by [`Rng`] and by the property harness's recording
+/// [`crate::check::Source`], so range sampling works identically over both.
+pub trait RandomBits {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// A seeded xoshiro256** generator.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Builds a generator whose whole stream is a pure function of `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        Rng { s }
+    }
+
+    /// The next uniform `u64`.
+    #[inline]
+    pub fn u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with full 53-bit precision.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        f64_from_bits(self.u64())
+    }
+
+    /// `true` with probability `p`.
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Uniform value in `range` (`Range` or `RangeInclusive` over the
+    /// primitive integer types, or an `f64` range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = bounded(self.u64(), i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+}
+
+impl RandomBits for Rng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.u64()
+    }
+}
+
+/// Maps 64 raw bits to `[0, 1)`.
+#[inline]
+pub(crate) fn f64_from_bits(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Maps 64 raw bits uniformly onto `0..n` via the multiply-shift reduction.
+///
+/// Monotone in `bits`, which the property harness relies on: halving the
+/// recorded raw choice halves the bounded value, shrinking toward a range's
+/// lower bound.
+#[inline]
+pub(crate) fn bounded(bits: u64, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    (((bits as u128) * (n as u128)) >> 64) as u64
+}
+
+/// A range that [`Rng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one uniform value from the range.
+    fn sample<S: RandomBits>(self, source: &mut S) -> Self::Output;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample<S: RandomBits>(self, source: &mut S) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                let off = bounded(source.next_u64(), span as u64) as i128;
+                ((self.start as i128) + off) as $t
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample<S: RandomBits>(self, source: &mut S) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = ((end as i128).wrapping_sub(start as i128) as u128) + 1;
+                if span > u64::MAX as u128 {
+                    return source.next_u64() as $t;
+                }
+                let off = bounded(source.next_u64(), span as u64) as i128;
+                ((start as i128) + off) as $t
+            }
+        }
+    )*}
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange for core::ops::Range<f64> {
+    type Output = f64;
+    #[inline]
+    fn sample<S: RandomBits>(self, source: &mut S) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + f64_from_bits(source.next_u64()) * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.u64(), b.u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        assert!((0..10).any(|_| a.u64() != b.u64()));
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Rng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-50i64..75);
+            assert!((-50..75).contains(&v));
+            let w = rng.gen_range(3usize..=9);
+            assert!((3..=9).contains(&w));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let x = rng.gen_range(0u64..=u64::MAX);
+            let _ = x;
+        }
+    }
+
+    #[test]
+    fn range_samples_cover_all_values() {
+        let mut rng = Rng::seed_from_u64(9);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn f64_is_uniformish() {
+        let mut rng = Rng::seed_from_u64(11);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng::seed_from_u64(13);
+        let mut xs: Vec<u32> = (0..64).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+        assert_ne!(xs, (0..64).collect::<Vec<_>>(), "64 elements never stay put");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = Rng::seed_from_u64(17);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "{hits}");
+    }
+}

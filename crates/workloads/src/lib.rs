@@ -39,8 +39,7 @@ use std::ops::RangeInclusive;
 use mbr_geom::{Dbu, Point, Rect};
 use mbr_liberty::{ClassId, Library};
 use mbr_netlist::{CombModel, Design, InstId, PinKind, RegisterAttrs, ScanInfo};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mbr_test::Rng;
 
 /// Parameters of a synthetic design. Build one of the presets with
 /// [`d1`]..[`d5`] or customize the fields directly.
@@ -225,7 +224,7 @@ struct ScanGroup {
 struct Generator<'a> {
     spec: &'a DesignSpec,
     lib: &'a Library,
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl<'a> Generator<'a> {
@@ -233,14 +232,14 @@ impl<'a> Generator<'a> {
         Generator {
             spec,
             lib,
-            rng: StdRng::seed_from_u64(spec.seed),
+            rng: Rng::seed_from_u64(spec.seed),
         }
     }
 
     fn sample_width(&mut self) -> u8 {
         let widths = [1u8, 2, 4, 8];
         let total: f64 = self.spec.width_mix.iter().sum();
-        let mut roll = self.rng.gen::<f64>() * total;
+        let mut roll = self.rng.f64() * total;
         for (i, &w) in widths.iter().enumerate() {
             roll -= self.spec.width_mix[i];
             if roll <= 0.0 {
@@ -275,12 +274,12 @@ impl<'a> Generator<'a> {
         let mut next_section = 0u32;
         for cluster in 0..clusters {
             for _ in 0..spec.groups_per_cluster {
-                let scan = self.rng.gen::<f64>() < spec.scan_fraction;
+                let scan = self.rng.f64() < spec.scan_fraction;
                 let class = self.pick_class(scan);
                 let n = self.rng.gen_range(spec.regs_per_group.clone());
                 let widths: Vec<u8> = (0..n).map(|_| self.sample_width()).collect();
                 let scan = scan.then(|| {
-                    let ordered = self.rng.gen::<f64>() < spec.ordered_scan_fraction;
+                    let ordered = self.rng.f64() < spec.ordered_scan_fraction;
                     ScanGroup {
                         partition: (cluster % 4) as u16,
                         section: ordered.then(|| {
@@ -293,7 +292,7 @@ impl<'a> Generator<'a> {
                     cluster,
                     class,
                     widths,
-                    fixed: self.rng.gen::<f64>() < spec.fixed_fraction,
+                    fixed: self.rng.f64() < spec.fixed_fraction,
                     scan,
                 });
             }
@@ -506,7 +505,7 @@ impl<'a> Generator<'a> {
                             // previous column (long critical paths).
                             let local = &q_pins_by_row[col - 1][my_row];
                             let prev: &[mbr_netlist::PinId] =
-                                if !local.is_empty() && self.rng.gen::<f64>() < 0.85 {
+                                if !local.is_empty() && self.rng.f64() < 0.85 {
                                     local
                                 } else {
                                     &q_pins[col - 1]
@@ -523,7 +522,7 @@ impl<'a> Generator<'a> {
 
                     // Optional buffer chain between gate and D for depth
                     // diversity (long paths).
-                    let depth = if self.rng.gen::<f64>() < 0.3 {
+                    let depth = if self.rng.f64() < 0.3 {
                         self.rng.gen_range(1..=spec.extra_buffer_depth.max(1))
                     } else {
                         0

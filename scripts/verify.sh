@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Fast CI entrypoint: the tier-1 gate plus a figure reproduction.
+#
+# Everything here runs fully offline — the workspace has zero external
+# dependencies (see crates/testkit). Usage: scripts/verify.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> repro: fig3 weight table"
+cargo run --release -q -p mbr-bench --bin repro -- fig3
+
+echo "verify: OK"

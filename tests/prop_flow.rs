@@ -5,11 +5,12 @@ use mbr::core::{Composer, ComposerOptions};
 use mbr::liberty::standard_library;
 use mbr::sta::{DelayModel, Sta};
 use mbr::workloads::DesignSpec;
-use proptest::prelude::*;
+use mbr_test::check::{any_u64, Gen};
+use mbr_test::{prop_assert, prop_assert_eq, props};
 
-fn arb_spec() -> impl Strategy<Value = DesignSpec> {
+fn arb_spec() -> impl Gen<Value = DesignSpec> {
     (
-        any::<u64>(),
+        any_u64(),
         2usize..4,
         3usize..7,
         0.0f64..0.3,
@@ -34,15 +35,9 @@ fn arb_spec() -> impl Strategy<Value = DesignSpec> {
         })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 8, // each case runs a full flow; keep the suite fast
-        .. ProptestConfig::default()
-    })]
-
+props! {
     /// For any workload: bits are conserved, the netlist stays valid, TNS
     /// and failing endpoints never degrade, and fixed registers survive.
-    #[test]
     fn flow_invariants_hold_for_random_workloads(spec in arb_spec()) {
         let lib = standard_library();
         let mut design = spec.generate(&lib);

@@ -1,0 +1,83 @@
+//! End-to-end smoke test pinning Table-1-shape invariants on the `d1()`
+//! preset: the full flow must keep delivering reductions of the magnitude
+//! the paper reports (scaled presets), never degrade timing, and never grow
+//! wirelength. Any regression in the composition pipeline shows up here as
+//! a broken ratio, not just a changed number.
+
+use mbr::core::{ComposerOptions, DesignMetrics};
+use mbr::cts::CtsConfig;
+use mbr::liberty::standard_library;
+use mbr::place::CongestionConfig;
+use mbr::sta::DelayModel;
+
+/// Percentage saving, `+` = reduced.
+fn save_pct(base: f64, ours: f64) -> f64 {
+    100.0 * (base - ours) / base
+}
+
+#[test]
+fn d1_composition_has_table1_shape() {
+    let lib = standard_library();
+    let spec = mbr::workloads::d1();
+    let mut design = spec.generate(&lib);
+    let base_model = DelayModel::default();
+    let model = DelayModel {
+        clock_period: spec.clock_period,
+        ..base_model
+    };
+    let cts = CtsConfig::default();
+    let cong = CongestionConfig::default();
+    let base = DesignMetrics::measure(&design, &lib, model, &cts, &cong).expect("base analyzes");
+
+    let composer = mbr::core::Composer::new(ComposerOptions::default(), model);
+    let outcome = composer.compose(&mut design, &lib).expect("flow succeeds");
+    let ours = DesignMetrics::measure(&design, &lib, model, &cts, &cong).expect("ours analyzes");
+
+    // Total registers drop >= 20 % (Table 1 reports 21-39 % on D1-D4).
+    let reg_saving = save_pct(base.total_regs as f64, ours.total_regs as f64);
+    assert!(
+        reg_saving >= 20.0,
+        "total register saving {reg_saving:.1}% below the Table-1 floor \
+         ({} -> {})",
+        base.total_regs,
+        ours.total_regs
+    );
+
+    // Composable registers drop >= 40 %: the flow must actually consume the
+    // composable pool, not nibble at it.
+    let comp_saving = save_pct(base.comp_regs as f64, ours.comp_regs as f64);
+    assert!(
+        comp_saving >= 40.0,
+        "composable register saving {comp_saving:.1}% below the floor \
+         ({} -> {})",
+        base.comp_regs,
+        ours.comp_regs
+    );
+
+    // Timing never degrades: TNS must not get more negative, failing
+    // endpoints must not increase.
+    assert!(
+        ours.tns_ns >= base.tns_ns - 1e-9,
+        "TNS degraded: {} -> {}",
+        base.tns_ns,
+        ours.tns_ns
+    );
+    assert!(
+        ours.failing_endpoints <= base.failing_endpoints,
+        "failing endpoints grew: {} -> {}",
+        base.failing_endpoints,
+        ours.failing_endpoints
+    );
+
+    // Total wirelength (signal + clock) does not increase.
+    let wl_base = base.wl_clk_mm + base.wl_other_mm;
+    let wl_ours = ours.wl_clk_mm + ours.wl_other_mm;
+    assert!(
+        wl_ours <= wl_base + 1e-9,
+        "total wirelength grew: {wl_base:.3} mm -> {wl_ours:.3} mm"
+    );
+
+    // Outcome bookkeeping is consistent with the measured netlist.
+    assert_eq!(outcome.registers_after, ours.total_regs);
+    assert!(outcome.composable > 0, "d1 must have a composable pool");
+}
