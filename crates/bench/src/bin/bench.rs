@@ -21,9 +21,7 @@ fn main() {
             "ablations" => suites::ablations(),
             "solvers" => suites::solvers(),
             other => {
-                eprintln!(
-                    "unknown suite `{other}` (expected table1|fig5|fig6|ablations|solvers)"
-                );
+                eprintln!("unknown suite `{other}` (expected table1|fig5|fig6|ablations|solvers)");
                 std::process::exit(2);
             }
         }

@@ -1,0 +1,141 @@
+//! Checker 3: mapping legality.
+//!
+//! Every live register instance must reference a cell that exists in the
+//! library and agree with it: footprint, connected-bit count within the
+//! cell's width, and the full pin map — one D/Q pair per bit, the control
+//! pins the register class mandates (each wired to the net the instance's
+//! attributes declare), and scan data pins matching the cell's scan style.
+
+use std::collections::BTreeMap;
+
+use mbr_liberty::{Library, ScanStyle};
+use mbr_netlist::{Design, InstId, NetId, PinKind};
+
+use crate::Diagnostic;
+
+/// Checks every live register against its library cell.
+pub fn check_mapping(design: &Design, lib: &Library) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (id, inst) in design.registers() {
+        let cell_id = inst.register_cell().expect("live registers have a cell");
+        if cell_id.index() >= lib.cell_count() {
+            out.push(Diagnostic::UnknownCell { inst: id });
+            continue;
+        }
+        let cell = lib.cell(cell_id);
+        if inst.width != cell.footprint_w || inst.height != cell.footprint_h {
+            out.push(Diagnostic::FootprintMismatch { inst: id });
+        }
+        let connected = design.register_width(id);
+        if connected > cell.width {
+            out.push(Diagnostic::CellWidthExceeded {
+                inst: id,
+                connected,
+                cell_width: cell.width,
+            });
+        }
+        check_pin_map(design, lib, id, &mut out);
+    }
+    out
+}
+
+fn tally(
+    control: &mut BTreeMap<&'static str, (usize, Option<NetId>)>,
+    name: &'static str,
+    net: Option<NetId>,
+) {
+    let entry = control.entry(name).or_insert((0, None));
+    entry.0 += 1;
+    entry.1 = net;
+}
+
+/// Audits one register's pin set against its cell and class.
+fn check_pin_map(design: &Design, lib: &Library, id: InstId, out: &mut Vec<Diagnostic>) {
+    let inst = design.inst(id);
+    let cell_id = inst.register_cell().expect("register");
+    let cell = lib.cell(cell_id);
+    let class = lib.class(cell.class);
+    let attrs = inst.register_attrs().expect("register");
+
+    let mut mismatch = |detail: String| {
+        out.push(Diagnostic::PinMapMismatch { inst: id, detail });
+    };
+
+    // Tally the pin kinds this instance actually has.
+    let mut clock = 0usize;
+    let mut control: BTreeMap<&'static str, (usize, Option<NetId>)> = BTreeMap::new();
+    let mut d_bits: Vec<u8> = Vec::new();
+    let mut q_bits: Vec<u8> = Vec::new();
+    let mut si_bits: Vec<u8> = Vec::new();
+    let mut so_bits: Vec<u8> = Vec::new();
+    for &p in &inst.pins {
+        let pin = design.pin(p);
+        match pin.kind {
+            PinKind::Clock => clock += 1,
+            PinKind::Reset => tally(&mut control, "reset", pin.net),
+            PinKind::Set => tally(&mut control, "set", pin.net),
+            PinKind::Enable => tally(&mut control, "enable", pin.net),
+            PinKind::ScanEnable => tally(&mut control, "scan_enable", pin.net),
+            PinKind::D(b) => d_bits.push(b),
+            PinKind::Q(b) => q_bits.push(b),
+            PinKind::ScanIn(b) => si_bits.push(b),
+            PinKind::ScanOut(b) => so_bits.push(b),
+            _ => {}
+        }
+    }
+
+    if clock != 1 {
+        mismatch(format!("expected 1 clock pin, found {clock}"));
+    }
+
+    // Control pins exactly as the class mandates, wired to the attrs nets.
+    let wants: [(&str, bool, Option<NetId>); 4] = [
+        ("reset", class.has_reset, attrs.reset),
+        ("set", class.has_set, attrs.set),
+        ("enable", class.has_enable, attrs.enable),
+        ("scan_enable", class.has_scan, attrs.scan_enable),
+    ];
+    for (name, required, net) in wants {
+        match (required, control.get(name)) {
+            (true, None) => mismatch(format!("class requires a {name} pin, none found")),
+            (false, Some(_)) => mismatch(format!("class has no {name}, but the pin exists")),
+            (true, Some(&(count, wired))) => {
+                if count != 1 {
+                    mismatch(format!("expected 1 {name} pin, found {count}"));
+                }
+                if net.is_none() || wired != net {
+                    mismatch(format!("{name} pin is not wired to the declared net"));
+                }
+            }
+            (false, None) => {}
+        }
+    }
+
+    // One D and one Q pin per cell bit, no extras.
+    for (label, bits) in [("D", &mut d_bits), ("Q", &mut q_bits)] {
+        bits.sort_unstable();
+        let expect: Vec<u8> = (0..cell.width).collect();
+        if *bits != expect {
+            mismatch(format!(
+                "{label} pins cover bits {bits:?}, cell expects 0..{}",
+                cell.width
+            ));
+        }
+    }
+
+    // Scan data pins per the cell's scan style.
+    let expect_scan: Vec<u8> = match cell.scan_style {
+        ScanStyle::None => Vec::new(),
+        ScanStyle::Internal => vec![0],
+        ScanStyle::PerBit => (0..cell.width).collect(),
+    };
+    for (label, bits) in [("SI", &mut si_bits), ("SO", &mut so_bits)] {
+        bits.sort_unstable();
+        if *bits != expect_scan {
+            mismatch(format!(
+                "{label} pins cover bits {bits:?}, {:?} scan style expects {expect_scan:?}",
+                cell.scan_style
+            ));
+        }
+    }
+}

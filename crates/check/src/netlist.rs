@@ -1,0 +1,38 @@
+//! Checker 1: netlist structure.
+//!
+//! Delegates to [`Design::validate`] (driver/sink discipline, net↔pin
+//! back-references, die containment, dead-instance disconnection) and
+//! extends it with register-level bookkeeping that `validate` does not see:
+//! the declared connected-bit count must match the wiring, and the clock
+//! pin must actually sit on the declared clock net.
+
+use mbr_netlist::Design;
+
+use crate::Diagnostic;
+
+/// Checks netlist structure, returning one diagnostic per violation.
+pub fn check_netlist(design: &Design) -> Vec<Diagnostic> {
+    let mut out: Vec<Diagnostic> = design
+        .validate()
+        .into_iter()
+        .map(Diagnostic::NetlistStructure)
+        .collect();
+
+    for (id, inst) in design.registers() {
+        let declared = design.register_width(id);
+        let wired = design.register_bit_pins(id).len();
+        if usize::from(declared) != wired {
+            out.push(Diagnostic::RegisterWidthMismatch {
+                inst: id,
+                declared,
+                wired,
+            });
+        }
+        let attrs = inst.register_attrs().expect("live registers have attrs");
+        let ck = design.register_clock_pin(id);
+        if design.pin(ck).net != Some(attrs.clock) {
+            out.push(Diagnostic::ClockDisconnected { inst: id });
+        }
+    }
+    out
+}

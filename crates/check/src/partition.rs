@@ -1,0 +1,153 @@
+//! Checker 2: partition legality.
+//!
+//! The assignment stage (paper §3.1) must produce an *exact cover* of the
+//! composable registers, and every multi-register group must satisfy the
+//! §2/§3 compatibility rules. The rules are re-derived here from the raw
+//! design state rather than by calling the flow's own compatibility code —
+//! a checker that shares the code it checks would be blind to its bugs.
+
+use std::collections::HashMap;
+
+use mbr_liberty::{CellId, Library};
+use mbr_netlist::{Design, InstId};
+
+use crate::Diagnostic;
+
+/// One selected group of the assignment solution: the registers merged into
+/// a single MBR (or a singleton kept as-is) and the cell it maps to.
+#[derive(Clone, Debug)]
+pub struct MergeGroup {
+    /// The registers the group consumes.
+    pub members: Vec<InstId>,
+    /// The library cell the group maps to.
+    pub cell: CellId,
+}
+
+/// The assignment solution as an exact-cover instance: the composable
+/// elements and the selected groups (including singletons).
+#[derive(Clone, Debug, Default)]
+pub struct PartitionCover {
+    /// Every composable register the assignment stage had to cover.
+    pub elements: Vec<InstId>,
+    /// The selected groups.
+    pub groups: Vec<MergeGroup>,
+}
+
+/// Checks that `cover` is an exact cover of its elements and that no group
+/// violates the paper's compatibility rules.
+pub fn check_partition(design: &Design, lib: &Library, cover: &PartitionCover) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // Exact cover: every element in exactly one group, no foreign members.
+    let mut count: HashMap<InstId, usize> = cover.elements.iter().map(|&e| (e, 0)).collect();
+    for (gi, group) in cover.groups.iter().enumerate() {
+        for &m in &group.members {
+            match count.get_mut(&m) {
+                Some(n) => *n += 1,
+                None => out.push(Diagnostic::ForeignGroupMember { group: gi, inst: m }),
+            }
+        }
+    }
+    for &e in &cover.elements {
+        match count.get(&e).copied().unwrap_or(0) {
+            0 => out.push(Diagnostic::UncoveredElement { inst: e }),
+            1 => {}
+            _ => out.push(Diagnostic::DoubleCoveredElement { inst: e }),
+        }
+    }
+
+    // Group legality (only real merges; singletons keep their own cell).
+    for (gi, group) in cover.groups.iter().enumerate() {
+        if group.members.len() < 2 {
+            continue;
+        }
+        if group.members.iter().any(|&m| !is_register(design, m)) {
+            // Already reported as foreign; attribute checks would panic.
+            continue;
+        }
+
+        let bits: u32 = group
+            .members
+            .iter()
+            .map(|&m| u32::from(design.register_width(m)))
+            .sum();
+        let cell_width = if group.cell.index() < lib.cell_count() {
+            lib.cell(group.cell).width
+        } else {
+            0
+        };
+        if bits > u32::from(cell_width) {
+            out.push(Diagnostic::GroupWidthOverflow {
+                group: gi,
+                bits,
+                cell_width,
+            });
+        }
+
+        check_group_mixing(design, gi, &group.members, &mut out);
+    }
+    out
+}
+
+fn is_register(design: &Design, inst: InstId) -> bool {
+    inst.index() < design.all_insts().len() && design.inst(inst).is_register()
+}
+
+/// Re-verifies the §2 compatibility rules pairwise against the group's
+/// first member (compatibility is an equivalence on these attributes, so
+/// comparing against one representative is exhaustive).
+fn check_group_mixing(design: &Design, gi: usize, members: &[InstId], out: &mut Vec<Diagnostic>) {
+    let first = members[0];
+    let fa = design
+        .inst(first)
+        .register_attrs()
+        .expect("checked register");
+    for &m in &members[1..] {
+        let ma = design.inst(m).register_attrs().expect("checked register");
+        if fa.clock != ma.clock {
+            out.push(Diagnostic::GroupMixesClocks {
+                group: gi,
+                a: first,
+                b: m,
+            });
+        }
+        if fa.gate_group != ma.gate_group {
+            out.push(Diagnostic::GroupMixesGateGroups {
+                group: gi,
+                a: first,
+                b: m,
+            });
+        }
+        if fa.reset != ma.reset
+            || fa.set != ma.set
+            || fa.enable != ma.enable
+            || fa.scan_enable != ma.scan_enable
+        {
+            out.push(Diagnostic::GroupMixesControlNets {
+                group: gi,
+                a: first,
+                b: m,
+            });
+        }
+        let scan_ok = match (fa.scan, ma.scan) {
+            (None, None) => true,
+            (Some(x), Some(y)) => {
+                x.partition == y.partition
+                    && match (x.section, y.section) {
+                        (None, None) => true,
+                        (Some((sx, _)), Some((sy, _))) => sx == sy,
+                        _ => false,
+                    }
+            }
+            // On-chain with off-chain would need chain surgery.
+            _ => false,
+        };
+        if !scan_ok {
+            out.push(Diagnostic::GroupMixesScanSegments {
+                group: gi,
+                a: first,
+                b: m,
+            });
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Checker 4: placement legality.
+//!
+//! After legalization the flow's new MBRs must sit fully inside the die, on
+//! a legal row origin, site-aligned, and must overlap nothing. The overlap
+//! oracle is [`mbr_place::overlaps`] — an exhaustive pairwise sweep over
+//! every live instance, independent of the legalizer's own bookkeeping.
+//!
+//! Die containment, row and site alignment are only enforced for the
+//! `audited` instances (the ones legalization placed); the incoming design's
+//! placement is the generator's or the user's business, not the flow's.
+//! Overlaps are reported whenever at least one of the pair is audited.
+
+use std::collections::HashSet;
+
+use mbr_netlist::{Design, InstId};
+use mbr_place::{overlaps, PlacementGrid};
+
+use crate::Diagnostic;
+
+/// Checks placement legality of the `audited` instances.
+pub fn check_placement(
+    design: &Design,
+    grid: &PlacementGrid,
+    audited: &[InstId],
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let audited_set: HashSet<InstId> = audited.iter().copied().collect();
+
+    for &id in audited {
+        let inst = design.inst(id);
+        if !inst.alive {
+            continue;
+        }
+        let rect = inst.rect();
+        if !design.die().contains_rect(&rect) {
+            out.push(Diagnostic::PlacementOutsideDie { inst: id });
+        }
+        let y = inst.loc.y;
+        if grid.row_y(grid.nearest_row(y)) != y {
+            out.push(Diagnostic::OffRow { inst: id, y });
+        }
+        let x = inst.loc.x;
+        if grid.snap_x(x) != x {
+            out.push(Diagnostic::OffSite { inst: id, x });
+        }
+    }
+
+    for (a, b) in overlaps(design) {
+        if audited_set.contains(&a) || audited_set.contains(&b) {
+            out.push(Diagnostic::Overlap { a, b });
+        }
+    }
+    out
+}

@@ -1,0 +1,169 @@
+//! Checker 5: scan-chain integrity.
+//!
+//! After stitching, each populated scan partition must form a single intact
+//! chain: one head port, point-to-point SO→SI hops, a tail port, every
+//! live scan-capable register with scan membership visited (a permutation
+//! of the pre-merge chain population), and ordered-section registers in
+//! `(section, position)` order. Partitions with no scan-data wiring at all
+//! are pre-stitch state and legal.
+//!
+//! Heads are found by connectivity (a scan-in net driven by a port), not by
+//! port name — re-stitching leaves older, disconnected ports behind.
+
+use std::collections::{BTreeMap, HashSet};
+
+use mbr_liberty::{Library, ScanStyle};
+use mbr_netlist::{Design, InstId, PinId, PinKind};
+
+use crate::Diagnostic;
+
+/// Checks every stitched scan chain in the design.
+pub fn check_scan(design: &Design, lib: &Library) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // Expected chain population, per partition.
+    let mut expected: BTreeMap<u16, Vec<InstId>> = BTreeMap::new();
+    for (id, inst) in design.registers() {
+        let Some(scan) = inst.register_attrs().expect("register").scan else {
+            continue;
+        };
+        let cell_id = inst.register_cell().expect("register");
+        if cell_id.index() >= lib.cell_count() {
+            continue; // the mapping checker owns this
+        }
+        if lib.cell(cell_id).scan_style == ScanStyle::None {
+            continue;
+        }
+        expected.entry(scan.partition).or_default().push(id);
+    }
+
+    for (&partition, regs) in &expected {
+        check_chain(design, partition, regs, &mut out);
+    }
+    out
+}
+
+/// Walks and audits one partition's chain.
+fn check_chain(design: &Design, partition: u16, regs: &[InstId], out: &mut Vec<Diagnostic>) {
+    let broken = |detail: String| Diagnostic::ScanChainBroken { partition, detail };
+
+    // Find the head: a port pin driving some register's scan-in net.
+    let mut heads: Vec<PinId> = Vec::new();
+    let mut any_wired = false;
+    for &r in regs {
+        for &p in &design.inst(r).pins {
+            if !matches!(design.pin(p).kind, PinKind::ScanIn(_)) {
+                continue;
+            }
+            let Some(net) = design.pin(p).net else {
+                continue;
+            };
+            any_wired = true;
+            if let Some(driver) = design.net_driver(net) {
+                if design.pin(driver).kind == PinKind::Port && !heads.contains(&driver) {
+                    heads.push(driver);
+                }
+            }
+        }
+    }
+    if heads.is_empty() {
+        if any_wired {
+            out.push(broken("scan-data wiring exists but no head port".into()));
+        }
+        return; // fully unstitched: pre-stitch state is legal
+    }
+    if heads.len() > 1 {
+        out.push(broken(format!("{} chain heads", heads.len())));
+        return;
+    }
+
+    // Walk head → tail, one SO→SI hop at a time.
+    let mut pin = heads[0];
+    let mut hops: HashSet<(InstId, u8)> = HashSet::new();
+    let mut entries: Vec<InstId> = Vec::new();
+    let mut duplicated: Vec<InstId> = Vec::new();
+    loop {
+        let Some(net) = design.pin(pin).net else {
+            out.push(broken(format!("chain dangles after {pin}")));
+            return;
+        };
+        let sinks: Vec<PinId> = design.net_sinks(net).collect();
+        let [sink] = sinks[..] else {
+            out.push(broken(format!("chain net {net} has {} sinks", sinks.len())));
+            return;
+        };
+        let inst = design.pin(sink).inst;
+        match design.pin(sink).kind {
+            PinKind::Port => break, // the tail
+            PinKind::ScanIn(b) => {
+                if !hops.insert((inst, b)) {
+                    out.push(broken(format!("chain cycles back into {inst}")));
+                    return;
+                }
+                if entries.last() != Some(&inst) {
+                    if entries.contains(&inst) {
+                        duplicated.push(inst);
+                    }
+                    entries.push(inst);
+                }
+                let Some(so) = design.find_pin(inst, PinKind::ScanOut(b)) else {
+                    out.push(broken(format!("{inst} lacks the SO({b}) pin to continue")));
+                    return;
+                };
+                pin = so;
+            }
+            other => {
+                out.push(broken(format!("unexpected chain sink {other:?} on {inst}")));
+                return;
+            }
+        }
+    }
+
+    // Membership: the chain must visit exactly the expected registers.
+    let expected_set: HashSet<InstId> = regs.iter().copied().collect();
+    let visited: HashSet<InstId> = entries.iter().copied().collect();
+    let missing: Vec<InstId> = regs
+        .iter()
+        .copied()
+        .filter(|r| !visited.contains(r))
+        .collect();
+    let unexpected: Vec<InstId> = entries
+        .iter()
+        .copied()
+        .filter(|r| !expected_set.contains(r))
+        .collect();
+    if !missing.is_empty() || !duplicated.is_empty() || !unexpected.is_empty() {
+        out.push(Diagnostic::ScanChainMembership {
+            partition,
+            missing,
+            duplicated,
+            unexpected,
+        });
+    }
+
+    // Ordered sections must appear in (section, position) order.
+    let keyed: Vec<(InstId, (u32, u32))> = entries
+        .iter()
+        .filter(|&&r| expected_set.contains(&r))
+        .filter_map(|&r| {
+            design
+                .inst(r)
+                .register_attrs()
+                .expect("register")
+                .scan
+                .and_then(|s| s.section)
+                .map(|sec| (r, sec))
+        })
+        .collect();
+    for pair in keyed.windows(2) {
+        let (first, ka) = pair[0];
+        let (second, kb) = pair[1];
+        if ka > kb {
+            out.push(Diagnostic::ScanOrderViolation {
+                partition,
+                first,
+                second,
+            });
+        }
+    }
+}

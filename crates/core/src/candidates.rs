@@ -60,6 +60,16 @@ pub struct CandidateSet {
     pub truncated: bool,
 }
 
+/// Loop-invariant enumeration state: the design views and knobs every
+/// partition (and every candidate within one) validates against.
+struct EnumCtx<'a> {
+    design: &'a Design,
+    lib: &'a Library,
+    compat: &'a CompatGraph,
+    index: &'a RegisterIndex,
+    options: &'a ComposerOptions,
+}
+
 /// Enumerates the candidate sets of every partition of the compatibility
 /// graph.
 pub fn enumerate_candidates(
@@ -72,20 +82,27 @@ pub fn enumerate_candidates(
     let positions = compat.clock_positions();
     let partitions = partition_geometric(&compat.graph, &positions, options.partition_max_nodes);
 
+    let ctx = EnumCtx {
+        design,
+        lib,
+        compat,
+        index: &index,
+        options,
+    };
     partitions
         .iter()
-        .map(|part| enumerate_partition(design, lib, compat, &index, part, options))
+        .map(|part| enumerate_partition(&ctx, part))
         .collect()
 }
 
-fn enumerate_partition(
-    design: &Design,
-    lib: &Library,
-    compat: &CompatGraph,
-    index: &RegisterIndex,
-    part: &[usize],
-    options: &ComposerOptions,
-) -> CandidateSet {
+fn enumerate_partition(ctx: &EnumCtx<'_>, part: &[usize]) -> CandidateSet {
+    let EnumCtx {
+        design,
+        lib,
+        compat,
+        options,
+        ..
+    } = *ctx;
     let bg = BitGraph::from_subgraph(&compat.graph, part);
     let elements: Vec<InstId> = part.iter().map(|&n| compat.regs[n].inst).collect();
     let bits: Vec<u32> = part
@@ -144,9 +161,7 @@ fn enumerate_partition(
             if mask.count_ones() < 2 || !seen.insert(mask) {
                 return under_budget;
             }
-            if let Some((cand, idx)) = validate_candidate(
-                design, lib, compat, index, part, &bg, mask, total_bits, options,
-            ) {
+            if let Some((cand, idx)) = validate_candidate(ctx, part, mask, total_bits) {
                 set.candidates.push(cand);
                 set.member_idx.push(idx);
             }
@@ -162,27 +177,20 @@ fn enumerate_partition(
 
 /// Checks library-width validity, scan-order feasibility, the incomplete
 /// area rule, mapping feasibility and the weight; returns the candidate.
-#[allow(clippy::too_many_arguments)]
 fn validate_candidate(
-    design: &Design,
-    lib: &Library,
-    compat: &CompatGraph,
-    index: &RegisterIndex,
+    ctx: &EnumCtx<'_>,
     part: &[usize],
-    bg: &BitGraph,
     mask: u64,
     total_bits: u32,
-    options: &ComposerOptions,
 ) -> Option<(CandidateMbr, Vec<usize>)> {
-    let locals: Vec<usize> = {
-        let mut v = Vec::new();
-        let mut m = mask;
-        while m != 0 {
-            v.push(m.trailing_zeros() as usize);
-            m &= m - 1;
-        }
-        v
-    };
+    let EnumCtx {
+        design,
+        lib,
+        compat,
+        index,
+        options,
+    } = *ctx;
+    let locals: Vec<usize> = mask_locals(mask);
     let nodes: Vec<usize> = locals.iter().map(|&l| part[l]).collect();
     let members: Vec<InstId> = nodes.iter().map(|&n| compat.regs[n].inst).collect();
     let class = compat.regs[nodes[0]].class;
@@ -190,7 +198,6 @@ fn validate_candidate(
         nodes.iter().all(|&n| compat.regs[n].class == class),
         "cliques are class-pure"
     );
-    let _ = bg;
 
     // Width validity against the library.
     let total_u8 = u8::try_from(total_bits).ok()?;

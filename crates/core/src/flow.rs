@@ -1,12 +1,22 @@
 //! The end-to-end composition flow (paper Fig. 4): timing → compatibility →
 //! candidates → assignment → mapping/placement → legalization → useful skew
 //! → sizing.
+//!
+//! After each stage the flow runs the matching [`mbr_check`] checkpoint
+//! (per [`ComposerOptions::paranoia`]); findings accumulate in
+//! [`ComposeOutcome::diagnostics`] rather than aborting the run, so a
+//! corrupted invariant surfaces loudly in tests and in `cargo run --bin
+//! check` without turning a diagnosis into a panic.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
 use std::time::{Duration, Instant};
 
+use mbr_check::{
+    check_mapping, check_netlist, check_partition, check_placement, check_scan, check_sta,
+    Diagnostic, MergeGroup, Paranoia, PartitionCover, STA_EPSILON,
+};
 use mbr_cts::{assign_useful_skew, SkewReport};
 use mbr_geom::Rect;
 use mbr_liberty::Library;
@@ -107,6 +117,10 @@ pub struct ComposeOutcome {
     /// For [`Composer::compose_with_decomposition`]: whether the speculative
     /// decomposition won and was kept (`None` on the other entry points).
     pub decomposition_kept: Option<bool>,
+    /// Findings of the in-flow invariant checkpoints (empty when
+    /// [`ComposerOptions::paranoia`] is [`Paranoia::Off`] — and, on a
+    /// healthy flow, at every other level too).
+    pub diagnostics: Vec<Diagnostic>,
     /// Wall-clock time of the whole run.
     pub elapsed: Duration,
 }
@@ -274,8 +288,13 @@ impl Composer {
             ..ComposeOutcome::default()
         };
 
+        let paranoia = self.options.paranoia;
+
         // 1. Timing analysis on the incoming placement.
         let sta = Sta::new(design, lib, self.model)?;
+        if paranoia >= Paranoia::Cheap {
+            outcome.diagnostics.extend(check_netlist(design));
+        }
 
         // 2. Compatibility graph (Section 2).
         let compat = CompatGraph::build(design, lib, &sta, &self.options);
@@ -311,6 +330,38 @@ impl Composer {
                     selected.extend(greedy_select(design, lib, set));
                 }
             }
+        }
+
+        // Checkpoint: the solution must be an exact cover of the composable
+        // registers (merges as selected, the rest as singletons) and every
+        // group must satisfy the §2/§3 compatibility rules post-solve.
+        if paranoia >= Paranoia::Cheap {
+            let mut groups: Vec<MergeGroup> = selected
+                .iter()
+                .map(|c| MergeGroup {
+                    members: c.members.clone(),
+                    cell: c.cell,
+                })
+                .collect();
+            let in_merge: HashSet<InstId> = groups
+                .iter()
+                .flat_map(|g| g.members.iter().copied())
+                .collect();
+            for r in &compat.regs {
+                if !in_merge.contains(&r.inst) {
+                    groups.push(MergeGroup {
+                        members: vec![r.inst],
+                        cell: design.inst(r.inst).register_cell().expect("register"),
+                    });
+                }
+            }
+            let cover = PartitionCover {
+                elements: compat.regs.iter().map(|r| r.inst).collect(),
+                groups,
+            };
+            outcome
+                .diagnostics
+                .extend(check_partition(design, lib, &cover));
         }
 
         // 6. Mapping is pre-resolved per candidate; place (Section 4.2),
@@ -349,6 +400,17 @@ impl Composer {
         let grid = infer_grid(design, lib);
         outcome.legalize = legalize(design, &grid, &new_mbrs)?;
 
+        // Checkpoint: merges must leave every register mapped to a real
+        // library cell, and the legalized MBRs on-grid and overlap-free.
+        if paranoia >= Paranoia::Cheap {
+            outcome.diagnostics.extend(check_mapping(design, lib));
+        }
+        if paranoia >= Paranoia::Full {
+            outcome
+                .diagnostics
+                .extend(check_placement(design, &grid, &new_mbrs));
+        }
+
         // 7. Post-composition timing, useful skew, and sizing (Fig. 4).
         let mut sta = Sta::new(design, lib, self.model)?;
         if self.options.apply_useful_skew && !new_mbrs.is_empty() {
@@ -365,8 +427,24 @@ impl Composer {
                 downsize_mbrs(design, lib, &mut sta, &new_mbrs, self.options.sizing_margin);
         }
 
+        // Checkpoint: skew and sizing maintain `sta` incrementally; it must
+        // still agree with a from-scratch analysis. (Before stitching, which
+        // edits structure and would legitimately invalidate `sta`.)
+        if paranoia >= Paranoia::Full {
+            outcome
+                .diagnostics
+                .extend(check_sta(design, lib, &sta, STA_EPSILON));
+        }
+
         if self.options.stitch_scan_chains {
             outcome.scan_stitch = Some(design.stitch_scan_chains(lib));
+            if paranoia >= Paranoia::Full {
+                outcome.diagnostics.extend(check_scan(design, lib));
+            }
+            // Stitching added ports and nets; re-audit the structure.
+            if paranoia >= Paranoia::Cheap {
+                outcome.diagnostics.extend(check_netlist(design));
+            }
         }
 
         outcome.new_mbrs = new_mbrs;
@@ -421,7 +499,8 @@ fn greedy_select(design: &Design, lib: &Library, set: &CandidateSet) -> Vec<Cand
 
 /// Derives the legalization grid from the design die and the register
 /// library (row height = shortest cell, site width = GCD of cell widths).
-pub(crate) fn infer_grid(design: &Design, lib: &Library) -> PlacementGrid {
+/// This is the grid the flow legalizes — and audits — against.
+pub fn infer_grid(design: &Design, lib: &Library) -> PlacementGrid {
     let mut row_height = i64::MAX;
     let mut site = 0i64;
     for (_, cell) in lib.cells() {

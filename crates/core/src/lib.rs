@@ -57,9 +57,13 @@ mod flow;
 
 pub use candidates::{CandidateMbr, CandidateSet};
 pub use compat::{CompatGraph, ComposableRegister};
-pub use flow::{ComposeError, ComposeOutcome, Composer};
+pub use flow::{infer_grid, ComposeError, ComposeOutcome, Composer};
 pub use metrics::{BitWidthHistogram, DesignMetrics};
 pub use stats::CandidateStats;
+
+// The flow runs [`mbr_check`] checkpoints after each stage; re-export the
+// knob and the diagnostic type its outcome carries.
+pub use mbr_check::{Diagnostic, Paranoia};
 
 use mbr_cts::SkewConfig;
 
@@ -113,6 +117,11 @@ pub struct ComposerOptions {
     /// ([`mbr_netlist::Design::stitch_scan_chains`]). Off by default: real
     /// flows stitch once at the end of placement optimization, not per pass.
     pub stitch_scan_chains: bool,
+    /// How much cross-stage invariant checking ([`mbr_check`]) the flow
+    /// performs after each stage. Defaults to [`Paranoia::Full`] in debug
+    /// builds (tests always check everything) and [`Paranoia::Cheap`] in
+    /// release. Findings land in [`ComposeOutcome::diagnostics`].
+    pub paranoia: Paranoia,
 }
 
 impl Default for ComposerOptions {
@@ -132,6 +141,7 @@ impl Default for ComposerOptions {
             apply_sizing: true,
             sizing_margin: 5.0,
             stitch_scan_chains: false,
+            paranoia: Paranoia::build_default(),
         }
     }
 }

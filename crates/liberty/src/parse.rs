@@ -173,7 +173,8 @@ impl<'a> Lexer<'a> {
                     }
                     self.bump();
                 }
-                let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii slice");
+                let text = std::str::from_utf8(&self.src[start..self.pos])
+                    .map_err(|_| self.err("non-ASCII bytes in number"))?;
                 text.parse::<f64>()
                     .map(Tok::Num)
                     .map_err(|_| self.err(format!("invalid number `{text}`")))
@@ -184,11 +185,13 @@ impl<'a> Lexer<'a> {
                     self.bump();
                 }
                 let text = std::str::from_utf8(&self.src[start..self.pos])
-                    .expect("ascii slice")
-                    .to_owned();
-                Ok(Tok::Ident(text))
+                    .map_err(|_| self.err("non-ASCII bytes in identifier"))?;
+                Ok(Tok::Ident(text.to_owned()))
             }
-            other => Err(self.err(format!("unexpected character `{}`", other as char))),
+            other if other.is_ascii() => {
+                Err(self.err(format!("unexpected character `{}`", other as char)))
+            }
+            other => Err(self.err(format!("unexpected non-ASCII byte 0x{other:02X}"))),
         }
     }
 }
@@ -358,7 +361,10 @@ impl<'a> Parser<'a> {
                 "size" => {
                     let w = self.expect_num()?;
                     let h = self.expect_num()?;
-                    if w < 0.0 || h < 0.0 || w.fract() != 0.0 || h.fract() != 0.0 {
+                    // 2^53 caps the exactly-representable integers; a larger
+                    // value would cast to a silently different DBU count.
+                    let in_range = |v: f64| (0.0..=9_007_199_254_740_992.0).contains(&v);
+                    if !in_range(w) || !in_range(h) || w.fract() != 0.0 || h.fract() != 0.0 {
                         return Err(self.err("size must be non-negative integers (DBU)"));
                     }
                     size = Some((w as i64, h as i64));
@@ -558,6 +564,24 @@ mod tests {
     fn unterminated_string_is_an_error() {
         let err = Library::parse("library \"oops {").unwrap_err();
         assert!(err.message.contains("unterminated"), "{}", err.message);
+    }
+
+    #[test]
+    fn non_ascii_byte_is_reported_not_panicked() {
+        let err = Library::parse("library \"x\" { é }").unwrap_err();
+        assert!(err.message.contains("non-ASCII"), "{}", err.message);
+    }
+
+    #[test]
+    fn oversized_cell_size_is_an_error() {
+        let err = Library::parse(
+            r#"library "x" {
+              class DFF { ff }
+              cell C { class DFF; bits 1; area 1; rdrive 1; tintr 1; cclk 1; cd 1; size 1e300 600; }
+            }"#,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("size"), "{}", err.message);
     }
 
     #[test]

@@ -6,10 +6,6 @@
 //! switch to Bland's rule after a stall threshold, which guarantees
 //! termination on degenerate problems.
 
-// Tableau algebra is most legible with explicit row/column indices; the
-// iterator forms clippy prefers obscure the pivoting math.
-#![allow(clippy::needless_range_loop)]
-
 /// Numerical tolerance for feasibility/optimality decisions.
 pub(crate) const EPS: f64 = 1e-9;
 
@@ -62,12 +58,13 @@ pub(crate) fn solve_standard_form(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> Simpl
     }
     // Phase-1 objective: minimize sum of artificials → reduced costs start
     // as -(sum of constraint rows) over structural columns.
-    for j in 0..cols {
-        let mut s = 0.0;
-        for i in 0..m {
-            s += t[i][j];
-        }
-        t[m][j] = if (n..n + m).contains(&j) { 0.0 } else { -s };
+    let (constraint_rows, objective_rows) = t.split_at_mut(m);
+    for (j, cell) in objective_rows[0].iter_mut().enumerate() {
+        *cell = if (n..n + m).contains(&j) {
+            0.0
+        } else {
+            -constraint_rows.iter().map(|row| row[j]).sum::<f64>()
+        };
     }
     // Phase-2 objective row (original costs).
     t[m + 1][..n].copy_from_slice(c);
@@ -89,7 +86,7 @@ pub(crate) fn solve_standard_form(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> Simpl
     for i in 0..m {
         if basis[i] >= n {
             if let Some(j) = (0..n).find(|&j| t[i][j].abs() > EPS) {
-                pivot(&mut t, &mut basis, i, j, cols);
+                pivot(&mut t, &mut basis, i, j);
             }
             // If no structural pivot exists the row is 0 = 0; harmless.
         }
@@ -102,12 +99,15 @@ pub(crate) fn solve_standard_form(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> Simpl
         }
     }
     // Re-derive phase-2 reduced costs for the current basis.
-    for i in 0..m {
-        let bj = basis[i];
-        if bj < n && t[m + 1][bj].abs() > EPS {
-            let coeff = t[m + 1][bj];
-            for j in 0..cols {
-                t[m + 1][j] -= coeff * t[i][j];
+    {
+        let (body, tail) = t.split_at_mut(m + 1);
+        let obj_row = &mut tail[0];
+        for (basis_row, &bj) in body.iter().zip(basis.iter()) {
+            if bj < n && obj_row[bj].abs() > EPS {
+                let coeff = obj_row[bj];
+                for (cell, &pivot_cell) in obj_row.iter_mut().zip(basis_row.iter()) {
+                    *cell -= coeff * pivot_cell;
+                }
             }
         }
     }
@@ -116,9 +116,9 @@ pub(crate) fn solve_standard_form(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> Simpl
         PhaseResult::Unbounded => SimplexOutcome::Unbounded,
         PhaseResult::Optimal => {
             let mut x = vec![0.0; n];
-            for i in 0..m {
-                if basis[i] < n {
-                    x[basis[i]] = t[i][cols - 1];
+            for (row, &bj) in t.iter().zip(basis.iter()) {
+                if bj < n {
+                    x[bj] = row[cols - 1];
                 }
             }
             let objective = x.iter().zip(c).map(|(xi, ci)| xi * ci).sum();
@@ -149,32 +149,29 @@ fn run_phase(
         iters += 1;
         let bland = iters > stall_threshold;
         // Pricing: pick the entering column.
-        let mut enter = None;
-        if bland {
-            for j in 0..n_all {
-                if t[obj_row][j] < -EPS {
-                    enter = Some(j);
-                    break;
-                }
-            }
+        let reduced = &t[obj_row][..n_all];
+        let enter = if bland {
+            reduced.iter().position(|&rc| rc < -EPS)
         } else {
             let mut best = -EPS;
-            for j in 0..n_all {
-                if t[obj_row][j] < best {
-                    best = t[obj_row][j];
+            let mut enter = None;
+            for (j, &rc) in reduced.iter().enumerate() {
+                if rc < best {
+                    best = rc;
                     enter = Some(j);
                 }
             }
-        }
+            enter
+        };
         let Some(j) = enter else {
             return PhaseResult::Optimal;
         };
         // Ratio test: pick the leaving row.
         let mut leave: Option<usize> = None;
         let mut best_ratio = f64::INFINITY;
-        for i in 0..m {
-            if t[i][j] > EPS {
-                let ratio = t[i][cols - 1] / t[i][j];
+        for (i, row) in t.iter().take(m).enumerate() {
+            if row[j] > EPS {
+                let ratio = row[cols - 1] / row[j];
                 let better = ratio < best_ratio - EPS
                     || (ratio < best_ratio + EPS && leave.is_some_and(|l| basis[i] < basis[l]));
                 if leave.is_none() || better {
@@ -186,24 +183,24 @@ fn run_phase(
         let Some(i) = leave else {
             return PhaseResult::Unbounded;
         };
-        pivot(t, basis, i, j, cols);
+        pivot(t, basis, i, j);
     }
 }
 
 /// Gauss-Jordan pivot on `(row, col)`, updating the basis.
-fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize, cols: usize) {
+fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize) {
     let p = t[row][col];
     debug_assert!(p.abs() > EPS, "pivot on (near-)zero element");
-    for j in 0..cols {
-        t[row][j] /= p;
+    for cell in t[row].iter_mut() {
+        *cell /= p;
     }
-    for r in 0..t.len() {
-        if r != row {
-            let factor = t[r][col];
-            if factor.abs() > EPS {
-                for j in 0..cols {
-                    t[r][j] -= factor * t[row][j];
-                }
+    let (before, rest) = t.split_at_mut(row);
+    let (pivot_row, after) = rest.split_first_mut().expect("pivot row in range");
+    for other in before.iter_mut().chain(after.iter_mut()) {
+        let factor = other[col];
+        if factor.abs() > EPS {
+            for (cell, &pivot_cell) in other.iter_mut().zip(pivot_row.iter()) {
+                *cell -= factor * pivot_cell;
             }
         }
     }

@@ -186,7 +186,8 @@ impl<'a> Lexer<'a> {
                         self.bump();
                     }
                 }
-                let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+                let text = std::str::from_utf8(&self.src[start..self.pos])
+                    .map_err(|_| self.err("non-ASCII bytes in number"))?;
                 text.parse::<f64>()
                     .map(Tok::Num)
                     .map_err(|_| self.err(format!("invalid number `{text}`")))
@@ -197,13 +198,14 @@ impl<'a> Lexer<'a> {
                 {
                     self.bump();
                 }
-                Ok(Tok::Ident(
-                    std::str::from_utf8(&self.src[start..self.pos])
-                        .expect("ascii")
-                        .to_owned(),
-                ))
+                let text = std::str::from_utf8(&self.src[start..self.pos])
+                    .map_err(|_| self.err("non-ASCII bytes in identifier"))?;
+                Ok(Tok::Ident(text.to_owned()))
             }
-            other => Err(self.err(format!("unexpected character `{}`", other as char))),
+            other if other.is_ascii() => {
+                Err(self.err(format!("unexpected character `{}`", other as char)))
+            }
+            other => Err(self.err(format!("unexpected non-ASCII byte 0x{other:02X}"))),
         }
     }
 }
@@ -264,10 +266,21 @@ impl<'a> Parser<'a> {
 
     fn expect_int(&mut self) -> Result<i64, ParseDesignError> {
         let n = self.expect_num()?;
-        if n.fract() != 0.0 {
+        // 2^53 bounds the range where f64 represents every integer exactly;
+        // beyond it the `as i64` cast would silently land on a nearby value.
+        if n.fract() != 0.0 || n.abs() > 9_007_199_254_740_992.0 {
             return Err(self.err(format!("expected integer, found {n}")));
         }
         Ok(n as i64)
+    }
+
+    /// An integer in `0..=max`, for fields stored in narrow unsigned types.
+    fn expect_int_in(&mut self, what: &str, max: i64) -> Result<i64, ParseDesignError> {
+        let v = self.expect_int()?;
+        if !(0..=max).contains(&v) {
+            return Err(self.err(format!("{what} {v} out of range 0..={max}")));
+        }
+        Ok(v)
     }
 
     fn expect_point(&mut self) -> Result<Point, ParseDesignError> {
@@ -445,7 +458,9 @@ impl<'a> Parser<'a> {
             };
             match key.as_str() {
                 "clock" => clock = Some(self.expect_ident()?),
-                "gate" => gate_group = self.expect_int()? as u32,
+                "gate" => {
+                    gate_group = self.expect_int_in("gate group", i64::from(u32::MAX))? as u32;
+                }
                 "reset" => reset = Some(self.expect_ident()?),
                 "set" => set = Some(self.expect_ident()?),
                 "enable" => enable = Some(self.expect_ident()?),
@@ -455,24 +470,24 @@ impl<'a> Parser<'a> {
                 "sizeonly" => size_only = true,
                 "scan" => {
                     self.expect_keyword("part")?;
-                    let partition = self.expect_int()? as u16;
+                    let partition =
+                        self.expect_int_in("scan partition", i64::from(u16::MAX))? as u16;
                     let mut section = None;
                     if let Tok::Ident(ref k) = self.tok {
                         if k == "section" {
                             self.advance()?;
-                            let sec = self.expect_int()? as u32;
+                            let sec =
+                                self.expect_int_in("scan section", i64::from(u32::MAX))? as u32;
                             self.expect_keyword("pos")?;
-                            let pos = self.expect_int()? as u32;
+                            let pos =
+                                self.expect_int_in("scan position", i64::from(u32::MAX))? as u32;
                             section = Some((sec, pos));
                         }
                     }
                     scan = Some(ScanInfo { partition, section });
                 }
                 "d" | "q" | "si" | "so" => {
-                    let bit = self.expect_int()?;
-                    if !(0..=255).contains(&bit) {
-                        return Err(self.err(format!("invalid bit index {bit}")));
-                    }
+                    let bit = self.expect_int_in("bit index", 255)?;
                     let net = self.expect_ident()?;
                     let tag = match key.as_str() {
                         "d" => 'd',
@@ -547,7 +562,7 @@ impl<'a> Parser<'a> {
             };
             let kind = match key.as_str() {
                 "in" => {
-                    let i = self.expect_int()?;
+                    let i = self.expect_int_in("gate input index", 255)?;
                     PinKind::GateIn(i as u8)
                 }
                 "out" => PinKind::GateOut,
@@ -837,6 +852,55 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.message.contains("duplicate"), "{}", err.message);
+    }
+
+    #[test]
+    fn out_of_range_scan_partition_is_an_error() {
+        let lib = standard_library();
+        let err = Design::parse(
+            "design d { die 0 0 99000 99000;\n inst r reg DFF_1X1 (0 0) { clock c; scan part 70000; } }",
+            &lib,
+        )
+        .unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("scan partition"), "{}", err.message);
+        assert!(err.message.contains("70000"), "{}", err.message);
+    }
+
+    #[test]
+    fn out_of_range_gate_group_is_an_error() {
+        let lib = standard_library();
+        let err = Design::parse(
+            "design d { die 0 0 99000 99000; inst r reg DFF_1X1 (0 0) { clock c; gate 5000000000; } }",
+            &lib,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("gate group"), "{}", err.message);
+    }
+
+    #[test]
+    fn out_of_range_bit_index_is_an_error() {
+        let lib = standard_library();
+        let err = Design::parse(
+            "design d { die 0 0 99000 99000; inst r reg DFF_1X1 (0 0) { clock c; d 300 n; } }",
+            &lib,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("bit index"), "{}", err.message);
+    }
+
+    #[test]
+    fn integer_beyond_f64_precision_is_an_error() {
+        let lib = standard_library();
+        let err = Design::parse("design d { die 0 0 1e300 99000; }", &lib).unwrap_err();
+        assert!(err.message.contains("expected integer"), "{}", err.message);
+    }
+
+    #[test]
+    fn non_ascii_byte_is_reported_not_panicked() {
+        let lib = standard_library();
+        let err = Design::parse("design d { die 0 0 99000 99000; é }", &lib).unwrap_err();
+        assert!(err.message.contains("non-ASCII"), "{}", err.message);
     }
 
     #[test]

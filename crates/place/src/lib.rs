@@ -155,15 +155,24 @@ impl RowOccupancy {
         self.spans.insert(pos, (start, end));
     }
 
-    /// Nearest free start position for a cell of width `w` within
-    /// `[lo, hi - w]`, minimizing `|x - target|`. `None` if the row is full.
-    fn nearest_gap(&self, target: Dbu, w: Dbu, lo: Dbu, hi: Dbu) -> Option<Dbu> {
-        let clamp = |x: Dbu, gap_lo: Dbu, gap_hi: Dbu| x.clamp(gap_lo, gap_hi);
+    /// Nearest free, *site-aligned* start position for a cell of width `w`
+    /// within `[lo, hi - w]`, minimizing `|x - target|`. `None` if no aligned
+    /// position fits. Blockage edges may themselves be off-grid (pre-existing
+    /// cells are never re-aligned), so each gap is first shrunk to its
+    /// site-aligned interior; snapping after the fact could otherwise push
+    /// the chosen x back into a neighboring blockage.
+    fn nearest_gap(&self, grid: &PlacementGrid, target: Dbu, w: Dbu) -> Option<Dbu> {
+        let (lo, hi) = (grid.die.lo().x, grid.die.hi().x);
+        let site = grid.site_width;
+        let floor_site = |x: Dbu| lo + (x - lo).div_euclid(site) * site;
+        let snapped = grid.snap_x(target);
         let mut best: Option<(Dbu, Dbu)> = None; // (cost, x)
         let mut cursor = lo;
         let consider = |gap_lo: Dbu, gap_hi: Dbu, best: &mut Option<(Dbu, Dbu)>| {
-            if gap_hi - gap_lo >= w {
-                let x = clamp(target, gap_lo, gap_hi - w);
+            let x_lo = floor_site(gap_lo + site - 1); // ceil to site
+            let x_hi = floor_site(gap_hi - w);
+            if x_lo <= x_hi {
+                let x = snapped.clamp(x_lo, x_hi);
                 let cost = (x - target).abs();
                 if best.is_none() || cost < best.expect("checked").0 {
                     *best = Some((cost, x));
@@ -188,8 +197,10 @@ impl RowOccupancy {
 
 /// Legalizes the `movable` instances: each is moved to the nearest free,
 /// site-aligned, in-row position, treating every other live placed cell as a
-/// blockage. Movable cells are processed widest-first (larger MBRs get first
-/// pick, mirroring their higher placement priority in the paper).
+/// blockage. Blockages may sit anywhere — including off the row/site grid —
+/// and are honored exactly; only the movable cells are aligned. Movable
+/// cells are processed widest-first (larger MBRs get first pick, mirroring
+/// their higher placement priority in the paper).
 ///
 /// # Errors
 ///
@@ -267,17 +278,11 @@ pub fn legalize(
                 // handled by intersecting searches row by row (cells in this
                 // library are single-row, so the common case is trivial).
                 let x = if rows_spanned == 1 {
-                    rows.entry(row).or_default().nearest_gap(
-                        grid.snap_x(target.x),
-                        w,
-                        grid.die.lo().x,
-                        grid.die.hi().x,
-                    )
+                    rows.entry(row).or_default().nearest_gap(grid, target.x, w)
                 } else {
                     multi_row_gap(&mut rows, row, rows_spanned, grid, target.x, w)
                 };
                 if let Some(x) = x {
-                    let x = grid.snap_x(x);
                     let y = grid.row_y(row);
                     let cost = (x - target.x).abs() + (y - target.y).abs();
                     if best.is_none_or(|(c, _, _)| cost < c) {
@@ -320,7 +325,7 @@ fn multi_row_gap(
     let base = rows.entry(row).or_default().clone();
     let lo = grid.die.lo().x;
     let hi = grid.die.hi().x;
-    let candidate = base.nearest_gap(grid.snap_x(target_x), w, lo, hi)?;
+    let candidate = base.nearest_gap(grid, target_x, w)?;
     let fits_all = |x: Dbu, rows: &mut HashMap<usize, RowOccupancy>| {
         (row..row + rows_spanned).all(|rr| {
             rows.entry(rr)
@@ -333,12 +338,13 @@ fn multi_row_gap(
     if fits_all(candidate, rows) {
         return Some(candidate);
     }
-    // Linear scan by site as a fallback (rare path).
+    // Linear scan by site as a fallback (rare path); `candidate` is already
+    // site-aligned, so stepping whole sites keeps every probe aligned.
     let mut step = grid.site_width;
     while step < hi - lo {
         for x in [candidate - step, candidate + step] {
-            if x >= lo && x + w <= hi && fits_all(grid.snap_x(x), rows) {
-                return Some(grid.snap_x(x));
+            if x >= lo && x + w <= hi && fits_all(x, rows) {
+                return Some(x);
             }
         }
         step += grid.site_width;
@@ -519,19 +525,43 @@ mod tests {
 
     #[test]
     fn row_occupancy_nearest_gap() {
+        let g = PlacementGrid::new(
+            Rect::new(Point::new(0, 0), Point::new(10_000, 600)),
+            600,
+            100,
+        );
         let mut occ = RowOccupancy::default();
         occ.insert(1_000, 2_000);
         occ.insert(3_000, 4_000);
         // Gap [2000, 3000) fits width 500; target 2100 is inside.
-        assert_eq!(occ.nearest_gap(2_100, 500, 0, 10_000), Some(2_100));
+        assert_eq!(occ.nearest_gap(&g, 2_100, 500), Some(2_100));
         // Width 1500 doesn't fit between spans; nearest is after 4000.
-        assert_eq!(occ.nearest_gap(2_100, 1_500, 0, 10_000), Some(4_000));
+        assert_eq!(occ.nearest_gap(&g, 2_100, 1_500), Some(4_000));
         // Target left of everything.
-        assert_eq!(occ.nearest_gap(-500, 500, 0, 10_000), Some(0));
+        assert_eq!(occ.nearest_gap(&g, -500, 500), Some(0));
         // Full row.
         let mut full = RowOccupancy::default();
         full.insert(0, 10_000);
-        assert_eq!(full.nearest_gap(5_000, 100, 0, 10_000), None);
+        assert_eq!(full.nearest_gap(&g, 5_000, 100), None);
+    }
+
+    #[test]
+    fn nearest_gap_stays_clear_of_off_site_blockages() {
+        let g = PlacementGrid::new(
+            Rect::new(Point::new(0, 0), Point::new(10_000, 600)),
+            600,
+            100,
+        );
+        let mut occ = RowOccupancy::default();
+        // Blockage edges off the 100-DBU site lattice on both sides.
+        occ.insert(2_050, 3_050);
+        // Target just left of the blockage: the naive nearest start for
+        // width 700 is 1350, which a post-hoc snap would round to 1400 and
+        // into the blockage. The aligned interior ends at 1300.
+        let x = occ.nearest_gap(&g, 2_000, 700).unwrap();
+        assert_eq!(x % 100, 0, "must be site aligned");
+        assert!(x + 700 <= 2_050 || x >= 3_050, "must not enter blockage");
+        assert_eq!(x, 1_300);
     }
 
     #[test]
@@ -583,6 +613,39 @@ mod tests {
         legalize(&mut d, &grid(), &[mover]).unwrap();
         assert!(overlaps(&d).is_empty());
         assert_ne!(d.inst(mover).rect(), d.inst(blocker).rect());
+    }
+
+    #[test]
+    fn legalize_avoids_off_grid_blockages() {
+        // Pre-existing cells need not sit on the row/site grid; a legalized
+        // cell snapped to the lattice must still clear them. Regression for
+        // a d1 overlap where the gap-nearest x was snapped into a blockage
+        // whose edge was half a site off the lattice.
+        let lib = standard_library();
+        let mut d = Design::new("t", die());
+        let clk = d.add_net("clk");
+        let single = lib.cell_by_name("DFF_1X1").unwrap();
+        let quad = lib.cell_by_name("DFF_4X1").unwrap();
+        // Off-site (x % 100 = 50) and off-row (y % 600 = 150) blockage.
+        d.add_register(
+            "blk",
+            &lib,
+            single,
+            Point::new(5_450, 150),
+            RegisterAttrs::clocked(clk),
+        );
+        let mover = d.add_register(
+            "mv",
+            &lib,
+            quad,
+            Point::new(5_400, 0),
+            RegisterAttrs::clocked(clk),
+        );
+        legalize(&mut d, &grid(), &[mover]).unwrap();
+        assert!(overlaps(&d).is_empty());
+        let loc = d.inst(mover).loc;
+        assert_eq!(loc.x % 100, 0);
+        assert_eq!(loc.y % 600, 0);
     }
 
     #[test]

@@ -67,7 +67,11 @@ impl Suite {
         Suite {
             name: name.to_string(),
             results: Vec::new(),
-            warmup: Duration::from_millis(if quick { 0 } else { env_ms("MBR_BENCH_WARMUP_MS", 300) }),
+            warmup: Duration::from_millis(if quick {
+                0
+            } else {
+                env_ms("MBR_BENCH_WARMUP_MS", 300)
+            }),
             measure: Duration::from_millis(env_ms("MBR_BENCH_MEASURE_MS", 1_500)),
             fixed_samples: if quick {
                 Some(3)
@@ -104,8 +108,7 @@ impl Suite {
             if per_call.is_zero() {
                 200
             } else {
-                (self.measure.as_nanos() / per_call.as_nanos().max(1))
-                    .clamp(5, 200) as u64
+                (self.measure.as_nanos() / per_call.as_nanos().max(1)).clamp(5, 200) as u64
             }
         });
 
@@ -155,9 +158,8 @@ impl Suite {
         });
         let path = self.out_dir.join(format!("BENCH_{}.json", self.name));
         let json = self.to_json();
-        std::fs::write(&path, json).unwrap_or_else(|e| {
-            panic!("writing bench results to {}: {e}", path.display())
-        });
+        std::fs::write(&path, json)
+            .unwrap_or_else(|e| panic!("writing bench results to {}: {e}", path.display()));
         println!(
             "suite {}: {} benchmarks -> {}",
             self.name,

@@ -227,7 +227,11 @@ mod tests {
         let mut sorted = xs.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..64).collect::<Vec<_>>());
-        assert_ne!(xs, (0..64).collect::<Vec<_>>(), "64 elements never stay put");
+        assert_ne!(
+            xs,
+            (0..64).collect::<Vec<_>>(),
+            "64 elements never stay put"
+        );
     }
 
     #[test]

@@ -1,11 +1,18 @@
 #!/usr/bin/env sh
-# Fast CI entrypoint: the tier-1 gate plus a figure reproduction.
+# Fast CI entrypoint: lints, the tier-1 gate, a figure reproduction, and
+# the cross-stage invariant check.
 #
 # Everything here runs fully offline — the workspace has zero external
 # dependencies (see crates/testkit). Usage: scripts/verify.sh
 set -eu
 
 cd "$(dirname "$0")/.."
+
+echo "==> lint: cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> lint: cargo clippy --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -q -- -D warnings
 
 echo "==> tier-1: cargo build --release"
 cargo build --release
@@ -15,5 +22,8 @@ cargo test -q
 
 echo "==> repro: fig3 weight table"
 cargo run --release -q -p mbr-bench --bin repro -- fig3
+
+echo "==> check: flow invariants on d1"
+cargo run --release -q --bin check -- d1
 
 echo "verify: OK"

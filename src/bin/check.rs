@@ -1,0 +1,112 @@
+//! Standalone invariant checker: runs the full composition flow on one or
+//! more workload presets under maximum paranoia and reports every
+//! diagnostic the cross-stage checkers emit.
+//!
+//! ```text
+//! cargo run --bin check -- [d1|d2|d3|d4|d5|all]...
+//! ```
+//!
+//! Defaults to `d1`. Exits nonzero when any error-severity diagnostic
+//! fires, so CI can gate on it.
+
+use std::process::ExitCode;
+
+use mbr::check::{check_mapping, check_netlist, check_scan, CheckReport, Paranoia};
+use mbr::core::{infer_grid, Composer, ComposerOptions};
+use mbr::liberty::standard_library;
+use mbr::sta::DelayModel;
+use mbr::workloads::{all_presets, DesignSpec};
+
+fn usage() -> ! {
+    eprintln!("usage: check [d1|d2|d3|d4|d5|all]...   (default: d1)");
+    std::process::exit(2);
+}
+
+fn specs_from_args() -> Vec<DesignSpec> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return all_presets()
+            .into_iter()
+            .filter(|s| s.name == "d1")
+            .collect();
+    }
+    let mut specs = Vec::new();
+    for arg in &args {
+        if arg == "all" {
+            specs.extend(all_presets());
+        } else if let Some(spec) = all_presets().into_iter().find(|s| &s.name == arg) {
+            specs.push(spec);
+        } else {
+            eprintln!("unknown preset: {arg}");
+            usage();
+        }
+    }
+    specs
+}
+
+fn main() -> ExitCode {
+    let specs = specs_from_args();
+    let lib = standard_library();
+    let mut failed = false;
+
+    for spec in specs {
+        let mut design = spec.generate(&lib);
+        let base = DelayModel::default();
+        let model = DelayModel {
+            clock_period: spec.clock_period,
+            wire_res_per_dbu: base.wire_res_per_dbu * spec.wire_scale,
+            wire_cap_per_dbu: base.wire_cap_per_dbu * spec.wire_scale,
+            ..base
+        };
+        let options = ComposerOptions {
+            paranoia: Paranoia::Full,
+            stitch_scan_chains: true,
+            ..ComposerOptions::default()
+        };
+        let composer = Composer::new(options, model);
+        let outcome = match composer.compose(&mut design, &lib) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("{}: flow failed: {e}", spec.name);
+                failed = true;
+                continue;
+            }
+        };
+
+        // The in-flow checkpoints already audited every stage; sweep the
+        // final design once more so post-flow state is covered even if a
+        // future stage forgets its checkpoint.
+        let mut report = CheckReport::new(outcome.diagnostics.clone());
+        report.extend(check_netlist(&design));
+        report.extend(check_mapping(&design, &lib));
+        report.extend(check_scan(&design, &lib));
+        let grid = infer_grid(&design, &lib);
+        report.extend(mbr::check::check_placement(
+            &design,
+            &grid,
+            &outcome.new_mbrs,
+        ));
+
+        println!(
+            "{}: {} -> {} registers, {} merges, {} diagnostics ({} errors)",
+            spec.name,
+            outcome.registers_before,
+            outcome.registers_after,
+            outcome.merges,
+            report.diagnostics.len(),
+            report.error_count(),
+        );
+        if !report.is_clean() {
+            println!("{report}");
+        }
+        if report.error_count() > 0 {
+            failed = true;
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

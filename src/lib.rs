@@ -9,7 +9,9 @@
 //! * [`mbr_sta`] / [`mbr_place`] / [`mbr_cts`] — timing, placement and
 //!   clock-tree substrates,
 //! * [`mbr_lp`] / [`mbr_graph`] / [`mbr_geom`] — solver, clique and geometry
-//!   machinery.
+//!   machinery,
+//! * [`mbr_check`] — cross-stage flow invariant checkers (see `cargo run
+//!   --bin check`).
 //!
 //! # Examples
 //!
@@ -42,6 +44,7 @@
 //! # Ok::<(), mbr::core::ComposeError>(())
 //! ```
 
+pub use mbr_check as check;
 pub use mbr_core as core;
 pub use mbr_cts as cts;
 pub use mbr_geom as geom;
