@@ -1,0 +1,9 @@
+//! Observability overhead target: the d1 flow with no sink vs a counting
+//! sink.
+//!
+//! Run with `cargo bench -p mbr-bench --bench obs`; results land in
+//! `BENCH_obs.json`.
+
+fn main() {
+    mbr_bench::suites::obs();
+}

@@ -2,8 +2,8 @@
 //!
 //! Usage: `cargo run --release -p mbr-bench --bin bench -- [suite ...]`
 //! where each suite is one of `table1`, `fig5`, `fig6`, `ablations`,
-//! `solvers`; with no arguments every suite runs. Set `MBR_BENCH_QUICK=1`
-//! for a three-sample smoke run.
+//! `solvers`, `obs`; with no arguments every suite runs. Set
+//! `MBR_BENCH_QUICK=1` for a three-sample smoke run.
 
 use mbr_bench::suites;
 
@@ -20,8 +20,11 @@ fn main() {
             "fig6" => suites::fig6(),
             "ablations" => suites::ablations(),
             "solvers" => suites::solvers(),
+            "obs" => suites::obs(),
             other => {
-                eprintln!("unknown suite `{other}` (expected table1|fig5|fig6|ablations|solvers)");
+                eprintln!(
+                    "unknown suite `{other}` (expected table1|fig5|fig6|ablations|solvers|obs)"
+                );
                 std::process::exit(2);
             }
         }

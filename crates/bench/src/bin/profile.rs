@@ -1,10 +1,37 @@
-//! Stage-by-stage timing of the composition flow on d1.
+//! Stage-by-stage timing of the composition flow on d1, rendered on the
+//! shared [`mbr_obs::table`] path the other flow binaries use.
 use mbr_bench::{generate, library, model_for};
 use mbr_core::candidates::enumerate_candidates;
 use mbr_core::compat::CompatGraph;
 use mbr_core::{Composer, ComposerOptions};
+use mbr_obs::table::{fmt_ns, Table};
 use mbr_sta::Sta;
 use std::time::Instant;
+
+/// Collects `(stage, elapsed, note)` rows and renders them as one table.
+struct Profile {
+    table: Table,
+}
+
+impl Profile {
+    fn new() -> Profile {
+        Profile {
+            table: Table::new(["stage", "time", "notes"]).right_align([1]),
+        }
+    }
+
+    fn time<T>(&mut self, stage: &str, f: impl FnOnce() -> (T, String)) -> T {
+        let t = Instant::now();
+        let (value, note) = f();
+        let ns = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.table.row([stage.to_string(), fmt_ns(ns), note]);
+        value
+    }
+
+    fn render(&self) {
+        print!("{}", self.table.render());
+    }
+}
 
 fn main() {
     let lib = library();
@@ -17,51 +44,58 @@ fn main() {
     let design = generate(&spec, &lib);
     let model = model_for(&spec);
     let options = ComposerOptions::default();
+    let mut p = Profile::new();
 
-    let t = Instant::now();
-    let sta = Sta::new(&design, &lib, model).unwrap();
-    println!("sta: {:?}", t.elapsed());
-    let t = Instant::now();
-    let compat = CompatGraph::build(&design, &lib, &sta, &options);
-    println!(
-        "compat: {:?} ({} regs, {} edges)",
-        t.elapsed(),
-        compat.regs.len(),
-        compat.graph.edge_count()
-    );
-    let t = Instant::now();
-    let sets = enumerate_candidates(&design, &lib, &compat, &options);
-    let n: usize = sets.iter().map(|s| s.candidates.len()).sum();
-    println!("enumerate: {:?} ({} candidates)", t.elapsed(), n);
-    let t = Instant::now();
-    let mut solve_nodes = 0u64;
-    for set in &sets {
-        let mut sp = mbr_lp::SetPartition::new(set.elements.len());
-        for (i, idx) in set.member_idx.iter().enumerate() {
-            sp.add_candidate(idx, set.candidates[i].weight);
+    let sta = p.time("sta", || {
+        (Sta::new(&design, &lib, model).unwrap(), String::new())
+    });
+    let compat = p.time("compat", || {
+        let compat = CompatGraph::build(&design, &lib, &sta, &options);
+        let note = format!(
+            "{} regs, {} edges",
+            compat.regs.len(),
+            compat.graph.edge_count()
+        );
+        (compat, note)
+    });
+    let sets = p.time("enumerate", || {
+        let sets = enumerate_candidates(&design, &lib, &compat, &options);
+        let n: usize = sets.iter().map(|s| s.candidates.len()).sum();
+        (sets, format!("{n} candidates"))
+    });
+    p.time("ilp", || {
+        let mut solve_nodes = 0u64;
+        for set in &sets {
+            let mut sp = mbr_lp::SetPartition::new(set.elements.len());
+            for (i, idx) in set.member_idx.iter().enumerate() {
+                sp.add_candidate(idx, set.candidates[i].weight);
+            }
+            solve_nodes += sp.solve_bounded(50_000).unwrap().nodes_explored;
         }
-        solve_nodes += sp.solve_bounded(50_000).unwrap().nodes_explored;
-    }
-    println!("ilp: {:?} ({} nodes)", t.elapsed(), solve_nodes);
+        ((), format!("{solve_nodes} nodes"))
+    });
 
     // Full flow with and without skew/sizing.
-    let t = Instant::now();
-    let mut work = design.clone();
-    let composer = Composer::new(
-        ComposerOptions {
-            apply_useful_skew: false,
-            apply_sizing: false,
-            ..options.clone()
-        },
-        model,
-    );
-    composer.compose(&mut work, &lib).unwrap();
-    println!("full flow (no skew/sizing): {:?}", t.elapsed());
-    let t = Instant::now();
-    let mut work = design.clone();
-    let composer = Composer::new(options, model);
-    composer.compose(&mut work, &lib).unwrap();
-    println!("full flow (default): {:?}", t.elapsed());
+    p.time("full flow (no skew/sizing)", || {
+        let mut work = design.clone();
+        let composer = Composer::new(
+            ComposerOptions {
+                apply_useful_skew: false,
+                apply_sizing: false,
+                ..options.clone()
+            },
+            model,
+        );
+        composer.compose(&mut work, &lib).unwrap();
+        ((), String::new())
+    });
+    p.time("full flow (default)", || {
+        let mut work = design.clone();
+        let composer = Composer::new(options, model);
+        composer.compose(&mut work, &lib).unwrap();
+        ((), String::new())
+    });
+    p.render();
 }
 
 /// Stage timing of the speculative decomposition path on d4.
@@ -70,69 +104,76 @@ fn profile_decompose(lib: &mbr_liberty::Library) {
     let mut design = generate(&spec, lib);
     let model = model_for(&spec);
     let options = ComposerOptions::default();
+    let mut p = Profile::new();
 
     // Split all max-width MBRs manually to time the recomposition stages.
-    let t = Instant::now();
-    let targets: Vec<_> = design
-        .registers()
-        .filter(|(id, inst)| {
-            let cell = inst.register_cell().expect("register");
-            design.register_width(*id) >= lib.max_width(lib.cell(cell).class)
-                && design.register_width(*id) > 1
-        })
-        .map(|(id, _)| id)
-        .collect();
-    println!("targets: {} ({:?})", targets.len(), t.elapsed());
-    let t = Instant::now();
-    let mut bits = Vec::new();
-    for id in targets {
-        let class = lib.cell(design.inst(id).register_cell().unwrap()).class;
-        if let Some(cell) = lib.select_cell(class, 1, None, false) {
-            if let Ok(b) = design.split_register(id, lib, cell) {
-                bits.extend(b);
+    let targets = p.time("targets", || {
+        let targets: Vec<_> = design
+            .registers()
+            .filter(|(id, inst)| {
+                let cell = inst.register_cell().expect("register");
+                design.register_width(*id) >= lib.max_width(lib.cell(cell).class)
+                    && design.register_width(*id) > 1
+            })
+            .map(|(id, _)| id)
+            .collect();
+        let note = format!("{} registers", targets.len());
+        (targets, note)
+    });
+    let bits = p.time("split", || {
+        let mut bits = Vec::new();
+        for id in targets {
+            let class = lib.cell(design.inst(id).register_cell().unwrap()).class;
+            if let Some(cell) = lib.select_cell(class, 1, None, false) {
+                if let Ok(b) = design.split_register(id, lib, cell) {
+                    bits.extend(b);
+                }
             }
         }
-    }
-    println!("split {} bits: {:?}", bits.len(), t.elapsed());
-    let t = Instant::now();
-    let grid = mbr_place::PlacementGrid::new(design.die(), 600, 100);
-    mbr_place::legalize(&mut design, &grid, &bits).expect("room");
-    println!("legalize: {:?}", t.elapsed());
-    let t = Instant::now();
-    let sta = Sta::new(&design, lib, model).unwrap();
-    println!("sta: {:?}", t.elapsed());
-    let t = Instant::now();
-    let compat = CompatGraph::build(&design, lib, &sta, &options);
-    println!(
-        "compat: {:?} ({} regs, {} edges)",
-        t.elapsed(),
-        compat.regs.len(),
-        compat.graph.edge_count()
-    );
-    let t = Instant::now();
-    let sets = enumerate_candidates(&design, lib, &compat, &options);
-    let n: usize = sets.iter().map(|s| s.candidates.len()).sum();
-    println!(
-        "enumerate: {:?} ({} candidates, {} partitions)",
-        t.elapsed(),
-        n,
-        sets.len()
-    );
-    let t = Instant::now();
-    let mut nodes = 0u64;
-    for set in &sets {
-        let mut sp = mbr_lp::SetPartition::new(set.elements.len());
-        for (i, idx) in set.member_idx.iter().enumerate() {
-            sp.add_candidate(idx, set.candidates[i].weight);
+        let note = format!("{} bits", bits.len());
+        (bits, note)
+    });
+    p.time("legalize", || {
+        let grid = mbr_place::PlacementGrid::new(design.die(), 600, 100);
+        mbr_place::legalize(&mut design, &grid, &bits).expect("room");
+        ((), String::new())
+    });
+    let sta = p.time("sta", || {
+        (Sta::new(&design, lib, model).unwrap(), String::new())
+    });
+    let compat = p.time("compat", || {
+        let compat = CompatGraph::build(&design, lib, &sta, &options);
+        let note = format!(
+            "{} regs, {} edges",
+            compat.regs.len(),
+            compat.graph.edge_count()
+        );
+        (compat, note)
+    });
+    let sets = p.time("enumerate", || {
+        let sets = enumerate_candidates(&design, lib, &compat, &options);
+        let n: usize = sets.iter().map(|s| s.candidates.len()).sum();
+        let note = format!("{n} candidates, {} partitions", sets.len());
+        (sets, note)
+    });
+    p.time("ilp", || {
+        let mut nodes = 0u64;
+        for set in &sets {
+            let mut sp = mbr_lp::SetPartition::new(set.elements.len());
+            for (i, idx) in set.member_idx.iter().enumerate() {
+                sp.add_candidate(idx, set.candidates[i].weight);
+            }
+            nodes += sp
+                .solve_bounded(options.ilp_node_limit)
+                .unwrap()
+                .nodes_explored;
         }
-        nodes += sp
-            .solve_bounded(options.ilp_node_limit)
-            .unwrap()
-            .nodes_explored;
-    }
-    println!("ilp: {:?} ({nodes} nodes)", t.elapsed());
-    let t = Instant::now();
-    let composer = Composer::new(options, model);
-    let out = composer.compose(&mut design, lib).unwrap();
-    println!("rest of flow: {:?} (merges {})", t.elapsed(), out.merges);
+        ((), format!("{nodes} nodes"))
+    });
+    p.time("rest of flow", || {
+        let composer = Composer::new(options.clone(), model);
+        let out = composer.compose(&mut design, lib).unwrap();
+        ((), format!("{} merges", out.merges))
+    });
+    p.render();
 }

@@ -9,14 +9,33 @@
 //! cargo run --release -p mbr-bench --bin repro -- ablations
 //! cargo run --release -p mbr-bench --bin repro -- decompose
 //! cargo run --release -p mbr-bench --bin repro -- stats
+//! cargo run --release -p mbr-bench --bin repro -- d1
 //! ```
+//!
+//! A preset name (`d1`..`d5`) runs the flow on that design alone and prints
+//! its per-stage wall-clock breakdown. Set `MBR_TRACE=<path>` to capture a
+//! JSONL trace; pass `--report` for a span/counter summary of the run.
 
 use mbr_bench::{library, run, save_pct, RunResult, Strategy};
 use mbr_core::{ComposerOptions, DesignMetrics};
+use mbr_obs::summary::{stage_table, Summary};
 use mbr_workloads::all_presets;
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let mut report = false;
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| {
+            if a == "--report" {
+                report = true;
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
+    let obs = mbr_obs::init_cli(report);
+    let arg = args.first().cloned().unwrap_or_else(|| "all".into());
     match arg.as_str() {
         "table1" => table1(),
         "fig3" => fig3(),
@@ -33,12 +52,47 @@ fn main() {
             ablations();
             decompose();
         }
+        preset if all_presets().iter().any(|s| s.name == preset) => single(preset),
         other => {
             eprintln!("unknown experiment `{other}`");
-            eprintln!("usage: repro [table1|fig3|fig5|fig6|ablations|decompose|stats|all]");
+            eprintln!(
+                "usage: repro [--report] [table1|fig3|fig5|fig6|ablations|decompose|stats|d1..d5|all]"
+            );
             std::process::exit(2);
         }
     }
+    if let Some(rec) = &obs.recorder {
+        print!("{}", Summary::from_events(&rec.events()).render());
+    }
+    obs.finish();
+}
+
+/// One preset, end to end, with the per-stage wall-clock breakdown — the
+/// quick "where does the time go" view (and the trace-producing entry point
+/// CI validates).
+fn single(name: &str) {
+    let lib = library();
+    let spec = all_presets()
+        .into_iter()
+        .find(|s| s.name == name)
+        .expect("caller checked the preset name");
+    println!("== {} ==", spec.name.to_uppercase());
+    let RunResult {
+        base,
+        ours,
+        outcome,
+    } = run(&spec, &lib, ComposerOptions::default(), Strategy::Ilp);
+    println!(
+        "regs {} -> {} ({} merges, {} incomplete, {} resized), tns {:.2} -> {:.2} ns",
+        base.total_regs,
+        ours.total_regs,
+        outcome.merges,
+        outcome.incomplete_mbrs,
+        outcome.resized,
+        base.tns_ns,
+        ours.tns_ns,
+    );
+    print!("{}", stage_table(&outcome.timings));
 }
 
 fn row(label: &str, m: &DesignMetrics, elapsed_ms: Option<u128>) {
@@ -108,7 +162,7 @@ fn table1() {
         } = run(&spec, &lib, ComposerOptions::default(), Strategy::Ilp);
         println!("-- {} --", spec.name.to_uppercase());
         row("Base", &base, None);
-        row("Ours", &ours, Some(outcome.elapsed.as_millis()));
+        row("Ours", &ours, Some(outcome.elapsed().as_millis()));
         save_row(&base, &ours);
         println!(
             "      clock power {:.1} -> {:.1} uW ({:.1} % saved)",
@@ -225,7 +279,7 @@ fn ablations() {
             r.base.total_regs,
             r.ours.total_regs,
             save_pct(r.base.total_regs as f64, r.ours.total_regs as f64),
-            r.outcome.elapsed.as_millis()
+            r.outcome.elapsed().as_millis()
         );
     }
 

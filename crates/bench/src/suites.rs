@@ -272,6 +272,35 @@ pub fn solvers() {
     suite.finish();
 }
 
+/// Observability cost: the full d1 flow with no sink installed (the
+/// default every caller pays — counters reduce to a thread-local check and
+/// spans are inert) versus under a live counting sink. The first number is
+/// the "no-op overhead" budget DESIGN.md §8 commits to; the delta to the
+/// second is the opt-in price of counting.
+pub fn obs() {
+    use mbr_obs::{with_sink, CounterTotals};
+    use std::sync::Arc;
+
+    let lib = library();
+    let spec = mbr_workloads::d1();
+    let design = generate(&spec, &lib);
+    let composer = Composer::new(ComposerOptions::default(), model_for(&spec));
+
+    let mut suite = Suite::new("obs");
+    suite.bench("flow_d1/no_sink", || {
+        let mut work = design.clone();
+        composer.compose(&mut work, &lib).expect("flow")
+    });
+    suite.bench("flow_d1/counting_sink", || {
+        let totals = Arc::new(CounterTotals::default());
+        with_sink(totals, || {
+            let mut work = design.clone();
+            composer.compose(&mut work, &lib).expect("flow")
+        })
+    });
+    suite.finish();
+}
+
 /// Runs every suite, in a deterministic order.
 pub fn run_all() {
     table1();
@@ -279,4 +308,5 @@ pub fn run_all() {
     fig6();
     ablations();
     solvers();
+    obs();
 }

@@ -12,6 +12,7 @@ use std::collections::HashSet;
 use mbr_graph::{partition_geometric, BitGraph};
 use mbr_liberty::{CellId, Library, ScanStyle};
 use mbr_netlist::{Design, InstId};
+use mbr_obs::{self as obs, Counter};
 
 use crate::compat::CompatGraph;
 use crate::weight::{weigh, RegisterIndex};
@@ -89,13 +90,21 @@ pub fn enumerate_candidates(
         index: &index,
         options,
     };
-    partitions
+    let mut visited_total = 0u64;
+    let sets: Vec<CandidateSet> = partitions
         .iter()
-        .map(|part| enumerate_partition(&ctx, part))
-        .collect()
+        .map(|part| enumerate_partition(&ctx, part, &mut visited_total))
+        .collect();
+    obs::counter(Counter::CandidatePartitions, partitions.len() as u64);
+    obs::counter(Counter::CandidateSubsetsVisited, visited_total);
+    obs::counter(
+        Counter::CandidatesEnumerated,
+        sets.iter().map(|s| s.candidates.len() as u64).sum(),
+    );
+    sets
 }
 
-fn enumerate_partition(ctx: &EnumCtx<'_>, part: &[usize]) -> CandidateSet {
+fn enumerate_partition(ctx: &EnumCtx<'_>, part: &[usize], visited_total: &mut u64) -> CandidateSet {
     let EnumCtx {
         design,
         lib,
@@ -172,6 +181,7 @@ fn enumerate_partition(ctx: &EnumCtx<'_>, part: &[usize]) -> CandidateSet {
             break;
         }
     }
+    *visited_total += visited as u64;
     set
 }
 

@@ -25,6 +25,7 @@ use mbr_geom::{Point, Rect};
 use mbr_graph::UnGraph;
 use mbr_liberty::{ClassId, Library};
 use mbr_netlist::{Design, InstId, InstKind};
+use mbr_obs::{self as obs, Counter};
 use mbr_sta::{SkewWindow, Sta};
 
 use crate::ComposerOptions;
@@ -108,6 +109,8 @@ impl CompatGraph {
                 }
             }
         }
+        obs::counter(Counter::CompatRegisters, regs.len() as u64);
+        obs::counter(Counter::CompatEdges, graph.edge_count() as u64);
         CompatGraph { regs, graph }
     }
 

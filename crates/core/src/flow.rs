@@ -11,7 +11,7 @@
 use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use mbr_check::{
     check_mapping, check_netlist, check_partition, check_placement, check_scan, check_sta,
@@ -22,6 +22,7 @@ use mbr_geom::Rect;
 use mbr_liberty::Library;
 use mbr_lp::{SetPartition, SetPartitionError};
 use mbr_netlist::{Design, InstId, InstKind};
+use mbr_obs::{self as obs, Counter, FlowStage, Span, StageTimings};
 use mbr_place::{legalize, LegalizeError, LegalizeReport, PlacementGrid};
 use mbr_sta::{DelayModel, Sta, StaError};
 
@@ -81,6 +82,25 @@ impl From<SetPartitionError> for ComposeError {
     }
 }
 
+/// One in-flow checkpoint finding, tagged with the stage whose checkpoint
+/// raised it — `check_partition` findings carry [`FlowStage::Assignment`],
+/// the final `check_netlist` re-audit carries [`FlowStage::Stitch`], and so
+/// on. The tag tells a reader *where the flow was* when the invariant broke,
+/// which is the first question any triage asks.
+#[derive(Clone, Debug)]
+pub struct StageDiagnostic {
+    /// The stage after which the reporting checkpoint ran.
+    pub checkpoint: FlowStage,
+    /// The finding itself.
+    pub diagnostic: Diagnostic,
+}
+
+impl fmt::Display for StageDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[after {}] {}", self.checkpoint, self.diagnostic)
+    }
+}
+
 /// Statistics of one composition run.
 #[derive(Clone, Debug, Default)]
 pub struct ComposeOutcome {
@@ -117,12 +137,21 @@ pub struct ComposeOutcome {
     /// For [`Composer::compose_with_decomposition`]: whether the speculative
     /// decomposition won and was kept (`None` on the other entry points).
     pub decomposition_kept: Option<bool>,
-    /// Findings of the in-flow invariant checkpoints (empty when
+    /// Findings of the in-flow invariant checkpoints, each tagged with the
+    /// stage whose checkpoint raised it (empty when
     /// [`ComposerOptions::paranoia`] is [`Paranoia::Off`] — and, on a
     /// healthy flow, at every other level too).
-    pub diagnostics: Vec<Diagnostic>,
-    /// Wall-clock time of the whole run.
-    pub elapsed: Duration,
+    pub diagnostics: Vec<StageDiagnostic>,
+    /// Wall-clock breakdown of the run, per flow stage.
+    pub timings: StageTimings,
+}
+
+impl ComposeOutcome {
+    /// Wall-clock time of the whole run (the total of
+    /// [`ComposeOutcome::timings`]).
+    pub fn elapsed(&self) -> Duration {
+        self.timings.total()
+    }
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -261,19 +290,32 @@ impl Composer {
         }
         let dec_outcome = speculative.run(&mut dec, lib, Strategy::Ilp)?;
 
-        if dec_outcome.registers_after < plain_outcome.registers_after {
+        // Both arms ran; the kept outcome's timings absorb the loser's so
+        // `elapsed()` reports the work actually spent, not just the winner.
+        let dec_wins = dec_outcome.registers_after < plain_outcome.registers_after;
+        let (mut outcome, loser_timings) = if dec_wins {
             *design = dec;
-            Ok(ComposeOutcome {
-                decomposition_kept: Some(true),
-                ..dec_outcome
-            })
+            let loser = plain_outcome.timings;
+            (
+                ComposeOutcome {
+                    decomposition_kept: Some(true),
+                    ..dec_outcome
+                },
+                loser,
+            )
         } else {
             *design = plain;
-            Ok(ComposeOutcome {
-                decomposition_kept: Some(false),
-                ..plain_outcome
-            })
-        }
+            let loser = dec_outcome.timings;
+            (
+                ComposeOutcome {
+                    decomposition_kept: Some(false),
+                    ..plain_outcome
+                },
+                loser,
+            )
+        };
+        outcome.timings.merge(&loser_timings);
+        Ok(outcome)
     }
 
     fn run(
@@ -282,7 +324,9 @@ impl Composer {
         lib: &Library,
         strategy: Strategy,
     ) -> Result<ComposeOutcome, ComposeError> {
-        let start = Instant::now();
+        let run_start = obs::now_ns();
+        let _flow_span = Span::enter("flow.compose");
+        let mut timings = StageTimings::default();
         let mut outcome = ComposeOutcome {
             registers_before: design.live_register_count(),
             ..ComposeOutcome::default()
@@ -291,23 +335,39 @@ impl Composer {
         let paranoia = self.options.paranoia;
 
         // 1. Timing analysis on the incoming placement.
+        let t0 = obs::now_ns();
+        let span = Span::enter(FlowStage::Timing.span_name());
         let sta = Sta::new(design, lib, self.model)?;
+        drop(span);
+        timings.add(FlowStage::Timing, obs::now_ns() - t0);
         if paranoia >= Paranoia::Cheap {
-            outcome.diagnostics.extend(check_netlist(design));
+            checkpoint(&mut outcome, &mut timings, FlowStage::Timing, || {
+                check_netlist(design)
+            });
         }
 
         // 2. Compatibility graph (Section 2).
+        let t0 = obs::now_ns();
+        let span = Span::enter(FlowStage::Compat.span_name());
         let compat = CompatGraph::build(design, lib, &sta, &self.options);
         outcome.composable = compat.regs.len();
         let regions: HashMap<InstId, Rect> =
             compat.regs.iter().map(|r| (r.inst, r.region)).collect();
+        drop(span);
+        timings.add(FlowStage::Compat, obs::now_ns() - t0);
 
         // 3./4. Candidate enumeration with weights (Section 3).
+        let t0 = obs::now_ns();
+        let span = Span::enter(FlowStage::Candidates.span_name());
         let sets = enumerate_candidates(design, lib, &compat, &self.options);
+        drop(span);
+        timings.add(FlowStage::Candidates, obs::now_ns() - t0);
         outcome.partitions = sets.len();
         outcome.candidates_enumerated = sets.iter().map(|s| s.candidates.len()).sum();
 
         // 5. Assignment per partition (Section 3.1).
+        let t0 = obs::now_ns();
+        let span = Span::enter(FlowStage::Assignment.span_name());
         let mut selected: Vec<CandidateMbr> = Vec::new();
         for set in &sets {
             match strategy {
@@ -331,41 +391,45 @@ impl Composer {
                 }
             }
         }
+        drop(span);
+        timings.add(FlowStage::Assignment, obs::now_ns() - t0);
 
         // Checkpoint: the solution must be an exact cover of the composable
         // registers (merges as selected, the rest as singletons) and every
         // group must satisfy the §2/§3 compatibility rules post-solve.
         if paranoia >= Paranoia::Cheap {
-            let mut groups: Vec<MergeGroup> = selected
-                .iter()
-                .map(|c| MergeGroup {
-                    members: c.members.clone(),
-                    cell: c.cell,
-                })
-                .collect();
-            let in_merge: HashSet<InstId> = groups
-                .iter()
-                .flat_map(|g| g.members.iter().copied())
-                .collect();
-            for r in &compat.regs {
-                if !in_merge.contains(&r.inst) {
-                    groups.push(MergeGroup {
-                        members: vec![r.inst],
-                        cell: design.inst(r.inst).register_cell().expect("register"),
-                    });
+            checkpoint(&mut outcome, &mut timings, FlowStage::Assignment, || {
+                let mut groups: Vec<MergeGroup> = selected
+                    .iter()
+                    .map(|c| MergeGroup {
+                        members: c.members.clone(),
+                        cell: c.cell,
+                    })
+                    .collect();
+                let in_merge: HashSet<InstId> = groups
+                    .iter()
+                    .flat_map(|g| g.members.iter().copied())
+                    .collect();
+                for r in &compat.regs {
+                    if !in_merge.contains(&r.inst) {
+                        groups.push(MergeGroup {
+                            members: vec![r.inst],
+                            cell: design.inst(r.inst).register_cell().expect("register"),
+                        });
+                    }
                 }
-            }
-            let cover = PartitionCover {
-                elements: compat.regs.iter().map(|r| r.inst).collect(),
-                groups,
-            };
-            outcome
-                .diagnostics
-                .extend(check_partition(design, lib, &cover));
+                let cover = PartitionCover {
+                    elements: compat.regs.iter().map(|r| r.inst).collect(),
+                    groups,
+                };
+                check_partition(design, lib, &cover)
+            });
         }
 
         // 6. Mapping is pre-resolved per candidate; place (Section 4.2),
         // merge, then legalize.
+        let t0 = obs::now_ns();
+        let span = Span::enter(FlowStage::Mapping.span_name());
         let mut new_mbrs = Vec::new();
         for cand in &selected {
             let cell = lib.cell(cand.cell);
@@ -396,24 +460,38 @@ impl Composer {
                 }
             }
         }
+        drop(span);
+        timings.add(FlowStage::Mapping, obs::now_ns() - t0);
 
+        let t0 = obs::now_ns();
+        let span = Span::enter(FlowStage::Legalization.span_name());
         let grid = infer_grid(design, lib);
         outcome.legalize = legalize(design, &grid, &new_mbrs)?;
+        drop(span);
+        timings.add(FlowStage::Legalization, obs::now_ns() - t0);
 
         // Checkpoint: merges must leave every register mapped to a real
         // library cell, and the legalized MBRs on-grid and overlap-free.
         if paranoia >= Paranoia::Cheap {
-            outcome.diagnostics.extend(check_mapping(design, lib));
+            checkpoint(&mut outcome, &mut timings, FlowStage::Mapping, || {
+                check_mapping(design, lib)
+            });
         }
         if paranoia >= Paranoia::Full {
-            outcome
-                .diagnostics
-                .extend(check_placement(design, &grid, &new_mbrs));
+            checkpoint(&mut outcome, &mut timings, FlowStage::Legalization, || {
+                check_placement(design, &grid, &new_mbrs)
+            });
         }
 
         // 7. Post-composition timing, useful skew, and sizing (Fig. 4).
+        let t0 = obs::now_ns();
+        let span = Span::enter(FlowStage::Timing.span_name());
         let mut sta = Sta::new(design, lib, self.model)?;
+        drop(span);
+        timings.add(FlowStage::Timing, obs::now_ns() - t0);
         if self.options.apply_useful_skew && !new_mbrs.is_empty() {
+            let t0 = obs::now_ns();
+            let span = Span::enter(FlowStage::Skew.span_name());
             outcome.skew = Some(assign_useful_skew(
                 design,
                 lib,
@@ -421,37 +499,77 @@ impl Composer {
                 &new_mbrs,
                 &self.options.skew,
             ));
+            drop(span);
+            timings.add(FlowStage::Skew, obs::now_ns() - t0);
         }
         if self.options.apply_sizing {
+            let t0 = obs::now_ns();
+            let span = Span::enter(FlowStage::Sizing.span_name());
             outcome.resized =
                 downsize_mbrs(design, lib, &mut sta, &new_mbrs, self.options.sizing_margin);
+            drop(span);
+            timings.add(FlowStage::Sizing, obs::now_ns() - t0);
         }
 
         // Checkpoint: skew and sizing maintain `sta` incrementally; it must
         // still agree with a from-scratch analysis. (Before stitching, which
         // edits structure and would legitimately invalidate `sta`.)
         if paranoia >= Paranoia::Full {
-            outcome
-                .diagnostics
-                .extend(check_sta(design, lib, &sta, STA_EPSILON));
+            checkpoint(&mut outcome, &mut timings, FlowStage::Sizing, || {
+                check_sta(design, lib, &sta, STA_EPSILON)
+            });
         }
 
         if self.options.stitch_scan_chains {
+            let t0 = obs::now_ns();
+            let span = Span::enter(FlowStage::Stitch.span_name());
             outcome.scan_stitch = Some(design.stitch_scan_chains(lib));
+            drop(span);
+            timings.add(FlowStage::Stitch, obs::now_ns() - t0);
             if paranoia >= Paranoia::Full {
-                outcome.diagnostics.extend(check_scan(design, lib));
+                checkpoint(&mut outcome, &mut timings, FlowStage::Stitch, || {
+                    check_scan(design, lib)
+                });
             }
             // Stitching added ports and nets; re-audit the structure.
             if paranoia >= Paranoia::Cheap {
-                outcome.diagnostics.extend(check_netlist(design));
+                checkpoint(&mut outcome, &mut timings, FlowStage::Stitch, || {
+                    check_netlist(design)
+                });
             }
         }
 
         outcome.new_mbrs = new_mbrs;
         outcome.registers_after = design.live_register_count();
-        outcome.elapsed = start.elapsed();
+        timings.total_ns = obs::now_ns() - run_start;
+        outcome.timings = timings;
         Ok(outcome)
     }
+}
+
+/// Runs one in-flow invariant checkpoint: times it into the
+/// [`StageTimings::checks_ns`] bucket (checkpoints sit *between* stages, so
+/// their cost is kept out of the stage buckets they'd otherwise smear), tags
+/// every finding with the stage it guards, and counts findings toward
+/// [`Counter::CheckDiagnostics`].
+fn checkpoint(
+    outcome: &mut ComposeOutcome,
+    timings: &mut StageTimings,
+    stage: FlowStage,
+    check: impl FnOnce() -> Vec<Diagnostic>,
+) {
+    let t0 = obs::now_ns();
+    let span = Span::enter("flow.compose.checks");
+    let diags = check();
+    drop(span);
+    timings.checks_ns += obs::now_ns() - t0;
+    obs::counter(Counter::CheckDiagnostics, diags.len() as u64);
+    outcome
+        .diagnostics
+        .extend(diags.into_iter().map(|diagnostic| StageDiagnostic {
+            checkpoint: stage,
+            diagnostic,
+        }));
 }
 
 /// The Fig. 6 baseline: the composition pipeline *without* the ILP.

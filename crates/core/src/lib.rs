@@ -57,7 +57,7 @@ mod flow;
 
 pub use candidates::{CandidateMbr, CandidateSet};
 pub use compat::{CompatGraph, ComposableRegister};
-pub use flow::{infer_grid, ComposeError, ComposeOutcome, Composer};
+pub use flow::{infer_grid, ComposeError, ComposeOutcome, Composer, StageDiagnostic};
 pub use metrics::{BitWidthHistogram, DesignMetrics};
 pub use stats::CandidateStats;
 

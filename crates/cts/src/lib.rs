@@ -49,6 +49,7 @@
 use mbr_geom::{Dbu, Point};
 use mbr_liberty::Library;
 use mbr_netlist::{Design, InstId, PinKind};
+use mbr_obs::{self as obs, Counter, Gauge};
 use mbr_sta::Sta;
 
 /// Clock-tree estimation parameters.
@@ -526,6 +527,9 @@ pub fn assign_useful_skew(
     report.adjusted = adjusted.len();
     report.wns_after = sta.report().wns;
     report.tns_after = sta.report().tns;
+    obs::counter(Counter::SkewAdjusted, report.adjusted as u64);
+    obs::gauge(Gauge::WnsPs, report.wns_after);
+    obs::gauge(Gauge::TnsPs, report.tns_after);
     report
 }
 

@@ -28,6 +28,8 @@
 use std::error::Error;
 use std::fmt;
 
+use mbr_obs::{self as obs, Counter};
+
 /// One column of the partitioning problem: a candidate subset with a weight.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Candidate {
@@ -89,6 +91,12 @@ pub struct SetPartitionSolution {
     /// Branch-and-bound nodes explored (for diagnostics and the runtime
     /// experiments).
     pub nodes_explored: u64,
+    /// Nodes cut before branching: the fractional lower bound met the
+    /// incumbent, or no admissible candidate covered some element.
+    pub nodes_pruned: u64,
+    /// Times the search replaced the incumbent with a cheaper cover (the
+    /// initial greedy incumbent is not counted).
+    pub incumbent_improvements: u64,
     /// Whether the search ran to completion (`false` only for
     /// [`SetPartition::solve_bounded`] runs that hit their node budget; the
     /// returned cover is then the best incumbent, not proven optimal).
@@ -168,6 +176,20 @@ impl SetPartition {
     ///
     /// Same as [`SetPartition::solve`].
     pub fn solve_bounded(&self, max_nodes: u64) -> Result<SetPartitionSolution, SetPartitionError> {
+        let result = self.solve_impl(max_nodes);
+        if let Ok(sol) = &result {
+            obs::counter(Counter::SetPartSolves, 1);
+            obs::counter(Counter::SetPartNodesExplored, sol.nodes_explored);
+            obs::counter(Counter::SetPartNodesPruned, sol.nodes_pruned);
+            obs::counter(
+                Counter::SetPartIncumbentImprovements,
+                sol.incumbent_improvements,
+            );
+        }
+        result
+    }
+
+    fn solve_impl(&self, max_nodes: u64) -> Result<SetPartitionSolution, SetPartitionError> {
         // ---- validation ----
         for (i, cand) in self.candidates.iter().enumerate() {
             if !cand.weight.is_finite() || cand.weight < 0.0 {
@@ -185,6 +207,8 @@ impl SetPartition {
                 selected: Vec::new(),
                 cost: 0.0,
                 nodes_explored: 0,
+                nodes_pruned: 0,
+                incumbent_improvements: 0,
                 proven_optimal: true,
             });
         }
@@ -323,13 +347,15 @@ impl MaskSearcher {
         // Greedy incumbent (best ratio of weight per newly covered element).
         let mut best: Option<(Vec<u32>, f64)> = self.greedy();
         let mut chosen: Vec<u32> = Vec::new();
-        let mut nodes = 0u64;
-        self.dfs(0, 0.0, &mut chosen, &mut best, &mut nodes);
-        let proven_optimal = nodes < self.max_nodes;
+        let mut stats = SearchStats::default();
+        self.dfs(0, 0.0, &mut chosen, &mut best, &mut stats);
+        let proven_optimal = stats.nodes < self.max_nodes;
         best.map(|(sel, cost)| SetPartitionSolution {
             selected: sel.iter().map(|&s| self.original[s as usize]).collect(),
             cost,
-            nodes_explored: nodes,
+            nodes_explored: stats.nodes,
+            nodes_pruned: stats.pruned,
+            incumbent_improvements: stats.improved,
             proven_optimal,
         })
     }
@@ -375,20 +401,22 @@ impl MaskSearcher {
         cost: f64,
         chosen: &mut Vec<u32>,
         best: &mut Option<(Vec<u32>, f64)>,
-        nodes: &mut u64,
+        stats: &mut SearchStats,
     ) {
-        if *nodes >= self.max_nodes {
+        if stats.nodes >= self.max_nodes {
             return;
         }
-        *nodes += 1;
+        stats.nodes += 1;
         if covered == self.full {
             if best.as_ref().is_none_or(|&(_, b)| cost < b - 1e-12) {
                 *best = Some((chosen.clone(), cost));
+                stats.improved += 1;
             }
             return;
         }
         if let Some((_, b)) = best {
             if cost + self.lower_bound(covered) >= *b - 1e-12 {
+                stats.pruned += 1;
                 return;
             }
         }
@@ -418,11 +446,20 @@ impl MaskSearcher {
                 cost + self.weights[slot as usize],
                 chosen,
                 best,
-                nodes,
+                stats,
             );
             chosen.pop();
         }
     }
+}
+
+/// Search-effort counters shared by both branch-and-bound paths; flushed
+/// once per solve through the observability layer.
+#[derive(Clone, Copy, Debug, Default)]
+struct SearchStats {
+    nodes: u64,
+    pruned: u64,
+    improved: u64,
 }
 
 struct Searcher<'a> {
@@ -438,7 +475,7 @@ struct SearchState {
     chosen: Vec<usize>,
     cost: f64,
     best: Option<(Vec<usize>, f64)>,
-    nodes: u64,
+    stats: SearchStats,
 }
 
 impl<'a> Searcher<'a> {
@@ -449,7 +486,7 @@ impl<'a> Searcher<'a> {
             chosen: Vec::new(),
             cost: 0.0,
             best: None,
-            nodes: 0,
+            stats: SearchStats::default(),
         };
         // Greedy incumbent: repeatedly take the candidate with the best
         // weight-per-newly-covered-element ratio that doesn't overlap.
@@ -457,12 +494,14 @@ impl<'a> Searcher<'a> {
             state.best = Some((sel, cost));
         }
         self.dfs(&mut state);
-        let nodes = state.nodes;
-        let proven_optimal = nodes < self.max_nodes;
+        let stats = state.stats;
+        let proven_optimal = stats.nodes < self.max_nodes;
         state.best.map(|(selected, cost)| SetPartitionSolution {
             selected,
             cost,
-            nodes_explored: nodes,
+            nodes_explored: stats.nodes,
+            nodes_pruned: stats.pruned,
+            incumbent_improvements: stats.improved,
             proven_optimal,
         })
     }
@@ -530,10 +569,10 @@ impl<'a> Searcher<'a> {
     }
 
     fn dfs(&self, s: &mut SearchState) {
-        if s.nodes >= self.max_nodes {
+        if s.stats.nodes >= self.max_nodes {
             return;
         }
-        s.nodes += 1;
+        s.stats.nodes += 1;
         if s.n_covered == self.num_elements {
             let better = s
                 .best
@@ -541,12 +580,14 @@ impl<'a> Searcher<'a> {
                 .is_none_or(|&(_, best_cost)| s.cost < best_cost - 1e-12);
             if better {
                 s.best = Some((s.chosen.clone(), s.cost));
+                s.stats.improved += 1;
             }
             return;
         }
         if let Some((_, best_cost)) = s.best {
             let lb = self.lower_bound(&s.covered);
             if s.cost + lb >= best_cost - 1e-12 {
+                s.stats.pruned += 1;
                 return;
             }
         }
@@ -562,6 +603,7 @@ impl<'a> Searcher<'a> {
                 .filter(|&&i| !self.candidates[i].elements.iter().any(|&x| s.covered[x]))
                 .count();
             if count == 0 {
+                s.stats.pruned += 1;
                 return; // dead end
             }
             if pivot.is_none_or(|(_, c)| count < c) {

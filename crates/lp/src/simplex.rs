@@ -6,6 +6,8 @@
 //! switch to Bland's rule after a stall threshold, which guarantees
 //! termination on degenerate problems.
 
+use mbr_obs::{self as obs, Counter};
+
 /// Numerical tolerance for feasibility/optimality decisions.
 pub(crate) const EPS: f64 = 1e-9;
 
@@ -29,6 +31,18 @@ pub(crate) enum SimplexOutcome {
 ///
 /// Panics (debug assertions) on dimension mismatches or negative `b`.
 pub(crate) fn solve_standard_form(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> SimplexOutcome {
+    let mut pivots = 0u64;
+    let outcome = solve_standard_form_counted(a, b, c, &mut pivots);
+    obs::counter(Counter::SimplexPivots, pivots);
+    outcome
+}
+
+fn solve_standard_form_counted(
+    a: &[Vec<f64>],
+    b: &[f64],
+    c: &[f64],
+    pivots: &mut u64,
+) -> SimplexOutcome {
     let m = a.len();
     let n = c.len();
     debug_assert!(a.iter().all(|row| row.len() == n));
@@ -71,7 +85,7 @@ pub(crate) fn solve_standard_form(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> Simpl
 
     let mut basis: Vec<usize> = (n..n + m).collect();
 
-    if run_phase(&mut t, &mut basis, m, cols, m) == PhaseResult::Unbounded {
+    if run_phase(&mut t, &mut basis, m, cols, m, pivots) == PhaseResult::Unbounded {
         // Phase 1 objective is bounded below by 0, so this cannot happen;
         // treat defensively as infeasible.
         return SimplexOutcome::Infeasible;
@@ -87,6 +101,7 @@ pub(crate) fn solve_standard_form(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> Simpl
         if basis[i] >= n {
             if let Some(j) = (0..n).find(|&j| t[i][j].abs() > EPS) {
                 pivot(&mut t, &mut basis, i, j);
+                *pivots += 1;
             }
             // If no structural pivot exists the row is 0 = 0; harmless.
         }
@@ -112,7 +127,7 @@ pub(crate) fn solve_standard_form(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> Simpl
         }
     }
 
-    match run_phase(&mut t, &mut basis, m, cols, m + 1) {
+    match run_phase(&mut t, &mut basis, m, cols, m + 1, pivots) {
         PhaseResult::Unbounded => SimplexOutcome::Unbounded,
         PhaseResult::Optimal => {
             let mut x = vec![0.0; n];
@@ -140,6 +155,7 @@ fn run_phase(
     m: usize,
     cols: usize,
     obj_row: usize,
+    pivots: &mut u64,
 ) -> PhaseResult {
     let n_all = cols - 1;
     let mut iters = 0usize;
@@ -184,6 +200,7 @@ fn run_phase(
             return PhaseResult::Unbounded;
         };
         pivot(t, basis, i, j);
+        *pivots += 1;
     }
 }
 

@@ -1,0 +1,45 @@
+//! Validates an `MBR_TRACE` JSONL file against the schema in
+//! DESIGN.md §8 and prints its summary. Exit code 0 iff the trace parses
+//! and every schema invariant holds; CI runs this on the trace artifact.
+
+use std::process::ExitCode;
+
+use mbr_obs::summary::Summary;
+use mbr_obs::{parse_trace, validate_trace};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: trace-validate <trace.jsonl>");
+        return ExitCode::from(2);
+    };
+    if args.next().is_some() {
+        eprintln!("usage: trace-validate <trace.jsonl>");
+        return ExitCode::from(2);
+    }
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("trace-validate: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let events = match parse_trace(&text) {
+        Ok(events) => events,
+        Err(e) => {
+            eprintln!("trace-validate: {path}: parse error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = validate_trace(&events) {
+        eprintln!("trace-validate: {path}: schema violation: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{path}: {} events ({} lines) conform to the trace schema",
+        events.len(),
+        text.lines().count()
+    );
+    print!("{}", Summary::from_events(&events).render());
+    ExitCode::SUCCESS
+}

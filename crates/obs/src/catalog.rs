@@ -1,0 +1,176 @@
+//! The closed, typed catalog of counters and gauges the workspace emits.
+//!
+//! Keeping the catalog in one enum (instead of free-form strings) makes the
+//! JSONL schema checkable: [`crate::validate_trace`] rejects any counter or
+//! gauge name not registered here, so a typo in an instrumentation site is
+//! a validation failure, not a silently new metric.
+
+use std::fmt;
+
+/// A monotonically accumulated unit of algorithmic work. Instrumented code
+/// counts locally in its hot loop and flushes one total per operation via
+/// [`crate::counter`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Counter {
+    /// Simplex pivot operations (both phases) in `mbr-lp`.
+    SimplexPivots,
+    /// Set-partitioning solver invocations in `mbr-lp`.
+    SetPartSolves,
+    /// Set-partitioning branch-and-bound nodes explored.
+    SetPartNodesExplored,
+    /// Set-partitioning nodes cut by the fractional lower bound (or a dead
+    /// end) before branching.
+    SetPartNodesPruned,
+    /// Set-partitioning incumbent improvements (a better cover found).
+    SetPartIncumbentImprovements,
+    /// Full from-scratch timing analyses (`Sta::new`) — the incremental
+    /// path's fallback.
+    StaFullAnalyses,
+    /// Incremental timing updates (`Sta::update_after_change`).
+    StaIncrementalUpdates,
+    /// Nets whose arcs/loads an incremental timing update refreshed.
+    StaNetsTouched,
+    /// Seed pins an incremental timing update re-propagated from.
+    StaSeedPins,
+    /// Row gaps the legalizer probed while searching for free sites.
+    LegalizeGapProbes,
+    /// Instances the legalizer actually displaced.
+    LegalizeCellsMoved,
+    /// Composable registers in the compatibility graph.
+    CompatRegisters,
+    /// Edges of the compatibility graph.
+    CompatEdges,
+    /// Partitions the compatibility graph decomposed into.
+    CandidatePartitions,
+    /// Sub-clique subsets visited during candidate enumeration (including
+    /// rejected ones — the enumeration's true workload).
+    CandidateSubsetsVisited,
+    /// Candidates accepted into the assignment ILP (incl. singletons).
+    CandidatesEnumerated,
+    /// Registers whose clock offset useful-skew assignment changed.
+    SkewAdjusted,
+    /// Diagnostics emitted by one in-flow invariant checkpoint.
+    CheckDiagnostics,
+}
+
+impl Counter {
+    /// Every counter, in catalog order (documentation and validation).
+    pub const ALL: [Counter; 18] = [
+        Counter::SimplexPivots,
+        Counter::SetPartSolves,
+        Counter::SetPartNodesExplored,
+        Counter::SetPartNodesPruned,
+        Counter::SetPartIncumbentImprovements,
+        Counter::StaFullAnalyses,
+        Counter::StaIncrementalUpdates,
+        Counter::StaNetsTouched,
+        Counter::StaSeedPins,
+        Counter::LegalizeGapProbes,
+        Counter::LegalizeCellsMoved,
+        Counter::CompatRegisters,
+        Counter::CompatEdges,
+        Counter::CandidatePartitions,
+        Counter::CandidateSubsetsVisited,
+        Counter::CandidatesEnumerated,
+        Counter::SkewAdjusted,
+        Counter::CheckDiagnostics,
+    ];
+
+    /// The stable dotted name used in traces and bench JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::SimplexPivots => "lp.simplex.pivots",
+            Counter::SetPartSolves => "lp.setpart.solves",
+            Counter::SetPartNodesExplored => "lp.setpart.nodes_explored",
+            Counter::SetPartNodesPruned => "lp.setpart.nodes_pruned",
+            Counter::SetPartIncumbentImprovements => "lp.setpart.incumbent_improvements",
+            Counter::StaFullAnalyses => "sta.full_analyses",
+            Counter::StaIncrementalUpdates => "sta.incremental_updates",
+            Counter::StaNetsTouched => "sta.incremental.nets_touched",
+            Counter::StaSeedPins => "sta.incremental.seed_pins",
+            Counter::LegalizeGapProbes => "place.legalize.gap_probes",
+            Counter::LegalizeCellsMoved => "place.legalize.cells_moved",
+            Counter::CompatRegisters => "core.compat.registers",
+            Counter::CompatEdges => "core.compat.edges",
+            Counter::CandidatePartitions => "core.candidates.partitions",
+            Counter::CandidateSubsetsVisited => "core.candidates.subsets_visited",
+            Counter::CandidatesEnumerated => "core.candidates.enumerated",
+            Counter::SkewAdjusted => "cts.skew.adjusted",
+            Counter::CheckDiagnostics => "check.diagnostics",
+        }
+    }
+
+    /// The catalog entry for a dotted name, if registered.
+    pub fn from_name(name: &str) -> Option<Counter> {
+        Counter::ALL.into_iter().find(|c| c.name() == name)
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A point-in-time measured value (not accumulated across flushes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Gauge {
+    /// Worst negative slack after an operation, ps.
+    WnsPs,
+    /// Total negative slack after an operation, ps.
+    TnsPs,
+    /// Largest single displacement a legalization pass caused, DBU.
+    LegalizeMaxDisplacement,
+}
+
+impl Gauge {
+    /// Every gauge, in catalog order.
+    pub const ALL: [Gauge; 3] = [Gauge::WnsPs, Gauge::TnsPs, Gauge::LegalizeMaxDisplacement];
+
+    /// The stable dotted name used in traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::WnsPs => "sta.wns_ps",
+            Gauge::TnsPs => "sta.tns_ps",
+            Gauge::LegalizeMaxDisplacement => "place.legalize.max_displacement_dbu",
+        }
+    }
+
+    /// The catalog entry for a dotted name, if registered.
+    pub fn from_name(name: &str) -> Option<Gauge> {
+        Gauge::ALL.into_iter().find(|g| g.name() == name)
+    }
+}
+
+impl fmt::Display for Gauge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_const_matches_variant_count() {
+        // The compiler pins ALL's length; this pins that no two entries
+        // collide on the wire name.
+        let mut names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Counter::ALL.len());
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for c in Counter::ALL {
+            assert_eq!(Counter::from_name(c.name()), Some(c));
+        }
+        for g in Gauge::ALL {
+            assert_eq!(Gauge::from_name(g.name()), Some(g));
+        }
+        assert_eq!(Counter::from_name("no.such.counter"), None);
+        assert_eq!(Gauge::from_name("no.such.gauge"), None);
+    }
+}

@@ -1,0 +1,183 @@
+//! The composition flow's stage taxonomy and per-stage wall-clock
+//! breakdown. Lives here (not in `mbr-core`) so checkers, benches, and
+//! binaries can speak about stages without depending on the flow crate.
+
+use std::fmt;
+use std::time::Duration;
+
+/// One stage of the composition flow, in execution order. Doubles as the
+/// checkpoint tag on in-flow diagnostics: a diagnostic tagged `Mapping`
+/// was caught by the checkpoint that runs right after the mapping stage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FlowStage {
+    /// Initial full static timing analysis plus the post-merge re-analysis.
+    Timing,
+    /// Compatibility-graph construction.
+    Compat,
+    /// Candidate (clique-subset) enumeration.
+    Candidates,
+    /// Set-partitioning assignment (the ILP, per partition).
+    Assignment,
+    /// Merging selected groups into multi-bit registers in the netlist.
+    Mapping,
+    /// Placement legalization of the merged design.
+    Legalization,
+    /// Useful-skew assignment.
+    Skew,
+    /// Post-merge register downsizing.
+    Sizing,
+    /// Scan-chain stitching and final bookkeeping.
+    Stitch,
+}
+
+impl FlowStage {
+    /// Every stage, in execution order.
+    pub const ALL: [FlowStage; 9] = [
+        FlowStage::Timing,
+        FlowStage::Compat,
+        FlowStage::Candidates,
+        FlowStage::Assignment,
+        FlowStage::Mapping,
+        FlowStage::Legalization,
+        FlowStage::Skew,
+        FlowStage::Sizing,
+        FlowStage::Stitch,
+    ];
+
+    /// The stage's stable lowercase name (used in span names and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            FlowStage::Timing => "timing",
+            FlowStage::Compat => "compat",
+            FlowStage::Candidates => "candidates",
+            FlowStage::Assignment => "assignment",
+            FlowStage::Mapping => "mapping",
+            FlowStage::Legalization => "legalization",
+            FlowStage::Skew => "skew",
+            FlowStage::Sizing => "sizing",
+            FlowStage::Stitch => "stitch",
+        }
+    }
+
+    /// The span name this stage is traced under.
+    pub fn span_name(self) -> &'static str {
+        match self {
+            FlowStage::Timing => "flow.compose.timing",
+            FlowStage::Compat => "flow.compose.compat",
+            FlowStage::Candidates => "flow.compose.candidates",
+            FlowStage::Assignment => "flow.compose.assignment",
+            FlowStage::Mapping => "flow.compose.mapping",
+            FlowStage::Legalization => "flow.compose.legalization",
+            FlowStage::Skew => "flow.compose.skew",
+            FlowStage::Sizing => "flow.compose.sizing",
+            FlowStage::Stitch => "flow.compose.stitch",
+        }
+    }
+
+    /// The stage for a stable lowercase name, if any.
+    pub fn from_name(name: &str) -> Option<FlowStage> {
+        FlowStage::ALL.into_iter().find(|s| s.name() == name)
+    }
+}
+
+impl fmt::Display for FlowStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Wall-clock breakdown of one composition run: nanoseconds per
+/// [`FlowStage`], plus the invariant-checkpoint bucket and the end-to-end
+/// total. Stage buckets + `checks_ns` account for the total up to the
+/// (negligible) inter-stage glue.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    stage_ns: [u64; FlowStage::ALL.len()],
+    /// Time spent in in-flow invariant checkpoints (`mbr-check`), which
+    /// runs between stages and is kept out of their buckets.
+    pub checks_ns: u64,
+    /// End-to-end wall clock of the run.
+    pub total_ns: u64,
+}
+
+impl StageTimings {
+    /// Adds `ns` to `stage`'s bucket (stages hit more than once, like the
+    /// post-merge timing re-analysis, accumulate).
+    pub fn add(&mut self, stage: FlowStage, ns: u64) {
+        self.stage_ns[stage as usize] += ns;
+    }
+
+    /// Nanoseconds attributed to `stage`.
+    pub fn get(&self, stage: FlowStage) -> u64 {
+        self.stage_ns[stage as usize]
+    }
+
+    /// Sum of all stage buckets plus the checkpoint bucket (everything
+    /// accounted for; compare against [`StageTimings::total_ns`]).
+    pub fn accounted_ns(&self) -> u64 {
+        self.stage_ns.iter().sum::<u64>() + self.checks_ns
+    }
+
+    /// The end-to-end total as a [`Duration`].
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(self.total_ns)
+    }
+
+    /// `(stage, nanoseconds)` rows in execution order, including zero
+    /// buckets (stages the options disabled still appear, at 0).
+    pub fn rows(&self) -> impl Iterator<Item = (FlowStage, u64)> + '_ {
+        FlowStage::ALL.into_iter().map(|s| (s, self.get(s)))
+    }
+
+    /// Merges another run's breakdown into this one (used when a flow
+    /// composes twice, e.g. decomposition followed by recomposition).
+    pub fn merge(&mut self, other: &StageTimings) {
+        for (i, ns) in other.stage_ns.iter().enumerate() {
+            self.stage_ns[i] += ns;
+        }
+        self.checks_ns += other.checks_ns;
+        self.total_ns += other.total_ns;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_names_round_trip() {
+        for s in FlowStage::ALL {
+            assert_eq!(FlowStage::from_name(s.name()), Some(s));
+            assert!(s.span_name().ends_with(s.name()));
+        }
+        assert_eq!(FlowStage::from_name("warp"), None);
+    }
+
+    #[test]
+    fn timings_accumulate_and_account() {
+        let mut t = StageTimings::default();
+        t.add(FlowStage::Timing, 100);
+        t.add(FlowStage::Timing, 50);
+        t.add(FlowStage::Assignment, 200);
+        t.checks_ns = 25;
+        t.total_ns = 400;
+        assert_eq!(t.get(FlowStage::Timing), 150);
+        assert_eq!(t.accounted_ns(), 375);
+        assert_eq!(t.rows().count(), FlowStage::ALL.len());
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = StageTimings::default();
+        a.add(FlowStage::Compat, 10);
+        a.total_ns = 30;
+        let mut b = StageTimings::default();
+        b.add(FlowStage::Compat, 5);
+        b.checks_ns = 2;
+        b.total_ns = 20;
+        a.merge(&b);
+        assert_eq!(a.get(FlowStage::Compat), 15);
+        assert_eq!(a.checks_ns, 2);
+        assert_eq!(a.total_ns, 50);
+    }
+}

@@ -1,0 +1,169 @@
+//! Post-run aggregation: turn a recorded event stream or a
+//! [`StageTimings`] into the human-readable report behind `--report`.
+
+use std::collections::BTreeMap;
+
+use crate::stage::StageTimings;
+use crate::table::{fmt_ns, Table};
+use crate::trace::TraceEvent;
+
+/// Aggregated view of one run's events: per-span-name totals, counter
+/// totals, and last-seen gauge values.
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    /// Per span name: (times entered, total nanoseconds).
+    pub spans: BTreeMap<String, (u64, u64)>,
+    /// Per counter name: accumulated total.
+    pub counters: BTreeMap<String, u64>,
+    /// Per gauge name: last recorded value.
+    pub gauges: BTreeMap<String, f64>,
+}
+
+impl Summary {
+    /// Aggregates a recorded event stream (see [`crate::Recorder`]).
+    pub fn from_events(events: &[TraceEvent]) -> Summary {
+        let mut summary = Summary::default();
+        for event in events {
+            match event {
+                TraceEvent::Span { name, dur_ns, .. } => {
+                    let entry = summary.spans.entry(name.clone()).or_insert((0, 0));
+                    entry.0 += 1;
+                    entry.1 += dur_ns;
+                }
+                TraceEvent::Counter { name, value, .. } => {
+                    *summary.counters.entry(name.clone()).or_insert(0) += value;
+                }
+                TraceEvent::Gauge { name, value, .. } => {
+                    summary.gauges.insert(name.clone(), *value);
+                }
+            }
+        }
+        summary
+    }
+
+    /// Renders the span/counter/gauge tables. Empty sections are omitted;
+    /// an entirely empty summary renders a one-line note instead.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if !self.spans.is_empty() {
+            let mut t = Table::new(["span", "count", "total"]).right_align([1, 2]);
+            for (name, (count, total_ns)) in &self.spans {
+                t.row([name.clone(), count.to_string(), fmt_ns(*total_ns)]);
+            }
+            out.push_str(&t.render());
+        }
+        if !self.counters.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            let mut t = Table::new(["counter", "total"]).right_align([1]);
+            for (name, value) in &self.counters {
+                t.row([name.clone(), value.to_string()]);
+            }
+            out.push_str(&t.render());
+        }
+        if !self.gauges.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            let mut t = Table::new(["gauge", "value"]).right_align([1]);
+            for (name, value) in &self.gauges {
+                t.row([name.clone(), format!("{value:.3}")]);
+            }
+            out.push_str(&t.render());
+        }
+        if out.is_empty() {
+            out.push_str("no events recorded\n");
+        }
+        out
+    }
+}
+
+/// Renders a [`StageTimings`] breakdown as the per-stage table the flow
+/// binaries print: one row per stage plus `checks` and `total`, with each
+/// stage's share of the total.
+pub fn stage_table(timings: &StageTimings) -> String {
+    let total = timings.total_ns.max(1);
+    let pct = |ns: u64| format!("{:.1}%", 100.0 * ns as f64 / total as f64);
+    let mut t = Table::new(["stage", "time", "share"]).right_align([1, 2]);
+    for (stage, ns) in timings.rows() {
+        t.row([stage.name().to_string(), fmt_ns(ns), pct(ns)]);
+    }
+    t.row([
+        "checks".to_string(),
+        fmt_ns(timings.checks_ns),
+        pct(timings.checks_ns),
+    ]);
+    let unaccounted = timings.total_ns.saturating_sub(timings.accounted_ns());
+    t.row(["(other)".to_string(), fmt_ns(unaccounted), pct(unaccounted)]);
+    t.row(["total".to_string(), fmt_ns(timings.total_ns), String::new()]);
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage::FlowStage;
+
+    #[test]
+    fn summary_aggregates_events() {
+        let events = vec![
+            TraceEvent::Span {
+                id: 1,
+                parent: None,
+                name: "a".to_string(),
+                start_ns: 0,
+                dur_ns: 10,
+            },
+            TraceEvent::Span {
+                id: 2,
+                parent: None,
+                name: "a".to_string(),
+                start_ns: 10,
+                dur_ns: 5,
+            },
+            TraceEvent::Counter {
+                name: "lp.simplex.pivots".to_string(),
+                value: 3,
+                span: None,
+            },
+            TraceEvent::Gauge {
+                name: "sta.wns_ps".to_string(),
+                value: -1.0,
+                span: None,
+            },
+            TraceEvent::Gauge {
+                name: "sta.wns_ps".to_string(),
+                value: -0.5,
+                span: None,
+            },
+        ];
+        let s = Summary::from_events(&events);
+        assert_eq!(s.spans.get("a"), Some(&(2, 15)));
+        assert_eq!(s.counters.get("lp.simplex.pivots"), Some(&3));
+        assert_eq!(s.gauges.get("sta.wns_ps"), Some(&-0.5));
+        let rendered = s.render();
+        assert!(rendered.contains("lp.simplex.pivots"));
+        assert!(rendered.contains("-0.500"));
+    }
+
+    #[test]
+    fn empty_summary_renders_note() {
+        assert_eq!(Summary::default().render(), "no events recorded\n");
+    }
+
+    #[test]
+    fn stage_table_lists_every_stage_and_total() {
+        let mut timings = StageTimings::default();
+        timings.add(FlowStage::Assignment, 600_000);
+        timings.checks_ns = 100_000;
+        timings.total_ns = 1_000_000;
+        let out = stage_table(&timings);
+        for stage in FlowStage::ALL {
+            assert!(out.contains(stage.name()), "missing {stage}");
+        }
+        assert!(out.contains("checks"));
+        assert!(out.contains("total"));
+        assert!(out.contains("60.0%"));
+    }
+}

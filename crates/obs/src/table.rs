@@ -1,0 +1,146 @@
+//! A plain-text table renderer — the one output path every flow binary
+//! shares, replacing per-binary ad-hoc `println!` formatting.
+
+/// How a column's cells are padded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Align {
+    /// Pad on the right (text).
+    Left,
+    /// Pad on the left (numbers).
+    Right,
+}
+
+/// A fixed-column text table with a header row and a rule beneath it.
+pub struct Table {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers, all left-aligned.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Table {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        let aligns = vec![Align::Left; headers.len()];
+        Table {
+            headers,
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Right-aligns the given (0-based) columns; typical for numbers.
+    pub fn right_align(mut self, cols: impl IntoIterator<Item = usize>) -> Table {
+        for col in cols {
+            if let Some(a) = self.aligns.get_mut(col) {
+                *a = Align::Right;
+            }
+        }
+        self
+    }
+
+    /// Appends a data row. Short rows are padded with empty cells; long
+    /// rows are truncated to the header width.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) {
+        let mut cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows added so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with two-space column gutters and a dashed rule
+    /// under the header. Ends with a newline.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let emit_row = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate().take(ncols) {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let pad = widths[i].saturating_sub(cell.chars().count());
+                let last = i + 1 == ncols;
+                match self.aligns[i] {
+                    Align::Left => {
+                        out.push_str(cell);
+                        // No trailing spaces on the last column.
+                        if !last {
+                            out.extend(std::iter::repeat_n(' ', pad));
+                        }
+                    }
+                    Align::Right => {
+                        out.extend(std::iter::repeat_n(' ', pad));
+                        out.push_str(cell);
+                    }
+                }
+            }
+            out.push('\n');
+        };
+        emit_row(&self.headers, &mut out);
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        emit_row(&rule, &mut out);
+        for row in &self.rows {
+            emit_row(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Formats nanoseconds for reports: microsecond precision in
+/// milliseconds (`12.345 ms`), switching to seconds above 10 s.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 10_000_000_000 {
+        format!("{:.2} s", ns as f64 / 1e9)
+    } else {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["stage", "time"]).right_align([1]);
+        t.row(["timing", "1.000 ms"]);
+        t.row(["assignment", "12.500 ms"]);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "stage            time");
+        assert_eq!(lines[1], "----------  ---------");
+        assert_eq!(lines[2], "timing       1.000 ms");
+        assert_eq!(lines[3], "assignment  12.500 ms");
+    }
+
+    #[test]
+    fn pads_and_truncates_rows() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["x"]);
+        t.row(["1", "2", "3"]);
+        let out = t.render();
+        assert!(out.lines().count() == 4);
+        assert!(!out.contains('3'));
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(fmt_ns(1_500_000), "1.500 ms");
+        assert_eq!(fmt_ns(12_340_000_000), "12.34 s");
+    }
+}

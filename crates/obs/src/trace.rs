@@ -1,0 +1,783 @@
+//! The JSONL trace format: emit, parse, validate.
+//!
+//! A trace is a sequence of newline-terminated JSON objects, one per
+//! event, in emission order. Field order is fixed so a deterministic run
+//! produces a byte-identical file. Three event shapes exist:
+//!
+//! ```text
+//! {"type":"span","id":3,"parent":1,"name":"flow.compose.timing","start_ns":120,"dur_ns":480}
+//! {"type":"counter","name":"lp.simplex.pivots","value":42,"span":3}
+//! {"type":"gauge","name":"sta.wns_ps","value":-12.5,"span":null}
+//! ```
+//!
+//! * `span` — emitted when the span **closes**; `parent` is the id of the
+//!   enclosing span or `null`. Ids are unique per trace, allocated in
+//!   entry order starting at 1, so emission order is close order.
+//! * `counter` — an accumulated total flushed by one operation; `span` is
+//!   the innermost open span at flush time or `null`. `name` must be in
+//!   the [`Counter`] catalog.
+//! * `gauge` — a point-in-time value; same `span` rule, `name` from the
+//!   [`Gauge`] catalog. `value` is finite and rendered with a decimal
+//!   point (`17` serialises as `17.0`) so the shapes stay distinguishable.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::catalog::{Counter, Gauge};
+use crate::sink::ObsSink;
+
+/// One trace event. The enum mirrors the wire shapes above.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A closed timing span.
+    Span {
+        /// Unique per-trace id, allocated in entry order from 1.
+        id: u64,
+        /// Id of the enclosing span, if the span was nested.
+        parent: Option<u64>,
+        /// Dotted taxonomy name (DESIGN.md §8).
+        name: String,
+        /// Clock reading at entry, nanoseconds.
+        start_ns: u64,
+        /// Entry-to-close duration, nanoseconds.
+        dur_ns: u64,
+    },
+    /// A flushed counter total.
+    Counter {
+        /// Catalog name ([`Counter::name`]).
+        name: String,
+        /// The flushed (positive) total.
+        value: u64,
+        /// Innermost open span at flush time, if any.
+        span: Option<u64>,
+    },
+    /// A measured point-in-time value.
+    Gauge {
+        /// Catalog name ([`Gauge::name`]).
+        name: String,
+        /// The measured value (finite).
+        value: f64,
+        /// Innermost open span at flush time, if any.
+        span: Option<u64>,
+    },
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_opt_u64(out: &mut String, v: Option<u64>) {
+    match v {
+        Some(v) => out.push_str(&v.to_string()),
+        None => out.push_str("null"),
+    }
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    // Keep the shape float-like so parsers can't confuse gauge and counter
+    // values; non-finite values should have been rejected upstream.
+    if v == v.trunc() && v.is_finite() && v.abs() < 1e15 {
+        out.push_str(&format!("{v:.1}"));
+    } else {
+        out.push_str(&format!("{v}"));
+    }
+}
+
+impl TraceEvent {
+    /// The event as one JSON line (no trailing newline), with the fixed
+    /// field order documented in the module header.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        match self {
+            TraceEvent::Span {
+                id,
+                parent,
+                name,
+                start_ns,
+                dur_ns,
+            } => {
+                out.push_str("{\"type\":\"span\",\"id\":");
+                out.push_str(&id.to_string());
+                out.push_str(",\"parent\":");
+                write_opt_u64(&mut out, *parent);
+                out.push_str(",\"name\":");
+                write_json_string(&mut out, name);
+                out.push_str(",\"start_ns\":");
+                out.push_str(&start_ns.to_string());
+                out.push_str(",\"dur_ns\":");
+                out.push_str(&dur_ns.to_string());
+                out.push('}');
+            }
+            TraceEvent::Counter { name, value, span } => {
+                out.push_str("{\"type\":\"counter\",\"name\":");
+                write_json_string(&mut out, name);
+                out.push_str(",\"value\":");
+                out.push_str(&value.to_string());
+                out.push_str(",\"span\":");
+                write_opt_u64(&mut out, *span);
+                out.push('}');
+            }
+            TraceEvent::Gauge { name, value, span } => {
+                out.push_str("{\"type\":\"gauge\",\"name\":");
+                write_json_string(&mut out, name);
+                out.push_str(",\"value\":");
+                write_f64(&mut out, *value);
+                out.push_str(",\"span\":");
+                write_opt_u64(&mut out, *span);
+                out.push('}');
+            }
+        }
+        out
+    }
+}
+
+/// Serialises events to JSONL text (one line per event, trailing newline).
+pub fn to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for event in events {
+        out.push_str(&event.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// Why a trace failed to parse or validate. `line` is 1-based.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceError {
+    /// 1-based line number of the offending event (0 for whole-trace
+    /// problems discovered after the last line).
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, TraceError> {
+    Err(TraceError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// A minimal single-line JSON object scanner for the flat trace schema:
+/// string, unsigned-integer, float, and `null` values only.
+struct LineParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+#[derive(Debug, PartialEq)]
+enum JsonValue {
+    Str(String),
+    UInt(u64),
+    Float(f64),
+    Null,
+}
+
+impl<'a> LineParser<'a> {
+    fn new(text: &'a str, line: usize) -> Self {
+        LineParser {
+            bytes: text.as_bytes(),
+            pos: 0,
+            line,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), TraceError> {
+        self.skip_ws();
+        if self.pos < self.bytes.len() && self.bytes[self.pos] == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            err(self.line, format!("expected '{}'", b as char))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn parse_string(&mut self) -> Result<String, TraceError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return err(self.line, "unterminated string");
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return err(self.line, "dangling escape");
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            let Some(code) = hex else {
+                                return err(self.line, "bad \\u escape");
+                            };
+                            self.pos += 4;
+                            let Some(c) = char::from_u32(code) else {
+                                return err(self.line, "bad \\u codepoint");
+                            };
+                            out.push(c);
+                        }
+                        other => {
+                            return err(self.line, format!("unknown escape '\\{}'", other as char))
+                        }
+                    }
+                }
+                b => {
+                    // Re-borrow the full char for multi-byte UTF-8.
+                    if b < 0x80 {
+                        out.push(b as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let rest = &self.bytes[start..];
+                        let s = std::str::from_utf8(rest).map_err(|_| TraceError {
+                            line: self.line,
+                            message: "invalid utf-8 in string".to_string(),
+                        })?;
+                        let c = s.chars().next().expect("non-empty");
+                        out.push(c);
+                        self.pos = start + c.len_utf8();
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, TraceError> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonValue::Str(self.parse_string()?)),
+            Some(b'n') => {
+                if self.bytes[self.pos..].starts_with(b"null") {
+                    self.pos += 4;
+                    Ok(JsonValue::Null)
+                } else {
+                    err(self.line, "expected null")
+                }
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => {
+                let start = self.pos;
+                if b == b'-' {
+                    self.pos += 1;
+                }
+                let mut is_float = false;
+                while let Some(&c) = self.bytes.get(self.pos) {
+                    match c {
+                        b'0'..=b'9' => self.pos += 1,
+                        b'.' | b'e' | b'E' | b'+' | b'-' => {
+                            is_float = true;
+                            self.pos += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii slice");
+                if is_float || text.starts_with('-') {
+                    match text.parse::<f64>() {
+                        Ok(v) => Ok(JsonValue::Float(v)),
+                        Err(_) => err(self.line, format!("bad number '{text}'")),
+                    }
+                } else {
+                    match text.parse::<u64>() {
+                        Ok(v) => Ok(JsonValue::UInt(v)),
+                        Err(_) => err(self.line, format!("bad integer '{text}'")),
+                    }
+                }
+            }
+            _ => err(self.line, "expected a value"),
+        }
+    }
+
+    /// Parses the whole line as one flat JSON object.
+    fn parse_object(&mut self) -> Result<Vec<(String, JsonValue)>, TraceError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+        } else {
+            loop {
+                let key = self.parse_string()?;
+                self.expect(b':')?;
+                let value = self.parse_value()?;
+                fields.push((key, value));
+                match self.peek() {
+                    Some(b',') => {
+                        self.pos += 1;
+                    }
+                    Some(b'}') => {
+                        self.pos += 1;
+                        break;
+                    }
+                    _ => return err(self.line, "expected ',' or '}'"),
+                }
+            }
+        }
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return err(self.line, "trailing content after object");
+        }
+        Ok(fields)
+    }
+}
+
+struct Fields {
+    fields: Vec<(String, JsonValue)>,
+    line: usize,
+}
+
+impl Fields {
+    fn take(&mut self, key: &str) -> Result<JsonValue, TraceError> {
+        match self.fields.iter().position(|(k, _)| k == key) {
+            Some(i) => Ok(self.fields.remove(i).1),
+            None => err(self.line, format!("missing field '{key}'")),
+        }
+    }
+
+    fn take_str(&mut self, key: &str) -> Result<String, TraceError> {
+        match self.take(key)? {
+            JsonValue::Str(s) => Ok(s),
+            _ => err(self.line, format!("field '{key}' must be a string")),
+        }
+    }
+
+    fn take_u64(&mut self, key: &str) -> Result<u64, TraceError> {
+        match self.take(key)? {
+            JsonValue::UInt(v) => Ok(v),
+            _ => err(
+                self.line,
+                format!("field '{key}' must be an unsigned integer"),
+            ),
+        }
+    }
+
+    fn take_opt_u64(&mut self, key: &str) -> Result<Option<u64>, TraceError> {
+        match self.take(key)? {
+            JsonValue::UInt(v) => Ok(Some(v)),
+            JsonValue::Null => Ok(None),
+            _ => err(
+                self.line,
+                format!("field '{key}' must be an unsigned integer or null"),
+            ),
+        }
+    }
+
+    fn take_f64(&mut self, key: &str) -> Result<f64, TraceError> {
+        match self.take(key)? {
+            JsonValue::Float(v) => Ok(v),
+            JsonValue::UInt(v) => Ok(v as f64),
+            _ => err(self.line, format!("field '{key}' must be a number")),
+        }
+    }
+
+    fn finish(self) -> Result<(), TraceError> {
+        if let Some((key, _)) = self.fields.first() {
+            return err(self.line, format!("unknown field '{key}'"));
+        }
+        Ok(())
+    }
+}
+
+/// Parses JSONL trace text into events. Blank lines are rejected — every
+/// line must be one event object.
+pub fn parse_trace(text: &str) -> Result<Vec<TraceEvent>, TraceError> {
+    let mut events = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let fields = LineParser::new(line, lineno).parse_object()?;
+        let mut fields = Fields {
+            fields,
+            line: lineno,
+        };
+        let kind = fields.take_str("type")?;
+        let event = match kind.as_str() {
+            "span" => TraceEvent::Span {
+                id: fields.take_u64("id")?,
+                parent: fields.take_opt_u64("parent")?,
+                name: fields.take_str("name")?,
+                start_ns: fields.take_u64("start_ns")?,
+                dur_ns: fields.take_u64("dur_ns")?,
+            },
+            "counter" => TraceEvent::Counter {
+                name: fields.take_str("name")?,
+                value: fields.take_u64("value")?,
+                span: fields.take_opt_u64("span")?,
+            },
+            "gauge" => TraceEvent::Gauge {
+                name: fields.take_str("name")?,
+                value: fields.take_f64("value")?,
+                span: fields.take_opt_u64("span")?,
+            },
+            other => return err(lineno, format!("unknown event type '{other}'")),
+        };
+        fields.finish()?;
+        events.push(event);
+    }
+    Ok(events)
+}
+
+/// Validates the schema invariants a well-formed trace must satisfy:
+///
+/// 1. span ids are unique and positive;
+/// 2. every `parent` and counter/gauge `span` reference resolves to a span
+///    present in the trace;
+/// 3. counter and gauge names are in the typed catalogs, counter values
+///    are positive, gauge values finite;
+/// 4. spans nest: a child's `[start, start+dur]` lies within its parent's,
+///    and a parent closes (is emitted) after each of its children;
+/// 5. span end times are non-decreasing in emission order (close order).
+pub fn validate_trace(events: &[TraceEvent]) -> Result<(), TraceError> {
+    // Pass 1: collect spans.
+    let mut span_info: Vec<(u64, Option<u64>, u64, u64, usize)> = Vec::new();
+    let mut ids = BTreeSet::new();
+    for (idx, event) in events.iter().enumerate() {
+        let lineno = idx + 1;
+        if let TraceEvent::Span {
+            id,
+            parent,
+            start_ns,
+            dur_ns,
+            ..
+        } = event
+        {
+            if *id == 0 {
+                return err(lineno, "span id 0 is reserved");
+            }
+            if !ids.insert(*id) {
+                return err(lineno, format!("duplicate span id {id}"));
+            }
+            span_info.push((*id, *parent, *start_ns, *dur_ns, lineno));
+        }
+    }
+    let lookup = |id: u64| span_info.iter().find(|s| s.0 == id);
+
+    // Pass 2: per-event checks.
+    let mut last_end: Option<u64> = None;
+    for (idx, event) in events.iter().enumerate() {
+        let lineno = idx + 1;
+        match event {
+            TraceEvent::Span {
+                id,
+                parent,
+                name,
+                start_ns,
+                dur_ns,
+            } => {
+                if name.is_empty() {
+                    return err(lineno, "span name must not be empty");
+                }
+                if let Some(pid) = parent {
+                    let Some(&(_, _, p_start, p_dur, _)) = lookup(*pid) else {
+                        return err(lineno, format!("span {id} parent {pid} not in trace"));
+                    };
+                    if *pid == *id {
+                        return err(lineno, format!("span {id} is its own parent"));
+                    }
+                    let end = start_ns + dur_ns;
+                    if *start_ns < p_start || end > p_start + p_dur {
+                        return err(
+                            lineno,
+                            format!("span {id} [{start_ns}, {end}] escapes parent {pid}"),
+                        );
+                    }
+                }
+                let end = start_ns + dur_ns;
+                if let Some(prev) = last_end {
+                    if end < prev {
+                        return err(
+                            lineno,
+                            format!("span {id} closes at {end}, before prior close {prev}"),
+                        );
+                    }
+                }
+                last_end = Some(end);
+            }
+            TraceEvent::Counter { name, value, span } => {
+                if Counter::from_name(name).is_none() {
+                    return err(lineno, format!("counter '{name}' not in catalog"));
+                }
+                if *value == 0 {
+                    return err(lineno, format!("counter '{name}' flushed a zero total"));
+                }
+                if let Some(sid) = span {
+                    if lookup(*sid).is_none() {
+                        return err(lineno, format!("counter references missing span {sid}"));
+                    }
+                }
+            }
+            TraceEvent::Gauge { name, value, span } => {
+                if Gauge::from_name(name).is_none() {
+                    return err(lineno, format!("gauge '{name}' not in catalog"));
+                }
+                if !value.is_finite() {
+                    return err(lineno, format!("gauge '{name}' is not finite"));
+                }
+                if let Some(sid) = span {
+                    if lookup(*sid).is_none() {
+                        return err(lineno, format!("gauge references missing span {sid}"));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// An [`ObsSink`] appending one JSON line per event to a buffered file.
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncates) `path` and returns a sink writing there.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<JsonlSink> {
+        let file = File::create(path)?;
+        Ok(JsonlSink {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+}
+
+impl ObsSink for JsonlSink {
+    fn record(&self, event: &TraceEvent) {
+        let mut line = event.to_json();
+        line.push('\n');
+        let mut writer = self.writer.lock().expect("trace writer poisoned");
+        // A failing trace write is reported once at flush; dropping events
+        // mid-run beats panicking inside instrumented hot paths.
+        let _ = writer.write_all(line.as_bytes());
+    }
+
+    fn flush(&self) {
+        let mut writer = self.writer.lock().expect("trace writer poisoned");
+        if let Err(e) = writer.flush() {
+            eprintln!("warning: failed to flush MBR_TRACE output: {e}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Span {
+                id: 2,
+                parent: Some(1),
+                name: "flow.compose.timing".to_string(),
+                start_ns: 100,
+                dur_ns: 200,
+            },
+            TraceEvent::Counter {
+                name: "lp.simplex.pivots".to_string(),
+                value: 42,
+                span: Some(1),
+            },
+            TraceEvent::Gauge {
+                name: "sta.wns_ps".to_string(),
+                value: -12.5,
+                span: None,
+            },
+            TraceEvent::Span {
+                id: 1,
+                parent: None,
+                name: "flow.compose".to_string(),
+                start_ns: 0,
+                dur_ns: 400,
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let events = sample_events();
+        let text = to_jsonl(&events);
+        let parsed = parse_trace(&text).expect("parse");
+        assert_eq!(parsed, events);
+        // And the re-serialisation is byte-identical.
+        assert_eq!(to_jsonl(&parsed), text);
+    }
+
+    #[test]
+    fn emitted_lines_match_documented_shapes() {
+        let events = sample_events();
+        let text = to_jsonl(&events);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines[0],
+            "{\"type\":\"span\",\"id\":2,\"parent\":1,\"name\":\"flow.compose.timing\",\"start_ns\":100,\"dur_ns\":200}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"type\":\"counter\",\"name\":\"lp.simplex.pivots\",\"value\":42,\"span\":1}"
+        );
+        assert_eq!(
+            lines[2],
+            "{\"type\":\"gauge\",\"name\":\"sta.wns_ps\",\"value\":-12.5,\"span\":null}"
+        );
+    }
+
+    #[test]
+    fn integral_gauges_keep_a_decimal_point() {
+        let text = TraceEvent::Gauge {
+            name: "sta.tns_ps".to_string(),
+            value: 17.0,
+            span: None,
+        }
+        .to_json();
+        assert!(text.contains("\"value\":17.0"), "{text}");
+    }
+
+    #[test]
+    fn valid_trace_validates() {
+        validate_trace(&sample_events()).expect("valid");
+    }
+
+    #[test]
+    fn validation_rejects_unknown_counter() {
+        let events = vec![TraceEvent::Counter {
+            name: "lp.simplex.pivotz".to_string(),
+            value: 1,
+            span: None,
+        }];
+        let e = validate_trace(&events).expect_err("must fail");
+        assert!(e.message.contains("not in catalog"), "{e}");
+    }
+
+    #[test]
+    fn validation_rejects_duplicate_ids() {
+        let mut events = sample_events();
+        events.push(TraceEvent::Span {
+            id: 1,
+            parent: None,
+            name: "flow.compose".to_string(),
+            start_ns: 400,
+            dur_ns: 1,
+        });
+        assert!(validate_trace(&events).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_child_escaping_parent() {
+        let events = vec![
+            TraceEvent::Span {
+                id: 2,
+                parent: Some(1),
+                name: "b".to_string(),
+                start_ns: 50,
+                dur_ns: 100, // ends at 150, parent ends at 120
+            },
+            TraceEvent::Span {
+                id: 1,
+                parent: None,
+                name: "a".to_string(),
+                start_ns: 0,
+                dur_ns: 120,
+            },
+        ];
+        let e = validate_trace(&events).expect_err("must fail");
+        assert!(e.message.contains("escapes parent"), "{e}");
+    }
+
+    #[test]
+    fn validation_rejects_missing_parent() {
+        let events = vec![TraceEvent::Span {
+            id: 2,
+            parent: Some(9),
+            name: "b".to_string(),
+            start_ns: 0,
+            dur_ns: 1,
+        }];
+        assert!(validate_trace(&events).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_out_of_order_closes() {
+        let events = vec![
+            TraceEvent::Span {
+                id: 1,
+                parent: None,
+                name: "a".to_string(),
+                start_ns: 0,
+                dur_ns: 500,
+            },
+            TraceEvent::Span {
+                id: 2,
+                parent: None,
+                name: "b".to_string(),
+                start_ns: 10,
+                dur_ns: 20,
+            },
+        ];
+        let e = validate_trace(&events).expect_err("must fail");
+        assert!(e.message.contains("before prior close"), "{e}");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_trace("not json\n").is_err());
+        assert!(parse_trace("{\"type\":\"span\"}\n").is_err());
+        assert!(parse_trace("{\"type\":\"warp\",\"x\":1}\n").is_err());
+        assert!(
+            parse_trace("{\"type\":\"counter\",\"name\":\"lp.simplex.pivots\",\"value\":1,\"span\":null,\"extra\":2}\n")
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let mut s = String::new();
+        write_json_string(&mut s, "a\"b\\c\nd\te\u{1}f\u{e9}");
+        let mut p = LineParser::new(&s, 1);
+        let parsed = p.parse_string().expect("parse");
+        assert_eq!(parsed, "a\"b\\c\nd\te\u{1}f\u{e9}");
+    }
+}

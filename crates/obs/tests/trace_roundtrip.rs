@@ -1,0 +1,110 @@
+//! Satellite (c): span nesting/ordering invariants and JSONL schema
+//! round-trip under the mock clock — a fixed workload must trace
+//! byte-identically on every run.
+
+use std::sync::Arc;
+
+use mbr_obs::{
+    self as obs, parse_trace, to_jsonl, validate_trace, Counter, Gauge, MockClock, Recorder, Span,
+    TraceEvent,
+};
+
+/// A fixed instrumented workload standing in for a flow run.
+fn workload() {
+    let root = Span::enter("flow.compose");
+    {
+        let _timing = Span::enter("flow.compose.timing");
+        obs::counter(Counter::StaFullAnalyses, 1);
+    }
+    {
+        let _assign = Span::enter("flow.compose.assignment");
+        obs::counter(Counter::SetPartSolves, 3);
+        obs::counter(Counter::SetPartNodesExplored, 17);
+        obs::counter(Counter::SimplexPivots, 120);
+    }
+    obs::gauge(Gauge::WnsPs, -42.5);
+    drop(root);
+}
+
+fn run_traced() -> Vec<TraceEvent> {
+    let rec = Arc::new(Recorder::default());
+    obs::with_clock(Arc::new(MockClock::new(1_000)), || {
+        obs::with_sink(rec.clone(), workload)
+    });
+    rec.events()
+}
+
+#[test]
+fn fixed_workload_traces_byte_identically() {
+    let first = to_jsonl(&run_traced());
+    let second = to_jsonl(&run_traced());
+    assert_eq!(first, second);
+    assert!(!first.is_empty());
+}
+
+#[test]
+fn trace_round_trips_and_validates() {
+    let events = run_traced();
+    validate_trace(&events).expect("schema-valid");
+    let text = to_jsonl(&events);
+    let reparsed = parse_trace(&text).expect("parse");
+    assert_eq!(reparsed, events);
+    assert_eq!(to_jsonl(&reparsed), text);
+}
+
+#[test]
+fn nesting_invariants_hold() {
+    let events = run_traced();
+    let spans: Vec<(u64, Option<u64>, String, u64, u64)> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Span {
+                id,
+                parent,
+                name,
+                start_ns,
+                dur_ns,
+            } => Some((*id, *parent, name.clone(), *start_ns, *dur_ns)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(spans.len(), 3);
+
+    // Entry order: root (1), timing (2), assignment (3); close order:
+    // timing, assignment, root.
+    assert_eq!(spans[0].2, "flow.compose.timing");
+    assert_eq!(spans[1].2, "flow.compose.assignment");
+    assert_eq!(spans[2].2, "flow.compose");
+    assert_eq!(spans[0].0, 2);
+    assert_eq!(spans[1].0, 3);
+    assert_eq!(spans[2].0, 1);
+
+    // Both stages are children of the root, and nest within it.
+    let (_, _, _, root_start, root_dur) = spans[2];
+    for stage in &spans[..2] {
+        assert_eq!(stage.1, Some(1));
+        assert!(stage.3 >= root_start);
+        assert!(stage.3 + stage.4 <= root_start + root_dur);
+    }
+
+    // Siblings do not overlap.
+    assert!(spans[0].3 + spans[0].4 <= spans[1].3);
+}
+
+#[test]
+fn counters_attach_to_their_enclosing_span() {
+    let events = run_traced();
+    for event in &events {
+        match event {
+            TraceEvent::Counter { name, span, .. } => {
+                let expected = match name.as_str() {
+                    "sta.full_analyses" => Some(2),
+                    _ => Some(3),
+                };
+                assert_eq!(*span, expected, "counter {name}");
+            }
+            TraceEvent::Gauge { span, .. } => assert_eq!(*span, Some(1)),
+            TraceEvent::Span { .. } => {}
+        }
+    }
+}

@@ -50,6 +50,7 @@ use std::fmt;
 
 use mbr_geom::{Dbu, Point, Rect};
 use mbr_netlist::{Design, InstId, InstKind};
+use mbr_obs::{self as obs, Counter, Gauge};
 
 /// The row/site structure of the die.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -161,13 +162,22 @@ impl RowOccupancy {
     /// cells are never re-aligned), so each gap is first shrunk to its
     /// site-aligned interior; snapping after the fact could otherwise push
     /// the chosen x back into a neighboring blockage.
-    fn nearest_gap(&self, grid: &PlacementGrid, target: Dbu, w: Dbu) -> Option<Dbu> {
+    /// `probes` counts gap intervals examined (the legalizer's search
+    /// effort, surfaced through the observability layer).
+    fn nearest_gap(
+        &self,
+        grid: &PlacementGrid,
+        target: Dbu,
+        w: Dbu,
+        probes: &mut u64,
+    ) -> Option<Dbu> {
         let (lo, hi) = (grid.die.lo().x, grid.die.hi().x);
         let site = grid.site_width;
         let floor_site = |x: Dbu| lo + (x - lo).div_euclid(site) * site;
         let snapped = grid.snap_x(target);
         let mut best: Option<(Dbu, Dbu)> = None; // (cost, x)
         let mut cursor = lo;
+        let mut gap_probes = 0u64;
         let consider = |gap_lo: Dbu, gap_hi: Dbu, best: &mut Option<(Dbu, Dbu)>| {
             let x_lo = floor_site(gap_lo + site - 1); // ceil to site
             let x_hi = floor_site(gap_hi - w);
@@ -181,6 +191,7 @@ impl RowOccupancy {
         };
         for &(s, e) in &self.spans {
             if s > cursor {
+                gap_probes += 1;
                 consider(cursor, s.min(hi), &mut best);
             }
             cursor = cursor.max(e);
@@ -189,8 +200,10 @@ impl RowOccupancy {
             }
         }
         if cursor < hi {
+            gap_probes += 1;
             consider(cursor, hi, &mut best);
         }
+        *probes += gap_probes;
         best.map(|(_, x)| x)
     }
 }
@@ -235,6 +248,7 @@ pub fn legalize(
     order.sort_by_key(|&id| std::cmp::Reverse(design.inst(id).width));
 
     let mut report = LegalizeReport::default();
+    let mut probes = 0u64;
     let num_rows = grid.num_rows();
     for id in order {
         let inst = design.inst(id);
@@ -278,9 +292,11 @@ pub fn legalize(
                 // handled by intersecting searches row by row (cells in this
                 // library are single-row, so the common case is trivial).
                 let x = if rows_spanned == 1 {
-                    rows.entry(row).or_default().nearest_gap(grid, target.x, w)
+                    rows.entry(row)
+                        .or_default()
+                        .nearest_gap(grid, target.x, w, &mut probes)
                 } else {
-                    multi_row_gap(&mut rows, row, rows_spanned, grid, target.x, w)
+                    multi_row_gap(&mut rows, row, rows_spanned, grid, target.x, w, &mut probes)
                 };
                 if let Some(x) = x {
                     let y = grid.row_y(row);
@@ -309,6 +325,14 @@ pub fn legalize(
             occ.insert(x, x + w);
         }
     }
+    obs::counter(Counter::LegalizeGapProbes, probes);
+    obs::counter(Counter::LegalizeCellsMoved, report.moved as u64);
+    if report.moved > 0 {
+        obs::gauge(
+            Gauge::LegalizeMaxDisplacement,
+            report.max_displacement as f64,
+        );
+    }
     Ok(report)
 }
 
@@ -320,13 +344,15 @@ fn multi_row_gap(
     grid: &PlacementGrid,
     target_x: Dbu,
     w: Dbu,
+    probes: &mut u64,
 ) -> Option<Dbu> {
     // Conservative: step through the base row's gaps and verify the others.
     let base = rows.entry(row).or_default().clone();
     let lo = grid.die.lo().x;
     let hi = grid.die.hi().x;
-    let candidate = base.nearest_gap(grid, target_x, w)?;
-    let fits_all = |x: Dbu, rows: &mut HashMap<usize, RowOccupancy>| {
+    let candidate = base.nearest_gap(grid, target_x, w, probes)?;
+    let fits_all = |x: Dbu, rows: &mut HashMap<usize, RowOccupancy>, probes: &mut u64| {
+        *probes += 1;
         (row..row + rows_spanned).all(|rr| {
             rows.entry(rr)
                 .or_default()
@@ -335,7 +361,7 @@ fn multi_row_gap(
                 .all(|&(s, e)| x + w <= s || x >= e)
         })
     };
-    if fits_all(candidate, rows) {
+    if fits_all(candidate, rows, probes) {
         return Some(candidate);
     }
     // Linear scan by site as a fallback (rare path); `candidate` is already
@@ -343,7 +369,7 @@ fn multi_row_gap(
     let mut step = grid.site_width;
     while step < hi - lo {
         for x in [candidate - step, candidate + step] {
-            if x >= lo && x + w <= hi && fits_all(x, rows) {
+            if x >= lo && x + w <= hi && fits_all(x, rows, probes) {
                 return Some(x);
             }
         }
@@ -534,15 +560,19 @@ mod tests {
         occ.insert(1_000, 2_000);
         occ.insert(3_000, 4_000);
         // Gap [2000, 3000) fits width 500; target 2100 is inside.
-        assert_eq!(occ.nearest_gap(&g, 2_100, 500), Some(2_100));
+        let mut probes = 0u64;
+        assert_eq!(occ.nearest_gap(&g, 2_100, 500, &mut probes), Some(2_100));
         // Width 1500 doesn't fit between spans; nearest is after 4000.
-        assert_eq!(occ.nearest_gap(&g, 2_100, 1_500), Some(4_000));
+        assert_eq!(occ.nearest_gap(&g, 2_100, 1_500, &mut probes), Some(4_000));
         // Target left of everything.
-        assert_eq!(occ.nearest_gap(&g, -500, 500), Some(0));
+        assert_eq!(occ.nearest_gap(&g, -500, 500, &mut probes), Some(0));
+        // Three gaps examined per search above.
+        assert_eq!(probes, 9);
         // Full row.
         let mut full = RowOccupancy::default();
         full.insert(0, 10_000);
-        assert_eq!(full.nearest_gap(&g, 5_000, 100), None);
+        assert_eq!(full.nearest_gap(&g, 5_000, 100, &mut probes), None);
+        assert_eq!(probes, 9, "a fully occupied row exposes no gaps");
     }
 
     #[test]
@@ -558,7 +588,7 @@ mod tests {
         // Target just left of the blockage: the naive nearest start for
         // width 700 is 1350, which a post-hoc snap would round to 1400 and
         // into the blockage. The aligned interior ends at 1300.
-        let x = occ.nearest_gap(&g, 2_000, 700).unwrap();
+        let x = occ.nearest_gap(&g, 2_000, 700, &mut 0u64).unwrap();
         assert_eq!(x % 100, 0, "must be site aligned");
         assert!(x + 700 <= 2_050 || x >= 3_050, "must not enter blockage");
         assert_eq!(x, 1_300);

@@ -6,6 +6,7 @@ use std::fmt;
 
 use mbr_liberty::Library;
 use mbr_netlist::{Design, InstId, InstKind, PinDir, PinId, PinKind, PortDir};
+use mbr_obs::{self as obs, Counter};
 
 use crate::report::TimingReport;
 use crate::DelayModel;
@@ -79,6 +80,7 @@ impl Sta {
         };
         sta.build_arcs(design, lib)?;
         sta.full_propagate(design);
+        obs::counter(Counter::StaFullAnalyses, 1);
         Ok(sta)
     }
 
@@ -341,6 +343,7 @@ impl Sta {
             "structural edit detected: rebuild Sta with Sta::new"
         );
 
+        let mut net_refreshes = 0u64;
         let mut seeds: Vec<usize> = Vec::new();
         for &inst_id in touched {
             let inst = design.inst(inst_id);
@@ -355,6 +358,7 @@ impl Sta {
                         if let Some(driver) = design.net_driver(net) {
                             self.refresh_driver(design, lib, driver);
                             seeds.push(driver.index());
+                            net_refreshes += 1;
                         }
                         continue;
                     }
@@ -383,6 +387,7 @@ impl Sta {
                         seeds.push(driver.index());
                         // Driver cell arc / source arrival depends on load.
                         self.refresh_driver(design, lib, driver);
+                        net_refreshes += 1;
                     }
                 }
             }
@@ -405,6 +410,9 @@ impl Sta {
 
         seeds.sort_unstable();
         seeds.dedup();
+        obs::counter(Counter::StaIncrementalUpdates, 1);
+        obs::counter(Counter::StaNetsTouched, net_refreshes);
+        obs::counter(Counter::StaSeedPins, seeds.len() as u64);
         self.propagate_arrivals(&seeds);
         self.propagate_required(&seeds);
         self.report.refresh_endpoints(&self.endpoint_required);

@@ -19,7 +19,10 @@
 
 use std::hint::black_box as std_black_box;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use mbr_obs::{with_sink, CounterTotals};
 
 /// Re-export of [`std::hint::black_box`] so benches have an optimization
 /// barrier without naming `std::hint` everywhere.
@@ -42,6 +45,10 @@ pub struct Measurement {
     pub mean_ns: u128,
     /// Median (the headline number: robust to scheduler noise).
     pub median_ns: u128,
+    /// Counter totals from one extra *observed* pass of the closure under a
+    /// counting sink (the timed samples run uninstrumented). Empty when the
+    /// code under test emits no counters. Sorted by counter name.
+    pub counters: Vec<(String, u64)>,
 }
 
 /// A named collection of benchmarks that reports together.
@@ -127,6 +134,15 @@ impl Suite {
         } else {
             (times[times.len() / 2 - 1] + times[times.len() / 2]) / 2
         };
+        // One extra observed pass: totals of every counter the closure's
+        // code emits, attached to the measurement (and the JSON output) so
+        // a timing regression can be traced to an algorithmic-work change.
+        let totals = Arc::new(CounterTotals::default());
+        with_sink(totals.clone(), || {
+            black_box(f());
+        });
+        let counters: Vec<(String, u64)> = totals.totals().into_iter().collect();
+
         let m = Measurement {
             name: name.to_string(),
             samples,
@@ -134,6 +150,7 @@ impl Suite {
             max_ns,
             mean_ns,
             median_ns,
+            counters,
         };
         println!(
             "bench {:<40} median {:>12}  mean {:>12}  min {:>12}  ({} samples)",
@@ -177,13 +194,26 @@ impl Suite {
         for (i, m) in self.results.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"name\": {}, \"samples\": {}, \"median_ns\": {}, \
-                 \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}{}\n",
+                 \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}",
                 json_string(&m.name),
                 m.samples,
                 m.median_ns,
                 m.mean_ns,
                 m.min_ns,
                 m.max_ns,
+            ));
+            if !m.counters.is_empty() {
+                out.push_str(", \"counters\": {");
+                for (j, (name, value)) in m.counters.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!("{}: {value}", json_string(name)));
+                }
+                out.push('}');
+            }
+            out.push_str(&format!(
+                "}}{}\n",
                 if i + 1 == self.results.len() { "" } else { "," },
             ));
         }
@@ -248,6 +278,20 @@ mod tests {
         assert!(m.min_ns <= m.median_ns);
         assert!(m.median_ns <= m.max_ns);
         assert!(m.min_ns <= m.mean_ns && m.mean_ns <= m.max_ns);
+    }
+
+    #[test]
+    fn counters_from_observed_pass_reach_json() {
+        use mbr_obs::{counter, Counter};
+        let mut suite = quick_suite("counters");
+        suite.bench("emitting", || {
+            counter(Counter::SimplexPivots, 7);
+            1u32
+        });
+        let m = &suite.results[0];
+        assert_eq!(m.counters, vec![(String::from("lp.simplex.pivots"), 7)]);
+        let json = suite.to_json();
+        assert!(json.contains("\"counters\": {\"lp.simplex.pivots\": 7}"));
     }
 
     #[test]

@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "composition: {} merges over {} registers in {:?} ({} partitions, {} candidates, {} B&B nodes)",
         outcome.merges,
         outcome.merged_registers,
-        outcome.elapsed,
+        outcome.elapsed(),
         outcome.partitions,
         outcome.candidates_enumerated,
         outcome.ilp_nodes,

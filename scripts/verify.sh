@@ -23,7 +23,10 @@ cargo test -q
 echo "==> repro: fig3 weight table"
 cargo run --release -q -p mbr-bench --bin repro -- fig3
 
-echo "==> check: flow invariants on d1"
-cargo run --release -q --bin check -- d1
+echo "==> check: flow invariants on d1 (traced)"
+MBR_TRACE=trace-d1.jsonl cargo run --release -q --bin check -- d1
+
+echo "==> obs: validate the d1 trace"
+cargo run --release -q -p mbr-obs --bin trace-validate -- trace-d1.jsonl
 
 echo "verify: OK"

@@ -3,32 +3,46 @@
 //! diagnostic the cross-stage checkers emit.
 //!
 //! ```text
-//! cargo run --bin check -- [d1|d2|d3|d4|d5|all]...
+//! cargo run --bin check -- [--report] [d1|d2|d3|d4|d5|all]...
 //! ```
 //!
 //! Defaults to `d1`. Exits nonzero when any error-severity diagnostic
-//! fires, so CI can gate on it.
+//! fires, so CI can gate on it. Set `MBR_TRACE=<path>` to capture a JSONL
+//! trace of the run; pass `--report` for a span/counter summary.
 
 use std::process::ExitCode;
 
 use mbr::check::{check_mapping, check_netlist, check_scan, CheckReport, Paranoia};
 use mbr::core::{infer_grid, Composer, ComposerOptions};
 use mbr::liberty::standard_library;
+use mbr::obs::summary::Summary;
 use mbr::sta::DelayModel;
 use mbr::workloads::{all_presets, DesignSpec};
 
 fn usage() -> ! {
-    eprintln!("usage: check [d1|d2|d3|d4|d5|all]...   (default: d1)");
+    eprintln!("usage: check [--report] [d1|d2|d3|d4|d5|all]...   (default: d1)");
     std::process::exit(2);
 }
 
-fn specs_from_args() -> Vec<DesignSpec> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+fn specs_from_args() -> (Vec<DesignSpec>, bool) {
+    let mut report = false;
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| {
+            if a == "--report" {
+                report = true;
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
     if args.is_empty() {
-        return all_presets()
+        let d1 = all_presets()
             .into_iter()
             .filter(|s| s.name == "d1")
             .collect();
+        return (d1, report);
     }
     let mut specs = Vec::new();
     for arg in &args {
@@ -41,11 +55,12 @@ fn specs_from_args() -> Vec<DesignSpec> {
             usage();
         }
     }
-    specs
+    (specs, report)
 }
 
 fn main() -> ExitCode {
-    let specs = specs_from_args();
+    let (specs, report_requested) = specs_from_args();
+    let obs = mbr::obs::init_cli(report_requested);
     let lib = standard_library();
     let mut failed = false;
 
@@ -76,7 +91,7 @@ fn main() -> ExitCode {
         // The in-flow checkpoints already audited every stage; sweep the
         // final design once more so post-flow state is covered even if a
         // future stage forgets its checkpoint.
-        let mut report = CheckReport::new(outcome.diagnostics.clone());
+        let mut report = CheckReport::new(Vec::new());
         report.extend(check_netlist(&design));
         report.extend(check_mapping(&design, &lib));
         report.extend(check_scan(&design, &lib));
@@ -87,22 +102,37 @@ fn main() -> ExitCode {
             &outcome.new_mbrs,
         ));
 
+        let in_flow_errors = outcome
+            .diagnostics
+            .iter()
+            .filter(|d| d.diagnostic.severity() == mbr::check::Severity::Error)
+            .count();
         println!(
             "{}: {} -> {} registers, {} merges, {} diagnostics ({} errors)",
             spec.name,
             outcome.registers_before,
             outcome.registers_after,
             outcome.merges,
-            report.diagnostics.len(),
-            report.error_count(),
+            outcome.diagnostics.len() + report.diagnostics.len(),
+            in_flow_errors + report.error_count(),
         );
+        // In-flow findings carry the checkpoint stage that caught them —
+        // the first thing a triage wants to know.
+        for d in &outcome.diagnostics {
+            println!("  {}: {d}", d.diagnostic.severity());
+        }
         if !report.is_clean() {
             println!("{report}");
         }
-        if report.error_count() > 0 {
+        if in_flow_errors + report.error_count() > 0 {
             failed = true;
         }
     }
+
+    if let Some(rec) = &obs.recorder {
+        print!("{}", Summary::from_events(&rec.events()).render());
+    }
+    obs.finish();
 
     if failed {
         ExitCode::FAILURE

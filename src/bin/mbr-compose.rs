@@ -3,12 +3,15 @@
 //! ```text
 //! mbr-compose --lib cells.mbrlib --design in.design --out composed.design \
 //!             [--period 1000] [--no-incomplete] [--no-weights] [--no-skew] \
-//!             [--heuristic] [--decompose] [--stitch-scan] [--partition-bound 30]
+//!             [--heuristic] [--decompose] [--stitch-scan] [--partition-bound 30] \
+//!             [--report]
 //! ```
 //!
 //! Reads a register library (`.mbrlib`) and a placed design (`.design`),
 //! runs the DAC'17 composition flow, prints a Table-1-style report, and
 //! writes the composed design. Exits non-zero on any parse or flow error.
+//! Set `MBR_TRACE=<path>` to capture a JSONL trace of the run; pass
+//! `--report` for a per-stage timing table plus a span/counter summary.
 
 use std::process::ExitCode;
 
@@ -26,6 +29,7 @@ struct Args {
     period: f64,
     heuristic: bool,
     decompose: bool,
+    report: bool,
     options: ComposerOptions,
 }
 
@@ -34,7 +38,7 @@ fn usage() -> ! {
         "usage: mbr-compose --lib <file.mbrlib> --design <file.design> [--out <file.design>]\n\
          \x20                 [--period <ps>] [--partition-bound <n>] [--region-radius <dbu>]\n\
          \x20                 [--no-incomplete] [--no-weights] [--no-skew] [--no-sizing]\n\
-         \x20                 [--stitch-scan] [--heuristic] [--decompose]"
+         \x20                 [--stitch-scan] [--heuristic] [--decompose] [--report]"
     );
     std::process::exit(2);
 }
@@ -47,6 +51,7 @@ fn parse_args() -> Args {
         period: 1000.0,
         heuristic: false,
         decompose: false,
+        report: false,
         options: ComposerOptions::default(),
     };
     let mut it = std::env::args().skip(1);
@@ -78,6 +83,7 @@ fn parse_args() -> Args {
             "--stitch-scan" => args.options.stitch_scan_chains = true,
             "--heuristic" => args.heuristic = true,
             "--decompose" => args.decompose = true,
+            "--report" => args.report = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -93,16 +99,19 @@ fn parse_args() -> Args {
 
 fn main() -> ExitCode {
     let args = parse_args();
-    match run(&args) {
+    let obs = mbr::obs::init_cli(args.report);
+    let code = match run(&args, &obs) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("mbr-compose: {e}");
             ExitCode::FAILURE
         }
-    }
+    };
+    obs.finish();
+    code
 }
 
-fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+fn run(args: &Args, obs: &mbr::obs::CliObs) -> Result<(), Box<dyn std::error::Error>> {
     let lib_text = std::fs::read_to_string(&args.lib)?;
     let lib = Library::parse(&lib_text)?;
     let design_text = std::fs::read_to_string(&args.design)?;
@@ -152,7 +161,7 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         outcome.merged_registers,
         outcome.incomplete_mbrs,
         outcome.resized,
-        outcome.elapsed,
+        outcome.elapsed(),
     );
     if let Some(kept) = outcome.decomposition_kept {
         println!(
@@ -169,6 +178,16 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             "  scan: {} chains over {} registers, {} dbu",
             stitch.chains, stitch.registers, stitch.wirelength
         );
+    }
+
+    if args.report {
+        print!("{}", mbr::obs::summary::stage_table(&outcome.timings));
+        if let Some(rec) = &obs.recorder {
+            print!(
+                "{}",
+                mbr::obs::summary::Summary::from_events(&rec.events()).render()
+            );
+        }
     }
 
     if let Some(out) = &args.out {

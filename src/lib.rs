@@ -11,7 +11,9 @@
 //! * [`mbr_lp`] / [`mbr_graph`] / [`mbr_geom`] — solver, clique and geometry
 //!   machinery,
 //! * [`mbr_check`] — cross-stage flow invariant checkers (see `cargo run
-//!   --bin check`).
+//!   --bin check`),
+//! * [`mbr_obs`] — spans, counters, JSONL tracing and run summaries
+//!   (`MBR_TRACE=<path>`, `--report`).
 //!
 //! # Examples
 //!
@@ -52,6 +54,7 @@ pub use mbr_graph as graph;
 pub use mbr_liberty as liberty;
 pub use mbr_lp as lp;
 pub use mbr_netlist as netlist;
+pub use mbr_obs as obs;
 pub use mbr_place as place;
 pub use mbr_sta as sta;
 pub use mbr_workloads as workloads;

@@ -38,7 +38,7 @@ fn d1_runs_clean_under_maximum_paranoia() {
         outcome
             .diagnostics
             .iter()
-            .map(|d| format!("[{}] {}: {d}", d.stage(), d.severity()))
+            .map(|d| format!("{}: {d}", d.diagnostic.severity()))
             .collect::<Vec<_>>()
             .join("\n")
     );
