@@ -1,0 +1,9 @@
+//! Parallel-scaling target: the d1 flow at 1/2/4/8 worker threads plus the
+//! raw `par_map` dispatch overhead.
+//!
+//! Run with `cargo bench -p mbr-bench --bench par`; results land in
+//! `BENCH_par.json`.
+
+fn main() {
+    mbr_bench::suites::par();
+}

@@ -2,7 +2,7 @@
 //!
 //! Usage: `cargo run --release -p mbr-bench --bin bench -- [suite ...]`
 //! where each suite is one of `table1`, `fig5`, `fig6`, `ablations`,
-//! `solvers`, `obs`; with no arguments every suite runs. Set
+//! `solvers`, `obs`, `par`; with no arguments every suite runs. Set
 //! `MBR_BENCH_QUICK=1` for a three-sample smoke run.
 
 use mbr_bench::suites;
@@ -21,9 +21,10 @@ fn main() {
             "ablations" => suites::ablations(),
             "solvers" => suites::solvers(),
             "obs" => suites::obs(),
+            "par" => suites::par(),
             other => {
                 eprintln!(
-                    "unknown suite `{other}` (expected table1|fig5|fig6|ablations|solvers|obs)"
+                    "unknown suite `{other}` (expected table1|fig5|fig6|ablations|solvers|obs|par)"
                 );
                 std::process::exit(2);
             }

@@ -19,7 +19,27 @@
 use mbr_bench::{library, run, save_pct, RunResult, Strategy};
 use mbr_core::{ComposerOptions, DesignMetrics};
 use mbr_obs::summary::{stage_table, Summary};
-use mbr_workloads::all_presets;
+use mbr_obs::{SpanHandle, TaskObs};
+use mbr_workloads::{all_presets, DesignSpec};
+
+/// Runs `f` once per preset on the parallel executor, returning results in
+/// preset order with each run's buffered observability already replayed on
+/// the calling thread. The figure sweeps are five independent flows, so
+/// they run concurrently; replay-in-order keeps `MBR_TRACE` output and
+/// `--report` summaries identical at every thread count.
+fn sweep_presets<R: Send>(presets: &[DesignSpec], f: impl Fn(&DesignSpec) -> R + Sync) -> Vec<R> {
+    let handle = SpanHandle::current();
+    let results = mbr_par::par_map(mbr_par::thread_count(), presets, |_, spec| {
+        TaskObs::capture(&handle, || f(spec))
+    });
+    results
+        .into_iter()
+        .map(|(r, task_obs)| {
+            task_obs.replay(&handle);
+            r
+        })
+        .collect()
+}
 
 fn main() {
     let mut report = false;
@@ -154,12 +174,16 @@ fn table1() {
     let lib = library();
     let mut reg_saves = Vec::new();
     let mut comp_merged = Vec::new();
-    for spec in all_presets() {
+    let presets = all_presets();
+    let runs = sweep_presets(&presets, |spec| {
+        run(spec, &lib, ComposerOptions::default(), Strategy::Ilp)
+    });
+    for (spec, result) in presets.iter().zip(runs) {
         let RunResult {
             base,
             ours,
             outcome,
-        } = run(&spec, &lib, ComposerOptions::default(), Strategy::Ilp);
+        } = result;
         println!("-- {} --", spec.name.to_uppercase());
         row("Base", &base, None);
         row("Ours", &ours, Some(outcome.elapsed().as_millis()));
@@ -205,9 +229,11 @@ fn fig3() {
 fn fig5() {
     println!("== Fig. 5: MBR bit widths before & after composition ==");
     let lib = library();
-    for spec in all_presets() {
-        let RunResult { base, ours, .. } =
-            run(&spec, &lib, ComposerOptions::default(), Strategy::Ilp);
+    let presets = all_presets();
+    let runs = sweep_presets(&presets, |spec| {
+        run(spec, &lib, ComposerOptions::default(), Strategy::Ilp)
+    });
+    for (spec, RunResult { base, ours, .. }) in presets.iter().zip(runs) {
         print!("{:>3} before:", spec.name.to_uppercase());
         for w in [1u8, 2, 3, 4, 8] {
             print!(" {w}b:{:>5}", base.histogram.count(w));
@@ -238,9 +264,13 @@ fn fig6() {
     println!("== Fig. 6: normalized total registers, ILP vs maximal-clique heuristic ==");
     let lib = library();
     let mut gains = Vec::new();
-    for spec in all_presets() {
-        let ilp = run(&spec, &lib, ComposerOptions::default(), Strategy::Ilp);
-        let heur = run(&spec, &lib, ComposerOptions::default(), Strategy::Heuristic);
+    let presets = all_presets();
+    let runs = sweep_presets(&presets, |spec| {
+        let ilp = run(spec, &lib, ComposerOptions::default(), Strategy::Ilp);
+        let heur = run(spec, &lib, ComposerOptions::default(), Strategy::Heuristic);
+        (ilp, heur)
+    });
+    for (spec, (ilp, heur)) in presets.iter().zip(runs) {
         let base = ilp.base.total_regs as f64;
         let n_ilp = ilp.ours.total_regs as f64 / base;
         let n_heur = heur.ours.total_regs as f64 / base;
@@ -379,11 +409,14 @@ fn stats() {
 
     println!("== Candidate-space statistics ==");
     let lib = library();
-    for spec in all_presets() {
-        let design = mbr_bench::generate(&spec, &lib);
-        let model = mbr_bench::model_for(&spec);
+    let presets = all_presets();
+    let stats = sweep_presets(&presets, |spec| {
+        let design = mbr_bench::generate(spec, &lib);
+        let model = mbr_bench::model_for(spec);
         let sta = Sta::new(&design, &lib, model).expect("acyclic");
-        let s = CandidateStats::collect(&design, &lib, &sta, &ComposerOptions::default());
+        CandidateStats::collect(&design, &lib, &sta, &ComposerOptions::default())
+    });
+    for (spec, s) in presets.iter().zip(stats) {
         println!(
             "{:>3}: composable {:>5} edges {:>6} | partitions {:>4} (max {:>2}, truncated {}) | singles {:>5} clean {:>6} blocked {:>6} incomplete {:>5} | clean fraction {:.2}",
             spec.name.to_uppercase(),

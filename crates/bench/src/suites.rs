@@ -298,6 +298,62 @@ pub fn obs() {
             composer.compose(&mut work, &lib).expect("flow")
         })
     });
+
+    // Regression guard: incremental STA dedupes its per-net refreshes, so
+    // the seed set scales with the touched fan-out, not with touched pins ×
+    // net degree. Before the dedupe, d1 averaged ~955 seed pins per update;
+    // after, ~31. The bound is loose on purpose — it catches the quadratic
+    // blow-up coming back, not workload drift.
+    let totals = Arc::new(CounterTotals::default());
+    with_sink(totals.clone(), || {
+        let mut work = design.clone();
+        composer.compose(&mut work, &lib).expect("flow");
+    });
+    let t = totals.totals();
+    let updates = t.get("sta.incremental_updates").copied().unwrap_or(0);
+    let seeds = t.get("sta.incremental.seed_pins").copied().unwrap_or(0);
+    assert!(
+        updates > 0 && seeds < updates * 200,
+        "sta.incremental.seed_pins regressed: {seeds} seeds over {updates} updates"
+    );
+
+    suite.finish();
+}
+
+/// Parallel scaling: the full d1 flow at 1/2/4/8 worker threads (the
+/// [`ComposerOptions::threads`] knob that `MBR_THREADS` feeds), plus the
+/// raw `par_map` dispatch overhead. The thread sweep is the evidence
+/// behind the README scaling numbers; outputs are identical at every
+/// count, so the sweep measures pure scheduling.
+pub fn par() {
+    let lib = library();
+    let spec = mbr_workloads::d1();
+    let design = generate(&spec, &lib);
+    let model = model_for(&spec);
+
+    let mut suite = Suite::new("par");
+    for threads in [1usize, 2, 4, 8] {
+        let composer = Composer::new(
+            ComposerOptions {
+                threads,
+                ..ComposerOptions::default()
+            },
+            model,
+        );
+        suite.bench(&format!("flow_d1/threads_{threads}"), || {
+            let mut work = design.clone();
+            composer.compose(&mut work, &lib).expect("flow")
+        });
+    }
+
+    // Raw executor cost: tiny tasks over a large slice measure the chunked
+    // queue and the ordered collection, not the per-item work.
+    let items: Vec<u64> = (0..100_000).collect();
+    for threads in [1usize, 8] {
+        suite.bench(&format!("par_map_overhead/threads_{threads}"), || {
+            mbr_par::par_map(threads, &items, |_, &x| x.wrapping_mul(2_654_435_761))
+        });
+    }
     suite.finish();
 }
 
@@ -309,4 +365,5 @@ pub fn run_all() {
     ablations();
     solvers();
     obs();
+    par();
 }

@@ -90,11 +90,18 @@ pub fn enumerate_candidates(
         index: &index,
         options,
     };
-    let mut visited_total = 0u64;
-    let sets: Vec<CandidateSet> = partitions
-        .iter()
-        .map(|part| enumerate_partition(&ctx, part, &mut visited_total))
-        .collect();
+    // Each partition enumerates independently against the shared read-only
+    // context; workers return their visit counts and the main thread
+    // flushes the counters once, so the trace is identical at every thread
+    // count (results arrive in partition order by `par_map`'s contract).
+    let results: Vec<(CandidateSet, u64)> =
+        mbr_par::par_map(options.threads, &partitions, |_, part: &Vec<usize>| {
+            let mut visited = 0u64;
+            let set = enumerate_partition(&ctx, part, &mut visited);
+            (set, visited)
+        });
+    let visited_total: u64 = results.iter().map(|(_, v)| v).sum();
+    let sets: Vec<CandidateSet> = results.into_iter().map(|(set, _)| set).collect();
     obs::counter(Counter::CandidatePartitions, partitions.len() as u64);
     obs::counter(Counter::CandidateSubsetsVisited, visited_total);
     obs::counter(

@@ -22,7 +22,7 @@ use mbr_geom::Rect;
 use mbr_liberty::Library;
 use mbr_lp::{SetPartition, SetPartitionError};
 use mbr_netlist::{Design, InstId, InstKind};
-use mbr_obs::{self as obs, Counter, FlowStage, Span, StageTimings};
+use mbr_obs::{self as obs, Counter, FlowStage, Span, SpanHandle, StageTimings, TaskObs};
 use mbr_place::{legalize, LegalizeError, LegalizeReport, PlacementGrid};
 use mbr_sta::{DelayModel, Sta, StaError};
 
@@ -237,9 +237,6 @@ impl Composer {
         design: &mut Design,
         lib: &Library,
     ) -> Result<ComposeOutcome, ComposeError> {
-        let mut plain = design.clone();
-        let plain_outcome = self.run(&mut plain, lib, Strategy::Ilp)?;
-
         // The speculative arm probes thousands of dense single-bit
         // partitions; tighter enumeration budgets keep it affordable
         // without touching the plain flow's QoR.
@@ -252,43 +249,75 @@ impl Composer {
             self.model,
         );
 
-        // Split max-width MBRs whose class has a 1-bit cell to return to.
-        let mut dec = design.clone();
-        let targets: Vec<InstId> = dec
-            .registers()
-            .filter(|(id, inst)| {
-                let InstKind::Register { cell, attrs, .. } = &inst.kind else {
-                    return false;
-                };
-                if attrs.is_untouchable() {
-                    return false;
-                }
-                let c = lib.cell(*cell);
-                dec.register_width(*id) >= lib.max_width(c.class)
-                    && dec.register_width(*id) > 1
-                    && lib.widths(c.class).first() == Some(&1)
-            })
-            .map(|(id, _)| id)
-            .collect();
-        let mut split_bits: Vec<InstId> = Vec::new();
-        for id in targets {
-            let class = lib
-                .cell(dec.inst(id).register_cell().expect("register"))
-                .class;
-            if let Some(bit_cell) = lib.select_cell(class, 1, None, false) {
-                // Failure to split is not fatal; the MBR is simply kept.
-                if let Ok(bits) = dec.split_register(id, lib, bit_cell) {
-                    split_bits.extend(bits);
-                }
-            }
-        }
-        // The split bits land across the old footprints and may overlap
-        // neighbours; legalize them before composing.
-        if !split_bits.is_empty() {
-            let grid = infer_grid(&dec, lib);
-            legalize(&mut dec, &grid, &split_bits)?;
-        }
-        let dec_outcome = speculative.run(&mut dec, lib, Strategy::Ilp)?;
+        // The two arms work on independent clones of the design, so they
+        // run concurrently; each arm's observability is captured on its
+        // thread and replayed plain-first, so the merged trace is the same
+        // at every thread count.
+        type ArmResult = Result<(Design, ComposeOutcome), ComposeError>;
+        let span = Span::enter("flow.compose.decomposition");
+        let handle = SpanHandle::current();
+        let base: &Design = design;
+        let ((plain_res, plain_obs), (dec_res, dec_obs)) = mbr_par::join(
+            self.options.threads,
+            || {
+                TaskObs::capture(&handle, || -> ArmResult {
+                    let _arm = handle.attach("flow.compose.decomposition.plain");
+                    let mut plain = base.clone();
+                    let outcome = self.run(&mut plain, lib, Strategy::Ilp)?;
+                    Ok((plain, outcome))
+                })
+            },
+            || {
+                TaskObs::capture(&handle, || -> ArmResult {
+                    let _arm = handle.attach("flow.compose.decomposition.split");
+                    // Split max-width MBRs whose class has a 1-bit cell to
+                    // return to.
+                    let mut dec = base.clone();
+                    let targets: Vec<InstId> = dec
+                        .registers()
+                        .filter(|(id, inst)| {
+                            let InstKind::Register { cell, attrs, .. } = &inst.kind else {
+                                return false;
+                            };
+                            if attrs.is_untouchable() {
+                                return false;
+                            }
+                            let c = lib.cell(*cell);
+                            dec.register_width(*id) >= lib.max_width(c.class)
+                                && dec.register_width(*id) > 1
+                                && lib.widths(c.class).first() == Some(&1)
+                        })
+                        .map(|(id, _)| id)
+                        .collect();
+                    let mut split_bits: Vec<InstId> = Vec::new();
+                    for id in targets {
+                        let class = lib
+                            .cell(dec.inst(id).register_cell().expect("register"))
+                            .class;
+                        if let Some(bit_cell) = lib.select_cell(class, 1, None, false) {
+                            // Failure to split is not fatal; the MBR is
+                            // simply kept.
+                            if let Ok(bits) = dec.split_register(id, lib, bit_cell) {
+                                split_bits.extend(bits);
+                            }
+                        }
+                    }
+                    // The split bits land across the old footprints and may
+                    // overlap neighbours; legalize them before composing.
+                    if !split_bits.is_empty() {
+                        let grid = infer_grid(&dec, lib);
+                        legalize(&mut dec, &grid, &split_bits)?;
+                    }
+                    let outcome = speculative.run(&mut dec, lib, Strategy::Ilp)?;
+                    Ok((dec, outcome))
+                })
+            },
+        );
+        plain_obs.replay(&handle);
+        dec_obs.replay(&handle);
+        drop(span);
+        let (plain, plain_outcome) = plain_res?;
+        let (dec, dec_outcome) = dec_res?;
 
         // Both arms ran; the kept outcome's timings absorb the loser's so
         // `elapsed()` reports the work actually spent, not just the winner.
@@ -365,34 +394,62 @@ impl Composer {
         outcome.partitions = sets.len();
         outcome.candidates_enumerated = sets.iter().map(|s| s.candidates.len()).sum();
 
-        // 5. Assignment per partition (Section 3.1).
+        // 5. Assignment per partition (Section 3.1). Each partition is an
+        // independent set-partitioning instance, so they solve in parallel;
+        // workers buffer their solver counters/spans and the main thread
+        // replays them in partition order, keeping traces and counter
+        // totals identical to the serial flow.
         let t0 = obs::now_ns();
         let span = Span::enter(FlowStage::Assignment.span_name());
-        let mut selected: Vec<CandidateMbr> = Vec::new();
-        for set in &sets {
-            match strategy {
-                Strategy::Ilp => {
-                    let mut sp = SetPartition::new(set.elements.len());
-                    for idx in &set.member_idx {
-                        // weights are finite by construction
-                        let w = set.candidates[sp.num_candidates()].weight;
-                        sp.add_candidate(idx, w);
-                    }
-                    let sol = sp.solve_bounded(self.options.ilp_node_limit)?;
-                    outcome.ilp_nodes += sol.nodes_explored;
-                    for &ci in &sol.selected {
-                        if !set.candidates[ci].is_singleton() {
-                            selected.push(set.candidates[ci].clone());
+        let handle = SpanHandle::current();
+        let design_ref: &Design = design;
+        let node_limit = self.options.ilp_node_limit;
+        type SolveResult = Result<(Vec<CandidateMbr>, u64), SetPartitionError>;
+        let results = mbr_par::par_map(self.options.threads, &sets, |_, set| {
+            TaskObs::capture(&handle, || -> SolveResult {
+                match strategy {
+                    Strategy::Ilp => {
+                        let _solve = handle.attach("flow.compose.assignment.solve");
+                        let mut sp = SetPartition::new(set.elements.len());
+                        for idx in &set.member_idx {
+                            // weights are finite by construction
+                            let w = set.candidates[sp.num_candidates()].weight;
+                            sp.add_candidate(idx, w);
                         }
+                        let sol = sp.solve_bounded(node_limit)?;
+                        let picked = sol
+                            .selected
+                            .iter()
+                            .filter(|&&ci| !set.candidates[ci].is_singleton())
+                            .map(|&ci| set.candidates[ci].clone())
+                            .collect();
+                        Ok((picked, sol.nodes_explored))
                     }
+                    Strategy::Greedy => Ok((greedy_select(design_ref, lib, set), 0)),
                 }
-                Strategy::Greedy => {
-                    selected.extend(greedy_select(design, lib, set));
+            })
+        });
+        let mut selected: Vec<CandidateMbr> = Vec::new();
+        let mut first_err: Option<SetPartitionError> = None;
+        for (res, task_obs) in results {
+            task_obs.replay(&handle);
+            match res {
+                Ok((picked, nodes)) => {
+                    outcome.ilp_nodes += nodes;
+                    selected.extend(picked);
+                }
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
                 }
             }
         }
         drop(span);
         timings.add(FlowStage::Assignment, obs::now_ns() - t0);
+        if let Some(e) = first_err {
+            return Err(e.into());
+        }
 
         // Checkpoint: the solution must be an exact cover of the composable
         // registers (merges as selected, the rest as singletons) and every

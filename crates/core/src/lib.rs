@@ -122,6 +122,14 @@ pub struct ComposerOptions {
     /// builds (tests always check everything) and [`Paranoia::Cheap`] in
     /// release. Findings land in [`ComposeOutcome::diagnostics`].
     pub paranoia: Paranoia,
+    /// Worker threads for the parallel sections (per-partition candidate
+    /// enumeration, per-partition assignment ILPs, and the two arms of
+    /// speculative decomposition). Results are identical at every value —
+    /// the executor collects in input order and worker observability is
+    /// buffered and replayed deterministically ([`mbr_obs::TaskObs`]).
+    /// Defaults to [`mbr_par::thread_count`] (`MBR_THREADS`, else capped
+    /// available parallelism); 1 disables threading entirely.
+    pub threads: usize,
 }
 
 impl Default for ComposerOptions {
@@ -142,6 +150,7 @@ impl Default for ComposerOptions {
             sizing_margin: 5.0,
             stitch_scan_chains: false,
             paranoia: Paranoia::build_default(),
+            threads: mbr_par::thread_count(),
         }
     }
 }

@@ -74,6 +74,13 @@ pub fn now_ns() -> u64 {
     })
 }
 
+/// The thread-local clock override installed by [`with_clock`], if any.
+/// Used to hand the caller's time source to worker threads (see
+/// `SpanHandle`), so a mock clock governs an entire parallel section.
+pub(crate) fn current() -> Option<Arc<dyn Clock>> {
+    LOCAL_CLOCK.with(|c| c.borrow().clone())
+}
+
 /// Runs `f` with `clock` as this thread's time source, restoring the
 /// previous source afterwards (also on panic).
 pub fn with_clock<R>(clock: Arc<dyn Clock>, f: impl FnOnce() -> R) -> R {

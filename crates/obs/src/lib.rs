@@ -51,6 +51,7 @@ mod span;
 mod stage;
 pub mod summary;
 pub mod table;
+mod task;
 pub mod trace;
 
 pub use catalog::{Counter, Gauge};
@@ -61,6 +62,7 @@ pub use sink::{
 };
 pub use span::Span;
 pub use stage::{FlowStage, StageTimings};
+pub use task::{SpanHandle, TaskObs};
 pub use trace::{parse_trace, to_jsonl, validate_trace, JsonlSink, TraceError, TraceEvent};
 
 use std::sync::Arc;

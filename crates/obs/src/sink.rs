@@ -71,6 +71,13 @@ impl Recorder {
     pub fn events(&self) -> Vec<TraceEvent> {
         self.events.lock().expect("recorder poisoned").clone()
     }
+
+    /// Drains everything recorded so far, in arrival order (the recorder
+    /// stays usable). Backs task-obs capture, which hands the buffer over
+    /// instead of copying it.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.lock().expect("recorder poisoned"))
+    }
 }
 
 impl ObsSink for Recorder {

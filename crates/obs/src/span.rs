@@ -21,6 +21,18 @@ pub(crate) fn current_span_id() -> Option<u64> {
     SPAN_STATE.with(|s| s.borrow().1.last().copied())
 }
 
+/// Reserves `count` consecutive span ids on this thread and returns the
+/// first. Task replay ([`crate::TaskObs`]) remaps a worker's locally
+/// numbered spans into such a block so ids stay unique per trace.
+pub(crate) fn allocate_ids(count: u64) -> u64 {
+    SPAN_STATE.with(|s| {
+        let mut state = s.borrow_mut();
+        let base = state.0;
+        state.0 += count;
+        base
+    })
+}
+
 /// Resets this thread's span ids for a deterministic scope ([`crate::with_sink`])
 /// and returns the previous state for restoration.
 pub(crate) fn reset_thread_state() -> (u64, Vec<u64>) {
@@ -110,6 +122,7 @@ impl Drop for Span {
             name: live.name.to_string(),
             start_ns: live.start_ns,
             dur_ns: end_ns.saturating_sub(live.start_ns),
+            task: None,
         });
     }
 }
@@ -132,6 +145,7 @@ mod tests {
                     name,
                     start_ns,
                     dur_ns,
+                    ..
                 } => Some((id, parent, name, start_ns, dur_ns)),
                 _ => None,
             })

@@ -114,6 +114,7 @@ mod tests {
                 name: "a".to_string(),
                 start_ns: 0,
                 dur_ns: 10,
+                task: None,
             },
             TraceEvent::Span {
                 id: 2,
@@ -121,6 +122,7 @@ mod tests {
                 name: "a".to_string(),
                 start_ns: 10,
                 dur_ns: 5,
+                task: None,
             },
             TraceEvent::Counter {
                 name: "lp.simplex.pivots".to_string(),

@@ -12,7 +12,13 @@
 //!
 //! * `span` — emitted when the span **closes**; `parent` is the id of the
 //!   enclosing span or `null`. Ids are unique per trace, allocated in
-//!   entry order starting at 1, so emission order is close order.
+//!   entry order starting at 1, so emission order is close order. Spans
+//!   replayed from a worker task additionally carry a `task` group id
+//!   (`{"type":"span",...,"dur_ns":480,"task":17}`): close order is
+//!   guaranteed only *within* one task group (and within the untagged
+//!   main-thread group), because independent tasks overlap in time. The
+//!   field is omitted — not `null` — when absent, so single-threaded
+//!   traces are byte-identical to the pre-parallel format.
 //! * `counter` — an accumulated total flushed by one operation; `span` is
 //!   the innermost open span at flush time or `null`. `name` must be in
 //!   the [`Counter`] catalog.
@@ -20,7 +26,7 @@
 //!   [`Gauge`] catalog. `value` is finite and rendered with a decimal
 //!   point (`17` serialises as `17.0`) so the shapes stay distinguishable.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -45,6 +51,9 @@ pub enum TraceEvent {
         start_ns: u64,
         /// Entry-to-close duration, nanoseconds.
         dur_ns: u64,
+        /// Task group for spans replayed from a worker task ([`crate::TaskObs`]);
+        /// `None` for spans emitted directly on the recording thread.
+        task: Option<u64>,
     },
     /// A flushed counter total.
     Counter {
@@ -113,6 +122,7 @@ impl TraceEvent {
                 name,
                 start_ns,
                 dur_ns,
+                task,
             } => {
                 out.push_str("{\"type\":\"span\",\"id\":");
                 out.push_str(&id.to_string());
@@ -124,6 +134,10 @@ impl TraceEvent {
                 out.push_str(&start_ns.to_string());
                 out.push_str(",\"dur_ns\":");
                 out.push_str(&dur_ns.to_string());
+                if let Some(task) = task {
+                    out.push_str(",\"task\":");
+                    out.push_str(&task.to_string());
+                }
                 out.push('}');
             }
             TraceEvent::Counter { name, value, span } => {
@@ -409,6 +423,16 @@ impl Fields {
         }
     }
 
+    /// Like [`Fields::take_opt_u64`], but a missing key is also `None` —
+    /// for fields that are omitted rather than written as `null`.
+    fn take_absent_u64(&mut self, key: &str) -> Result<Option<u64>, TraceError> {
+        if self.fields.iter().any(|(k, _)| k == key) {
+            self.take_opt_u64(key)
+        } else {
+            Ok(None)
+        }
+    }
+
     fn take_f64(&mut self, key: &str) -> Result<f64, TraceError> {
         match self.take(key)? {
             JsonValue::Float(v) => Ok(v),
@@ -444,6 +468,7 @@ pub fn parse_trace(text: &str) -> Result<Vec<TraceEvent>, TraceError> {
                 name: fields.take_str("name")?,
                 start_ns: fields.take_u64("start_ns")?,
                 dur_ns: fields.take_u64("dur_ns")?,
+                task: fields.take_absent_u64("task")?,
             },
             "counter" => TraceEvent::Counter {
                 name: fields.take_str("name")?,
@@ -470,9 +495,13 @@ pub fn parse_trace(text: &str) -> Result<Vec<TraceEvent>, TraceError> {
 ///    present in the trace;
 /// 3. counter and gauge names are in the typed catalogs, counter values
 ///    are positive, gauge values finite;
-/// 4. spans nest: a child's `[start, start+dur]` lies within its parent's,
-///    and a parent closes (is emitted) after each of its children;
-/// 5. span end times are non-decreasing in emission order (close order).
+/// 4. spans nest: a child's `[start, start+dur]` lies within its parent's
+///    — also across task groups, which is how a worker task's spans are
+///    checked against the main-thread span they were attached to — and a
+///    parent closes (is emitted) after each of its children;
+/// 5. span end times are non-decreasing in emission order *within each
+///    task group* (untagged spans form one group). Independent tasks run
+///    concurrently, so no close order holds across groups.
 pub fn validate_trace(events: &[TraceEvent]) -> Result<(), TraceError> {
     // Pass 1: collect spans.
     let mut span_info: Vec<(u64, Option<u64>, u64, u64, usize)> = Vec::new();
@@ -499,7 +528,7 @@ pub fn validate_trace(events: &[TraceEvent]) -> Result<(), TraceError> {
     let lookup = |id: u64| span_info.iter().find(|s| s.0 == id);
 
     // Pass 2: per-event checks.
-    let mut last_end: Option<u64> = None;
+    let mut last_end: BTreeMap<Option<u64>, u64> = BTreeMap::new();
     for (idx, event) in events.iter().enumerate() {
         let lineno = idx + 1;
         match event {
@@ -509,12 +538,13 @@ pub fn validate_trace(events: &[TraceEvent]) -> Result<(), TraceError> {
                 name,
                 start_ns,
                 dur_ns,
+                task,
             } => {
                 if name.is_empty() {
                     return err(lineno, "span name must not be empty");
                 }
                 if let Some(pid) = parent {
-                    let Some(&(_, _, p_start, p_dur, _)) = lookup(*pid) else {
+                    let Some(&(_, _, p_start, p_dur, p_line)) = lookup(*pid) else {
                         return err(lineno, format!("span {id} parent {pid} not in trace"));
                     };
                     if *pid == *id {
@@ -527,17 +557,30 @@ pub fn validate_trace(events: &[TraceEvent]) -> Result<(), TraceError> {
                             format!("span {id} [{start_ns}, {end}] escapes parent {pid}"),
                         );
                     }
-                }
-                let end = start_ns + dur_ns;
-                if let Some(prev) = last_end {
-                    if end < prev {
+                    // Close order: a parent is open while its children run,
+                    // so its close event must come later — this holds even
+                    // across threads, where a replayed task's spans land
+                    // before the enclosing main-thread span closes.
+                    if p_line <= lineno {
                         return err(
                             lineno,
-                            format!("span {id} closes at {end}, before prior close {prev}"),
+                            format!("span {id} is emitted after its parent {pid} closed"),
                         );
                     }
                 }
-                last_end = Some(end);
+                let end = start_ns + dur_ns;
+                if let Some(&prev) = last_end.get(task) {
+                    if end < prev {
+                        return err(
+                            lineno,
+                            format!(
+                                "span {id} closes at {end}, before prior close {prev} \
+                                 in the same task group"
+                            ),
+                        );
+                    }
+                }
+                last_end.insert(*task, end);
             }
             TraceEvent::Counter { name, value, span } => {
                 if Counter::from_name(name).is_none() {
@@ -615,6 +658,7 @@ mod tests {
                 name: "flow.compose.timing".to_string(),
                 start_ns: 100,
                 dur_ns: 200,
+                task: None,
             },
             TraceEvent::Counter {
                 name: "lp.simplex.pivots".to_string(),
@@ -632,6 +676,7 @@ mod tests {
                 name: "flow.compose".to_string(),
                 start_ns: 0,
                 dur_ns: 400,
+                task: None,
             },
         ]
     }
@@ -701,6 +746,7 @@ mod tests {
             name: "flow.compose".to_string(),
             start_ns: 400,
             dur_ns: 1,
+            task: None,
         });
         assert!(validate_trace(&events).is_err());
     }
@@ -714,6 +760,7 @@ mod tests {
                 name: "b".to_string(),
                 start_ns: 50,
                 dur_ns: 100, // ends at 150, parent ends at 120
+                task: None,
             },
             TraceEvent::Span {
                 id: 1,
@@ -721,6 +768,7 @@ mod tests {
                 name: "a".to_string(),
                 start_ns: 0,
                 dur_ns: 120,
+                task: None,
             },
         ];
         let e = validate_trace(&events).expect_err("must fail");
@@ -735,6 +783,7 @@ mod tests {
             name: "b".to_string(),
             start_ns: 0,
             dur_ns: 1,
+            task: None,
         }];
         assert!(validate_trace(&events).is_err());
     }
@@ -748,6 +797,7 @@ mod tests {
                 name: "a".to_string(),
                 start_ns: 0,
                 dur_ns: 500,
+                task: None,
             },
             TraceEvent::Span {
                 id: 2,
@@ -755,6 +805,7 @@ mod tests {
                 name: "b".to_string(),
                 start_ns: 10,
                 dur_ns: 20,
+                task: None,
             },
         ];
         let e = validate_trace(&events).expect_err("must fail");
@@ -770,6 +821,66 @@ mod tests {
             parse_trace("{\"type\":\"counter\",\"name\":\"lp.simplex.pivots\",\"value\":1,\"span\":null,\"extra\":2}\n")
                 .is_err()
         );
+    }
+
+    fn span(
+        id: u64,
+        parent: Option<u64>,
+        start_ns: u64,
+        dur_ns: u64,
+        task: Option<u64>,
+    ) -> TraceEvent {
+        TraceEvent::Span {
+            id,
+            parent,
+            name: format!("test.s{id}"),
+            start_ns,
+            dur_ns,
+            task,
+        }
+    }
+
+    #[test]
+    fn task_field_round_trips_and_is_omitted_when_absent() {
+        let tagged = span(2, Some(1), 10, 5, Some(17));
+        let text = tagged.to_json();
+        assert!(text.ends_with(",\"dur_ns\":5,\"task\":17}"), "{text}");
+        let events = vec![tagged, span(1, None, 0, 100, None)];
+        let jsonl = to_jsonl(&events);
+        assert_eq!(parse_trace(&jsonl).expect("parse"), events);
+        // Untagged spans serialize without the field entirely.
+        assert!(!events[1].to_json().contains("task"));
+    }
+
+    #[test]
+    fn concurrent_task_groups_may_close_out_of_order() {
+        // Two worker tasks attached to span 1: task 10 closes at 110, task
+        // 11 at 50 — globally decreasing, but each group is internally
+        // ordered, so the trace is valid.
+        let events = vec![
+            span(2, Some(1), 10, 100, Some(10)),
+            span(3, Some(1), 20, 30, Some(11)),
+            span(1, None, 0, 400, None),
+        ];
+        validate_trace(&events).expect("valid multi-thread trace");
+    }
+
+    #[test]
+    fn same_task_group_must_still_close_in_order() {
+        let events = vec![
+            span(2, Some(1), 10, 100, Some(10)),
+            span(3, Some(1), 20, 30, Some(10)),
+            span(1, None, 0, 400, None),
+        ];
+        let e = validate_trace(&events).expect_err("must fail");
+        assert!(e.message.contains("same task group"), "{e}");
+    }
+
+    #[test]
+    fn parent_closing_before_child_is_rejected() {
+        let events = vec![span(1, None, 0, 400, None), span(2, Some(1), 10, 20, None)];
+        let e = validate_trace(&events).expect_err("must fail");
+        assert!(e.message.contains("after its parent"), "{e}");
     }
 
     #[test]

@@ -64,6 +64,7 @@ fn nesting_invariants_hold() {
                 name,
                 start_ns,
                 dur_ns,
+                ..
             } => Some((*id, *parent, name.clone(), *start_ns, *dur_ns)),
             _ => None,
         })

@@ -1,6 +1,6 @@
 //! Timing-graph construction and propagation.
 
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use std::error::Error;
 use std::fmt;
 
@@ -343,14 +343,25 @@ impl Sta {
             "structural edit detected: rebuild Sta with Sta::new"
         );
 
+        let touched_insts: HashSet<InstId> = touched.iter().copied().collect();
+        let mut refreshed_nets: HashSet<mbr_netlist::NetId> = HashSet::new();
         let mut net_refreshes = 0u64;
         let mut seeds: Vec<usize> = Vec::new();
         for &inst_id in touched {
             let inst = design.inst(inst_id);
             for &p in &inst.pins {
                 seeds.push(p.index());
-                // Refresh arcs and loads of the adjacent net.
+                // Refresh arcs and loads of the adjacent net — once per net,
+                // not once per touched pin on it. A wire arc's delay depends
+                // only on its two endpoint positions and the sink cap, so
+                // when the driver did not move only the arcs to *touched*
+                // sinks change; the driver's load-dependent source arrival
+                // still shifts (HPWL moved), and that reaches the untouched
+                // sinks through relaxation from the seeded driver.
                 if let Some(net) = design.pin(p).net {
+                    if !refreshed_nets.insert(net) {
+                        continue;
+                    }
                     if design.is_clock_net(net) {
                         // Ideal clock: no wire arcs, but the driving port's
                         // load-dependent source arrival still tracks the
@@ -363,10 +374,16 @@ impl Sta {
                         continue;
                     }
                     if let Some(driver) = design.net_driver(net) {
-                        // Recompute wire arcs of this net.
+                        let driver_moved = touched_insts.contains(&design.pin(driver).inst);
                         let dpos = design.pin_position(driver);
-                        self.arcs[driver.index()].clear();
+                        if driver_moved {
+                            // Every wire arc changed; rebuild the fan-out.
+                            self.arcs[driver.index()].clear();
+                        }
                         for sink in design.net_sinks(net) {
+                            if !driver_moved && !touched_insts.contains(&design.pin(sink).inst) {
+                                continue;
+                            }
                             let spos = design.pin_position(sink);
                             let delay = self
                                 .model
@@ -378,10 +395,17 @@ impl Sta {
                             {
                                 r.delay = delay;
                             }
-                            self.arcs[driver.index()].push(Arc {
-                                to: sink.index() as u32,
-                                delay,
-                            });
+                            if driver_moved {
+                                self.arcs[driver.index()].push(Arc {
+                                    to: sink.index() as u32,
+                                    delay,
+                                });
+                            } else if let Some(a) = self.arcs[driver.index()]
+                                .iter_mut()
+                                .find(|a| a.to as usize == sink.index())
+                            {
+                                a.delay = delay;
+                            }
                             seeds.push(sink.index());
                         }
                         seeds.push(driver.index());

@@ -17,11 +17,17 @@ cargo clippy --workspace --all-targets -q -- -D warnings
 echo "==> tier-1: cargo build --release"
 cargo build --release
 
-echo "==> tier-1: cargo test -q"
-cargo test -q
+echo "==> tier-1: cargo test -q (MBR_THREADS=1, serial)"
+MBR_THREADS=1 cargo test -q
+
+echo "==> tier-1: cargo test -q (MBR_THREADS=4, parallel)"
+MBR_THREADS=4 cargo test -q
 
 echo "==> repro: fig3 weight table"
 cargo run --release -q -p mbr-bench --bin repro -- fig3
+
+echo "==> bench: par suite smoke (quick samples)"
+MBR_BENCH_QUICK=1 cargo run --release -q -p mbr-bench --bin bench -- par
 
 echo "==> check: flow invariants on d1 (traced)"
 MBR_TRACE=trace-d1.jsonl cargo run --release -q --bin check -- d1

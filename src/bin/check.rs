@@ -10,12 +10,14 @@
 //! fires, so CI can gate on it. Set `MBR_TRACE=<path>` to capture a JSONL
 //! trace of the run; pass `--report` for a span/counter summary.
 
+use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use mbr::check::{check_mapping, check_netlist, check_scan, CheckReport, Paranoia};
 use mbr::core::{infer_grid, Composer, ComposerOptions};
-use mbr::liberty::standard_library;
+use mbr::liberty::{standard_library, Library};
 use mbr::obs::summary::Summary;
+use mbr::obs::{SpanHandle, TaskObs};
 use mbr::sta::DelayModel;
 use mbr::workloads::{all_presets, DesignSpec};
 
@@ -58,75 +60,96 @@ fn specs_from_args() -> (Vec<DesignSpec>, bool) {
     (specs, report)
 }
 
+/// Runs one preset end to end, returning its stdout/stderr text and
+/// whether it failed. Pure with respect to the process: printing and
+/// observability replay happen on the main thread, in preset order.
+fn run_spec(spec: &DesignSpec, lib: &Library) -> (String, String, bool) {
+    let mut out = String::new();
+    let mut failed = false;
+
+    let mut design = spec.generate(lib);
+    let base = DelayModel::default();
+    let model = DelayModel {
+        clock_period: spec.clock_period,
+        wire_res_per_dbu: base.wire_res_per_dbu * spec.wire_scale,
+        wire_cap_per_dbu: base.wire_cap_per_dbu * spec.wire_scale,
+        ..base
+    };
+    let options = ComposerOptions {
+        paranoia: Paranoia::Full,
+        stitch_scan_chains: true,
+        ..ComposerOptions::default()
+    };
+    let composer = Composer::new(options, model);
+    let outcome = match composer.compose(&mut design, lib) {
+        Ok(o) => o,
+        Err(e) => {
+            return (out, format!("{}: flow failed: {e}\n", spec.name), true);
+        }
+    };
+
+    // The in-flow checkpoints already audited every stage; sweep the
+    // final design once more so post-flow state is covered even if a
+    // future stage forgets its checkpoint.
+    let mut report = CheckReport::new(Vec::new());
+    report.extend(check_netlist(&design));
+    report.extend(check_mapping(&design, lib));
+    report.extend(check_scan(&design, lib));
+    let grid = infer_grid(&design, lib);
+    report.extend(mbr::check::check_placement(
+        &design,
+        &grid,
+        &outcome.new_mbrs,
+    ));
+
+    let in_flow_errors = outcome
+        .diagnostics
+        .iter()
+        .filter(|d| d.diagnostic.severity() == mbr::check::Severity::Error)
+        .count();
+    let _ = writeln!(
+        out,
+        "{}: {} -> {} registers, {} merges, {} diagnostics ({} errors)",
+        spec.name,
+        outcome.registers_before,
+        outcome.registers_after,
+        outcome.merges,
+        outcome.diagnostics.len() + report.diagnostics.len(),
+        in_flow_errors + report.error_count(),
+    );
+    // In-flow findings carry the checkpoint stage that caught them —
+    // the first thing a triage wants to know.
+    for d in &outcome.diagnostics {
+        let _ = writeln!(out, "  {}: {d}", d.diagnostic.severity());
+    }
+    if !report.is_clean() {
+        let _ = writeln!(out, "{report}");
+    }
+    if in_flow_errors + report.error_count() > 0 {
+        failed = true;
+    }
+    (out, String::new(), failed)
+}
+
 fn main() -> ExitCode {
     let (specs, report_requested) = specs_from_args();
     let obs = mbr::obs::init_cli(report_requested);
     let lib = standard_library();
+
+    // The presets are independent designs, so they sweep in parallel.
+    // Each worker buffers its report text and observability; the main
+    // thread replays both in preset order, so output, trace, and exit
+    // code are identical at every thread count.
+    let handle = SpanHandle::current();
+    let results = mbr::par::par_map(mbr::par::thread_count(), &specs, |_, spec| {
+        TaskObs::capture(&handle, || run_spec(spec, &lib))
+    });
     let mut failed = false;
-
-    for spec in specs {
-        let mut design = spec.generate(&lib);
-        let base = DelayModel::default();
-        let model = DelayModel {
-            clock_period: spec.clock_period,
-            wire_res_per_dbu: base.wire_res_per_dbu * spec.wire_scale,
-            wire_cap_per_dbu: base.wire_cap_per_dbu * spec.wire_scale,
-            ..base
-        };
-        let options = ComposerOptions {
-            paranoia: Paranoia::Full,
-            stitch_scan_chains: true,
-            ..ComposerOptions::default()
-        };
-        let composer = Composer::new(options, model);
-        let outcome = match composer.compose(&mut design, &lib) {
-            Ok(o) => o,
-            Err(e) => {
-                eprintln!("{}: flow failed: {e}", spec.name);
-                failed = true;
-                continue;
-            }
-        };
-
-        // The in-flow checkpoints already audited every stage; sweep the
-        // final design once more so post-flow state is covered even if a
-        // future stage forgets its checkpoint.
-        let mut report = CheckReport::new(Vec::new());
-        report.extend(check_netlist(&design));
-        report.extend(check_mapping(&design, &lib));
-        report.extend(check_scan(&design, &lib));
-        let grid = infer_grid(&design, &lib);
-        report.extend(mbr::check::check_placement(
-            &design,
-            &grid,
-            &outcome.new_mbrs,
-        ));
-
-        let in_flow_errors = outcome
-            .diagnostics
-            .iter()
-            .filter(|d| d.diagnostic.severity() == mbr::check::Severity::Error)
-            .count();
-        println!(
-            "{}: {} -> {} registers, {} merges, {} diagnostics ({} errors)",
-            spec.name,
-            outcome.registers_before,
-            outcome.registers_after,
-            outcome.merges,
-            outcome.diagnostics.len() + report.diagnostics.len(),
-            in_flow_errors + report.error_count(),
-        );
-        // In-flow findings carry the checkpoint stage that caught them —
-        // the first thing a triage wants to know.
-        for d in &outcome.diagnostics {
-            println!("  {}: {d}", d.diagnostic.severity());
-        }
-        if !report.is_clean() {
-            println!("{report}");
-        }
-        if in_flow_errors + report.error_count() > 0 {
-            failed = true;
-        }
+    for ((out, err, spec_failed), task_obs) in results {
+        task_obs.replay(&handle);
+        print!("{out}");
+        eprint!("{err}");
+        failed |= spec_failed;
     }
 
     if let Some(rec) = &obs.recorder {

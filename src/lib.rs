@@ -13,7 +13,8 @@
 //! * [`mbr_check`] — cross-stage flow invariant checkers (see `cargo run
 //!   --bin check`),
 //! * [`mbr_obs`] — spans, counters, JSONL tracing and run summaries
-//!   (`MBR_TRACE=<path>`, `--report`).
+//!   (`MBR_TRACE=<path>`, `--report`),
+//! * [`mbr_par`] — deterministic parallel execution (`MBR_THREADS`).
 //!
 //! # Examples
 //!
@@ -55,6 +56,7 @@ pub use mbr_liberty as liberty;
 pub use mbr_lp as lp;
 pub use mbr_netlist as netlist;
 pub use mbr_obs as obs;
+pub use mbr_par as par;
 pub use mbr_place as place;
 pub use mbr_sta as sta;
 pub use mbr_workloads as workloads;

@@ -1,0 +1,147 @@
+//! Parallel == serial: the flow promises bit-identical results at every
+//! thread count ([`mbr::core::ComposerOptions::threads`], fed by
+//! `MBR_THREADS`). These tests run every workload preset at 1, 2, and 8
+//! worker threads and require identical outcomes (metrics, selected
+//! merges, diagnostics) and identical observability counter totals — the
+//! executor collects in input order and worker events are buffered and
+//! replayed deterministically, so nothing may depend on scheduling.
+
+use std::sync::Arc;
+
+use mbr::check::Paranoia;
+use mbr::core::{ComposeOutcome, Composer, ComposerOptions};
+use mbr::liberty::standard_library;
+use mbr::obs::{
+    validate_trace, with_clock, with_sink, CounterTotals, MockClock, Recorder, TraceEvent,
+};
+use mbr::sta::DelayModel;
+use mbr::workloads::{all_presets, DesignSpec};
+
+fn model_for(spec: &DesignSpec) -> DelayModel {
+    let base = DelayModel::default();
+    DelayModel {
+        clock_period: spec.clock_period,
+        wire_res_per_dbu: base.wire_res_per_dbu * spec.wire_scale,
+        wire_cap_per_dbu: base.wire_cap_per_dbu * spec.wire_scale,
+        ..base
+    }
+}
+
+fn options_for(name: &str, threads: usize) -> ComposerOptions {
+    // Tight enumeration/solver budgets and checks on one preset only keep
+    // the debug-mode matrix (5 presets x 3 thread counts) affordable.
+    // Determinism is a structural property of the executor — it must hold
+    // at any budget and paranoia level, so the trims lose no coverage;
+    // d1 keeps its checkpoints so diagnostic replay is exercised too.
+    ComposerOptions {
+        threads,
+        paranoia: if name == "d1" {
+            Paranoia::Cheap
+        } else {
+            Paranoia::Off
+        },
+        max_candidates_per_partition: 1_000,
+        subclique_visit_multiplier: 8,
+        ilp_node_limit: 10_000,
+        ..ComposerOptions::default()
+    }
+}
+
+/// Everything about a run that must not depend on the thread count:
+/// the outcome with its wall-clock timings zeroed (they legitimately
+/// vary), plus the totals of every counter the flow emitted.
+fn snapshot(outcome: ComposeOutcome, totals: &CounterTotals) -> (String, String) {
+    let scrubbed = ComposeOutcome {
+        timings: Default::default(),
+        ..outcome
+    };
+    (format!("{scrubbed:?}"), format!("{:?}", totals.totals()))
+}
+
+fn run_flow(spec: &DesignSpec, threads: usize) -> (String, String) {
+    let lib = standard_library();
+    let mut design = spec.generate(&lib);
+    let composer = Composer::new(options_for(&spec.name, threads), model_for(spec));
+    let totals = Arc::new(CounterTotals::default());
+    let outcome =
+        with_sink(totals.clone(), || composer.compose(&mut design, &lib)).expect("flow succeeds");
+    snapshot(outcome, &totals)
+}
+
+#[test]
+fn flow_is_identical_at_every_thread_count() {
+    for spec in all_presets() {
+        let serial = run_flow(&spec, 1);
+        for threads in [2, 8] {
+            let parallel = run_flow(&spec, threads);
+            assert_eq!(
+                serial.0, parallel.0,
+                "{}: outcome differs at {threads} threads",
+                spec.name
+            );
+            assert_eq!(
+                serial.1, parallel.1,
+                "{}: counter totals differ at {threads} threads",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn decomposition_flow_is_identical_at_every_thread_count() {
+    // The decomposition entry point adds the second parallel layer (the
+    // two speculative arms under `join`) on top of the per-partition ones.
+    let spec = mbr::workloads::d4();
+    let run = |threads: usize| {
+        let lib = standard_library();
+        let mut design = spec.generate(&lib);
+        let composer = Composer::new(options_for(&spec.name, threads), model_for(&spec));
+        let totals = Arc::new(CounterTotals::default());
+        let outcome = with_sink(totals.clone(), || {
+            composer.compose_with_decomposition(&mut design, &lib)
+        })
+        .expect("flow succeeds");
+        snapshot(outcome, &totals)
+    };
+    let serial = run(1);
+    for threads in [2, 8] {
+        assert_eq!(serial, run(threads), "differs at {threads} threads");
+    }
+}
+
+#[test]
+fn parallel_trace_has_the_serial_event_sequence() {
+    // Span ids and mock-clock readings may be assigned differently when
+    // workers interleave, but the *sequence* of events — which spans open,
+    // which counters fire, with which values, in which order — is part of
+    // the determinism contract, and the merged trace must still validate.
+    let spec = all_presets().into_iter().next().expect("d1 exists");
+    let events_at = |threads: usize| {
+        let lib = standard_library();
+        let mut design = spec.generate(&lib);
+        let composer = Composer::new(options_for(&spec.name, threads), model_for(&spec));
+        let rec = Arc::new(Recorder::default());
+        with_clock(Arc::new(MockClock::new(1)), || {
+            with_sink(rec.clone(), || {
+                composer.compose(&mut design, &lib).expect("flow succeeds");
+            })
+        });
+        rec.events()
+    };
+    let shape = |events: &[TraceEvent]| -> Vec<String> {
+        events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Span { name, .. } => format!("span {name}"),
+                TraceEvent::Counter { name, value, .. } => format!("counter {name}={value}"),
+                TraceEvent::Gauge { name, value, .. } => format!("gauge {name}={value}"),
+            })
+            .collect()
+    };
+    let serial = events_at(1);
+    let parallel = events_at(8);
+    validate_trace(&serial).expect("serial trace validates");
+    validate_trace(&parallel).expect("parallel trace validates");
+    assert_eq!(shape(&serial), shape(&parallel));
+}
