@@ -1,0 +1,10 @@
+//! Incremental-session target: one ECO + recompose through a persistent
+//! `CompositionSession` versus a from-scratch batch compose of the same
+//! mutated design, per preset, with counter guards on the reuse.
+//!
+//! Run with `cargo bench -p mbr-bench --bench incr`; results land in
+//! `BENCH_incr.json`.
+
+fn main() {
+    mbr_bench::suites::incr();
+}

@@ -2,8 +2,8 @@
 //!
 //! Usage: `cargo run --release -p mbr-bench --bin bench -- [suite ...]`
 //! where each suite is one of `table1`, `fig5`, `fig6`, `ablations`,
-//! `solvers`, `obs`, `par`; with no arguments every suite runs. Set
-//! `MBR_BENCH_QUICK=1` for a three-sample smoke run.
+//! `solvers`, `obs`, `par`, `incr`; with no arguments every suite runs.
+//! Set `MBR_BENCH_QUICK=1` for a three-sample smoke run.
 
 use mbr_bench::suites;
 
@@ -22,9 +22,10 @@ fn main() {
             "solvers" => suites::solvers(),
             "obs" => suites::obs(),
             "par" => suites::par(),
+            "incr" => suites::incr(),
             other => {
                 eprintln!(
-                    "unknown suite `{other}` (expected table1|fig5|fig6|ablations|solvers|obs|par)"
+                    "unknown suite `{other}` (expected table1|fig5|fig6|ablations|solvers|obs|par|incr)"
                 );
                 std::process::exit(2);
             }

@@ -19,27 +19,7 @@
 use mbr_bench::{library, run, save_pct, RunResult, Strategy};
 use mbr_core::{ComposerOptions, DesignMetrics};
 use mbr_obs::summary::{stage_table, Summary};
-use mbr_obs::{SpanHandle, TaskObs};
-use mbr_workloads::{all_presets, DesignSpec};
-
-/// Runs `f` once per preset on the parallel executor, returning results in
-/// preset order with each run's buffered observability already replayed on
-/// the calling thread. The figure sweeps are five independent flows, so
-/// they run concurrently; replay-in-order keeps `MBR_TRACE` output and
-/// `--report` summaries identical at every thread count.
-fn sweep_presets<R: Send>(presets: &[DesignSpec], f: impl Fn(&DesignSpec) -> R + Sync) -> Vec<R> {
-    let handle = SpanHandle::current();
-    let results = mbr_par::par_map(mbr_par::thread_count(), presets, |_, spec| {
-        TaskObs::capture(&handle, || f(spec))
-    });
-    results
-        .into_iter()
-        .map(|(r, task_obs)| {
-            task_obs.replay(&handle);
-            r
-        })
-        .collect()
-}
+use mbr_workloads::{all_presets, sweep_presets};
 
 fn main() {
     let mut report = false;

@@ -357,6 +357,117 @@ pub fn par() {
     suite.finish();
 }
 
+/// Incremental re-composition: a persistent [`CompositionSession`] taking
+/// one ECO per sample versus a from-scratch batch compose of the same
+/// mutated design — the cost a flow without sessions pays per ECO
+/// iteration. The two arms produce byte-identical results (the `check
+/// --eco-seed` differential proves it); this suite measures what the reuse
+/// buys. A counter guard asserts the incremental pass does strictly less
+/// STA seeding and candidate-enumeration work than the batch pass on every
+/// preset, so the wall-clock win is load-bearing, not noise.
+pub fn incr() {
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    use mbr_core::{apply_eco, CompositionSession};
+    use mbr_obs::{with_sink, CounterTotals};
+    use mbr_workloads::eco_script_for;
+
+    let lib = library();
+    let mut suite = Suite::new("incr");
+    for spec in mbr_workloads::all_presets() {
+        let design = generate(&spec, &lib);
+        let model = model_for(&spec);
+        let options = ComposerOptions::default();
+        // A long deterministic ECO stream; every sample of either arm folds
+        // in the next one, so both arms measure the same steady-state
+        // "one ECO, one recompose" iteration.
+        let script = eco_script_for(&spec, &design, &lib, 1024);
+
+        {
+            let mut work = design.clone();
+            let mut work_model = model;
+            let mut step = 0usize;
+            let opts = options.clone();
+            let (lib, script) = (&lib, &script);
+            suite.bench(&format!("full/{}", spec.name), move || {
+                let eco = &script.ecos[step % script.ecos.len()];
+                step += 1;
+                apply_eco(&mut work, &mut work_model, lib, eco).expect("eco applies");
+                let mut pass = work.clone();
+                Composer::new(opts.clone(), work_model)
+                    .compose(&mut pass, lib)
+                    .expect("flow")
+            });
+        }
+
+        {
+            let mut session =
+                CompositionSession::open(design.clone(), &lib, options.clone(), model)
+                    .expect("session opens");
+            let mut step = 0usize;
+            let script = &script;
+            suite.bench(&format!("incr/{}", spec.name), move || {
+                let eco = &script.ecos[step % script.ecos.len()];
+                step += 1;
+                session.apply(eco).expect("eco applies");
+                session.recompose().expect("flow");
+                session.outcome().registers_after
+            });
+        }
+
+        // Counter guard: same single ECO, instrumented once per arm.
+        let observed = |f: &mut dyn FnMut()| -> BTreeMap<String, u64> {
+            let totals = Arc::new(CounterTotals::default());
+            with_sink(totals.clone(), &mut *f);
+            totals.totals()
+        };
+        let full = {
+            let mut work = design.clone();
+            let mut work_model = model;
+            apply_eco(&mut work, &mut work_model, &lib, &script.ecos[0]).expect("eco applies");
+            let composer = Composer::new(options.clone(), work_model);
+            observed(&mut || {
+                let mut pass = work.clone();
+                composer.compose(&mut pass, &lib).expect("flow");
+            })
+        };
+        let incr = {
+            let mut session =
+                CompositionSession::open(design.clone(), &lib, options.clone(), model)
+                    .expect("session opens");
+            session.apply(&script.ecos[0]).expect("eco applies");
+            observed(&mut || {
+                session.recompose().expect("flow");
+            })
+        };
+        let get = |t: &BTreeMap<String, u64>, k: &str| t.get(k).copied().unwrap_or(0);
+        let seeds = |t: &BTreeMap<String, u64>| {
+            get(t, "sta.full.seed_pins") + get(t, "sta.incremental.seed_pins")
+        };
+        assert!(
+            seeds(&incr) < seeds(&full),
+            "{}: incremental STA seeded {} pins, batch {} — reuse regressed",
+            spec.name,
+            seeds(&incr),
+            seeds(&full),
+        );
+        for key in [
+            "core.candidates.subsets_visited",
+            "core.candidates.enumerated",
+        ] {
+            assert!(
+                get(&incr, key) < get(&full, key),
+                "{}: {key} incremental {} vs batch {} — partition memo regressed",
+                spec.name,
+                get(&incr, key),
+                get(&full, key),
+            );
+        }
+    }
+    suite.finish();
+}
+
 /// Runs every suite, in a deterministic order.
 pub fn run_all() {
     table1();
@@ -366,4 +477,5 @@ pub fn run_all() {
     solvers();
     obs();
     par();
+    incr();
 }

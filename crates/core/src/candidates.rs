@@ -7,14 +7,17 @@
 //! rounds up to one under the area rule — becomes a candidate, weighted by
 //! the Section 3.2 blocking heuristic.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
+use mbr_geom::Point;
 use mbr_graph::{partition_geometric, BitGraph};
 use mbr_liberty::{CellId, Library, ScanStyle};
 use mbr_netlist::{Design, InstId};
 use mbr_obs::{self as obs, Counter};
 
 use crate::compat::CompatGraph;
+use crate::stages::assign::Selection;
+use crate::stages::candidates::Enumeration;
 use crate::weight::{weigh, RegisterIndex};
 use crate::ComposerOptions;
 
@@ -289,6 +292,195 @@ fn validate_candidate(
         },
         locals,
     ))
+}
+
+/// One memoized partition: its candidate set and the raw assignment
+/// solution computed for it (selected candidate indices and
+/// branch-and-bound nodes).
+#[derive(Clone, Debug)]
+struct CachedPartition {
+    set: CandidateSet,
+    solve: (Vec<usize>, u64),
+}
+
+/// Cross-pass memo of candidate enumeration *and* assignment solving, keyed
+/// by exact partition content, owned by a [`crate::CompositionSession`].
+///
+/// The key ([`partition_key`]) encodes every input `enumerate_partition`
+/// and the per-partition ILP read: the members in partition order (identity,
+/// width, class, current cell, area, drive resistance, footprint, scan
+/// attributes), their pairwise compatibility edges, and the *blocking
+/// neighborhood* — position and identity of every live register whose
+/// center falls inside the bounding box of the members' footprint corners.
+/// The neighborhood bounds every candidate's §3.2 test polygon (convex
+/// hulls are monotone under subsets), so a register moving into, out of, or
+/// within any candidate's polygon always changes the key. Library and
+/// options are session constants. Equal key ⟹ bitwise-equal candidate set
+/// and solution, so a hit replays the memo verbatim.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct PartitionCache {
+    map: HashMap<Vec<u64>, CachedPartition>,
+}
+
+impl PartitionCache {
+    /// Stores the freshly enumerated partitions of a pass, together with
+    /// their just-computed assignment solutions. Failed solves are not
+    /// cached (the pass itself errors out anyway).
+    pub(crate) fn absorb(&mut self, enumeration: &Enumeration, selected: &Selection) {
+        for (set_idx, key) in &enumeration.fresh {
+            if let Some(Some(solve)) = selected.solves.get(*set_idx) {
+                self.map.insert(
+                    key.clone(),
+                    CachedPartition {
+                        set: enumeration.sets[*set_idx].clone(),
+                        solve: solve.clone(),
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// The content key of one partition (see [`PartitionCache`]).
+fn partition_key(
+    design: &Design,
+    index: &RegisterIndex,
+    compat: &CompatGraph,
+    part: &[usize],
+) -> Vec<u64> {
+    let mut key = Vec::with_capacity(part.len() * 13 + 8);
+    key.push(part.len() as u64);
+    // Bounding box of the members' footprint corners: the blocking
+    // neighborhood every candidate's test polygon is contained in.
+    let mut bb_lo = Point::new(i64::MAX, i64::MAX);
+    let mut bb_hi = Point::new(i64::MIN, i64::MIN);
+    for &n in part {
+        let reg = &compat.regs[n];
+        let inst = design.inst(reg.inst);
+        let rect = inst.rect();
+        key.push(reg.inst.index() as u64);
+        key.push(u64::from(reg.width));
+        key.push(reg.class.index() as u64);
+        key.push(inst.register_cell().expect("register").index() as u64);
+        key.push(reg.area.to_bits());
+        key.push(reg.drive_resistance.to_bits());
+        key.push(rect.lo().x as u64);
+        key.push(rect.lo().y as u64);
+        key.push(rect.hi().x as u64);
+        key.push(rect.hi().y as u64);
+        let scan = inst.register_attrs().expect("register").scan;
+        match scan {
+            None => key.extend([0, 0, 0]),
+            Some(s) => {
+                let (tag, section) = match s.section {
+                    None => (1, 0),
+                    Some((sec, pos)) => (2, (u64::from(sec) << 32) | u64::from(pos)),
+                };
+                key.extend([tag, u64::from(s.partition), section]);
+            }
+        }
+        bb_lo = Point::new(bb_lo.x.min(rect.lo().x), bb_lo.y.min(rect.lo().y));
+        bb_hi = Point::new(bb_hi.x.max(rect.hi().x), bb_hi.y.max(rect.hi().y));
+    }
+    // Pairwise compatibility inside the partition, as local adjacency rows
+    // (partitions never exceed 64 nodes — the enumeration's bitset bound).
+    for &na in part {
+        let mut row = 0u64;
+        for (b_local, &nb) in part.iter().enumerate() {
+            if compat.graph.has_edge(na, nb) {
+                row |= 1 << b_local;
+            }
+        }
+        key.push(row);
+    }
+    // The blocking neighborhood: identity and position of every live
+    // register centered inside the bbox (members included — cheaper than
+    // excluding them, and their data is in the key anyway).
+    for (id, c) in index.centers_in_sorted(bb_lo, bb_hi) {
+        key.push(id.index() as u64);
+        key.push(c.x as u64);
+        key.push(c.y as u64);
+    }
+    key
+}
+
+/// Session-backend enumeration: identical partitioning to
+/// [`enumerate_candidates`], but partitions whose content key hits the
+/// cache reuse their memoized candidate set and assignment solution; only
+/// misses enumerate (in parallel, in partition order).
+///
+/// Counter discipline: [`Counter::CandidatePartitions`] reports the full
+/// partition count (it describes the design, not the work), while
+/// [`Counter::CandidateSubsetsVisited`] and
+/// [`Counter::CandidatesEnumerated`] report *fresh work only* — they are
+/// the incremental path's headline savings, asserted strictly below the
+/// batch numbers by the `incr` bench suite.
+pub(crate) fn enumerate_incremental(
+    design: &Design,
+    lib: &Library,
+    compat: &CompatGraph,
+    options: &ComposerOptions,
+    cache: &mut PartitionCache,
+) -> Enumeration {
+    let index = RegisterIndex::build(design);
+    let positions = compat.clock_positions();
+    let partitions = partition_geometric(&compat.graph, &positions, options.partition_max_nodes);
+    let keys: Vec<Vec<u64>> = partitions
+        .iter()
+        .map(|part| partition_key(design, &index, compat, part))
+        .collect();
+
+    let mut sets: Vec<Option<CandidateSet>> = vec![None; partitions.len()];
+    let mut reused: Vec<Option<(Vec<usize>, u64)>> = vec![None; partitions.len()];
+    let mut fresh_work: Vec<(usize, &Vec<usize>)> = Vec::new();
+    for (i, key) in keys.iter().enumerate() {
+        match cache.map.get(key) {
+            Some(hit) => {
+                sets[i] = Some(hit.set.clone());
+                reused[i] = Some(hit.solve.clone());
+            }
+            None => fresh_work.push((i, &partitions[i])),
+        }
+    }
+
+    let ctx = EnumCtx {
+        design,
+        lib,
+        compat,
+        index: &index,
+        options,
+    };
+    let results: Vec<(usize, CandidateSet, u64)> =
+        mbr_par::par_map(options.threads, &fresh_work, |_, &(i, part)| {
+            let mut visited = 0u64;
+            let set = enumerate_partition(&ctx, part, &mut visited);
+            (i, set, visited)
+        });
+
+    let mut fresh: Vec<(usize, Vec<u64>)> = Vec::with_capacity(results.len());
+    let mut visited_total = 0u64;
+    let mut enumerated_fresh = 0u64;
+    for (i, set, visited) in results {
+        visited_total += visited;
+        enumerated_fresh += set.candidates.len() as u64;
+        fresh.push((i, keys[i].clone()));
+        sets[i] = Some(set);
+    }
+    let hits = (partitions.len() - fresh.len()) as u64;
+    obs::counter(Counter::CandidatePartitions, partitions.len() as u64);
+    obs::counter(Counter::CandidateSubsetsVisited, visited_total);
+    obs::counter(Counter::CandidatesEnumerated, enumerated_fresh);
+    obs::counter(Counter::SessionPartitionsReused, hits);
+    obs::counter(Counter::SessionPartitionsRecomputed, fresh.len() as u64);
+
+    Enumeration {
+        sets: sets
+            .into_iter()
+            .map(|s| s.expect("every partition is either cached or fresh"))
+            .collect(),
+        reused,
+        fresh,
+    }
 }
 
 fn mask_locals(mask: u64) -> Vec<usize> {

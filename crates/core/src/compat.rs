@@ -19,7 +19,7 @@
 //!   negative-D/positive-Q), slack magnitudes within a similarity bound,
 //!   and overlapping useful-skew windows.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use mbr_geom::{Point, Rect};
 use mbr_graph::UnGraph;
@@ -28,6 +28,7 @@ use mbr_netlist::{Design, InstId, InstKind};
 use mbr_obs::{self as obs, Counter};
 use mbr_sta::{SkewWindow, Sta};
 
+use crate::stages::Dirty;
 use crate::ComposerOptions;
 
 /// A composable register with the data compatibility checks need.
@@ -128,62 +129,194 @@ fn collect_composable(
     sta: &Sta,
     options: &ComposerOptions,
 ) -> Vec<ComposableRegister> {
-    let mut out = Vec::new();
-    for (inst_id, inst) in design.registers() {
-        let InstKind::Register { cell, attrs, .. } = &inst.kind else {
-            continue;
-        };
-        if attrs.is_untouchable() {
-            continue; // (a) specified as non-modifiable
-        }
-        let c = lib.cell(*cell);
-        let width = design.register_width(inst_id);
-        if u32::from(width) >= u32::from(lib.max_width(c.class)) {
-            continue; // (c) already the largest MBR of its class
-        }
-        if lib.widths(c.class).is_empty() {
-            continue; // (b) no equivalent MBR in the library
-        }
+    design
+        .registers()
+        .filter_map(|(inst_id, _)| composable_entry(design, lib, sta, options, inst_id))
+        .collect()
+}
 
-        let report = sta.report();
-        let d_slack = report.register_d_slack(design, inst_id);
-        let q_slack = report.register_q_slack(design, inst_id);
-        let skew_window = report.skew_window(design, inst_id);
-
-        // Feasible region: footprint inflated by the distance equivalent of
-        // the *worst* positive slack over the register's constrained pins;
-        // negative slack pins the region to the footprint.
-        let model = sta.model();
-        let worst = match (d_slack, q_slack) {
-            (Some(d), Some(q)) => d.min(q),
-            (Some(s), None) | (None, Some(s)) => s,
-            // Unconstrained both ways: free to move a long way.
-            (None, None) => model.clock_period / 2.0,
-        };
-        let margin = model
-            .slack_to_distance(worst)
-            .min(options.max_region_radius);
-        let region = inst
-            .rect()
-            .inflate(margin)
-            .expect("positive margins never invert")
-            .intersection(&design.die())
-            .unwrap_or_else(|| inst.rect());
-
-        let clock_pos = design.pin_position(design.register_clock_pin(inst_id));
-        out.push(ComposableRegister {
-            inst: inst_id,
-            class: c.class,
-            width,
-            d_slack,
-            q_slack,
-            skew_window,
-            region,
-            clock_pos,
-            area: c.area,
-            drive_resistance: c.drive_resistance,
-        });
+/// Builds one register's [`ComposableRegister`] entry, or `None` when the
+/// register is not composable. This is the single source of truth for both
+/// the batch build and the incremental cache refresh: a cached entry is by
+/// definition what this function returned on the pass that computed it.
+fn composable_entry(
+    design: &Design,
+    lib: &Library,
+    sta: &Sta,
+    options: &ComposerOptions,
+    inst_id: InstId,
+) -> Option<ComposableRegister> {
+    let inst = design.inst(inst_id);
+    let InstKind::Register { cell, attrs, .. } = &inst.kind else {
+        return None;
+    };
+    if attrs.is_untouchable() {
+        return None; // (a) specified as non-modifiable
     }
+    let c = lib.cell(*cell);
+    let width = design.register_width(inst_id);
+    if u32::from(width) >= u32::from(lib.max_width(c.class)) {
+        return None; // (c) already the largest MBR of its class
+    }
+    if lib.widths(c.class).is_empty() {
+        return None; // (b) no equivalent MBR in the library
+    }
+
+    let report = sta.report();
+    let d_slack = report.register_d_slack(design, inst_id);
+    let q_slack = report.register_q_slack(design, inst_id);
+    let skew_window = report.skew_window(design, inst_id);
+
+    // Feasible region: footprint inflated by the distance equivalent of
+    // the *worst* positive slack over the register's constrained pins;
+    // negative slack pins the region to the footprint.
+    let model = sta.model();
+    let worst = match (d_slack, q_slack) {
+        (Some(d), Some(q)) => d.min(q),
+        (Some(s), None) | (None, Some(s)) => s,
+        // Unconstrained both ways: free to move a long way.
+        (None, None) => model.clock_period / 2.0,
+    };
+    let margin = model
+        .slack_to_distance(worst)
+        .min(options.max_region_radius);
+    let region = inst
+        .rect()
+        .inflate(margin)
+        .expect("positive margins never invert")
+        .intersection(&design.die())
+        .unwrap_or_else(|| inst.rect());
+
+    let clock_pos = design.pin_position(design.register_clock_pin(inst_id));
+    Some(ComposableRegister {
+        inst: inst_id,
+        class: c.class,
+        width,
+        d_slack,
+        q_slack,
+        skew_window,
+        region,
+        clock_pos,
+        area: c.area,
+        drive_resistance: c.drive_resistance,
+    })
+}
+
+/// Cross-pass cache of the compatibility stage, owned by a
+/// [`crate::CompositionSession`].
+///
+/// Correctness is inductive: an entry is stored only as part of a full
+/// graph result, so a *clean* register (no ECO touched it and no pin
+/// timing moved since the pass that stored the entry) has a cached entry
+/// bitwise-equal to what [`composable_entry`] would recompute — every
+/// input that function reads (attributes, cell, width, location, die, own
+/// bit-pin slacks, options, delay model) is unchanged. The same holds for
+/// a cached edge between two clean registers.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct CompatCache {
+    /// Composable entries by instance, as of the last pass.
+    entries: HashMap<InstId, ComposableRegister>,
+    /// Compatibility edges as normalized `(lo, hi)` instance pairs.
+    edges: HashSet<(InstId, InstId)>,
+    /// Whether the cache holds a complete pass result. An unprimed cache
+    /// cannot distinguish "not composable" from "never computed", so
+    /// refreshes against it treat every register as dirty.
+    primed: bool,
+}
+
+impl CompatCache {
+    /// Replaces the cache contents with a freshly built graph.
+    fn store(&mut self, graph: &CompatGraph) {
+        self.entries = graph.regs.iter().map(|r| (r.inst, r.clone())).collect();
+        self.edges = HashSet::new();
+        for (i, r) in graph.regs.iter().enumerate() {
+            for j in graph.graph.neighbors(i) {
+                if j > i {
+                    let a = r.inst;
+                    let b = graph.regs[j].inst;
+                    self.edges.insert((a.min(b), a.max(b)));
+                }
+            }
+        }
+        self.primed = true;
+    }
+}
+
+/// Rebuilds the compatibility graph for a session pass, recomputing only
+/// dirty registers' entries and the edges incident to them; clean entries
+/// and clean-clean edges come from `cache`. The result is byte-identical
+/// to [`CompatGraph::build`] on the same design (see [`CompatCache`]), and
+/// `cache` is repopulated from it for the next pass.
+pub(crate) fn build_incremental(
+    design: &Design,
+    lib: &Library,
+    sta: &Sta,
+    options: &ComposerOptions,
+    cache: &mut CompatCache,
+    dirty: &Dirty,
+) -> CompatGraph {
+    let all_dirty = dirty.structural || !cache.primed;
+    let mut regs: Vec<ComposableRegister> = Vec::new();
+    // Per node: whether its entry was recomputed this pass (its incident
+    // edges must then be re-checked rather than read from the cache).
+    let mut recomputed: Vec<bool> = Vec::new();
+    let mut reused_entries = 0u64;
+    for (inst_id, _) in design.registers() {
+        if all_dirty || dirty.is_dirty(inst_id) {
+            if let Some(entry) = composable_entry(design, lib, sta, options, inst_id) {
+                regs.push(entry);
+                recomputed.push(true);
+            }
+        } else if let Some(entry) = cache.entries.get(&inst_id) {
+            regs.push(entry.clone());
+            recomputed.push(false);
+            reused_entries += 1;
+        }
+    }
+
+    // Same spatial hash as the batch build. Regions are exact rects, so a
+    // compatible pair always shares a bucket (their regions intersect);
+    // pairs that never share a bucket are guaranteed edgeless.
+    let n = regs.len();
+    let mut graph = UnGraph::new(n);
+    let cell_size: i64 = 40_000;
+    let mut buckets: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+    let bucket_of = |p: Point| (p.x.div_euclid(cell_size), p.y.div_euclid(cell_size));
+    for (i, reg) in regs.iter().enumerate() {
+        let lo = bucket_of(reg.region.lo());
+        let hi = bucket_of(reg.region.hi());
+        for bx in lo.0..=hi.0 {
+            for by in lo.1..=hi.1 {
+                buckets.entry((bx, by)).or_default().push(i);
+            }
+        }
+    }
+    let mut checked: HashMap<(usize, usize), ()> = HashMap::new();
+    for bucket in buckets.values() {
+        for (k, &i) in bucket.iter().enumerate() {
+            for &j in &bucket[k + 1..] {
+                let key = (i.min(j), i.max(j));
+                if checked.insert(key, ()).is_some() {
+                    continue;
+                }
+                let has_edge = if recomputed[i] || recomputed[j] {
+                    compatible(design, &regs[i], &regs[j], options)
+                } else {
+                    let a = regs[i].inst;
+                    let b = regs[j].inst;
+                    cache.edges.contains(&(a.min(b), a.max(b)))
+                };
+                if has_edge {
+                    graph.add_edge(i, j);
+                }
+            }
+        }
+    }
+    obs::counter(Counter::CompatRegisters, regs.len() as u64);
+    obs::counter(Counter::CompatEdges, graph.edge_count() as u64);
+    obs::counter(Counter::SessionCompatReused, reused_entries);
+    let out = CompatGraph { regs, graph };
+    cache.store(&out);
     out
 }
 

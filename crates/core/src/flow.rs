@@ -2,34 +2,31 @@
 //! candidates → assignment → mapping/placement → legalization → useful skew
 //! → sizing.
 //!
-//! After each stage the flow runs the matching [`mbr_check`] checkpoint
-//! (per [`ComposerOptions::paranoia`]); findings accumulate in
-//! [`ComposeOutcome::diagnostics`] rather than aborting the run, so a
-//! corrupted invariant surfaces loudly in tests and in `cargo run --bin
-//! check` without turning a diagnosis into a panic.
+//! The stage bodies live in [`crate::stages`]; this module owns the public
+//! surface: the [`Composer`] entry points, the [`ComposeOutcome`]
+//! statistics, and the error type. After each stage the flow runs the
+//! matching [`mbr_check`] checkpoint (per [`ComposerOptions::paranoia`]);
+//! findings accumulate in [`ComposeOutcome::diagnostics`] rather than
+//! aborting the run, so a corrupted invariant surfaces loudly in tests and
+//! in `cargo run --bin check` without turning a diagnosis into a panic.
+//!
+//! For repeated composition of one evolving design — apply an ECO, re-run
+//! only what it dirtied — see [`crate::CompositionSession`].
 
-use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
 use std::time::Duration;
 
-use mbr_check::{
-    check_mapping, check_netlist, check_partition, check_placement, check_scan, check_sta,
-    Diagnostic, MergeGroup, Paranoia, PartitionCover, STA_EPSILON,
-};
-use mbr_cts::{assign_useful_skew, SkewReport};
-use mbr_geom::Rect;
+use mbr_check::Diagnostic;
+use mbr_cts::SkewReport;
 use mbr_liberty::Library;
-use mbr_lp::{SetPartition, SetPartitionError};
+use mbr_lp::SetPartitionError;
 use mbr_netlist::{Design, InstId, InstKind};
-use mbr_obs::{self as obs, Counter, FlowStage, Span, SpanHandle, StageTimings, TaskObs};
-use mbr_place::{legalize, LegalizeError, LegalizeReport, PlacementGrid};
-use mbr_sta::{DelayModel, Sta, StaError};
+use mbr_obs::{FlowStage, Span, SpanHandle, StageTimings, TaskObs};
+use mbr_place::{legalize, LegalizeError, LegalizeReport};
+use mbr_sta::{DelayModel, StaError};
 
-use crate::candidates::{enumerate_candidates, CandidateMbr, CandidateSet};
-use crate::compat::CompatGraph;
-use crate::placement::{common_region, optimal_corner_lp, pin_boxes};
-use crate::sizing::downsize_mbrs;
+use crate::stages::{self, legalize::infer_grid, Backend, Strategy};
 use crate::ComposerOptions;
 
 /// Why composition failed outright (individual candidate failures are
@@ -139,8 +136,8 @@ pub struct ComposeOutcome {
     pub decomposition_kept: Option<bool>,
     /// Findings of the in-flow invariant checkpoints, each tagged with the
     /// stage whose checkpoint raised it (empty when
-    /// [`ComposerOptions::paranoia`] is [`Paranoia::Off`] — and, on a
-    /// healthy flow, at every other level too).
+    /// [`ComposerOptions::paranoia`] is [`mbr_check::Paranoia::Off`] — and,
+    /// on a healthy flow, at every other level too).
     pub diagnostics: Vec<StageDiagnostic>,
     /// Wall-clock breakdown of the run, per flow stage.
     pub timings: StageTimings,
@@ -152,15 +149,6 @@ impl ComposeOutcome {
     pub fn elapsed(&self) -> Duration {
         self.timings.total()
     }
-}
-
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Strategy {
-    /// The paper's weighted set-partitioning ILP (Section 3.1).
-    Ilp,
-    /// The Fig. 6 comparison heuristic: greedy selection, no incomplete
-    /// MBRs.
-    Greedy,
 }
 
 /// The composition engine. Construct once, run on any number of designs.
@@ -197,7 +185,14 @@ impl Composer {
         design: &mut Design,
         lib: &Library,
     ) -> Result<ComposeOutcome, ComposeError> {
-        self.run(design, lib, Strategy::Ilp)
+        stages::run_flow(
+            design,
+            lib,
+            &self.options,
+            self.model,
+            Strategy::Ilp,
+            Backend::Batch,
+        )
     }
 
     /// Runs the greedy baseline the paper compares against in Fig. 6 (after
@@ -214,7 +209,14 @@ impl Composer {
         design: &mut Design,
         lib: &Library,
     ) -> Result<ComposeOutcome, ComposeError> {
-        self.run(design, lib, Strategy::Greedy)
+        stages::run_flow(
+            design,
+            lib,
+            &self.options,
+            self.model,
+            Strategy::Greedy,
+            Backend::Batch,
+        )
     }
 
     /// The paper's future-work extension: decompose every modifiable
@@ -263,7 +265,14 @@ impl Composer {
                 TaskObs::capture(&handle, || -> ArmResult {
                     let _arm = handle.attach("flow.compose.decomposition.plain");
                     let mut plain = base.clone();
-                    let outcome = self.run(&mut plain, lib, Strategy::Ilp)?;
+                    let outcome = stages::run_flow(
+                        &mut plain,
+                        lib,
+                        &self.options,
+                        self.model,
+                        Strategy::Ilp,
+                        Backend::Batch,
+                    )?;
                     Ok((plain, outcome))
                 })
             },
@@ -308,7 +317,14 @@ impl Composer {
                         let grid = infer_grid(&dec, lib);
                         legalize(&mut dec, &grid, &split_bits)?;
                     }
-                    let outcome = speculative.run(&mut dec, lib, Strategy::Ilp)?;
+                    let outcome = stages::run_flow(
+                        &mut dec,
+                        lib,
+                        speculative.options(),
+                        speculative.model,
+                        Strategy::Ilp,
+                        Backend::Batch,
+                    )?;
                     Ok((dec, outcome))
                 })
             },
@@ -346,375 +362,12 @@ impl Composer {
         outcome.timings.merge(&loser_timings);
         Ok(outcome)
     }
-
-    fn run(
-        &self,
-        design: &mut Design,
-        lib: &Library,
-        strategy: Strategy,
-    ) -> Result<ComposeOutcome, ComposeError> {
-        let run_start = obs::now_ns();
-        let _flow_span = Span::enter("flow.compose");
-        let mut timings = StageTimings::default();
-        let mut outcome = ComposeOutcome {
-            registers_before: design.live_register_count(),
-            ..ComposeOutcome::default()
-        };
-
-        let paranoia = self.options.paranoia;
-
-        // 1. Timing analysis on the incoming placement.
-        let t0 = obs::now_ns();
-        let span = Span::enter(FlowStage::Timing.span_name());
-        let sta = Sta::new(design, lib, self.model)?;
-        drop(span);
-        timings.add(FlowStage::Timing, obs::now_ns() - t0);
-        if paranoia >= Paranoia::Cheap {
-            checkpoint(&mut outcome, &mut timings, FlowStage::Timing, || {
-                check_netlist(design)
-            });
-        }
-
-        // 2. Compatibility graph (Section 2).
-        let t0 = obs::now_ns();
-        let span = Span::enter(FlowStage::Compat.span_name());
-        let compat = CompatGraph::build(design, lib, &sta, &self.options);
-        outcome.composable = compat.regs.len();
-        let regions: HashMap<InstId, Rect> =
-            compat.regs.iter().map(|r| (r.inst, r.region)).collect();
-        drop(span);
-        timings.add(FlowStage::Compat, obs::now_ns() - t0);
-
-        // 3./4. Candidate enumeration with weights (Section 3).
-        let t0 = obs::now_ns();
-        let span = Span::enter(FlowStage::Candidates.span_name());
-        let sets = enumerate_candidates(design, lib, &compat, &self.options);
-        drop(span);
-        timings.add(FlowStage::Candidates, obs::now_ns() - t0);
-        outcome.partitions = sets.len();
-        outcome.candidates_enumerated = sets.iter().map(|s| s.candidates.len()).sum();
-
-        // 5. Assignment per partition (Section 3.1). Each partition is an
-        // independent set-partitioning instance, so they solve in parallel;
-        // workers buffer their solver counters/spans and the main thread
-        // replays them in partition order, keeping traces and counter
-        // totals identical to the serial flow.
-        let t0 = obs::now_ns();
-        let span = Span::enter(FlowStage::Assignment.span_name());
-        let handle = SpanHandle::current();
-        let design_ref: &Design = design;
-        let node_limit = self.options.ilp_node_limit;
-        type SolveResult = Result<(Vec<CandidateMbr>, u64), SetPartitionError>;
-        let results = mbr_par::par_map(self.options.threads, &sets, |_, set| {
-            TaskObs::capture(&handle, || -> SolveResult {
-                match strategy {
-                    Strategy::Ilp => {
-                        let _solve = handle.attach("flow.compose.assignment.solve");
-                        let mut sp = SetPartition::new(set.elements.len());
-                        for idx in &set.member_idx {
-                            // weights are finite by construction
-                            let w = set.candidates[sp.num_candidates()].weight;
-                            sp.add_candidate(idx, w);
-                        }
-                        let sol = sp.solve_bounded(node_limit)?;
-                        let picked = sol
-                            .selected
-                            .iter()
-                            .filter(|&&ci| !set.candidates[ci].is_singleton())
-                            .map(|&ci| set.candidates[ci].clone())
-                            .collect();
-                        Ok((picked, sol.nodes_explored))
-                    }
-                    Strategy::Greedy => Ok((greedy_select(design_ref, lib, set), 0)),
-                }
-            })
-        });
-        let mut selected: Vec<CandidateMbr> = Vec::new();
-        let mut first_err: Option<SetPartitionError> = None;
-        for (res, task_obs) in results {
-            task_obs.replay(&handle);
-            match res {
-                Ok((picked, nodes)) => {
-                    outcome.ilp_nodes += nodes;
-                    selected.extend(picked);
-                }
-                Err(e) => {
-                    if first_err.is_none() {
-                        first_err = Some(e);
-                    }
-                }
-            }
-        }
-        drop(span);
-        timings.add(FlowStage::Assignment, obs::now_ns() - t0);
-        if let Some(e) = first_err {
-            return Err(e.into());
-        }
-
-        // Checkpoint: the solution must be an exact cover of the composable
-        // registers (merges as selected, the rest as singletons) and every
-        // group must satisfy the §2/§3 compatibility rules post-solve.
-        if paranoia >= Paranoia::Cheap {
-            checkpoint(&mut outcome, &mut timings, FlowStage::Assignment, || {
-                let mut groups: Vec<MergeGroup> = selected
-                    .iter()
-                    .map(|c| MergeGroup {
-                        members: c.members.clone(),
-                        cell: c.cell,
-                    })
-                    .collect();
-                let in_merge: HashSet<InstId> = groups
-                    .iter()
-                    .flat_map(|g| g.members.iter().copied())
-                    .collect();
-                for r in &compat.regs {
-                    if !in_merge.contains(&r.inst) {
-                        groups.push(MergeGroup {
-                            members: vec![r.inst],
-                            cell: design.inst(r.inst).register_cell().expect("register"),
-                        });
-                    }
-                }
-                let cover = PartitionCover {
-                    elements: compat.regs.iter().map(|r| r.inst).collect(),
-                    groups,
-                };
-                check_partition(design, lib, &cover)
-            });
-        }
-
-        // 6. Mapping is pre-resolved per candidate; place (Section 4.2),
-        // merge, then legalize.
-        let t0 = obs::now_ns();
-        let span = Span::enter(FlowStage::Mapping.span_name());
-        let mut new_mbrs = Vec::new();
-        for cand in &selected {
-            let cell = lib.cell(cand.cell);
-            let member_regions: Vec<Rect> = cand
-                .members
-                .iter()
-                .map(|m| {
-                    regions
-                        .get(m)
-                        .copied()
-                        .unwrap_or_else(|| design.inst(*m).rect())
-                })
-                .collect();
-            let region = common_region(&member_regions, cell, design.die());
-            let boxes = pin_boxes(design, &cand.members, cell);
-            let corner = optimal_corner_lp(&boxes, region);
-            match design.merge_registers(&cand.members, lib, cand.cell, corner) {
-                Ok(mbr) => {
-                    new_mbrs.push(mbr);
-                    outcome.merges += 1;
-                    outcome.merged_registers += cand.members.len();
-                    if cand.incomplete {
-                        outcome.incomplete_mbrs += 1;
-                    }
-                }
-                Err(_) => {
-                    outcome.skipped_merges += 1;
-                }
-            }
-        }
-        drop(span);
-        timings.add(FlowStage::Mapping, obs::now_ns() - t0);
-
-        let t0 = obs::now_ns();
-        let span = Span::enter(FlowStage::Legalization.span_name());
-        let grid = infer_grid(design, lib);
-        outcome.legalize = legalize(design, &grid, &new_mbrs)?;
-        drop(span);
-        timings.add(FlowStage::Legalization, obs::now_ns() - t0);
-
-        // Checkpoint: merges must leave every register mapped to a real
-        // library cell, and the legalized MBRs on-grid and overlap-free.
-        if paranoia >= Paranoia::Cheap {
-            checkpoint(&mut outcome, &mut timings, FlowStage::Mapping, || {
-                check_mapping(design, lib)
-            });
-        }
-        if paranoia >= Paranoia::Full {
-            checkpoint(&mut outcome, &mut timings, FlowStage::Legalization, || {
-                check_placement(design, &grid, &new_mbrs)
-            });
-        }
-
-        // 7. Post-composition timing, useful skew, and sizing (Fig. 4).
-        let t0 = obs::now_ns();
-        let span = Span::enter(FlowStage::Timing.span_name());
-        let mut sta = Sta::new(design, lib, self.model)?;
-        drop(span);
-        timings.add(FlowStage::Timing, obs::now_ns() - t0);
-        if self.options.apply_useful_skew && !new_mbrs.is_empty() {
-            let t0 = obs::now_ns();
-            let span = Span::enter(FlowStage::Skew.span_name());
-            outcome.skew = Some(assign_useful_skew(
-                design,
-                lib,
-                &mut sta,
-                &new_mbrs,
-                &self.options.skew,
-            ));
-            drop(span);
-            timings.add(FlowStage::Skew, obs::now_ns() - t0);
-        }
-        if self.options.apply_sizing {
-            let t0 = obs::now_ns();
-            let span = Span::enter(FlowStage::Sizing.span_name());
-            outcome.resized =
-                downsize_mbrs(design, lib, &mut sta, &new_mbrs, self.options.sizing_margin);
-            drop(span);
-            timings.add(FlowStage::Sizing, obs::now_ns() - t0);
-        }
-
-        // Checkpoint: skew and sizing maintain `sta` incrementally; it must
-        // still agree with a from-scratch analysis. (Before stitching, which
-        // edits structure and would legitimately invalidate `sta`.)
-        if paranoia >= Paranoia::Full {
-            checkpoint(&mut outcome, &mut timings, FlowStage::Sizing, || {
-                check_sta(design, lib, &sta, STA_EPSILON)
-            });
-        }
-
-        if self.options.stitch_scan_chains {
-            let t0 = obs::now_ns();
-            let span = Span::enter(FlowStage::Stitch.span_name());
-            outcome.scan_stitch = Some(design.stitch_scan_chains(lib));
-            drop(span);
-            timings.add(FlowStage::Stitch, obs::now_ns() - t0);
-            if paranoia >= Paranoia::Full {
-                checkpoint(&mut outcome, &mut timings, FlowStage::Stitch, || {
-                    check_scan(design, lib)
-                });
-            }
-            // Stitching added ports and nets; re-audit the structure.
-            if paranoia >= Paranoia::Cheap {
-                checkpoint(&mut outcome, &mut timings, FlowStage::Stitch, || {
-                    check_netlist(design)
-                });
-            }
-        }
-
-        outcome.new_mbrs = new_mbrs;
-        outcome.registers_after = design.live_register_count();
-        timings.total_ns = obs::now_ns() - run_start;
-        outcome.timings = timings;
-        Ok(outcome)
-    }
-}
-
-/// Runs one in-flow invariant checkpoint: times it into the
-/// [`StageTimings::checks_ns`] bucket (checkpoints sit *between* stages, so
-/// their cost is kept out of the stage buckets they'd otherwise smear), tags
-/// every finding with the stage it guards, and counts findings toward
-/// [`Counter::CheckDiagnostics`].
-fn checkpoint(
-    outcome: &mut ComposeOutcome,
-    timings: &mut StageTimings,
-    stage: FlowStage,
-    check: impl FnOnce() -> Vec<Diagnostic>,
-) {
-    let t0 = obs::now_ns();
-    let span = Span::enter("flow.compose.checks");
-    let diags = check();
-    drop(span);
-    timings.checks_ns += obs::now_ns() - t0;
-    obs::counter(Counter::CheckDiagnostics, diags.len() as u64);
-    outcome
-        .diagnostics
-        .extend(diags.into_iter().map(|diagnostic| StageDiagnostic {
-            checkpoint: stage,
-            diagnostic,
-        }));
-}
-
-/// The Fig. 6 baseline: the composition pipeline *without* the ILP.
-///
-/// [8]/[12]-style flows identify maximal cliques and map them to MBRs
-/// greedily; here the baseline consumes the same enumerated candidates (so
-/// compatibility, mapping and the congestion-aware profitability rules are
-/// identical) but selects them greedily by ascending weight instead of
-/// solving the set-partitioning ILP, and — like those heuristics — it never
-/// uses incomplete MBRs. Greedy selection strands registers wherever
-/// locally-best candidates overlap; the exact ILP packs them, which is
-/// precisely the advantage Fig. 6 measures.
-fn greedy_select(design: &Design, lib: &Library, set: &CandidateSet) -> Vec<CandidateMbr> {
-    let _ = (design, lib);
-    let mut order: Vec<usize> = (0..set.candidates.len())
-        .filter(|&i| {
-            let c = &set.candidates[i];
-            // Only profitable complete merges: cheaper than keeping the
-            // members as singletons (the same economics the ILP faces).
-            !c.is_singleton() && !c.incomplete && c.weight < c.members.len() as f64
-        })
-        .collect();
-    order.sort_by(|&a, &b| {
-        let ca = &set.candidates[a];
-        let cb = &set.candidates[b];
-        ca.weight
-            .partial_cmp(&cb.weight)
-            .expect("finite weights")
-            .then(cb.bits.cmp(&ca.bits))
-    });
-    let mut used = vec![false; set.elements.len()];
-    let mut out = Vec::new();
-    for i in order {
-        let idx = &set.member_idx[i];
-        if idx.iter().any(|&e| used[e]) {
-            continue;
-        }
-        for &e in idx {
-            used[e] = true;
-        }
-        out.push(set.candidates[i].clone());
-    }
-    out
-}
-
-/// Derives the legalization grid from the design die and the register
-/// library (row height = shortest cell, site width = GCD of cell widths).
-/// This is the grid the flow legalizes — and audits — against.
-pub fn infer_grid(design: &Design, lib: &Library) -> PlacementGrid {
-    let mut row_height = i64::MAX;
-    let mut site = 0i64;
-    for (_, cell) in lib.cells() {
-        row_height = row_height.min(cell.footprint_h);
-        site = gcd(site, cell.footprint_w);
-    }
-    if row_height == i64::MAX {
-        row_height = 600;
-    }
-    if site == 0 {
-        site = 100;
-    }
-    PlacementGrid::new(design.die(), row_height, site)
-}
-
-fn gcd(a: i64, b: i64) -> i64 {
-    if b == 0 {
-        a.abs()
-    } else {
-        gcd(b, a % b)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn gcd_works() {
-        assert_eq!(gcd(0, 100), 100);
-        assert_eq!(gcd(1200, 900), 300);
-        assert_eq!(gcd(700, 100), 100);
-    }
 }
 
 #[cfg(test)]
 mod stitch_tests {
     use super::*;
-    use mbr_geom::Point;
+    use mbr_geom::{Point, Rect};
     use mbr_liberty::standard_library;
     use mbr_netlist::{RegisterAttrs, ScanInfo};
 

@@ -28,6 +28,13 @@
 //! paper's stated future-work extension (decompose pre-existing MBRs and
 //! recompose) in [`Composer::compose_with_decomposition`].
 //!
+//! For *incremental* use — the paper's motivating scenario of repeated
+//! ECO-driven re-composition — open a [`CompositionSession`]: it keeps the
+//! timing graph, compatibility cache, partition memo and legalization grid
+//! alive between passes, applies [`Eco`]s with dirty-region tracking, and
+//! guarantees each [`CompositionSession::recompose`] is byte-identical to a
+//! fresh batch [`Composer::compose`] on the mutated design.
+//!
 //! # Examples
 //!
 //! ```no_run
@@ -54,11 +61,17 @@ pub mod stats;
 pub mod weight;
 
 mod flow;
+mod session;
+mod stages;
 
 pub use candidates::{CandidateMbr, CandidateSet};
 pub use compat::{CompatGraph, ComposableRegister};
-pub use flow::{infer_grid, ComposeError, ComposeOutcome, Composer, StageDiagnostic};
+pub use flow::{ComposeError, ComposeOutcome, Composer, StageDiagnostic};
 pub use metrics::{BitWidthHistogram, DesignMetrics};
+pub use session::{
+    apply_eco, CompositionSession, Eco, EcoEffect, EcoError, EcoParseError, EcoScript,
+};
+pub use stages::legalize::infer_grid;
 pub use stats::CandidateStats;
 
 // The flow runs [`mbr_check`] checkpoints after each stage; re-export the

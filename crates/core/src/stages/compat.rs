@@ -1,0 +1,28 @@
+//! Stage 2: the compatibility graph (Section 2).
+//!
+//! Batch passes build it whole; session passes hand their
+//! [`CompatCache`] to [`crate::compat::build_incremental`], which recomputes
+//! only dirty registers' entries and the edges incident to them.
+
+use mbr_liberty::Library;
+use mbr_netlist::Design;
+use mbr_sta::Sta;
+
+use super::Dirty;
+use crate::compat::{build_incremental, CompatCache, CompatGraph};
+use crate::ComposerOptions;
+
+/// Builds (or incrementally refreshes) the compatibility graph.
+pub(crate) fn run(
+    design: &Design,
+    lib: &Library,
+    sta: &Sta,
+    options: &ComposerOptions,
+    cache: Option<&mut CompatCache>,
+    dirty: Option<&Dirty>,
+) -> CompatGraph {
+    match (cache, dirty) {
+        (Some(cache), Some(dirty)) => build_incremental(design, lib, sta, options, cache, dirty),
+        _ => CompatGraph::build(design, lib, sta, options),
+    }
+}

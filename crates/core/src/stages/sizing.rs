@@ -1,0 +1,19 @@
+//! Stage 7b: MBR drive downsizing where slack allows (paper Fig. 4).
+
+use mbr_liberty::Library;
+use mbr_netlist::{Design, InstId};
+use mbr_sta::Sta;
+
+use crate::sizing::downsize_mbrs;
+use crate::ComposerOptions;
+
+/// Downsizes the new MBRs' drive strength; returns how many were resized.
+pub(crate) fn run(
+    design: &mut Design,
+    lib: &Library,
+    sta: &mut Sta,
+    new_mbrs: &[InstId],
+    options: &ComposerOptions,
+) -> usize {
+    downsize_mbrs(design, lib, sta, new_mbrs, options.sizing_margin)
+}

@@ -1,0 +1,19 @@
+//! Stage 7a: useful-skew assignment for the composed MBRs (paper Fig. 4).
+
+use mbr_cts::{assign_useful_skew, SkewReport};
+use mbr_liberty::Library;
+use mbr_netlist::{Design, InstId};
+use mbr_sta::Sta;
+
+use crate::ComposerOptions;
+
+/// Assigns per-MBR clock offsets within the members' shared skew windows.
+pub(crate) fn run(
+    design: &mut Design,
+    lib: &Library,
+    sta: &mut Sta,
+    new_mbrs: &[InstId],
+    options: &ComposerOptions,
+) -> SkewReport {
+    assign_useful_skew(design, lib, sta, new_mbrs, &options.skew)
+}

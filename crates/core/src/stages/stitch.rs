@@ -1,0 +1,35 @@
+//! Stage 8 (optional): scan-chain re-stitching after composition.
+
+use mbr_check::{check_netlist, check_scan, Paranoia};
+use mbr_liberty::Library;
+use mbr_netlist::Design;
+use mbr_obs::{self as obs, FlowStage, Span, StageTimings};
+
+use super::checkpoint;
+use crate::flow::ComposeOutcome;
+
+/// Stitches the scan chains and re-audits the structure (stitching adds
+/// ports and nets).
+pub(crate) fn run(
+    design: &mut Design,
+    lib: &Library,
+    outcome: &mut ComposeOutcome,
+    timings: &mut StageTimings,
+    paranoia: Paranoia,
+) {
+    let t0 = obs::now_ns();
+    let span = Span::enter(FlowStage::Stitch.span_name());
+    outcome.scan_stitch = Some(design.stitch_scan_chains(lib));
+    drop(span);
+    timings.add(FlowStage::Stitch, obs::now_ns() - t0);
+    if paranoia >= Paranoia::Full {
+        checkpoint(outcome, timings, FlowStage::Stitch, || {
+            check_scan(design, lib)
+        });
+    }
+    if paranoia >= Paranoia::Cheap {
+        checkpoint(outcome, timings, FlowStage::Stitch, || {
+            check_netlist(design)
+        });
+    }
+}

@@ -62,6 +62,15 @@ impl RegisterIndex {
             .copied()
             .filter(move |&(_, c)| lo.x <= c.x && c.x <= hi.x && lo.y <= c.y && c.y <= hi.y)
     }
+
+    /// Register centers within `[lo, hi]`, sorted by instance id — a
+    /// deterministic snapshot of a box's register population, used to key
+    /// partition memo entries on their blocking neighborhood.
+    pub(crate) fn centers_in_sorted(&self, lo: Point, hi: Point) -> Vec<(InstId, Point)> {
+        let mut v: Vec<(InstId, Point)> = self.centers_in(lo, hi).collect();
+        v.sort_unstable_by_key(|&(id, _)| id);
+        v
+    }
 }
 
 /// Counts the blocking registers of a candidate: live registers whose center

@@ -340,6 +340,29 @@ impl Design {
         Ok(mbr)
     }
 
+    /// Removes a live register from the design: disconnects every pin
+    /// (dead nets are reaped by [`Design::disconnect`]) and marks the
+    /// instance dead. This is the structural "remove" edit of an ECO —
+    /// downstream logic that was driven by the register simply loses that
+    /// timing start point.
+    ///
+    /// # Errors
+    ///
+    /// [`EditError::NotALiveRegister`] if `inst` is not a live register;
+    /// [`EditError::Untouchable`] if it is `fixed` or `size_only`.
+    pub fn remove_register(&mut self, inst: InstId) -> Result<(), EditError> {
+        let instance = self.inst(inst);
+        if !instance.is_register() {
+            return Err(EditError::NotALiveRegister(instance.name.clone()));
+        }
+        let attrs = instance.register_attrs().expect("register");
+        if attrs.fixed || attrs.size_only {
+            return Err(EditError::Untouchable(instance.name.clone()));
+        }
+        self.kill_instance(inst);
+        Ok(())
+    }
+
     /// Swaps a register's library cell for another cell of the same class
     /// and width — the "MBR sizing" move of the paper's Fig. 4 flow (after
     /// useful skew widens the slack, drive strengths can be reduced to cut

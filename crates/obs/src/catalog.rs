@@ -32,6 +32,8 @@ pub enum Counter {
     StaNetsTouched,
     /// Seed pins an incremental timing update re-propagated from.
     StaSeedPins,
+    /// Seed pins a full from-scratch analysis propagated from (every pin).
+    StaFullSeedPins,
     /// Row gaps the legalizer probed while searching for free sites.
     LegalizeGapProbes,
     /// Instances the legalizer actually displaced.
@@ -51,11 +53,21 @@ pub enum Counter {
     SkewAdjusted,
     /// Diagnostics emitted by one in-flow invariant checkpoint.
     CheckDiagnostics,
+    /// Partitions whose candidates and ILP solution an incremental
+    /// recompose reused from the session cache.
+    SessionPartitionsReused,
+    /// Partitions an incremental recompose enumerated and solved afresh.
+    SessionPartitionsRecomputed,
+    /// ECOs applied to a composition session.
+    SessionEcosApplied,
+    /// Composable-register entries an incremental recompose reused from the
+    /// session's compatibility cache (clean registers it did not recompute).
+    SessionCompatReused,
 }
 
 impl Counter {
     /// Every counter, in catalog order (documentation and validation).
-    pub const ALL: [Counter; 18] = [
+    pub const ALL: [Counter; 23] = [
         Counter::SimplexPivots,
         Counter::SetPartSolves,
         Counter::SetPartNodesExplored,
@@ -65,6 +77,7 @@ impl Counter {
         Counter::StaIncrementalUpdates,
         Counter::StaNetsTouched,
         Counter::StaSeedPins,
+        Counter::StaFullSeedPins,
         Counter::LegalizeGapProbes,
         Counter::LegalizeCellsMoved,
         Counter::CompatRegisters,
@@ -74,6 +87,10 @@ impl Counter {
         Counter::CandidatesEnumerated,
         Counter::SkewAdjusted,
         Counter::CheckDiagnostics,
+        Counter::SessionPartitionsReused,
+        Counter::SessionPartitionsRecomputed,
+        Counter::SessionEcosApplied,
+        Counter::SessionCompatReused,
     ];
 
     /// The stable dotted name used in traces and bench JSON.
@@ -88,6 +105,7 @@ impl Counter {
             Counter::StaIncrementalUpdates => "sta.incremental_updates",
             Counter::StaNetsTouched => "sta.incremental.nets_touched",
             Counter::StaSeedPins => "sta.incremental.seed_pins",
+            Counter::StaFullSeedPins => "sta.full.seed_pins",
             Counter::LegalizeGapProbes => "place.legalize.gap_probes",
             Counter::LegalizeCellsMoved => "place.legalize.cells_moved",
             Counter::CompatRegisters => "core.compat.registers",
@@ -97,6 +115,10 @@ impl Counter {
             Counter::CandidatesEnumerated => "core.candidates.enumerated",
             Counter::SkewAdjusted => "cts.skew.adjusted",
             Counter::CheckDiagnostics => "check.diagnostics",
+            Counter::SessionPartitionsReused => "core.session.partitions_reused",
+            Counter::SessionPartitionsRecomputed => "core.session.partitions_recomputed",
+            Counter::SessionEcosApplied => "core.session.ecos_applied",
+            Counter::SessionCompatReused => "core.session.compat_reused",
         }
     }
 

@@ -46,6 +46,7 @@
 
 mod catalog;
 mod clock;
+mod pass;
 mod sink;
 mod span;
 mod stage;
@@ -56,6 +57,7 @@ pub mod trace;
 
 pub use catalog::{Counter, Gauge};
 pub use clock::{now_ns, with_clock, Clock, MockClock, MonotonicClock};
+pub use pass::{current_pass, with_pass};
 pub use sink::{
     counter, flush_installed, gauge, install, installed, with_sink, CounterTotals, NoopSink,
     ObsSink, Recorder, Tee,

@@ -1,0 +1,63 @@
+//! The `pass` tag: which composition pass emitted an event.
+//!
+//! A [`crate::CompositionSession`-style] driver runs the flow repeatedly —
+//! pass 0 is the initial batch composition, pass *n* ≥ 1 the *n*-th ECO
+//! recompose. Traces from such a run interleave events from every pass, so
+//! each event carries an optional `pass` tag stamped from a thread-local
+//! scope: code wraps one flow invocation in [`with_pass`] and every span,
+//! counter, and gauge emitted inside (including events replayed from
+//! worker tasks, see [`crate::TaskObs`]) is tagged with that pass number.
+//! Outside any [`with_pass`] scope the tag is `None` and the serialized
+//! trace is byte-identical to the pre-session format.
+
+use std::cell::Cell;
+
+thread_local! {
+    static CURRENT_PASS: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// The pass tag in effect on this thread, if any.
+pub fn current_pass() -> Option<u64> {
+    CURRENT_PASS.with(|c| c.get())
+}
+
+/// Runs `f` with this thread's pass tag set to `pass`, restoring the
+/// previous tag (even on panic) afterwards. Scopes nest; the innermost
+/// wins.
+pub fn with_pass<R>(pass: u64, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<u64>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CURRENT_PASS.with(|c| c.set(self.0));
+        }
+    }
+    let prev = CURRENT_PASS.with(|c| c.replace(Some(pass)));
+    let _restore = Restore(prev);
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pass_scope_nests_and_restores() {
+        assert_eq!(current_pass(), None);
+        let result = with_pass(3, || {
+            assert_eq!(current_pass(), Some(3));
+            with_pass(4, || assert_eq!(current_pass(), Some(4)));
+            current_pass()
+        });
+        assert_eq!(result, Some(3));
+        assert_eq!(current_pass(), None);
+    }
+
+    #[test]
+    fn pass_scope_restores_on_panic() {
+        let caught = std::panic::catch_unwind(|| {
+            with_pass(7, || panic!("boom"));
+        });
+        assert!(caught.is_err());
+        assert_eq!(current_pass(), None);
+    }
+}

@@ -196,6 +196,7 @@ pub fn counter(counter: Counter, value: u64) {
         name: counter.name().to_string(),
         value,
         span: span::current_span_id(),
+        pass: crate::pass::current_pass(),
     });
 }
 
@@ -208,6 +209,7 @@ pub fn gauge(gauge: Gauge, value: f64) {
         name: gauge.name().to_string(),
         value,
         span: span::current_span_id(),
+        pass: crate::pass::current_pass(),
     });
 }
 
@@ -233,8 +235,31 @@ mod tests {
         assert_eq!(events.len(), 1);
         assert!(matches!(
             &events[0],
-            TraceEvent::Counter { name, value: 3, span: None } if name == "lp.simplex.pivots"
+            TraceEvent::Counter { name, value: 3, span: None, .. } if name == "lp.simplex.pivots"
         ));
+    }
+
+    #[test]
+    fn with_pass_stamps_emitted_events() {
+        let rec = Arc::new(Recorder::default());
+        with_sink(rec.clone(), || {
+            counter(Counter::SimplexPivots, 1);
+            crate::with_pass(2, || {
+                counter(Counter::SimplexPivots, 1);
+                gauge(Gauge::WnsPs, -1.0);
+                drop(crate::Span::enter("test.pass"));
+            });
+        });
+        let passes: Vec<Option<u64>> = rec
+            .events()
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Span { pass, .. }
+                | TraceEvent::Counter { pass, .. }
+                | TraceEvent::Gauge { pass, .. } => *pass,
+            })
+            .collect();
+        assert_eq!(passes, [None, Some(2), Some(2), Some(2)]);
     }
 
     #[test]

@@ -123,6 +123,7 @@ impl Drop for Span {
             start_ns: live.start_ns,
             dur_ns: end_ns.saturating_sub(live.start_ns),
             task: None,
+            pass: crate::pass::current_pass(),
         });
     }
 }

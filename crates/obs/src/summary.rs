@@ -115,6 +115,7 @@ mod tests {
                 start_ns: 0,
                 dur_ns: 10,
                 task: None,
+                pass: None,
             },
             TraceEvent::Span {
                 id: 2,
@@ -123,21 +124,25 @@ mod tests {
                 start_ns: 10,
                 dur_ns: 5,
                 task: None,
+                pass: None,
             },
             TraceEvent::Counter {
                 name: "lp.simplex.pivots".to_string(),
                 value: 3,
                 span: None,
+                pass: None,
             },
             TraceEvent::Gauge {
                 name: "sta.wns_ps".to_string(),
                 value: -1.0,
                 span: None,
+                pass: None,
             },
             TraceEvent::Gauge {
                 name: "sta.wns_ps".to_string(),
                 value: -0.5,
                 span: None,
+                pass: None,
             },
         ];
         let s = Summary::from_events(&events);

@@ -159,6 +159,11 @@ impl TaskObs {
             Some(p) => Some(remap(p)),
             None => handle.parent,
         };
+        // Workers do not inherit the orchestrating thread's pass scope, so
+        // untagged captured events are stamped with the pass in effect on
+        // the replaying thread; an explicit tag (a nested replay done
+        // inside a worker's own pass scope) wins.
+        let stamp = |pass: Option<u64>| pass.or_else(crate::pass::current_pass);
         for event in self.events {
             let remapped = match event {
                 TraceEvent::Span {
@@ -168,6 +173,7 @@ impl TaskObs {
                     start_ns,
                     dur_ns,
                     task,
+                    pass,
                 } => TraceEvent::Span {
                     id: remap(id),
                     parent: remap_parent(parent),
@@ -178,16 +184,29 @@ impl TaskObs {
                         Some(t) => remap(t),
                         None => base,
                     }),
+                    pass: stamp(pass),
                 },
-                TraceEvent::Counter { name, value, span } => TraceEvent::Counter {
+                TraceEvent::Counter {
+                    name,
+                    value,
+                    span,
+                    pass,
+                } => TraceEvent::Counter {
                     name,
                     value,
                     span: remap_parent(span),
+                    pass: stamp(pass),
                 },
-                TraceEvent::Gauge { name, value, span } => TraceEvent::Gauge {
+                TraceEvent::Gauge {
+                    name,
+                    value,
+                    span,
+                    pass,
+                } => TraceEvent::Gauge {
                     name,
                     value,
                     span: remap_parent(span),
+                    pass: stamp(pass),
                 },
             };
             sink::emit(&remapped);
@@ -368,6 +387,40 @@ mod tests {
             };
             assert_eq!(*parent, Some(arm_id));
             assert!(task.is_some());
+        }
+    }
+
+    #[test]
+    fn replay_stamps_worker_events_with_the_replaying_pass() {
+        // Workers don't inherit the orchestrator's pass scope, so the tag
+        // is applied at replay time.
+        let rec = Arc::new(Recorder::default());
+        with_sink(rec.clone(), || {
+            crate::with_pass(5, || {
+                let handle = SpanHandle::current();
+                let obs = std::thread::scope(|s| {
+                    let h = &handle;
+                    s.spawn(move || {
+                        TaskObs::capture(h, || {
+                            let span = h.attach("test.task");
+                            counter(Counter::SimplexPivots, 1);
+                            drop(span);
+                        })
+                        .1
+                    })
+                    .join()
+                    .unwrap()
+                });
+                obs.replay(&handle);
+            });
+        });
+        let events = rec.events();
+        assert_eq!(events.len(), 2);
+        for e in &events {
+            let (TraceEvent::Span { pass, .. }
+            | TraceEvent::Counter { pass, .. }
+            | TraceEvent::Gauge { pass, .. }) = e;
+            assert_eq!(*pass, Some(5));
         }
     }
 

@@ -54,6 +54,9 @@ pub enum TraceEvent {
         /// Task group for spans replayed from a worker task ([`crate::TaskObs`]);
         /// `None` for spans emitted directly on the recording thread.
         task: Option<u64>,
+        /// Composition pass the span belongs to ([`crate::with_pass`]);
+        /// `None` outside any pass scope.
+        pass: Option<u64>,
     },
     /// A flushed counter total.
     Counter {
@@ -63,6 +66,8 @@ pub enum TraceEvent {
         value: u64,
         /// Innermost open span at flush time, if any.
         span: Option<u64>,
+        /// Composition pass the flush belongs to ([`crate::with_pass`]).
+        pass: Option<u64>,
     },
     /// A measured point-in-time value.
     Gauge {
@@ -72,6 +77,8 @@ pub enum TraceEvent {
         value: f64,
         /// Innermost open span at flush time, if any.
         span: Option<u64>,
+        /// Composition pass the measurement belongs to ([`crate::with_pass`]).
+        pass: Option<u64>,
     },
 }
 
@@ -123,6 +130,7 @@ impl TraceEvent {
                 start_ns,
                 dur_ns,
                 task,
+                pass,
             } => {
                 out.push_str("{\"type\":\"span\",\"id\":");
                 out.push_str(&id.to_string());
@@ -138,24 +146,46 @@ impl TraceEvent {
                     out.push_str(",\"task\":");
                     out.push_str(&task.to_string());
                 }
+                if let Some(pass) = pass {
+                    out.push_str(",\"pass\":");
+                    out.push_str(&pass.to_string());
+                }
                 out.push('}');
             }
-            TraceEvent::Counter { name, value, span } => {
+            TraceEvent::Counter {
+                name,
+                value,
+                span,
+                pass,
+            } => {
                 out.push_str("{\"type\":\"counter\",\"name\":");
                 write_json_string(&mut out, name);
                 out.push_str(",\"value\":");
                 out.push_str(&value.to_string());
                 out.push_str(",\"span\":");
                 write_opt_u64(&mut out, *span);
+                if let Some(pass) = pass {
+                    out.push_str(",\"pass\":");
+                    out.push_str(&pass.to_string());
+                }
                 out.push('}');
             }
-            TraceEvent::Gauge { name, value, span } => {
+            TraceEvent::Gauge {
+                name,
+                value,
+                span,
+                pass,
+            } => {
                 out.push_str("{\"type\":\"gauge\",\"name\":");
                 write_json_string(&mut out, name);
                 out.push_str(",\"value\":");
                 write_f64(&mut out, *value);
                 out.push_str(",\"span\":");
                 write_opt_u64(&mut out, *span);
+                if let Some(pass) = pass {
+                    out.push_str(",\"pass\":");
+                    out.push_str(&pass.to_string());
+                }
                 out.push('}');
             }
         }
@@ -469,16 +499,19 @@ pub fn parse_trace(text: &str) -> Result<Vec<TraceEvent>, TraceError> {
                 start_ns: fields.take_u64("start_ns")?,
                 dur_ns: fields.take_u64("dur_ns")?,
                 task: fields.take_absent_u64("task")?,
+                pass: fields.take_absent_u64("pass")?,
             },
             "counter" => TraceEvent::Counter {
                 name: fields.take_str("name")?,
                 value: fields.take_u64("value")?,
                 span: fields.take_opt_u64("span")?,
+                pass: fields.take_absent_u64("pass")?,
             },
             "gauge" => TraceEvent::Gauge {
                 name: fields.take_str("name")?,
                 value: fields.take_f64("value")?,
                 span: fields.take_opt_u64("span")?,
+                pass: fields.take_absent_u64("pass")?,
             },
             other => return err(lineno, format!("unknown event type '{other}'")),
         };
@@ -539,6 +572,7 @@ pub fn validate_trace(events: &[TraceEvent]) -> Result<(), TraceError> {
                 start_ns,
                 dur_ns,
                 task,
+                ..
             } => {
                 if name.is_empty() {
                     return err(lineno, "span name must not be empty");
@@ -582,7 +616,9 @@ pub fn validate_trace(events: &[TraceEvent]) -> Result<(), TraceError> {
                 }
                 last_end.insert(*task, end);
             }
-            TraceEvent::Counter { name, value, span } => {
+            TraceEvent::Counter {
+                name, value, span, ..
+            } => {
                 if Counter::from_name(name).is_none() {
                     return err(lineno, format!("counter '{name}' not in catalog"));
                 }
@@ -595,7 +631,9 @@ pub fn validate_trace(events: &[TraceEvent]) -> Result<(), TraceError> {
                     }
                 }
             }
-            TraceEvent::Gauge { name, value, span } => {
+            TraceEvent::Gauge {
+                name, value, span, ..
+            } => {
                 if Gauge::from_name(name).is_none() {
                     return err(lineno, format!("gauge '{name}' not in catalog"));
                 }
@@ -659,16 +697,19 @@ mod tests {
                 start_ns: 100,
                 dur_ns: 200,
                 task: None,
+                pass: None,
             },
             TraceEvent::Counter {
                 name: "lp.simplex.pivots".to_string(),
                 value: 42,
                 span: Some(1),
+                pass: None,
             },
             TraceEvent::Gauge {
                 name: "sta.wns_ps".to_string(),
                 value: -12.5,
                 span: None,
+                pass: None,
             },
             TraceEvent::Span {
                 id: 1,
@@ -677,6 +718,7 @@ mod tests {
                 start_ns: 0,
                 dur_ns: 400,
                 task: None,
+                pass: None,
             },
         ]
     }
@@ -716,6 +758,7 @@ mod tests {
             name: "sta.tns_ps".to_string(),
             value: 17.0,
             span: None,
+            pass: None,
         }
         .to_json();
         assert!(text.contains("\"value\":17.0"), "{text}");
@@ -732,6 +775,7 @@ mod tests {
             name: "lp.simplex.pivotz".to_string(),
             value: 1,
             span: None,
+            pass: None,
         }];
         let e = validate_trace(&events).expect_err("must fail");
         assert!(e.message.contains("not in catalog"), "{e}");
@@ -747,6 +791,7 @@ mod tests {
             start_ns: 400,
             dur_ns: 1,
             task: None,
+            pass: None,
         });
         assert!(validate_trace(&events).is_err());
     }
@@ -761,6 +806,7 @@ mod tests {
                 start_ns: 50,
                 dur_ns: 100, // ends at 150, parent ends at 120
                 task: None,
+                pass: None,
             },
             TraceEvent::Span {
                 id: 1,
@@ -769,6 +815,7 @@ mod tests {
                 start_ns: 0,
                 dur_ns: 120,
                 task: None,
+                pass: None,
             },
         ];
         let e = validate_trace(&events).expect_err("must fail");
@@ -784,6 +831,7 @@ mod tests {
             start_ns: 0,
             dur_ns: 1,
             task: None,
+            pass: None,
         }];
         assert!(validate_trace(&events).is_err());
     }
@@ -798,6 +846,7 @@ mod tests {
                 start_ns: 0,
                 dur_ns: 500,
                 task: None,
+                pass: None,
             },
             TraceEvent::Span {
                 id: 2,
@@ -806,6 +855,7 @@ mod tests {
                 start_ns: 10,
                 dur_ns: 20,
                 task: None,
+                pass: None,
             },
         ];
         let e = validate_trace(&events).expect_err("must fail");
@@ -837,6 +887,7 @@ mod tests {
             start_ns,
             dur_ns,
             task,
+            pass: None,
         }
     }
 
@@ -850,6 +901,33 @@ mod tests {
         assert_eq!(parse_trace(&jsonl).expect("parse"), events);
         // Untagged spans serialize without the field entirely.
         assert!(!events[1].to_json().contains("task"));
+    }
+
+    #[test]
+    fn pass_field_round_trips_and_is_omitted_when_absent() {
+        let tagged = TraceEvent::Span {
+            id: 2,
+            parent: Some(1),
+            name: "test.s2".to_string(),
+            start_ns: 10,
+            dur_ns: 5,
+            task: Some(17),
+            pass: Some(3),
+        };
+        let text = tagged.to_json();
+        assert!(text.ends_with(",\"task\":17,\"pass\":3}"), "{text}");
+        let counter = TraceEvent::Counter {
+            name: "lp.simplex.pivots".to_string(),
+            value: 1,
+            span: None,
+            pass: Some(0),
+        };
+        assert!(counter.to_json().ends_with(",\"span\":null,\"pass\":0}"));
+        let events = vec![tagged, counter, span(1, None, 0, 100, None)];
+        let jsonl = to_jsonl(&events);
+        assert_eq!(parse_trace(&jsonl).expect("parse"), events);
+        // Untagged events serialize without the field entirely.
+        assert!(!events[2].to_json().contains("pass"));
     }
 
     #[test]

@@ -41,6 +41,17 @@ struct Arc {
     delay: f64,
 }
 
+/// What an incremental update actually changed, reported by
+/// [`Sta::update_after_change`]. Callers that maintain state derived from
+/// timing (e.g. a composition session's compatibility cache) use this to
+/// narrow their own refresh; callers that only read the fresh report may
+/// ignore it.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StaDelta {
+    /// Pins whose arrival and/or required time changed, sorted, deduped.
+    pub changed_pins: Vec<PinId>,
+}
+
 /// The static timing analyzer: timing graph plus the latest results.
 ///
 /// Build with [`Sta::new`]; read results via [`Sta::report`]. After moving
@@ -258,15 +269,18 @@ impl Sta {
     fn full_propagate(&mut self, design: &Design) {
         let n = self.pin_count();
         let seeds: Vec<usize> = (0..n).collect();
-        self.propagate_arrivals(&seeds);
-        self.propagate_required(&seeds);
+        obs::counter(Counter::StaFullSeedPins, n as u64);
+        let mut changed = Vec::new();
+        self.propagate_arrivals(&seeds, &mut changed);
+        self.propagate_required(&seeds, &mut changed);
         self.report.refresh_endpoints(&self.endpoint_required);
         let _ = design;
     }
 
     /// Recomputes arrivals for (at least) the given seed pins and everything
     /// downstream of a change, by monotone worklist relaxation on the DAG.
-    fn propagate_arrivals(&mut self, seeds: &[usize]) {
+    /// Every pin whose arrival actually changed is pushed onto `changed`.
+    fn propagate_arrivals(&mut self, seeds: &[usize], changed: &mut Vec<usize>) {
         let mut queue: VecDeque<usize> = seeds.iter().copied().collect();
         let mut queued = vec![false; self.pin_count()];
         for &s in seeds {
@@ -282,7 +296,14 @@ impl Sta {
                     arr = arr.max(ua + a.delay);
                 }
             }
-            if (arr - self.report.arrival[v]).abs() > 1e-12 {
+            // Exact comparison, not an epsilon: relaxation on a DAG has a
+            // unique fixpoint, so requiring bitwise convergence makes an
+            // incremental update land on exactly the state a from-scratch
+            // analysis computes — the property the session flow's
+            // batch-equivalence guarantee rests on. (NEG_INFINITY compares
+            // equal to itself here, so untimed pins don't loop.)
+            if arr != self.report.arrival[v] {
+                changed.push(v);
                 self.report.arrival[v] = arr;
                 for a in &self.arcs[v] {
                     let t = a.to as usize;
@@ -296,7 +317,7 @@ impl Sta {
     }
 
     /// Required-time mirror of [`Sta::propagate_arrivals`].
-    fn propagate_required(&mut self, seeds: &[usize]) {
+    fn propagate_required(&mut self, seeds: &[usize], changed: &mut Vec<usize>) {
         let mut queue: VecDeque<usize> = seeds.iter().copied().collect();
         let mut queued = vec![false; self.pin_count()];
         for &s in seeds {
@@ -311,7 +332,9 @@ impl Sta {
                     req = req.min(tr - a.delay);
                 }
             }
-            if (req - self.report.required[v]).abs() > 1e-12 {
+            // Exact comparison — see the arrival mirror for why.
+            if req != self.report.required[v] {
+                changed.push(v);
                 self.report.required[v] = req;
                 for a in &self.rev[v] {
                     let t = a.to as usize;
@@ -335,7 +358,12 @@ impl Sta {
     ///
     /// Panics if the design's pin count differs from the graph (structural
     /// edit happened).
-    pub fn update_after_change(&mut self, design: &Design, lib: &Library, touched: &[InstId]) {
+    pub fn update_after_change(
+        &mut self,
+        design: &Design,
+        lib: &Library,
+        touched: &[InstId],
+    ) -> StaDelta {
         let n: usize = design.all_insts().map(|(_, i)| i.pins.len()).sum();
         assert_eq!(
             n,
@@ -437,9 +465,15 @@ impl Sta {
         obs::counter(Counter::StaIncrementalUpdates, 1);
         obs::counter(Counter::StaNetsTouched, net_refreshes);
         obs::counter(Counter::StaSeedPins, seeds.len() as u64);
-        self.propagate_arrivals(&seeds);
-        self.propagate_required(&seeds);
+        let mut changed = Vec::new();
+        self.propagate_arrivals(&seeds, &mut changed);
+        self.propagate_required(&seeds, &mut changed);
         self.report.refresh_endpoints(&self.endpoint_required);
+        changed.sort_unstable();
+        changed.dedup();
+        StaDelta {
+            changed_pins: changed.into_iter().map(PinId::from_index).collect(),
+        }
     }
 
     /// Refreshes the load-dependent delay of whatever drives `driver`.

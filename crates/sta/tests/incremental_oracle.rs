@@ -1,8 +1,11 @@
 //! Incremental-STA oracle test: random sequences of placement moves and
 //! clock-skew edits on the `d1()` workload must leave
 //! [`Sta::update_after_change`] in exactly the state a full re-analysis
-//! produces — same arrivals, requireds, slacks, TNS, and failing-endpoint
-//! count at every pin.
+//! produces — *bitwise* the same arrivals, requireds, slacks, TNS, and
+//! failing-endpoint count at every pin. The composition session's
+//! batch-equivalence guarantee builds on this exactness, so the comparison
+//! is `==`, not an epsilon. The reported [`mbr_sta::StaDelta`] must also
+//! name exactly the pins whose values moved.
 
 use mbr_geom::Point;
 use mbr_liberty::standard_library;
@@ -45,7 +48,29 @@ fn run_session(seed: u64, rounds: usize, edits_per_round: usize) {
             }
             touched.push(reg);
         }
-        sta.update_after_change(&design, &lib, &touched);
+        let before: Vec<(Option<f64>, Option<f64>)> = design
+            .live_insts()
+            .flat_map(|(_, inst)| inst.pins.clone())
+            .map(|p| (sta.report().arrival(p), sta.report().required(p)))
+            .collect();
+        let delta = sta.update_after_change(&design, &lib, &touched);
+
+        // The delta names exactly the pins whose arrival or required moved.
+        let moved: Vec<_> = design
+            .live_insts()
+            .flat_map(|(_, inst)| inst.pins.clone())
+            .zip(&before)
+            .filter(|&(p, &(arr, req))| {
+                sta.report().arrival(p) != arr || sta.report().required(p) != req
+            })
+            .map(|(p, _)| p)
+            .collect();
+        for p in &moved {
+            assert!(
+                delta.changed_pins.contains(p),
+                "seed {seed:#x} round {round}: pin {p} changed but is not in the delta"
+            );
+        }
 
         let full = Sta::new(&design, &lib, model).expect("still acyclic");
         for (_, inst) in design.live_insts() {
@@ -61,7 +86,7 @@ fn run_session(seed: u64, rounds: usize, edits_per_round: usize) {
                 ] {
                     match (a, b) {
                         (Some(x), Some(y)) => assert!(
-                            (x - y).abs() < 1e-9,
+                            x == y,
                             "seed {seed:#x} round {round}: {what} mismatch at {p}: \
                              incremental {x} vs full {y}"
                         ),
@@ -75,13 +100,13 @@ fn run_session(seed: u64, rounds: usize, edits_per_round: usize) {
             }
         }
         assert!(
-            (sta.report().tns - full.report().tns).abs() < 1e-9,
+            sta.report().tns == full.report().tns,
             "seed {seed:#x} round {round}: tns drifted: incremental {} vs full {}",
             sta.report().tns,
             full.report().tns
         );
         assert!(
-            (sta.report().wns - full.report().wns).abs() < 1e-9,
+            sta.report().wns == full.report().wns,
             "seed {seed:#x} round {round}: wns drifted"
         );
         assert_eq!(

@@ -36,9 +36,11 @@
 
 use std::ops::RangeInclusive;
 
+use mbr_core::{Eco, EcoScript};
 use mbr_geom::{Dbu, Point, Rect};
 use mbr_liberty::{ClassId, Library};
 use mbr_netlist::{CombModel, Design, InstId, PinKind, RegisterAttrs, ScanInfo};
+use mbr_obs::{SpanHandle, TaskObs};
 use mbr_test::Rng;
 
 /// Parameters of a synthetic design. Build one of the presets with
@@ -201,6 +203,93 @@ pub fn d5() -> DesignSpec {
 /// All five presets, in order.
 pub fn all_presets() -> Vec<DesignSpec> {
     vec![d1(), d2(), d3(), d4(), d5()]
+}
+
+/// Runs `f` once per preset on the parallel executor, returning results in
+/// preset order with each run's buffered observability already replayed on
+/// the calling thread. The preset sweeps are independent flows, so they run
+/// concurrently; replay-in-order keeps `MBR_TRACE` output and `--report`
+/// summaries identical at every thread count.
+pub fn sweep_presets<R: Send>(
+    presets: &[DesignSpec],
+    f: impl Fn(&DesignSpec) -> R + Sync,
+) -> Vec<R> {
+    let handle = SpanHandle::current();
+    let results = mbr_par::par_map(mbr_par::thread_count(), presets, |_, spec| {
+        TaskObs::capture(&handle, || f(spec))
+    });
+    results
+        .into_iter()
+        .map(|(r, task_obs)| {
+            task_obs.replay(&handle);
+            r
+        })
+        .collect()
+}
+
+/// A deterministic, non-structural ECO script against `design` (which must
+/// be `spec.generate(lib)` or an un-mutated copy of it): placement jitters
+/// of a few microns snapped to the row/site grid, with an occasional drive
+/// retarget within the same cell class and width. Non-structural on purpose
+/// — these are the ECOs a session re-composes incrementally, so the `incr`
+/// bench measures reuse rather than rebuild.
+///
+/// Seeded from `spec.seed`, so equal specs give equal scripts.
+///
+/// # Panics
+///
+/// Panics if `design` has no movable (live, non-fixed) registers.
+pub fn eco_script_for(spec: &DesignSpec, design: &Design, lib: &Library, len: usize) -> EcoScript {
+    let mut rng = Rng::seed_from_u64(spec.seed ^ 0xEC0);
+    let movable: Vec<InstId> = design
+        .registers()
+        .filter(|(_, inst)| !inst.register_attrs().expect("register").fixed)
+        .map(|(id, _)| id)
+        .collect();
+    assert!(!movable.is_empty(), "no movable registers in {}", spec.name);
+    let die = design.die();
+    let (site, row) = (100, 600);
+    let mut ecos = Vec::with_capacity(len);
+    for _ in 0..len {
+        let inst = design.inst(movable[rng.gen_range(0..movable.len())]);
+        if rng.gen_bool(0.25) {
+            // Retarget: a different drive grade of the same class and width
+            // (the only swap `resize_register` accepts), keeping the scan
+            // style so chain connectivity stays well-formed.
+            let cell = lib.cell(inst.register_cell().expect("register"));
+            let variants: Vec<_> = lib
+                .cells_of(cell.class, cell.width)
+                .filter(|&c| {
+                    let v = lib.cell(c);
+                    v.scan_style == cell.scan_style && v.name != cell.name
+                })
+                .collect();
+            if !variants.is_empty() {
+                let pick = variants[rng.gen_range(0..variants.len())];
+                ecos.push(Eco::Retarget {
+                    name: inst.name.clone(),
+                    cell: lib.cell(pick).name.clone(),
+                });
+                continue;
+            }
+        }
+        // Move: jitter up to ±5 µm, clamped into the die and snapped to the
+        // site/row grid so un-merged registers stay legally placed.
+        let dx = rng.gen_range(-50i64..=50) * site;
+        let dy = rng.gen_range(-8i64..=8) * row;
+        let snap = |v: i64, lo: i64, hi: i64, step: i64| {
+            let v = v.clamp(lo, hi);
+            lo + (v - lo) / step * step
+        };
+        let x = snap(inst.loc.x + dx, die.lo().x, die.hi().x - inst.width, site);
+        let y = snap(inst.loc.y + dy, die.lo().y, die.hi().y - inst.height, row);
+        ecos.push(Eco::Move {
+            name: inst.name.clone(),
+            x,
+            y,
+        });
+    }
+    EcoScript { ecos }
 }
 
 // ---------------------------------------------------------------------
@@ -575,6 +664,31 @@ impl<'a> Generator<'a> {
 mod tests {
     use super::*;
     use mbr_liberty::standard_library;
+
+    #[test]
+    fn eco_scripts_are_deterministic_and_round_trip() {
+        let lib = standard_library();
+        let spec = d1();
+        let design = spec.generate(&lib);
+        let a = eco_script_for(&spec, &design, &lib, 24);
+        let b = eco_script_for(&spec, &design, &lib, 24);
+        assert_eq!(a, b);
+        assert_eq!(a.ecos.len(), 24);
+        // Non-structural by construction, and survives the text format.
+        assert!(a.ecos.iter().all(|e| !e.is_structural()));
+        assert_eq!(EcoScript::parse(&a.to_string()).expect("parses"), a);
+        // Both profiles show up at this length.
+        assert!(a.ecos.iter().any(|e| matches!(e, Eco::Move { .. })));
+        assert!(a.ecos.iter().any(|e| matches!(e, Eco::Retarget { .. })));
+    }
+
+    #[test]
+    fn sweep_runs_every_preset_in_order() {
+        let presets = all_presets();
+        let names = sweep_presets(&presets, |spec| spec.name.clone());
+        let expect: Vec<String> = presets.iter().map(|s| s.name.clone()).collect();
+        assert_eq!(names, expect);
+    }
 
     #[test]
     fn d1_is_deterministic_and_valid() {

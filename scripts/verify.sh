@@ -27,12 +27,18 @@ echo "==> repro: fig3 weight table"
 cargo run --release -q -p mbr-bench --bin repro -- fig3
 
 echo "==> bench: par suite smoke (quick samples)"
-MBR_BENCH_QUICK=1 cargo run --release -q -p mbr-bench --bin bench -- par
+MBR_BENCH_QUICK=1 MBR_BENCH_OUT=target cargo run --release -q -p mbr-bench --bin bench -- par
+
+echo "==> bench: incr suite smoke (quick samples, counter guards)"
+MBR_BENCH_QUICK=1 MBR_BENCH_OUT=target cargo run --release -q -p mbr-bench --bin bench -- incr
 
 echo "==> check: flow invariants on d1 (traced)"
-MBR_TRACE=trace-d1.jsonl cargo run --release -q --bin check -- d1
+MBR_TRACE=target/trace-d1.jsonl cargo run --release -q --bin check -- d1
+
+echo "==> check: incremental ECO differential (session vs batch, all presets)"
+cargo run --release -q --bin check -- --eco-seed 1 all
 
 echo "==> obs: validate the d1 trace"
-cargo run --release -q -p mbr-obs --bin trace-validate -- trace-d1.jsonl
+cargo run --release -q -p mbr-obs --bin trace-validate -- target/trace-d1.jsonl
 
 echo "verify: OK"

@@ -3,61 +3,105 @@
 //! diagnostic the cross-stage checkers emit.
 //!
 //! ```text
-//! cargo run --bin check -- [--report] [d1|d2|d3|d4|d5|all]...
+//! cargo run --bin check -- [--report] [--eco-seed <n>] [d1|d2|d3|d4|d5|all]...
 //! ```
 //!
 //! Defaults to `d1`. Exits nonzero when any error-severity diagnostic
 //! fires, so CI can gate on it. Set `MBR_TRACE=<path>` to capture a JSONL
 //! trace of the run; pass `--report` for a span/counter summary.
+//!
+//! With `--eco-seed <n>` the checker instead runs the *incremental
+//! differential*: per preset it opens a [`mbr::core::CompositionSession`],
+//! applies a deterministic ECO script (seeded from the preset seed and
+//! `n`), recomposes incrementally, and asserts the composed design is
+//! byte-identical — and the outcome equal modulo wall-clock — to a fresh
+//! batch compose of the same mutated design. Any divergence is a bug in
+//! the session's reuse logic and fails the run.
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use mbr::check::{check_mapping, check_netlist, check_scan, CheckReport, Paranoia};
-use mbr::core::{infer_grid, Composer, ComposerOptions};
+use mbr::core::{apply_eco, infer_grid, Composer, ComposerOptions, CompositionSession};
 use mbr::liberty::{standard_library, Library};
 use mbr::obs::summary::Summary;
-use mbr::obs::{SpanHandle, TaskObs};
 use mbr::sta::DelayModel;
-use mbr::workloads::{all_presets, DesignSpec};
+use mbr::workloads::{all_presets, eco_script_for, sweep_presets, DesignSpec};
+
+/// ECOs per differential script: enough to exercise both the move and the
+/// retarget profile and to touch several partitions.
+const ECO_SCRIPT_LEN: usize = 16;
+
+struct Args {
+    specs: Vec<DesignSpec>,
+    report: bool,
+    eco_seed: Option<u64>,
+}
 
 fn usage() -> ! {
-    eprintln!("usage: check [--report] [d1|d2|d3|d4|d5|all]...   (default: d1)");
+    eprintln!("usage: check [--report] [--eco-seed <n>] [d1|d2|d3|d4|d5|all]...   (default: d1)");
     std::process::exit(2);
 }
 
-fn specs_from_args() -> (Vec<DesignSpec>, bool) {
+fn parse_args() -> Args {
     let mut report = false;
-    let args: Vec<String> = std::env::args()
-        .skip(1)
-        .filter(|a| {
-            if a == "--report" {
-                report = true;
-                false
-            } else {
-                true
+    let mut eco_seed = None;
+    let mut names = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--report" => report = true,
+            "--eco-seed" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("missing value for --eco-seed");
+                    usage()
+                });
+                eco_seed = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("--eco-seed expects an integer, got `{v}`");
+                    usage()
+                }));
             }
-        })
-        .collect();
-    if args.is_empty() {
-        let d1 = all_presets()
-            .into_iter()
-            .filter(|s| s.name == "d1")
-            .collect();
-        return (d1, report);
+            "--help" | "-h" => usage(),
+            other => names.push(other.to_string()),
+        }
     }
     let mut specs = Vec::new();
-    for arg in &args {
-        if arg == "all" {
+    if names.is_empty() {
+        names.push("d1".to_string());
+    }
+    for name in &names {
+        if name == "all" {
             specs.extend(all_presets());
-        } else if let Some(spec) = all_presets().into_iter().find(|s| &s.name == arg) {
+        } else if let Some(spec) = all_presets().into_iter().find(|s| &s.name == name) {
             specs.push(spec);
         } else {
-            eprintln!("unknown preset: {arg}");
+            eprintln!("unknown preset: {name}");
             usage();
         }
     }
-    (specs, report)
+    Args {
+        specs,
+        report,
+        eco_seed,
+    }
+}
+
+fn model_for(spec: &DesignSpec) -> DelayModel {
+    let base = DelayModel::default();
+    DelayModel {
+        clock_period: spec.clock_period,
+        wire_res_per_dbu: base.wire_res_per_dbu * spec.wire_scale,
+        wire_cap_per_dbu: base.wire_cap_per_dbu * spec.wire_scale,
+        ..base
+    }
+}
+
+fn options_for_check() -> ComposerOptions {
+    ComposerOptions {
+        paranoia: Paranoia::Full,
+        stitch_scan_chains: true,
+        ..ComposerOptions::default()
+    }
 }
 
 /// Runs one preset end to end, returning its stdout/stderr text and
@@ -68,19 +112,7 @@ fn run_spec(spec: &DesignSpec, lib: &Library) -> (String, String, bool) {
     let mut failed = false;
 
     let mut design = spec.generate(lib);
-    let base = DelayModel::default();
-    let model = DelayModel {
-        clock_period: spec.clock_period,
-        wire_res_per_dbu: base.wire_res_per_dbu * spec.wire_scale,
-        wire_cap_per_dbu: base.wire_cap_per_dbu * spec.wire_scale,
-        ..base
-    };
-    let options = ComposerOptions {
-        paranoia: Paranoia::Full,
-        stitch_scan_chains: true,
-        ..ComposerOptions::default()
-    };
-    let composer = Composer::new(options, model);
+    let composer = Composer::new(options_for_check(), model_for(spec));
     let outcome = match composer.compose(&mut design, lib) {
         Ok(o) => o,
         Err(e) => {
@@ -131,22 +163,117 @@ fn run_spec(spec: &DesignSpec, lib: &Library) -> (String, String, bool) {
     (out, String::new(), failed)
 }
 
+/// Outcome text with wall-clock scrubbed — the only field two equivalent
+/// runs may legitimately disagree on.
+fn scrubbed(outcome: &mbr::core::ComposeOutcome) -> String {
+    let mut o = outcome.clone();
+    o.timings = Default::default();
+    format!("{o:?}")
+}
+
+/// The incremental differential for one preset: session-with-ECOs versus
+/// batch-on-mutated-design must agree to the byte.
+fn run_eco_spec(spec: &DesignSpec, lib: &Library, eco_seed: u64) -> (String, String, bool) {
+    let mut out = String::new();
+    let design = spec.generate(lib);
+    let model = model_for(spec);
+    let options = options_for_check();
+
+    let mut salted = spec.clone();
+    salted.seed = spec
+        .seed
+        .wrapping_add(eco_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let script = eco_script_for(&salted, &design, lib, ECO_SCRIPT_LEN);
+
+    // Session arm: full pass 0, then an incremental recompose of the ECOs.
+    let mut session = match CompositionSession::open(design.clone(), lib, options.clone(), model) {
+        Ok(s) => s,
+        Err(e) => {
+            return (
+                out,
+                format!("{}: session open failed: {e}\n", spec.name),
+                true,
+            )
+        }
+    };
+    if let Err(e) = session.apply_script(&script) {
+        return (out, format!("{}: eco rejected: {e}\n", spec.name), true);
+    }
+    if let Err(e) = session.recompose() {
+        return (out, format!("{}: recompose failed: {e}\n", spec.name), true);
+    }
+
+    // Batch arm: the same ECOs folded into a fresh clone, composed from
+    // scratch through the one shared mutation path.
+    let mut batch_design = design;
+    let mut batch_model = model;
+    for eco in &script.ecos {
+        if let Err(e) = apply_eco(&mut batch_design, &mut batch_model, lib, eco) {
+            return (
+                out,
+                format!("{}: batch eco rejected: {e}\n", spec.name),
+                true,
+            );
+        }
+    }
+    let batch_outcome = match Composer::new(options, batch_model).compose(&mut batch_design, lib) {
+        Ok(o) => o,
+        Err(e) => {
+            return (
+                out,
+                format!("{}: batch flow failed: {e}\n", spec.name),
+                true,
+            )
+        }
+    };
+
+    let session_text = session.composed().to_design_text(lib);
+    let batch_text = batch_design.to_design_text(lib);
+    let design_ok = session_text == batch_text;
+    let outcome_ok = scrubbed(session.outcome()) == scrubbed(&batch_outcome);
+    let _ = writeln!(
+        out,
+        "{}: eco differential ({} ecos, seed {}): design {}, outcome {}",
+        spec.name,
+        script.ecos.len(),
+        eco_seed,
+        if design_ok { "identical" } else { "DIVERGED" },
+        if outcome_ok { "identical" } else { "DIVERGED" },
+    );
+    if !design_ok {
+        let a = session_text.lines();
+        let diff = a
+            .zip(batch_text.lines())
+            .enumerate()
+            .find(|(_, (s, b))| s != b);
+        if let Some((i, (s, b))) = diff {
+            let _ = writeln!(
+                out,
+                "  first diff at line {}:\n    session: {s}\n    batch:   {b}",
+                i + 1
+            );
+        } else {
+            let _ = writeln!(out, "  designs differ in length only");
+        }
+    }
+    (out, String::new(), !(design_ok && outcome_ok))
+}
+
 fn main() -> ExitCode {
-    let (specs, report_requested) = specs_from_args();
-    let obs = mbr::obs::init_cli(report_requested);
+    let args = parse_args();
+    let obs = mbr::obs::init_cli(args.report);
     let lib = standard_library();
 
-    // The presets are independent designs, so they sweep in parallel.
-    // Each worker buffers its report text and observability; the main
-    // thread replays both in preset order, so output, trace, and exit
-    // code are identical at every thread count.
-    let handle = SpanHandle::current();
-    let results = mbr::par::par_map(mbr::par::thread_count(), &specs, |_, spec| {
-        TaskObs::capture(&handle, || run_spec(spec, &lib))
+    // The presets are independent designs, so they sweep in parallel
+    // through the shared driver; it replays each worker's buffered
+    // observability in preset order, so output, trace, and exit code are
+    // identical at every thread count.
+    let results = sweep_presets(&args.specs, |spec| match args.eco_seed {
+        Some(seed) => run_eco_spec(spec, &lib, seed),
+        None => run_spec(spec, &lib),
     });
     let mut failed = false;
-    for ((out, err, spec_failed), task_obs) in results {
-        task_obs.replay(&handle);
+    for (out, err, spec_failed) in results {
         print!("{out}");
         eprint!("{err}");
         failed |= spec_failed;

@@ -4,7 +4,7 @@
 //! mbr-compose --lib cells.mbrlib --design in.design --out composed.design \
 //!             [--period 1000] [--no-incomplete] [--no-weights] [--no-skew] \
 //!             [--heuristic] [--decompose] [--stitch-scan] [--partition-bound 30] \
-//!             [--report]
+//!             [--eco script.eco] [--passes 4] [--report]
 //! ```
 //!
 //! Reads a register library (`.mbrlib`) and a placed design (`.design`),
@@ -12,10 +12,18 @@
 //! writes the composed design. Exits non-zero on any parse or flow error.
 //! Set `MBR_TRACE=<path>` to capture a JSONL trace of the run; pass
 //! `--report` for a per-stage timing table plus a span/counter summary.
+//!
+//! With `--eco <file>` the run becomes *incremental*: a
+//! [`mbr::core::CompositionSession`] composes the design once, then the
+//! ECO script (see [`mbr::core::EcoScript`] for the line format) is split
+//! across `--passes` (default 1) incremental re-compositions, each reusing
+//! the timing graph, compatibility cache and partition memo of the passes
+//! before it. The written design is the final pass's composed result —
+//! byte-identical to what a batch run on the mutated design would produce.
 
 use std::process::ExitCode;
 
-use mbr::core::{Composer, ComposerOptions, DesignMetrics};
+use mbr::core::{Composer, ComposerOptions, CompositionSession, DesignMetrics, EcoScript};
 use mbr::cts::CtsConfig;
 use mbr::liberty::Library;
 use mbr::netlist::Design;
@@ -30,6 +38,8 @@ struct Args {
     heuristic: bool,
     decompose: bool,
     report: bool,
+    eco: Option<String>,
+    passes: usize,
     options: ComposerOptions,
 }
 
@@ -38,7 +48,8 @@ fn usage() -> ! {
         "usage: mbr-compose --lib <file.mbrlib> --design <file.design> [--out <file.design>]\n\
          \x20                 [--period <ps>] [--partition-bound <n>] [--region-radius <dbu>]\n\
          \x20                 [--no-incomplete] [--no-weights] [--no-skew] [--no-sizing]\n\
-         \x20                 [--stitch-scan] [--heuristic] [--decompose] [--report]"
+         \x20                 [--stitch-scan] [--heuristic] [--decompose]\n\
+         \x20                 [--eco <file.eco>] [--passes <n>] [--report]"
     );
     std::process::exit(2);
 }
@@ -52,6 +63,8 @@ fn parse_args() -> Args {
         heuristic: false,
         decompose: false,
         report: false,
+        eco: None,
+        passes: 1,
         options: ComposerOptions::default(),
     };
     let mut it = std::env::args().skip(1);
@@ -84,6 +97,8 @@ fn parse_args() -> Args {
             "--heuristic" => args.heuristic = true,
             "--decompose" => args.decompose = true,
             "--report" => args.report = true,
+            "--eco" => args.eco = Some(value("--eco")),
+            "--passes" => args.passes = value("--passes").parse().unwrap_or_else(|_| usage()),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -92,6 +107,14 @@ fn parse_args() -> Args {
         }
     }
     if args.lib.is_empty() || args.design.is_empty() {
+        usage();
+    }
+    if args.eco.is_some() && (args.heuristic || args.decompose) {
+        eprintln!("--eco drives the incremental session; it excludes --heuristic/--decompose");
+        usage();
+    }
+    if args.passes == 0 {
+        eprintln!("--passes must be at least 1");
         usage();
     }
     args
@@ -136,17 +159,47 @@ fn run(args: &Args, obs: &mbr::obs::CliObs) -> Result<(), Box<dyn std::error::Er
     let cong = CongestionConfig::default();
 
     let base = DesignMetrics::measure(&design, &lib, model, &cts, &cong)?;
-    let composer = Composer::new(args.options.clone(), model);
-    let outcome = if args.decompose {
-        composer.compose_with_decomposition(&mut design, &lib)?
-    } else if args.heuristic {
-        composer.compose_heuristic(&mut design, &lib)?
-    } else {
-        composer.compose(&mut design, &lib)?
-    };
-    let ours = DesignMetrics::measure(&design, &lib, model, &cts, &cong)?;
-
     println!("design `{}` @ {} ps clock", design.name(), args.period);
+
+    let (design, outcome, final_model) = if let Some(path) = &args.eco {
+        let script = EcoScript::parse(&std::fs::read_to_string(path)?)?;
+        let mut session = CompositionSession::open(design, &lib, args.options.clone(), model)?;
+        let show = |tag: &str, o: &mbr::core::ComposeOutcome| {
+            println!(
+                "  pass {tag}: {} -> {} registers, {} merges, {:?}",
+                o.registers_before,
+                o.registers_after,
+                o.merges,
+                o.elapsed(),
+            );
+        };
+        show("0 (full)", session.outcome());
+        let per = script.ecos.len().div_ceil(args.passes).max(1);
+        for (i, chunk) in script.ecos.chunks(per).enumerate() {
+            for eco in chunk {
+                session.apply(eco)?;
+            }
+            session.recompose()?;
+            show(
+                &format!("{} ({} ecos)", i + 1, chunk.len()),
+                session.outcome(),
+            );
+        }
+        let model = *session.model();
+        (session.composed().clone(), session.outcome().clone(), model)
+    } else {
+        let composer = Composer::new(args.options.clone(), model);
+        let outcome = if args.decompose {
+            composer.compose_with_decomposition(&mut design, &lib)?
+        } else if args.heuristic {
+            composer.compose_heuristic(&mut design, &lib)?
+        } else {
+            composer.compose(&mut design, &lib)?
+        };
+        (design, outcome, model)
+    };
+    let ours = DesignMetrics::measure(&design, &lib, final_model, &cts, &cong)?;
+
     let row = |label: &str, m: &DesignMetrics| {
         println!(
             "  {label:>4}: regs {:>6}  clk cap {:>8.2} pF  clk bufs {:>4}  tns {:>10.2} ns  fail {:>5}  ovfl {:>5}",

@@ -89,6 +89,62 @@ fn flow_is_identical_at_every_thread_count() {
 }
 
 #[test]
+fn session_recompose_is_identical_at_every_thread_count() {
+    // The incremental session layers its reuse (STA refresh, compat cache,
+    // partition memo) on top of the parallel executor; reuse decisions are
+    // content-keyed, so outcomes and counter totals must stay bit-identical
+    // at every thread count — through the ECO pass as much as the initial
+    // full pass.
+    use mbr::core::CompositionSession;
+    use mbr::workloads::eco_script_for;
+
+    for spec in all_presets() {
+        let run = |threads: usize| {
+            let lib = standard_library();
+            let design = spec.generate(&lib);
+            let script = eco_script_for(&spec, &design, &lib, 8);
+            let totals = Arc::new(CounterTotals::default());
+            let (outcome, text) = with_sink(totals.clone(), || {
+                let mut session = CompositionSession::open(
+                    design,
+                    &lib,
+                    options_for(&spec.name, threads),
+                    model_for(&spec),
+                )
+                .expect("session opens");
+                session.apply_script(&script).expect("ecos apply");
+                session.recompose().expect("recompose succeeds");
+                (
+                    session.outcome().clone(),
+                    session.composed().to_design_text(&lib),
+                )
+            });
+            let (outcome, counters) = snapshot(outcome, &totals);
+            (outcome, counters, text)
+        };
+        let serial = run(1);
+        for threads in [2, 8] {
+            let parallel = run(threads);
+            assert_eq!(
+                serial.0, parallel.0,
+                "{}: session outcome differs at {threads} threads",
+                spec.name
+            );
+            assert_eq!(
+                serial.1, parallel.1,
+                "{}: session counter totals differ at {threads} threads",
+                spec.name
+            );
+            assert_eq!(
+                serial.2, parallel.2,
+                "{}: composed design differs at {threads} threads",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
 fn decomposition_flow_is_identical_at_every_thread_count() {
     // The decomposition entry point adds the second parallel layer (the
     // two speculative arms under `join`) on top of the per-partition ones.

@@ -1,0 +1,193 @@
+//! The incremental-session equivalence contract: for every preset and a
+//! seeded ECO script, `CompositionSession::recompose` must produce a
+//! composed design *byte-identical* — and an outcome equal modulo
+//! wall-clock — to a fresh batch `compose` of the same mutated design.
+//! Plus the session lifecycle invariants: a clean `recompose` is a no-op,
+//! a second `recompose` changes nothing, and a rejected ECO leaves the
+//! session untouched.
+
+use mbr::check::Paranoia;
+use mbr::core::{
+    apply_eco, ComposeOutcome, Composer, ComposerOptions, CompositionSession, Eco, EcoError,
+    EcoScript,
+};
+use mbr::liberty::standard_library;
+use mbr::sta::DelayModel;
+use mbr::workloads::{all_presets, d1, eco_script_for, DesignSpec};
+
+fn model_for(spec: &DesignSpec) -> DelayModel {
+    let base = DelayModel::default();
+    DelayModel {
+        clock_period: spec.clock_period,
+        wire_res_per_dbu: base.wire_res_per_dbu * spec.wire_scale,
+        wire_cap_per_dbu: base.wire_cap_per_dbu * spec.wire_scale,
+        ..base
+    }
+}
+
+fn options_for(name: &str) -> ComposerOptions {
+    // Tight budgets keep the debug-mode matrix affordable; equivalence is a
+    // structural property of the reuse logic, so it must hold at any
+    // budget. d1 keeps cheap checkpoints so diagnostics are compared too.
+    ComposerOptions {
+        paranoia: if name == "d1" {
+            Paranoia::Cheap
+        } else {
+            Paranoia::Off
+        },
+        max_candidates_per_partition: 1_000,
+        subclique_visit_multiplier: 8,
+        ilp_node_limit: 10_000,
+        ..ComposerOptions::default()
+    }
+}
+
+/// The outcome with wall-clock scrubbed — the only field two equivalent
+/// runs may legitimately disagree on.
+fn scrubbed(outcome: &ComposeOutcome) -> String {
+    let o = ComposeOutcome {
+        timings: Default::default(),
+        ..outcome.clone()
+    };
+    format!("{o:?}")
+}
+
+/// Runs the differential for one preset and script: session arm vs batch
+/// arm, asserting byte-identical designs and equal scrubbed outcomes.
+fn assert_differential(spec: &DesignSpec, script: &EcoScript) {
+    let lib = standard_library();
+    let design = spec.generate(&lib);
+    let options = options_for(&spec.name);
+    let model = model_for(spec);
+
+    let mut session = CompositionSession::open(design.clone(), &lib, options.clone(), model)
+        .expect("session opens");
+    session.apply_script(script).expect("ecos apply");
+    assert!(session.is_dirty());
+    session.recompose().expect("recompose succeeds");
+    assert!(!session.is_dirty());
+    assert_eq!(session.passes(), 2, "open + one eco pass");
+
+    let mut batch_design = design;
+    let mut batch_model = model;
+    for eco in &script.ecos {
+        apply_eco(&mut batch_design, &mut batch_model, &lib, eco).expect("ecos apply");
+    }
+    let batch_outcome = Composer::new(options, batch_model)
+        .compose(&mut batch_design, &lib)
+        .expect("batch flow succeeds");
+
+    assert_eq!(
+        session.composed().to_design_text(&lib),
+        batch_design.to_design_text(&lib),
+        "{}: composed design diverged from batch",
+        spec.name
+    );
+    assert_eq!(
+        scrubbed(session.outcome()),
+        scrubbed(&batch_outcome),
+        "{}: outcome diverged from batch",
+        spec.name
+    );
+}
+
+#[test]
+fn recompose_matches_batch_on_every_preset() {
+    for spec in all_presets() {
+        let lib = standard_library();
+        let design = spec.generate(&lib);
+        let script = eco_script_for(&spec, &design, &lib, 12);
+        assert_differential(&spec, &script);
+    }
+}
+
+#[test]
+fn structural_ecos_match_batch_too() {
+    // Remove/add/tighten force the rebuild path (plus the partition memo
+    // across a structural pass); they must stay byte-identical as well.
+    let spec = d1();
+    let lib = standard_library();
+    let design = spec.generate(&lib);
+    let movable = design
+        .registers()
+        .filter(|(_, inst)| !inst.register_attrs().expect("register").fixed)
+        .map(|(_, inst)| inst.name.clone())
+        .take(2)
+        .collect::<Vec<_>>();
+    let script = EcoScript {
+        ecos: vec![
+            Eco::Remove {
+                name: movable[0].clone(),
+            },
+            Eco::Add {
+                template: movable[1].clone(),
+                name: "eco_new_reg".into(),
+                x: 600,
+                y: 600,
+            },
+            Eco::TightenClock {
+                period_ps: spec.clock_period * 0.98,
+            },
+        ],
+    };
+    assert!(script.ecos.iter().all(|e| e.is_structural()));
+    assert_differential(&spec, &script);
+}
+
+#[test]
+fn clean_recompose_is_a_noop_and_recompose_is_idempotent() {
+    let spec = d1();
+    let lib = standard_library();
+    let design = spec.generate(&lib);
+    let script = eco_script_for(&spec, &design, &lib, 6);
+    let mut session =
+        CompositionSession::open(design, &lib, options_for(&spec.name), model_for(&spec))
+            .expect("session opens");
+
+    // No pending ECO: recompose runs nothing at all.
+    assert!(!session.is_dirty());
+    let before = scrubbed(session.outcome());
+    let text_before = session.composed().to_design_text(&lib);
+    session.recompose().expect("noop recompose");
+    assert_eq!(session.passes(), 1, "clean recompose must not run a pass");
+    assert_eq!(scrubbed(session.outcome()), before);
+
+    // One dirty pass, then a second recompose with nothing new pending.
+    session.apply_script(&script).expect("ecos apply");
+    session.recompose().expect("dirty recompose");
+    assert_eq!(session.passes(), 2);
+    let after = scrubbed(session.outcome());
+    let text_after = session.composed().to_design_text(&lib);
+    assert_ne!(text_before, text_after, "the ecos moved registers");
+    session.recompose().expect("second recompose");
+    assert_eq!(session.passes(), 2, "second recompose must be a no-op");
+    assert_eq!(scrubbed(session.outcome()), after);
+    assert_eq!(session.composed().to_design_text(&lib), text_after);
+}
+
+#[test]
+fn rejected_ecos_leave_the_session_clean() {
+    let spec = d1();
+    let lib = standard_library();
+    let design = spec.generate(&lib);
+    let mut session =
+        CompositionSession::open(design, &lib, options_for(&spec.name), model_for(&spec))
+            .expect("session opens");
+    let err = session
+        .apply(&Eco::Move {
+            name: "no_such_register".into(),
+            x: 0,
+            y: 0,
+        })
+        .unwrap_err();
+    assert_eq!(err, EcoError::UnknownInstance("no_such_register".into()));
+    assert!(
+        !session.is_dirty(),
+        "a rejected eco must not dirty anything"
+    );
+    let err = session
+        .apply(&Eco::TightenClock { period_ps: -1.0 })
+        .unwrap_err();
+    assert_eq!(err, EcoError::BadPeriod(-1.0));
+    assert!(!session.is_dirty());
+}
