@@ -1,0 +1,10 @@
+//! Paper-scale target: stage timings on the d6 preset (≈20 k registers),
+//! plus — outside `MBR_BENCH_QUICK` — a full bounded d6 compose and d7/d8
+//! netlist generation.
+//!
+//! Run with `cargo bench -p mbr-bench --bench scale`; results land in
+//! `BENCH_scale.json`.
+
+fn main() {
+    mbr_bench::suites::scale();
+}

@@ -2,7 +2,8 @@
 //!
 //! Usage: `cargo run --release -p mbr-bench --bin bench -- [suite ...]`
 //! where each suite is one of `table1`, `fig5`, `fig6`, `ablations`,
-//! `solvers`, `obs`, `par`, `incr`; with no arguments every suite runs.
+//! `solvers`, `obs`, `par`, `incr`, `scale`; with no arguments every
+//! suite runs.
 //! Set `MBR_BENCH_QUICK=1` for a three-sample smoke run.
 
 use mbr_bench::suites;
@@ -23,9 +24,10 @@ fn main() {
             "obs" => suites::obs(),
             "par" => suites::par(),
             "incr" => suites::incr(),
+            "scale" => suites::scale(),
             other => {
                 eprintln!(
-                    "unknown suite `{other}` (expected table1|fig5|fig6|ablations|solvers|obs|par|incr)"
+                    "unknown suite `{other}` (expected table1|fig5|fig6|ablations|solvers|obs|par|incr|scale)"
                 );
                 std::process::exit(2);
             }

@@ -160,11 +160,13 @@ fn profile_decompose(lib: &mbr_liberty::Library) {
         let mut nodes = 0u64;
         for set in &sets {
             let mut sp = mbr_lp::SetPartition::new(set.elements.len());
+            sp.set_lp_bound(options.lp_bound)
+                .set_dual_order(options.dual_ordering);
             for (i, idx) in set.member_idx.iter().enumerate() {
                 sp.add_candidate(idx, set.candidates[i].weight);
             }
             nodes += sp
-                .solve_bounded(options.ilp_node_limit)
+                .solve_bounded(options.node_budget)
                 .unwrap()
                 .nodes_explored;
         }

@@ -468,6 +468,54 @@ pub fn incr() {
     suite.finish();
 }
 
+/// Paper-scale presets: stage timings on d6 (≈20 k registers) always, and
+/// — in full (non-quick) runs — a complete bounded compose of d6 plus
+/// netlist generation of d7/d8 (≈100 k / ≈500 k registers). Full composes
+/// of d7/d8 are out of a bench harness's budget (minutes per call times
+/// the minimum sample count); the d6 compose is the headline paper-scale
+/// number, and `tests/file_scale.rs` covers d6 correctness end to end.
+/// Every measurement's observed pass attaches the pruning counters
+/// (`core.candidates.filtered`, `lp.setpart.lp_bound_cuts`, …) to
+/// `BENCH_scale.json`, so scale regressions trace to algorithmic work.
+pub fn scale() {
+    use mbr_core::candidates::enumerate_candidates;
+    use mbr_core::compat::CompatGraph;
+    use mbr_sta::Sta;
+
+    let quick = std::env::var("MBR_BENCH_QUICK").is_ok_and(|v| v != "0");
+    let lib = library();
+    let mut suite = Suite::new("scale");
+
+    let spec = mbr_workloads::d6();
+    let design = generate(&spec, &lib);
+    let model = model_for(&spec);
+    let options = ComposerOptions::default();
+
+    suite.bench("generate/d6", || spec.generate(&lib));
+    suite.bench("stages/sta_full/d6", || {
+        Sta::new(&design, &lib, model).expect("acyclic")
+    });
+    let sta = Sta::new(&design, &lib, model).expect("acyclic");
+    suite.bench("stages/compat_graph/d6", || {
+        CompatGraph::build(&design, &lib, &sta, &options)
+    });
+    if !quick {
+        let compat = CompatGraph::build(&design, &lib, &sta, &options);
+        suite.bench("stages/enumerate_candidates/d6", || {
+            enumerate_candidates(&design, &lib, &compat, &options)
+        });
+        let composer = Composer::new(options.clone(), model);
+        suite.bench("compose/d6", || {
+            let mut work = design.clone();
+            composer.compose(&mut work, &lib).expect("flow succeeds")
+        });
+        for spec in [mbr_workloads::d7(), mbr_workloads::d8()] {
+            suite.bench(&format!("generate/{}", spec.name), || spec.generate(&lib));
+        }
+    }
+    suite.finish();
+}
+
 /// Runs every suite, in a deterministic order.
 pub fn run_all() {
     table1();
@@ -478,4 +526,5 @@ pub fn run_all() {
     obs();
     par();
     incr();
+    scale();
 }

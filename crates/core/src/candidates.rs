@@ -9,8 +9,8 @@
 
 use std::collections::{HashMap, HashSet};
 
-use mbr_geom::Point;
-use mbr_graph::{partition_geometric, BitGraph};
+use mbr_geom::{Point, Rect};
+use mbr_graph::{partition_geometric, BitGraph, SubcliqueStep};
 use mbr_liberty::{CellId, Library, ScanStyle};
 use mbr_netlist::{Design, InstId};
 use mbr_obs::{self as obs, Counter};
@@ -97,16 +97,19 @@ pub fn enumerate_candidates(
     // context; workers return their visit counts and the main thread
     // flushes the counters once, so the trace is identical at every thread
     // count (results arrive in partition order by `par_map`'s contract).
-    let results: Vec<(CandidateSet, u64)> =
+    let results: Vec<(CandidateSet, u64, u64)> =
         mbr_par::par_map(options.threads, &partitions, |_, part: &Vec<usize>| {
             let mut visited = 0u64;
-            let set = enumerate_partition(&ctx, part, &mut visited);
-            (set, visited)
+            let mut filtered = 0u64;
+            let set = enumerate_partition(&ctx, part, &mut visited, &mut filtered);
+            (set, visited, filtered)
         });
-    let visited_total: u64 = results.iter().map(|(_, v)| v).sum();
-    let sets: Vec<CandidateSet> = results.into_iter().map(|(set, _)| set).collect();
+    let visited_total: u64 = results.iter().map(|(_, v, _)| v).sum();
+    let filtered_total: u64 = results.iter().map(|(_, _, f)| f).sum();
+    let sets: Vec<CandidateSet> = results.into_iter().map(|(set, _, _)| set).collect();
     obs::counter(Counter::CandidatePartitions, partitions.len() as u64);
     obs::counter(Counter::CandidateSubsetsVisited, visited_total);
+    obs::counter(Counter::SetPartCandidatesFiltered, filtered_total);
     obs::counter(
         Counter::CandidatesEnumerated,
         sets.iter().map(|s| s.candidates.len() as u64).sum(),
@@ -114,7 +117,34 @@ pub fn enumerate_candidates(
     sets
 }
 
-fn enumerate_partition(ctx: &EnumCtx<'_>, part: &[usize], visited_total: &mut u64) -> CandidateSet {
+/// Intersection of the masked members' feasible regions, if non-empty.
+///
+/// Within a clique this never *is* empty: compatibility edges guarantee
+/// pairwise region overlap, and axis-aligned rectangles obey Helly's
+/// theorem per axis, so pairwise overlap implies a common point. The
+/// subtree cut below is therefore a safety net that keeps the "group
+/// displacement within every member's slack" invariant explicit — it
+/// starts firing the day regions stop being rectangles — rather than a
+/// source of work savings on current designs.
+fn common_region(regions: &[Rect], mask: u64) -> Option<Rect> {
+    let mut m = mask;
+    let first = m.trailing_zeros() as usize;
+    m &= m - 1;
+    let mut acc = regions[first];
+    while m != 0 {
+        let i = m.trailing_zeros() as usize;
+        m &= m - 1;
+        acc = acc.intersection(&regions[i])?;
+    }
+    Some(acc)
+}
+
+fn enumerate_partition(
+    ctx: &EnumCtx<'_>,
+    part: &[usize],
+    visited_total: &mut u64,
+    filtered_total: &mut u64,
+) -> CandidateSet {
     let EnumCtx {
         design,
         lib,
@@ -168,30 +198,87 @@ fn enumerate_partition(ctx: &EnumCtx<'_>, part: &[usize], visited_total: &mut u6
     // Budget the visits as well.
     let visit_budget = cap.saturating_mul(options.subclique_visit_multiplier.max(1));
     let mut visited = 0usize;
+    let mut filtered = 0u64;
+    let prune = options.prune_subsets;
+    let regions: Vec<Rect> = part.iter().map(|&n| compat.regs[n].region).collect();
+    // Fully enumerated cliques so far: any subset of one of them has been
+    // visited already (the DFS walks every budget-feasible subset), so a
+    // later clique's subtree that cannot escape an earlier clique's overlap
+    // yields duplicates only and is cut whole. The accepted candidate set
+    // and its order are untouched — the cut subtrees contribute nothing but
+    // `seen` rejections — which is what keeps pruned and unpruned composes
+    // byte-identical (`tests/pruning.rs`).
+    let mut prior_cliques: Vec<u64> = Vec::new();
     for clique in bg.maximal_cliques() {
         set.maximal_cliques.push(mask_locals(clique));
         if clique.count_ones() < 2 {
             continue;
         }
-        let completed = bg.for_each_subclique(clique, &bits, max_bits, &mut |mask, total_bits| {
-            visited += 1;
-            let under_budget =
-                set.candidates.len() < cap + elements.len() && visited < visit_budget;
-            if mask.count_ones() < 2 || !seen.insert(mask) {
-                return under_budget;
-            }
-            if let Some((cand, idx)) = validate_candidate(ctx, part, mask, total_bits) {
-                set.candidates.push(cand);
-                set.member_idx.push(idx);
-            }
-            under_budget
-        });
+        let overlaps: Vec<u64> = if prune {
+            prior_cliques
+                .iter()
+                .map(|&p| p & clique)
+                .filter(|m| m.count_ones() >= 2)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let completed = bg.for_each_subclique_controlled(
+            clique,
+            &bits,
+            max_bits,
+            &mut |mask, total_bits, rest| {
+                if prune {
+                    let reach = mask | rest;
+                    if overlaps.iter().any(|&m| reach & !m == 0) {
+                        filtered += 1;
+                        return SubcliqueStep::Prune;
+                    }
+                    if mask.count_ones() >= 2 {
+                        if overlaps.iter().any(|&m| mask & !m == 0) {
+                            // Duplicate subset, but supersets can still
+                            // escape the earlier clique: skip the work,
+                            // keep descending.
+                            filtered += 1;
+                            return SubcliqueStep::Descend;
+                        }
+                        if common_region(&regions, mask).is_none() {
+                            // No placement satisfies every member's slack;
+                            // supersets only shrink the intersection.
+                            filtered += 1;
+                            return SubcliqueStep::Prune;
+                        }
+                    }
+                }
+                visited += 1;
+                let under_budget =
+                    set.candidates.len() < cap + elements.len() && visited < visit_budget;
+                if mask.count_ones() < 2 || !seen.insert(mask) {
+                    return if under_budget {
+                        SubcliqueStep::Descend
+                    } else {
+                        SubcliqueStep::Stop
+                    };
+                }
+                if let Some((cand, idx)) = validate_candidate(ctx, part, mask, total_bits) {
+                    set.candidates.push(cand);
+                    set.member_idx.push(idx);
+                }
+                if under_budget {
+                    SubcliqueStep::Descend
+                } else {
+                    SubcliqueStep::Stop
+                }
+            },
+        );
         if !completed {
             set.truncated = true;
             break;
         }
+        prior_cliques.push(clique);
     }
     *visited_total += visited as u64;
+    *filtered_total += filtered;
     set
 }
 
@@ -450,18 +537,21 @@ pub(crate) fn enumerate_incremental(
         index: &index,
         options,
     };
-    let results: Vec<(usize, CandidateSet, u64)> =
+    let results: Vec<(usize, CandidateSet, u64, u64)> =
         mbr_par::par_map(options.threads, &fresh_work, |_, &(i, part)| {
             let mut visited = 0u64;
-            let set = enumerate_partition(&ctx, part, &mut visited);
-            (i, set, visited)
+            let mut filtered = 0u64;
+            let set = enumerate_partition(&ctx, part, &mut visited, &mut filtered);
+            (i, set, visited, filtered)
         });
 
     let mut fresh: Vec<(usize, Vec<u64>)> = Vec::with_capacity(results.len());
     let mut visited_total = 0u64;
+    let mut filtered_total = 0u64;
     let mut enumerated_fresh = 0u64;
-    for (i, set, visited) in results {
+    for (i, set, visited, filtered) in results {
         visited_total += visited;
+        filtered_total += filtered;
         enumerated_fresh += set.candidates.len() as u64;
         fresh.push((i, keys[i].clone()));
         sets[i] = Some(set);
@@ -469,6 +559,7 @@ pub(crate) fn enumerate_incremental(
     let hits = (partitions.len() - fresh.len()) as u64;
     obs::counter(Counter::CandidatePartitions, partitions.len() as u64);
     obs::counter(Counter::CandidateSubsetsVisited, visited_total);
+    obs::counter(Counter::SetPartCandidatesFiltered, filtered_total);
     obs::counter(Counter::CandidatesEnumerated, enumerated_fresh);
     obs::counter(Counter::SessionPartitionsReused, hits);
     obs::counter(Counter::SessionPartitionsRecomputed, fresh.len() as u64);

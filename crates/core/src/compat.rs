@@ -40,6 +40,9 @@ pub struct ComposableRegister {
     pub class: ClassId,
     /// Connected bit count.
     pub width: u8,
+    /// Widest library cell of the class — an upper bound on the connected
+    /// bits of any MBR group this register can join.
+    pub max_class_width: u8,
     /// Worst D-pin slack, if any D pin is constrained, ps.
     pub d_slack: Option<f64>,
     /// Worst Q-pin slack, if any Q pin is loaded, ps.
@@ -97,6 +100,7 @@ impl CompatGraph {
         }
 
         let mut checked: HashMap<(usize, usize), ()> = HashMap::new();
+        let mut removed = 0u64;
         for bucket in buckets.values() {
             for (k, &i) in bucket.iter().enumerate() {
                 for &j in &bucket[k + 1..] {
@@ -105,13 +109,18 @@ impl CompatGraph {
                         continue;
                     }
                     if compatible(design, &regs[i], &regs[j], options) {
-                        graph.add_edge(i, j);
+                        if options.prune_compat_edges && !width_sum_selectable(&regs[i], &regs[j]) {
+                            removed += 1;
+                        } else {
+                            graph.add_edge(i, j);
+                        }
                     }
                 }
             }
         }
         obs::counter(Counter::CompatRegisters, regs.len() as u64);
         obs::counter(Counter::CompatEdges, graph.edge_count() as u64);
+        obs::counter(Counter::CompatEdgesRemoved, removed);
         CompatGraph { regs, graph }
     }
 
@@ -192,6 +201,7 @@ fn composable_entry(
         inst: inst_id,
         class: c.class,
         width,
+        max_class_width: lib.max_width(c.class),
         d_slack,
         q_slack,
         skew_window,
@@ -292,6 +302,7 @@ pub(crate) fn build_incremental(
         }
     }
     let mut checked: HashMap<(usize, usize), ()> = HashMap::new();
+    let mut removed = 0u64;
     for bucket in buckets.values() {
         for (k, &i) in bucket.iter().enumerate() {
             for &j in &bucket[k + 1..] {
@@ -299,8 +310,19 @@ pub(crate) fn build_incremental(
                 if checked.insert(key, ()).is_some() {
                     continue;
                 }
+                // Cached edges are post-prune, so the width-sum filter only
+                // applies on the recompute path; the counter reflects pairs
+                // this pass actually re-examined.
                 let has_edge = if recomputed[i] || recomputed[j] {
                     compatible(design, &regs[i], &regs[j], options)
+                        && if options.prune_compat_edges
+                            && !width_sum_selectable(&regs[i], &regs[j])
+                        {
+                            removed += 1;
+                            false
+                        } else {
+                            true
+                        }
                 } else {
                     let a = regs[i].inst;
                     let b = regs[j].inst;
@@ -314,6 +336,7 @@ pub(crate) fn build_incremental(
     }
     obs::counter(Counter::CompatRegisters, regs.len() as u64);
     obs::counter(Counter::CompatEdges, graph.edge_count() as u64);
+    obs::counter(Counter::CompatEdgesRemoved, removed);
     obs::counter(Counter::SessionCompatReused, reused_entries);
     let out = CompatGraph { regs, graph };
     cache.store(&out);
@@ -374,6 +397,19 @@ fn scan_compatible(design: &Design, a: &ComposableRegister, b: &ComposableRegist
 
 fn placement_compatible(a: &ComposableRegister, b: &ComposableRegister) -> bool {
     a.region.intersects(&b.region)
+}
+
+/// The width-sum edge prune: a pair whose combined connected bits exceed
+/// every library cell of the class can never co-inhabit a selectable
+/// candidate — a complete MBR needs an exact-width cell and an incomplete
+/// one a strictly wider cell, and both are bounded by the class maximum —
+/// so keeping the edge only feeds the enumeration dead sub-cliques. On
+/// libraries whose composable widths are a doubling chain (the standard
+/// library) the rule never fires: two composable registers sum to at most
+/// the class maximum. The synthetic-library tests below exercise the
+/// firing path; `tests/pruning.rs` pins the vacuity on the presets.
+fn width_sum_selectable(a: &ComposableRegister, b: &ComposableRegister) -> bool {
+    u32::from(a.width) + u32::from(b.width) <= u32::from(a.max_class_width)
 }
 
 fn timing_compatible(
@@ -570,6 +606,7 @@ mod tests {
             inst: InstId::from_index(0),
             class: ClassId::from_index(0),
             width: 1,
+            max_class_width: 8,
             d_slack: Some(d),
             q_slack: Some(q),
             skew_window: SkewWindow { lo: -d, hi: q },
@@ -599,6 +636,75 @@ mod tests {
             hi: -80.0,
         };
         assert!(!timing_compatible(&w1, &w2, &opts));
+    }
+
+    #[test]
+    fn width_sum_beyond_class_max_drops_the_edge() {
+        // Two partially connected 8-bit registers whose combined bits (5+4)
+        // exceed the widest DFF (8): no library cell can host a group
+        // containing both, so the prune removes their edge. Partially
+        // connected registers only arise from incomplete MBRs of earlier
+        // passes, which is why the rule never fires on the fresh presets.
+        let mut f = Fixture::new();
+        let clk = f.design.add_net("clk");
+        let cell8 = f.lib.cell_by_name("DFF_8X1").unwrap();
+        let a = f.design.add_register(
+            "a",
+            &f.lib,
+            cell8,
+            Point::new(1_000, 600),
+            RegisterAttrs::clocked(clk),
+        );
+        let b = f.design.add_register(
+            "b",
+            &f.lib,
+            cell8,
+            Point::new(3_000, 600),
+            RegisterAttrs::clocked(clk),
+        );
+        for (inst, bits) in [(a, 5u8), (b, 4u8)] {
+            if let InstKind::Register { connected_bits, .. } = &mut f.design.inst_mut(inst).kind {
+                *connected_bits = bits;
+            }
+        }
+        let sta = Sta::new(&f.design, &f.lib, DelayModel::default()).unwrap();
+        let pruned = CompatGraph::build(&f.design, &f.lib, &sta, &ComposerOptions::default());
+        assert_eq!(pruned.regs.len(), 2, "width 5 and 4 are both composable");
+        assert_eq!(pruned.graph.edge_count(), 0, "5 + 4 > 8: edge pruned");
+        let unpruned = CompatGraph::build(
+            &f.design,
+            &f.lib,
+            &sta,
+            &ComposerOptions {
+                prune_compat_edges: false,
+                ..ComposerOptions::default()
+            },
+        );
+        assert_eq!(
+            unpruned.graph.edge_count(),
+            1,
+            "the pair is compatible in all four senses without the prune"
+        );
+    }
+
+    #[test]
+    fn width_sum_rule_is_exact_at_the_class_maximum() {
+        let mk = |width: u8| ComposableRegister {
+            inst: InstId::from_index(0),
+            class: ClassId::from_index(0),
+            width,
+            max_class_width: 8,
+            d_slack: None,
+            q_slack: None,
+            skew_window: SkewWindow { lo: 0.0, hi: 0.0 },
+            region: Rect::new(Point::new(0, 0), Point::new(100, 100)),
+            clock_pos: Point::ORIGIN,
+            area: 2.0,
+            drive_resistance: 6.0,
+        };
+        assert!(width_sum_selectable(&mk(4), &mk(4)), "sum == max stays");
+        assert!(!width_sum_selectable(&mk(5), &mk(4)), "sum > max goes");
+        assert!(width_sum_selectable(&mk(1), &mk(7)));
     }
 
     #[test]

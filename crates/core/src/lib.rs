@@ -111,7 +111,29 @@ pub struct ComposerOptions {
     pub max_candidates_per_partition: usize,
     /// Branch-and-bound node budget per partition ILP; when hit, the best
     /// incumbent (a valid cover) is used instead of the proven optimum.
-    pub ilp_node_limit: u64,
+    /// This is the quality-vs-runtime knob for the paper-scale presets:
+    /// d1–d5 prove every partition optimal well inside the default, while
+    /// d6–d8 lean on the incumbent guarantee to stay bounded.
+    pub node_budget: u64,
+    /// Skip candidate subsets the enumeration can prove redundant or
+    /// unselectable before validating them (duplicate sub-clique visits,
+    /// empty shared feasible regions). Never changes the accepted candidate
+    /// set — see the pruning differential tests.
+    pub prune_subsets: bool,
+    /// Drop compatibility-graph edges whose endpoints can never co-inhabit
+    /// a selectable candidate (combined bit-width exceeds every library
+    /// cell of the class). Never changes composition results — a group
+    /// containing such a pair has no cell to map to.
+    pub prune_compat_edges: bool,
+    /// Bound the assignment B&B with the LP-relaxation dual certificate in
+    /// addition to the static fractional bound. Admissible, applied with
+    /// unchanged branch order, so selections are byte-identical; it only
+    /// prunes earlier.
+    pub lp_bound: bool,
+    /// Re-order candidate branches by LP reduced cost inside the B&B.
+    /// Weight-identical but may pick a different tied optimum, so it is off
+    /// by default and excluded from the byte-identity guarantee.
+    pub dual_ordering: bool,
     /// Sub-clique enumeration may *visit* at most
     /// `max_candidates_per_partition × this` subsets per partition — dense
     /// partitions reject almost every subset as blocked (`w = ∞`), so a
@@ -155,7 +177,11 @@ impl Default for ComposerOptions {
             max_region_radius: 15_000,
             use_blocking_weights: true,
             max_candidates_per_partition: 20_000,
-            ilp_node_limit: 100_000,
+            node_budget: 100_000,
+            prune_subsets: true,
+            prune_compat_edges: true,
+            lp_bound: true,
+            dual_ordering: false,
             subclique_visit_multiplier: 64,
             apply_useful_skew: true,
             skew: SkewConfig::default(),

@@ -40,7 +40,7 @@ pub(crate) fn run(
     outcome: &mut ComposeOutcome,
 ) -> Result<Selection, ComposeError> {
     let handle = SpanHandle::current();
-    let node_limit = options.ilp_node_limit;
+    let node_limit = options.node_budget;
     type SolveResult = Result<(Vec<usize>, u64), SetPartitionError>;
     let work: Vec<_> = enumeration
         .sets
@@ -56,6 +56,8 @@ pub(crate) fn run(
                 Strategy::Ilp => {
                     let _solve = handle.attach("flow.compose.assignment.solve");
                     let mut sp = SetPartition::new(set.elements.len());
+                    sp.set_lp_bound(options.lp_bound)
+                        .set_dual_order(options.dual_ordering);
                     for idx in &set.member_idx {
                         // weights are finite by construction
                         let w = set.candidates[sp.num_candidates()].weight;

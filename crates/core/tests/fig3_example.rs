@@ -116,6 +116,7 @@ fn example() -> Example {
                 inst,
                 class,
                 width,
+                max_class_width: lib.max_width(class),
                 d_slack: None,
                 q_slack: None,
                 skew_window: SkewWindow {

@@ -308,10 +308,51 @@ impl BitGraph {
         max_bits: u32,
         visit: &mut dyn FnMut(u64, u32) -> bool,
     ) -> bool {
+        self.for_each_subclique_controlled(clique, bits, max_bits, &mut |mask, b, _| {
+            if visit(mask, b) {
+                SubcliqueStep::Descend
+            } else {
+                SubcliqueStep::Stop
+            }
+        })
+    }
+
+    /// [`BitGraph::for_each_subclique`] with per-subset control: `visit`
+    /// receives `(mask, bits, rest)` — `rest` being the mask of clique
+    /// members the DFS can still add below this subset — and steers the
+    /// enumeration via [`SubcliqueStep`]. `Prune` skips every superset of
+    /// the visited subset (the caller has proven them unnecessary, e.g. a
+    /// monotone emptiness test failed) while siblings continue; `Stop`
+    /// aborts outright. Returns whether enumeration ran to completion
+    /// (`Prune` still counts as completing).
+    pub fn for_each_subclique_controlled(
+        &self,
+        clique: u64,
+        bits: &[u32],
+        max_bits: u32,
+        visit: &mut dyn FnMut(u64, u32, u64) -> SubcliqueStep,
+    ) -> bool {
         debug_assert_eq!(bits.len(), self.nodes.len());
         let members = mask_indices(clique);
-        subset_dfs(&members, bits, 0, 0, 0, max_bits, visit)
+        // suffix[i] = the members still addable once the DFS has consumed
+        // members[..i]; one extra slot so leaf frames read an empty rest.
+        let mut suffix = vec![0u64; members.len() + 1];
+        for i in (0..members.len()).rev() {
+            suffix[i] = suffix[i + 1] | (1 << members[i]);
+        }
+        subset_dfs(&members, &suffix, bits, 0, 0, 0, max_bits, visit)
     }
+}
+
+/// One subset's verdict in [`BitGraph::for_each_subclique_controlled`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubcliqueStep {
+    /// Keep enumerating into this subset's supersets.
+    Descend,
+    /// Skip every superset of this subset; continue with its siblings.
+    Prune,
+    /// Abort the whole enumeration.
+    Stop,
 }
 
 fn mask_indices(mask: u64) -> Vec<usize> {
@@ -324,23 +365,30 @@ fn mask_indices(mask: u64) -> Vec<usize> {
     v
 }
 
+#[allow(clippy::too_many_arguments)]
 fn subset_dfs(
     members: &[usize],
+    suffix: &[u64],
     bits: &[u32],
     idx: usize,
     current: u64,
     current_bits: u32,
     max_bits: u32,
-    visit: &mut dyn FnMut(u64, u32) -> bool,
+    visit: &mut dyn FnMut(u64, u32, u64) -> SubcliqueStep,
 ) -> bool {
-    if current != 0 && !visit(current, current_bits) {
-        return false;
+    if current != 0 {
+        match visit(current, current_bits, suffix[idx]) {
+            SubcliqueStep::Descend => {}
+            SubcliqueStep::Prune => return true,
+            SubcliqueStep::Stop => return false,
+        }
     }
     for (offset, &node) in members.iter().enumerate().skip(idx) {
         let nb = current_bits + bits[node];
         if nb <= max_bits
             && !subset_dfs(
                 members,
+                suffix,
                 bits,
                 offset + 1,
                 current | (1 << node),
@@ -514,6 +562,78 @@ mod tests {
         });
         assert!(!completed, "enumeration was cut short");
         assert_eq!(count, 50);
+    }
+
+    #[test]
+    fn controlled_enumeration_prunes_supersets_only() {
+        let mut g = UnGraph::new(4);
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                g.add_edge(i, j);
+            }
+        }
+        let bg = BitGraph::from_subgraph(&g, &[0, 1, 2, 3]);
+        let bits = [1u32; 4];
+        // Prune below {0}: its supersets {0,1}, {0,1,2}, ... vanish, but
+        // every 0-free subset and the other singletons survive.
+        let mut seen = Vec::new();
+        let done = bg.for_each_subclique_controlled(0b1111, &bits, 4, &mut |mask, _, _| {
+            seen.push(mask);
+            if mask == 0b0001 {
+                SubcliqueStep::Prune
+            } else {
+                SubcliqueStep::Descend
+            }
+        });
+        assert!(done);
+        assert!(seen.contains(&0b0001));
+        assert!(!seen.iter().any(|&m| m & 0b0001 != 0 && m != 0b0001));
+        // 2^3 - 1 subsets of {1,2,3} plus the pruned {0} itself.
+        assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    fn controlled_enumeration_reports_the_addable_rest() {
+        let mut g = UnGraph::new(3);
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                g.add_edge(i, j);
+            }
+        }
+        let bg = BitGraph::from_subgraph(&g, &[0, 1, 2]);
+        let bits = [1u32; 3];
+        let mut ok = true;
+        bg.for_each_subclique_controlled(0b111, &bits, 3, &mut |mask, _, rest| {
+            // The DFS adds members in ascending order, so the addable rest
+            // is exactly the clique members above the subset's highest bit.
+            let top = 63 - mask.leading_zeros();
+            ok &= rest == 0b111 & !((2u64 << top) - 1);
+            SubcliqueStep::Descend
+        });
+        assert!(ok);
+    }
+
+    #[test]
+    fn controlled_stop_aborts_like_the_boolean_form() {
+        let mut g = UnGraph::new(5);
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                g.add_edge(i, j);
+            }
+        }
+        let bg = BitGraph::from_subgraph(&g, &(0..5).collect::<Vec<_>>());
+        let bits = [1u32; 5];
+        let mut count = 0;
+        let done = bg.for_each_subclique_controlled(0b11111, &bits, 5, &mut |_, _, _| {
+            count += 1;
+            if count == 7 {
+                SubcliqueStep::Stop
+            } else {
+                SubcliqueStep::Descend
+            }
+        });
+        assert!(!done);
+        assert_eq!(count, 7);
     }
 
     #[test]

@@ -18,6 +18,19 @@
 //!   upper bound;
 //! * **fractional lower bound**: `Σ_e min_{S∋e} w_S/|S|` over uncovered
 //!   elements prunes the search;
+//! * **LP-relaxation bound** (opt-in, [`SetPartition::set_lp_bound`]): one
+//!   root solve of the LP relaxation recovers per-element dual potentials
+//!   `y_e`; any exact cover of an uncovered set `U` costs at least
+//!   `Σ_{e∈U} y_e`, which strictly dominates the fractional bound at the
+//!   root and usually deep into the tree. When the greedy incumbent already
+//!   matches the relaxation value the search is closed without branching.
+//!   Because the bound is admissible and the branch order is untouched, the
+//!   returned selection is bit-identical to the unpruned search (see
+//!   `DESIGN.md` §11 and `tests/differential.rs`);
+//! * **dual-guided ordering** (opt-in, [`SetPartition::set_dual_order`]):
+//!   branch candidates in ascending reduced cost `w_S - Σ_{e∈S} y_e`
+//!   instead of ascending weight. This changes tie-breaking among equal-cost
+//!   optima, so it is a separate knob proven weight-identical only;
 //! * **element selection**: branch on the uncovered element with the fewest
 //!   admissible candidates (fail-first).
 //!
@@ -97,9 +110,15 @@ pub struct SetPartitionSolution {
     /// Times the search replaced the incumbent with a cheaper cover (the
     /// initial greedy incumbent is not counted).
     pub incumbent_improvements: u64,
-    /// Whether the search ran to completion (`false` only for
-    /// [`SetPartition::solve_bounded`] runs that hit their node budget; the
-    /// returned cover is then the best incumbent, not proven optimal).
+    /// Prunes attributable to the LP-relaxation dual bound: nodes the
+    /// fractional bound alone would not have cut, plus root solves closed
+    /// outright because the greedy incumbent met the relaxation value.
+    pub lp_bound_cuts: u64,
+    /// Whether the search proved optimality: the DFS drained its tree (even
+    /// if the last node landed exactly on the budget) or the LP bound closed
+    /// the root. `false` only when a [`SetPartition::solve_bounded`] budget
+    /// actually truncated the search; the returned cover is then the best
+    /// incumbent, not proven optimal.
     pub proven_optimal: bool,
 }
 
@@ -124,15 +143,41 @@ pub struct SetPartitionSolution {
 pub struct SetPartition {
     num_elements: usize,
     candidates: Vec<Candidate>,
+    use_lp_bound: bool,
+    dual_order: bool,
 }
 
+/// Below this many surviving candidates the search tree is small enough
+/// that a root LP solve costs more than it saves; the relaxation machinery
+/// stays off regardless of the flags.
+const LP_BOUND_MIN_CANDIDATES: usize = 16;
+
 impl SetPartition {
-    /// Creates an instance over elements `0..num_elements`.
+    /// Creates an instance over elements `0..num_elements`. Both pruning
+    /// knobs start off, so a plain `solve()` is the reference search.
     pub fn new(num_elements: usize) -> Self {
         SetPartition {
             num_elements,
             candidates: Vec::new(),
+            use_lp_bound: false,
+            dual_order: false,
         }
+    }
+
+    /// Enables the LP-relaxation dual bound. Admissible and applied with an
+    /// unchanged branch order, so the selected cover is identical to the
+    /// reference search — only `nodes_explored` shrinks.
+    pub fn set_lp_bound(&mut self, on: bool) -> &mut Self {
+        self.use_lp_bound = on;
+        self
+    }
+
+    /// Enables dual-guided candidate ordering (ascending reduced cost).
+    /// Changes tie-breaking among equal-weight optima: the result is
+    /// weight-identical but not necessarily the same selection.
+    pub fn set_dual_order(&mut self, on: bool) -> &mut Self {
+        self.dual_order = on;
+        self
     }
 
     /// Adds a candidate column; returns its index. Duplicate elements within
@@ -185,6 +230,7 @@ impl SetPartition {
                 Counter::SetPartIncumbentImprovements,
                 sol.incumbent_improvements,
             );
+            obs::counter(Counter::SetPartLpBoundCuts, sol.lp_bound_cuts);
         }
         result
     }
@@ -209,6 +255,7 @@ impl SetPartition {
                 nodes_explored: 0,
                 nodes_pruned: 0,
                 incumbent_improvements: 0,
+                lp_bound_cuts: 0,
                 proven_optimal: true,
             });
         }
@@ -246,12 +293,29 @@ impl SetPartition {
             return Err(SetPartitionError::Infeasible);
         }
 
+        // One root LP-relaxation solve, shared by the bound and the dual
+        // ordering. Skipped on small instances where the search tree is
+        // cheaper than the simplex.
+        let potentials =
+            if (self.use_lp_bound || self.dual_order) && active.len() >= LP_BOUND_MIN_CANDIDATES {
+                lp_potentials(&self.candidates, &active, self.num_elements)
+            } else {
+                None
+            };
+
         // Composition partitions are <= 30 registers: a bitmask search is
         // an order of magnitude faster there. Larger instances take the
         // general path.
         if self.num_elements <= 64 {
-            let searcher =
-                MaskSearcher::build(&self.candidates, &covers, self.num_elements, max_nodes);
+            let searcher = MaskSearcher::build(
+                &self.candidates,
+                &covers,
+                self.num_elements,
+                max_nodes,
+                self.use_lp_bound,
+                self.dual_order,
+                potentials.as_ref(),
+            );
             return searcher.run().ok_or(SetPartitionError::Infeasible);
         }
         let searcher = Searcher {
@@ -259,9 +323,67 @@ impl SetPartition {
             covers: &covers,
             num_elements: self.num_elements,
             max_nodes,
+            use_lp_bound: self.use_lp_bound,
+            dual_order: self.dual_order,
+            potentials: potentials.as_ref(),
         };
         searcher.run().ok_or(SetPartitionError::Infeasible)
     }
+}
+
+/// Dual certificate of the root LP relaxation: per-element potentials plus
+/// the certified bound `Σ y_e` they prove.
+struct LpPotentials {
+    /// Per-element potential `y_e`. Dual-feasible by construction: every
+    /// surviving candidate satisfies `Σ_{e∈S} y_e ≤ w_S`, so `Σ_{e∈U} y_e`
+    /// lower-bounds every exact cover of any element set `U`.
+    y: Vec<f64>,
+    /// The certified root bound (`Σ_e y_e`).
+    bound: f64,
+}
+
+/// Solves the LP relaxation `min w·x, Ax = 1, x ≥ 0` over the surviving
+/// candidates and certifies the recovered duals. Any numerical doubt —
+/// simplex failure, a singular basis, or a dual-feasibility violation
+/// beyond tolerance — voids the certificate (`None`), and the search falls
+/// back to the fractional bound; correctness never rests on LP numerics.
+fn lp_potentials(
+    candidates: &[Candidate],
+    active: &[usize],
+    num_elements: usize,
+) -> Option<LpPotentials> {
+    let mut a = vec![vec![0.0f64; active.len()]; num_elements];
+    let mut c = vec![0.0f64; active.len()];
+    for (col, &i) in active.iter().enumerate() {
+        c[col] = candidates[i].weight;
+        for &e in &candidates[i].elements {
+            a[e][col] = 1.0;
+        }
+    }
+    let b = vec![1.0f64; num_elements];
+    let (outcome, duals) = crate::simplex::solve_standard_form_with_duals(&a, &b, &c);
+    if !matches!(outcome, crate::simplex::SimplexOutcome::Optimal { .. }) {
+        return None;
+    }
+    let raw = duals?;
+    if raw.iter().any(|v| !v.is_finite()) {
+        return None;
+    }
+    // Audit dual feasibility and repair small violations by shifting every
+    // potential down by the worst one: with y'_e = y_e - v and |S| ≥ 1,
+    // Σ_{e∈S} y'_e ≤ Σ_{e∈S} y_e - v ≤ w_S. Large violations mean the
+    // basis solve went numerically wrong; discard the certificate.
+    let mut violation = 0.0f64;
+    for &i in active {
+        let ya: f64 = candidates[i].elements.iter().map(|&e| raw[e]).sum();
+        violation = violation.max(ya - candidates[i].weight);
+    }
+    if !violation.is_finite() || violation > 1e-6 {
+        return None;
+    }
+    let y: Vec<f64> = raw.iter().map(|v| v - violation).collect();
+    let bound = y.iter().sum();
+    Some(LpPotentials { y, bound })
 }
 
 /// Bitmask-specialized branch-and-bound for instances with at most 64
@@ -279,17 +401,27 @@ struct MaskSearcher {
     /// Static admissible share per element: min over covering candidates of
     /// weight/|set| (ignores conflicts, hence a valid lower bound).
     share: Vec<f64>,
+    /// LP-dual potential per element (zeros when no certificate); only
+    /// consulted when `use_lp_bound` is set.
+    y: Vec<f64>,
+    /// Certified root LP bound, when a certificate exists.
+    lp_root: Option<f64>,
+    use_lp_bound: bool,
     full: u64,
     num_elements: usize,
     max_nodes: u64,
 }
 
 impl MaskSearcher {
+    #[allow(clippy::too_many_arguments)]
     fn build(
         candidates: &[Candidate],
         covers: &[Vec<usize>],
         num_elements: usize,
         max_nodes: u64,
+        use_lp_bound: bool,
+        dual_order: bool,
+        potentials: Option<&LpPotentials>,
     ) -> MaskSearcher {
         // Active candidates are exactly those present in the covers lists.
         let mut active: Vec<usize> = covers.iter().flatten().copied().collect();
@@ -326,6 +458,23 @@ impl MaskSearcher {
                     .expect("finite weights")
             });
         }
+        if let (true, Some(p)) = (dual_order, potentials) {
+            // Reduced cost w_S - Σ_{e∈S} y_e: most promising columns first.
+            // The stable sort keeps the ascending-weight order among ties.
+            let reduced = |slot: u32| -> f64 {
+                let mut rc = weights[slot as usize];
+                let mut mask = masks[slot as usize];
+                while mask != 0 {
+                    let e = mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
+                    rc -= p.y[e];
+                }
+                rc
+            };
+            for list in &mut local_covers {
+                list.sort_by(|&a, &b| reduced(a).partial_cmp(&reduced(b)).expect("finite weights"));
+            }
+        }
         let full = if num_elements == 64 {
             u64::MAX
         } else {
@@ -337,6 +486,9 @@ impl MaskSearcher {
             original,
             covers: local_covers,
             share,
+            y: potentials.map_or_else(|| vec![0.0; num_elements], |p| p.y.clone()),
+            lp_root: potentials.map(|p| p.bound),
+            use_lp_bound,
             full,
             num_elements,
             max_nodes,
@@ -346,16 +498,30 @@ impl MaskSearcher {
     fn run(&self) -> Option<SetPartitionSolution> {
         // Greedy incumbent (best ratio of weight per newly covered element).
         let mut best: Option<(Vec<u32>, f64)> = self.greedy();
-        let mut chosen: Vec<u32> = Vec::new();
         let mut stats = SearchStats::default();
-        self.dfs(0, 0.0, &mut chosen, &mut best, &mut stats);
-        let proven_optimal = stats.nodes < self.max_nodes;
+        // Root cut: when the greedy incumbent already meets the certified
+        // relaxation bound, no cover is strictly cheaper, so the reference
+        // search would keep the greedy selection anyway — skip it entirely.
+        let skip_dfs = match (self.use_lp_bound, self.lp_root, &best) {
+            (true, Some(root), Some((_, cost))) => *cost <= root + 1e-9,
+            _ => false,
+        };
+        if skip_dfs {
+            stats.lp_cuts += 1;
+        } else {
+            let mut chosen: Vec<u32> = Vec::new();
+            self.dfs(0, 0.0, &mut chosen, &mut best, &mut stats);
+        }
+        // Proven unless the budget actually truncated the tree: a search
+        // that drains on exactly its last allowed node is still exact.
+        let proven_optimal = !stats.budget_hit;
         best.map(|(sel, cost)| SetPartitionSolution {
             selected: sel.iter().map(|&s| self.original[s as usize]).collect(),
             cost,
             nodes_explored: stats.nodes,
             nodes_pruned: stats.pruned,
             incumbent_improvements: stats.improved,
+            lp_bound_cuts: stats.lp_cuts,
             proven_optimal,
         })
     }
@@ -384,15 +550,20 @@ impl MaskSearcher {
         Some((sel, cost))
     }
 
-    fn lower_bound(&self, covered: u64) -> f64 {
-        let mut lb = 0.0;
+    /// Admissible bounds over the uncovered elements: the static fractional
+    /// share sum and (when a certificate exists) the LP-dual potential sum.
+    /// Both lower-bound any exact cover of the remainder, so their max does.
+    fn bounds(&self, covered: u64) -> (f64, f64) {
+        let mut share_lb = 0.0;
+        let mut dual_lb = 0.0;
         let mut uncovered = self.full & !covered;
         while uncovered != 0 {
             let e = uncovered.trailing_zeros() as usize;
             uncovered &= uncovered - 1;
-            lb += self.share[e];
+            share_lb += self.share[e];
+            dual_lb += self.y[e];
         }
-        lb
+        (share_lb, dual_lb)
     }
 
     fn dfs(
@@ -404,6 +575,7 @@ impl MaskSearcher {
         stats: &mut SearchStats,
     ) {
         if stats.nodes >= self.max_nodes {
+            stats.budget_hit = true;
             return;
         }
         stats.nodes += 1;
@@ -415,7 +587,16 @@ impl MaskSearcher {
             return;
         }
         if let Some((_, b)) = best {
-            if cost + self.lower_bound(covered) >= *b - 1e-12 {
+            let (share_lb, dual_lb) = self.bounds(covered);
+            let lb = if self.use_lp_bound && dual_lb > share_lb {
+                dual_lb
+            } else {
+                share_lb
+            };
+            if cost + lb >= *b - 1e-12 {
+                if cost + share_lb < *b - 1e-12 {
+                    stats.lp_cuts += 1;
+                }
                 stats.pruned += 1;
                 return;
             }
@@ -440,6 +621,32 @@ impl MaskSearcher {
             if mask & covered != 0 {
                 continue;
             }
+            // Look-ahead (LP-bound feature): run the child's entry test at
+            // generation time, so a child that would only prune (or, for a
+            // completed cover, fail to improve) is cut without ever being
+            // counted as an explored node. Bound and threshold are
+            // byte-for-byte the child's own and the incumbent cannot change
+            // between here and the child's entry, so the incumbent sequence
+            // — and hence the selection — is untouched; only the node
+            // accounting (and the recursion) shrinks.
+            if self.use_lp_bound {
+                if let Some(b) = best.as_ref().map(|&(_, c)| c) {
+                    let next_cost = cost + self.weights[slot as usize];
+                    let (share_lb, dual_lb) = self.bounds(covered | mask);
+                    let lb = if dual_lb > share_lb {
+                        dual_lb
+                    } else {
+                        share_lb
+                    };
+                    if next_cost + lb >= b - 1e-12 {
+                        if next_cost + share_lb < b - 1e-12 {
+                            stats.lp_cuts += 1;
+                        }
+                        stats.pruned += 1;
+                        continue;
+                    }
+                }
+            }
             chosen.push(slot);
             self.dfs(
                 covered | mask,
@@ -460,6 +667,11 @@ struct SearchStats {
     nodes: u64,
     pruned: u64,
     improved: u64,
+    lp_cuts: u64,
+    /// Set only when the node budget actually refused a node — the one
+    /// signal that distinguishes a truncated search from one that drained
+    /// its tree on exactly the last allowed node.
+    budget_hit: bool,
 }
 
 struct Searcher<'a> {
@@ -467,6 +679,9 @@ struct Searcher<'a> {
     covers: &'a [Vec<usize>],
     num_elements: usize,
     max_nodes: u64,
+    use_lp_bound: bool,
+    dual_order: bool,
+    potentials: Option<&'a LpPotentials>,
 }
 
 struct SearchState {
@@ -493,15 +708,26 @@ impl<'a> Searcher<'a> {
         if let Some((sel, cost)) = self.greedy() {
             state.best = Some((sel, cost));
         }
-        self.dfs(&mut state);
+        // Root cut, as in the mask path: greedy meeting the certified
+        // relaxation bound closes the search with the reference selection.
+        let skip_dfs = match (self.use_lp_bound, self.potentials, &state.best) {
+            (true, Some(p), Some((_, cost))) => *cost <= p.bound + 1e-9,
+            _ => false,
+        };
+        if skip_dfs {
+            state.stats.lp_cuts += 1;
+        } else {
+            self.dfs(&mut state);
+        }
         let stats = state.stats;
-        let proven_optimal = stats.nodes < self.max_nodes;
+        let proven_optimal = !stats.budget_hit;
         state.best.map(|(selected, cost)| SetPartitionSolution {
             selected,
             cost,
             nodes_explored: stats.nodes,
             nodes_pruned: stats.pruned,
             incumbent_improvements: stats.improved,
+            lp_bound_cuts: stats.lp_cuts,
             proven_optimal,
         })
     }
@@ -568,8 +794,21 @@ impl<'a> Searcher<'a> {
         lb
     }
 
+    /// LP-dual potential sum over uncovered elements (admissible whenever
+    /// the certificate exists; see [`LpPotentials`]).
+    fn dual_bound(&self, covered: &[bool]) -> f64 {
+        let Some(p) = self.potentials else {
+            return f64::NEG_INFINITY;
+        };
+        (0..self.num_elements)
+            .filter(|&e| !covered[e])
+            .map(|e| p.y[e])
+            .sum()
+    }
+
     fn dfs(&self, s: &mut SearchState) {
         if s.stats.nodes >= self.max_nodes {
+            s.stats.budget_hit = true;
             return;
         }
         s.stats.nodes += 1;
@@ -585,8 +824,16 @@ impl<'a> Searcher<'a> {
             return;
         }
         if let Some((_, best_cost)) = s.best {
-            let lb = self.lower_bound(&s.covered);
+            let share_lb = self.lower_bound(&s.covered);
+            let lb = if self.use_lp_bound {
+                share_lb.max(self.dual_bound(&s.covered))
+            } else {
+                share_lb
+            };
             if s.cost + lb >= best_cost - 1e-12 {
+                if s.cost + share_lb < best_cost - 1e-12 {
+                    s.stats.lp_cuts += 1;
+                }
                 s.stats.pruned += 1;
                 return;
             }
@@ -623,6 +870,19 @@ impl<'a> Searcher<'a> {
                 .partial_cmp(&self.candidates[b].weight)
                 .expect("finite weights")
         });
+        if let (true, Some(p)) = (self.dual_order, self.potentials) {
+            // Ascending reduced cost; the stable sort keeps ascending
+            // weight among reduced-cost ties.
+            let reduced = |i: usize| -> f64 {
+                self.candidates[i].weight
+                    - self.candidates[i]
+                        .elements
+                        .iter()
+                        .map(|&e| p.y[e])
+                        .sum::<f64>()
+            };
+            options.sort_by(|&a, &b| reduced(a).partial_cmp(&reduced(b)).expect("finite weights"));
+        }
         for i in options {
             let cand = &self.candidates[i];
             for &x in &cand.elements {
@@ -630,11 +890,34 @@ impl<'a> Searcher<'a> {
             }
             s.n_covered += cand.elements.len();
             s.cost += cand.weight;
-            s.chosen.push(i);
 
-            self.dfs(s);
+            // Look-ahead, as in the mask path: the child's entry test at
+            // generation time, cutting no-op children before they count as
+            // explored nodes. Identical bound and threshold keep the
+            // incumbent sequence — and the selection — unchanged.
+            let cut = self.use_lp_bound
+                && match s.best.as_ref().map(|&(_, c)| c) {
+                    Some(b) => {
+                        let share_lb = self.lower_bound(&s.covered);
+                        let lb = share_lb.max(self.dual_bound(&s.covered));
+                        if s.cost + lb >= b - 1e-12 {
+                            if s.cost + share_lb < b - 1e-12 {
+                                s.stats.lp_cuts += 1;
+                            }
+                            s.stats.pruned += 1;
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    None => false,
+                };
+            if !cut {
+                s.chosen.push(i);
+                self.dfs(s);
+                s.chosen.pop();
+            }
 
-            s.chosen.pop();
             s.cost -= cand.weight;
             s.n_covered -= cand.elements.len();
             for &x in &cand.elements {
@@ -751,9 +1034,9 @@ mod tests {
 mod bounded_tests {
     use super::*;
 
-    #[test]
-    fn bounded_solve_returns_a_valid_cover_under_tiny_budget() {
-        // Many overlapping candidates: force an early stop.
+    /// 12 elements, all singletons at 1.0 and all pairs at 0.9: a dense,
+    /// overlap-heavy instance whose optimum is six disjoint pairs (5.4).
+    fn dense_instance() -> SetPartition {
         let n = 12;
         let mut sp = SetPartition::new(n);
         for e in 0..n {
@@ -764,6 +1047,33 @@ mod bounded_tests {
                 sp.add_candidate(&[a, b], 0.9);
             }
         }
+        sp
+    }
+
+    #[test]
+    fn exact_budget_exhaustion_is_still_proven_optimal() {
+        // Regression: a search that drains its tree on exactly the last
+        // allowed node used to be misreported as not proven.
+        let sp = dense_instance();
+        let full = sp.solve().unwrap();
+        assert!(full.proven_optimal);
+        let n = full.nodes_explored;
+        let exact = sp.solve_bounded(n).unwrap();
+        assert!(
+            exact.proven_optimal,
+            "draining at exactly the budget is still an exhaustive search"
+        );
+        assert_eq!(exact.nodes_explored, n);
+        assert_eq!(exact.selected, full.selected);
+        let truncated = sp.solve_bounded(n - 1).unwrap();
+        assert!(!truncated.proven_optimal);
+    }
+
+    #[test]
+    fn bounded_solve_returns_a_valid_cover_under_tiny_budget() {
+        // Many overlapping candidates: force an early stop.
+        let n = 12;
+        let sp = dense_instance();
         let sol = sp.solve_bounded(3).unwrap();
         assert!(sol.nodes_explored <= 3, "budget respected");
         // Still an exact cover.
@@ -800,6 +1110,106 @@ mod bounded_tests {
         let full = sp.solve().unwrap();
         assert!(full.proven_optimal);
         assert!(full.cost <= sol.cost + 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod lp_bound_tests {
+    use super::*;
+
+    /// 12 elements with asymmetric singleton weights (even: 1.0, odd: 0.2),
+    /// disjoint pairs {2i, 2i+1} at 0.6 and overlapping chain pairs
+    /// {2i+1, 2i+2} at 0.6. The fractional share bound double-counts the
+    /// cheap odd singletons (root share 3.0), while the LP relaxation is
+    /// tight at the six-pair optimum 3.6 — and the 0.2-ratio singletons
+    /// trap the greedy at 7.2, so the search must branch and the dual bound
+    /// demonstrably out-prunes the share bound.
+    fn asymmetric_chain() -> SetPartition {
+        let n = 12;
+        let mut sp = SetPartition::new(n);
+        for e in 0..n {
+            sp.add_candidate(&[e], if e % 2 == 0 { 1.0 } else { 0.2 });
+        }
+        for i in 0..n / 2 {
+            sp.add_candidate(&[2 * i, 2 * i + 1], 0.6);
+        }
+        for i in 0..n / 2 - 1 {
+            sp.add_candidate(&[2 * i + 1, 2 * i + 2], 0.6);
+        }
+        sp
+    }
+
+    #[test]
+    fn lp_bound_preserves_the_exact_selection() {
+        let off = asymmetric_chain().solve().unwrap();
+        let mut on = asymmetric_chain();
+        on.set_lp_bound(true);
+        let on = on.solve().unwrap();
+        assert_eq!(on.selected, off.selected, "admissible bound, same order");
+        assert!((on.cost - off.cost).abs() < 1e-12);
+        assert!((on.cost - 3.6).abs() < 1e-9);
+        assert!(on.proven_optimal);
+        assert!(
+            on.nodes_explored <= off.nodes_explored,
+            "bound can only shrink the tree: {} vs {}",
+            on.nodes_explored,
+            off.nodes_explored
+        );
+        assert!(on.lp_bound_cuts > 0, "dual bound fired where share did not");
+        assert_eq!(off.lp_bound_cuts, 0, "reference search never counts cuts");
+    }
+
+    #[test]
+    fn lp_root_cut_closes_greedy_optimal_instances_without_branching() {
+        // All pairs disjoint and cheap: greedy finds the optimum and the
+        // relaxation certifies it, so no node is ever explored.
+        let n = 12;
+        let mut sp = SetPartition::new(n);
+        for e in 0..n {
+            sp.add_candidate(&[e], 1.0);
+        }
+        for i in 0..n / 2 {
+            sp.add_candidate(&[2 * i, 2 * i + 1], 0.9);
+        }
+        let off = sp.solve().unwrap();
+        sp.set_lp_bound(true);
+        let on = sp.solve().unwrap();
+        assert_eq!(on.selected, off.selected);
+        assert_eq!(on.nodes_explored, 0);
+        assert!(on.proven_optimal);
+        assert_eq!(on.lp_bound_cuts, 1);
+    }
+
+    #[test]
+    fn dual_order_is_weight_identical() {
+        let off = asymmetric_chain().solve().unwrap();
+        let mut on = asymmetric_chain();
+        on.set_lp_bound(true).set_dual_order(true);
+        let on = on.solve().unwrap();
+        assert!((on.cost - off.cost).abs() < 1e-9, "reordering keeps weight");
+        // The selection is still a valid exact cover.
+        let sp = asymmetric_chain();
+        let mut covered = [false; 12];
+        for &i in &on.selected {
+            for &e in &sp.candidates[i].elements {
+                assert!(!covered[e], "double cover");
+                covered[e] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn tiny_instances_skip_the_relaxation() {
+        // Fewer than LP_BOUND_MIN_CANDIDATES columns: flags are inert.
+        let mut sp = SetPartition::new(2);
+        sp.add_candidate(&[0], 1.0);
+        sp.add_candidate(&[1], 1.0);
+        sp.add_candidate(&[0, 1], 0.5);
+        sp.set_lp_bound(true).set_dual_order(true);
+        let sol = sp.solve().unwrap();
+        assert!((sol.cost - 0.5).abs() < 1e-12);
+        assert_eq!(sol.lp_bound_cuts, 0);
     }
 }
 

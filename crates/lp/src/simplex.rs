@@ -32,9 +32,78 @@ pub(crate) enum SimplexOutcome {
 /// Panics (debug assertions) on dimension mismatches or negative `b`.
 pub(crate) fn solve_standard_form(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> SimplexOutcome {
     let mut pivots = 0u64;
-    let outcome = solve_standard_form_counted(a, b, c, &mut pivots);
+    let (outcome, _) = solve_standard_form_counted(a, b, c, &mut pivots);
     obs::counter(Counter::SimplexPivots, pivots);
     outcome
+}
+
+/// Like [`solve_standard_form`], but on the `Optimal` path also recovers the
+/// dual multipliers `y` (one per constraint row) from the final basis by
+/// solving `Bᵀ y = c_B`. The duals of the set-partitioning relaxation are
+/// per-element potentials: any exact cover of an element set `U` costs at
+/// least `Σ_{e∈U} y_e`, which the branch-and-bound uses as an admissible
+/// bound. Returns `None` duals when the basis system is numerically
+/// singular; callers must verify dual feasibility before trusting `y`.
+pub(crate) fn solve_standard_form_with_duals(
+    a: &[Vec<f64>],
+    b: &[f64],
+    c: &[f64],
+) -> (SimplexOutcome, Option<Vec<f64>>) {
+    let mut pivots = 0u64;
+    let (outcome, basis) = solve_standard_form_counted(a, b, c, &mut pivots);
+    obs::counter(Counter::SimplexPivots, pivots);
+    let duals = match (&outcome, basis) {
+        (SimplexOutcome::Optimal { .. }, Some(basis)) => recover_duals(a, c, &basis),
+        _ => None,
+    };
+    (outcome, duals)
+}
+
+/// Solves `Bᵀ y = c_B` by Gaussian elimination, where column `i` of `B` is
+/// the basis column (structural `A_j` for `j < n`, unit artificial
+/// otherwise, with cost 0). Artificials lingering in a degenerate optimal
+/// basis are handled naturally: their rows read `y_i = 0`.
+fn recover_duals(a: &[Vec<f64>], c: &[f64], basis: &[usize]) -> Option<Vec<f64>> {
+    let m = a.len();
+    let n = c.len();
+    debug_assert_eq!(basis.len(), m);
+    // Row i of the system is the basis column for position i, augmented
+    // with its objective cost.
+    let mut mat = vec![vec![0.0f64; m + 1]; m];
+    for (i, &j) in basis.iter().enumerate() {
+        for r in 0..m {
+            mat[i][r] = if j < n {
+                a[r][j]
+            } else if j - n == r {
+                1.0
+            } else {
+                0.0
+            };
+        }
+        mat[i][m] = if j < n { c[j] } else { 0.0 };
+    }
+    for col in 0..m {
+        let piv = (col..m).max_by(|&x, &y| {
+            mat[x][col]
+                .abs()
+                .partial_cmp(&mat[y][col].abs())
+                .expect("finite matrix")
+        })?;
+        if mat[piv][col].abs() < 1e-10 {
+            return None;
+        }
+        mat.swap(col, piv);
+        let pivot_row = mat[col].clone();
+        for (row, row_vals) in mat.iter_mut().enumerate() {
+            if row != col && row_vals[col] != 0.0 {
+                let f = row_vals[col] / pivot_row[col];
+                for (v, &p) in row_vals[col..].iter_mut().zip(&pivot_row[col..]) {
+                    *v -= f * p;
+                }
+            }
+        }
+    }
+    Some((0..m).map(|i| mat[i][m] / mat[i][i]).collect())
 }
 
 fn solve_standard_form_counted(
@@ -42,7 +111,7 @@ fn solve_standard_form_counted(
     b: &[f64],
     c: &[f64],
     pivots: &mut u64,
-) -> SimplexOutcome {
+) -> (SimplexOutcome, Option<Vec<usize>>) {
     let m = a.len();
     let n = c.len();
     debug_assert!(a.iter().all(|row| row.len() == n));
@@ -53,12 +122,15 @@ fn solve_standard_form_counted(
         // No constraints: optimum is at x = 0 unless some cost is negative,
         // in which case the problem is unbounded.
         if c.iter().any(|&ci| ci < -EPS) {
-            return SimplexOutcome::Unbounded;
+            return (SimplexOutcome::Unbounded, None);
         }
-        return SimplexOutcome::Optimal {
-            x: vec![0.0; n],
-            objective: 0.0,
-        };
+        return (
+            SimplexOutcome::Optimal {
+                x: vec![0.0; n],
+                objective: 0.0,
+            },
+            Some(Vec::new()),
+        );
     }
 
     // Tableau layout: columns [0..n) structural, [n..n+m) artificial, col
@@ -88,11 +160,11 @@ fn solve_standard_form_counted(
     if run_phase(&mut t, &mut basis, m, cols, m, pivots) == PhaseResult::Unbounded {
         // Phase 1 objective is bounded below by 0, so this cannot happen;
         // treat defensively as infeasible.
-        return SimplexOutcome::Infeasible;
+        return (SimplexOutcome::Infeasible, None);
     }
     // Feasible iff the artificial sum reached (numerically) zero.
     if -t[m][cols - 1] > 1e-7 {
-        return SimplexOutcome::Infeasible;
+        return (SimplexOutcome::Infeasible, None);
     }
 
     // Drive any artificial variable still in the basis out of it (degenerate
@@ -128,7 +200,7 @@ fn solve_standard_form_counted(
     }
 
     match run_phase(&mut t, &mut basis, m, cols, m + 1, pivots) {
-        PhaseResult::Unbounded => SimplexOutcome::Unbounded,
+        PhaseResult::Unbounded => (SimplexOutcome::Unbounded, None),
         PhaseResult::Optimal => {
             let mut x = vec![0.0; n];
             for (row, &bj) in t.iter().zip(basis.iter()) {
@@ -137,7 +209,7 @@ fn solve_standard_form_counted(
                 }
             }
             let objective = x.iter().zip(c).map(|(xi, ci)| xi * ci).sum();
-            SimplexOutcome::Optimal { x, objective }
+            (SimplexOutcome::Optimal { x, objective }, Some(basis))
         }
     }
 }
@@ -294,6 +366,50 @@ mod tests {
         let c = vec![-1.0, -1.0, 0.0, 0.0, 0.0];
         let (_, obj) = optimal(solve_standard_form(&a, &b, &c));
         assert!((obj + 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn recovered_duals_are_feasible_and_strongly_dual() {
+        // min x + y s.t. x + y = 5, x - y = 1 → opt 5.
+        let a = vec![vec![1.0, 1.0], vec![1.0, -1.0]];
+        let b = vec![5.0, 1.0];
+        let c = vec![1.0, 1.0];
+        let (outcome, duals) = solve_standard_form_with_duals(&a, &b, &c);
+        let (_, obj) = optimal(outcome);
+        let y = duals.expect("duals recovered");
+        let dual_obj: f64 = y.iter().zip(&b).map(|(yi, bi)| yi * bi).sum();
+        assert!(
+            (dual_obj - obj).abs() < 1e-7,
+            "strong duality: {dual_obj} vs {obj}"
+        );
+        for j in 0..c.len() {
+            let ya: f64 = (0..a.len()).map(|i| y[i] * a[i][j]).sum();
+            assert!(c[j] - ya >= -1e-7, "reduced cost of column {j} negative");
+        }
+    }
+
+    #[test]
+    fn duals_of_a_partitioning_relaxation_bound_every_cover() {
+        // Elements {0,1,2}; columns {0,1} w=1.0, {1,2} w=1.0, {2} w=0.6,
+        // {0} w=0.7, {1} w=0.9. LP optimum 1.6 ({0,1}+{2}).
+        let a = vec![
+            vec![1.0, 0.0, 0.0, 1.0, 0.0],
+            vec![1.0, 1.0, 0.0, 0.0, 1.0],
+            vec![0.0, 1.0, 1.0, 0.0, 0.0],
+        ];
+        let b = vec![1.0, 1.0, 1.0];
+        let c = vec![1.0, 1.0, 0.6, 0.7, 0.9];
+        let (outcome, duals) = solve_standard_form_with_duals(&a, &b, &c);
+        let (_, obj) = optimal(outcome);
+        assert!((obj - 1.6).abs() < 1e-7);
+        let y = duals.expect("duals recovered");
+        assert!((y.iter().sum::<f64>() - obj).abs() < 1e-7);
+        // Each column's cost dominates its element potentials, so Σy_e over
+        // any subset of elements lower-bounds every exact cover of it.
+        for j in 0..c.len() {
+            let ya: f64 = (0..a.len()).map(|i| y[i] * a[i][j]).sum();
+            assert!(c[j] - ya >= -1e-7);
+        }
     }
 
     #[test]

@@ -1,10 +1,14 @@
-//! Differential solver test (ISSUE satellite): the specialized
+//! Differential solver tests (ISSUE satellites): the specialized
 //! set-partitioning branch-and-bound, the generic simplex-based ILP
 //! branch-and-bound, and brute-force subset enumeration must agree on the
 //! optimal objective of randomized register-partition instances of up to 14
-//! registers.
+//! registers — and every solver-level pruning feature, toggled
+//! independently, must leave the solve weight-identical (the LP bound
+//! additionally selection-identical) against the unpruned reference on the
+//! same seeded instance family.
 
 use mbr_lp::{IlpProblem, Sense, SetPartition};
+use mbr_test::rng::splitmix64;
 use mbr_test::Rng;
 
 /// Brute-force optimum by enumerating every candidate subset.
@@ -65,6 +69,227 @@ fn random_instance(rng: &mut Rng, n: usize) -> Vec<(Vec<usize>, f64)> {
         cands.push((group, cost));
     }
     cands
+}
+
+/// Builds a `SetPartition` over `cands` with the given pruning flags.
+fn build_setpart(
+    n: usize,
+    cands: &[(Vec<usize>, f64)],
+    lp_bound: bool,
+    dual_order: bool,
+) -> SetPartition {
+    let mut sp = SetPartition::new(n);
+    sp.set_lp_bound(lp_bound).set_dual_order(dual_order);
+    for (elems, w) in cands {
+        sp.add_candidate(elems, *w);
+    }
+    sp
+}
+
+/// Asserts `selected` is an exact cover of `0..n` and returns its cost.
+fn cover_cost(n: usize, cands: &[(Vec<usize>, f64)], selected: &[usize]) -> f64 {
+    let mut covered = vec![false; n];
+    let mut cost = 0.0;
+    for &i in selected {
+        for &e in &cands[i].0 {
+            assert!(!covered[e], "double cover of element {e}");
+            covered[e] = true;
+        }
+        cost += cands[i].1;
+    }
+    assert!(
+        covered.iter().all(|&c| c),
+        "selection is not an exact cover"
+    );
+    cost
+}
+
+/// Cases per pruning rule. The ISSUE floor is 64; a little headroom costs
+/// milliseconds on instances this small.
+const CASES_PER_RULE: u64 = 96;
+
+/// One independent per-case seed stream, decorrelated from the base solver
+/// agreement test and from the other rules' streams.
+fn case_seed(rule: u64, case: u64) -> u64 {
+    let mut state = 0xd1f_f3a2u64 ^ (rule << 32) ^ case;
+    splitmix64(&mut state)
+}
+
+/// Pruning rule 1 (LP-relaxation dual bound): the bound is admissible and
+/// applied with an unchanged branch order, so toggling it must preserve the
+/// *selection* — not just the weight — on every instance, while never
+/// exploring more nodes than the reference search.
+#[test]
+fn lp_bound_toggle_is_selection_identical() {
+    for case in 0..CASES_PER_RULE {
+        let mut rng = Rng::seed_from_u64(case_seed(1, case));
+        let n = rng.gen_range(2usize..=14);
+        let cands = random_instance(&mut rng, n);
+        let off = build_setpart(n, &cands, false, false).solve();
+        let on = build_setpart(n, &cands, true, false).solve();
+        match (off, on) {
+            (Ok(off), Ok(on)) => {
+                assert_eq!(
+                    off.selected, on.selected,
+                    "case {case}: the admissible LP bound changed the cover"
+                );
+                assert!(
+                    (off.cost - on.cost).abs() < 1e-9,
+                    "case {case}: costs diverged: {} vs {}",
+                    off.cost,
+                    on.cost
+                );
+                let oracle = brute_force(n, &cands).expect("solver found a cover");
+                assert!(
+                    (on.cost - oracle).abs() < 1e-9,
+                    "case {case}: pruned cost {} vs brute force {oracle}",
+                    on.cost
+                );
+                assert!(
+                    on.nodes_explored <= off.nodes_explored,
+                    "case {case}: pruned search explored more nodes \
+                     ({} vs {})",
+                    on.nodes_explored,
+                    off.nodes_explored
+                );
+                assert!(off.proven_optimal && on.proven_optimal);
+                assert_eq!(
+                    off.lp_bound_cuts, 0,
+                    "case {case}: reference search reported LP cuts"
+                );
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => panic!("case {case}: verdicts diverged: off {a:?}, on {b:?}"),
+        }
+    }
+}
+
+/// Pruning rule 2 (dual-guided candidate ordering): reordering covers by
+/// reduced cost may pick a different optimum among ties, so the contract is
+/// weight-identity — the selection must still be a valid exact cover at
+/// exactly the reference (= brute force) cost.
+#[test]
+fn dual_order_toggle_is_weight_identical() {
+    for case in 0..CASES_PER_RULE {
+        let mut rng = Rng::seed_from_u64(case_seed(2, case));
+        let n = rng.gen_range(2usize..=14);
+        let cands = random_instance(&mut rng, n);
+        let off = build_setpart(n, &cands, false, false).solve();
+        let on = build_setpart(n, &cands, true, true).solve();
+        match (off, on) {
+            (Ok(off), Ok(on)) => {
+                assert!(
+                    (off.cost - on.cost).abs() < 1e-9,
+                    "case {case}: dual ordering changed the optimal weight: \
+                     {} vs {}",
+                    off.cost,
+                    on.cost
+                );
+                let cost = cover_cost(n, &cands, &on.selected);
+                assert!(
+                    (cost - on.cost).abs() < 1e-9,
+                    "case {case}: reported cost {} but cover sums to {cost}",
+                    on.cost
+                );
+                assert!(off.proven_optimal && on.proven_optimal);
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => panic!("case {case}: verdicts diverged: off {a:?}, on {b:?}"),
+        }
+    }
+}
+
+/// Pruning rule 3 (dual ordering without the bound): the knobs are
+/// independent, so ordering alone — reference bound arithmetic, permuted
+/// branch order — must also stay weight-identical, and feasibility verdicts
+/// must agree across the whole 2x2 toggle matrix.
+#[test]
+fn toggle_matrix_verdicts_and_weights_agree() {
+    for case in 0..CASES_PER_RULE {
+        let mut rng = Rng::seed_from_u64(case_seed(3, case));
+        let n = rng.gen_range(2usize..=14);
+        let cands = random_instance(&mut rng, n);
+        let matrix = [
+            build_setpart(n, &cands, false, false).solve(),
+            build_setpart(n, &cands, true, false).solve(),
+            build_setpart(n, &cands, false, true).solve(),
+            build_setpart(n, &cands, true, true).solve(),
+        ];
+        match &matrix[0] {
+            Ok(reference) => {
+                for (i, result) in matrix.iter().enumerate().skip(1) {
+                    let sol = result.as_ref().unwrap_or_else(|e| {
+                        panic!(
+                            "case {case}: combination {i} infeasible ({e}) on a feasible instance"
+                        )
+                    });
+                    assert!(
+                        (sol.cost - reference.cost).abs() < 1e-9,
+                        "case {case}: combination {i} cost {} vs reference {}",
+                        sol.cost,
+                        reference.cost
+                    );
+                    let cost = cover_cost(n, &cands, &sol.selected);
+                    assert!((cost - sol.cost).abs() < 1e-9);
+                    assert!(sol.proven_optimal);
+                }
+            }
+            Err(_) => {
+                for (i, result) in matrix.iter().enumerate().skip(1) {
+                    assert!(
+                        result.is_err(),
+                        "case {case}: combination {i} found a cover on an \
+                         infeasible instance"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Pruning under a node budget: a pruned solve must never need *more*
+/// budget than the reference to prove optimality (pruning only removes
+/// work under an unchanged branch order), and a truncated solve must
+/// either return a valid suboptimal cover or honestly report failure —
+/// never a "cover" that isn't one or a cost below the proven optimum.
+#[test]
+fn bounded_solves_stay_valid_and_monotone_under_pruning() {
+    for case in 0..CASES_PER_RULE {
+        let mut rng = Rng::seed_from_u64(case_seed(4, case));
+        let n = rng.gen_range(4usize..=14);
+        let cands = random_instance(&mut rng, n);
+        let reference = match build_setpart(n, &cands, false, false).solve() {
+            Ok(sol) => sol,
+            Err(_) => continue, // infeasibility is covered by the matrix test
+        };
+        // A pruned solve given exactly the reference's node usage must
+        // still finish: pruning only removes work under an unchanged
+        // branch order.
+        let budget = reference.nodes_explored;
+        let pruned = build_setpart(n, &cands, true, false)
+            .solve_bounded(budget)
+            .expect("feasible instance");
+        assert!(
+            pruned.proven_optimal,
+            "case {case}: pruned solve exhausted the reference budget \
+             ({budget} nodes)"
+        );
+        assert!((pruned.cost - reference.cost).abs() < 1e-9);
+        // A truncated solve either returns a valid (possibly suboptimal)
+        // exact cover, or honestly reports no cover found — the greedy
+        // incumbent is best-effort and can corner itself on overlaps.
+        if budget > 1 {
+            if let Ok(truncated) = build_setpart(n, &cands, false, false).solve_bounded(budget - 1)
+            {
+                let cost = cover_cost(n, &cands, &truncated.selected);
+                assert!((cost - truncated.cost).abs() < 1e-9);
+                assert!(
+                    truncated.cost >= reference.cost - 1e-9,
+                    "case {case}: truncated solve beat the proven optimum"
+                );
+            }
+        }
+    }
 }
 
 #[test]

@@ -63,11 +63,22 @@ pub enum Counter {
     /// Composable-register entries an incremental recompose reused from the
     /// session's compatibility cache (clean registers it did not recompute).
     SessionCompatReused,
+    /// Candidate subsets the enumeration pre-filters skipped or cut before
+    /// validation (duplicate sub-clique visits and empty-region subtrees).
+    SetPartCandidatesFiltered,
+    /// Compatibility-graph edges dropped because their endpoints can never
+    /// co-inhabit a selectable candidate (combined width exceeds every
+    /// library cell of the class).
+    CompatEdgesRemoved,
+    /// Branch-and-bound prunes attributable to the LP-relaxation dual bound
+    /// (the static fractional bound alone would not have cut the node),
+    /// including root solves closed outright by the relaxation.
+    SetPartLpBoundCuts,
 }
 
 impl Counter {
     /// Every counter, in catalog order (documentation and validation).
-    pub const ALL: [Counter; 23] = [
+    pub const ALL: [Counter; 26] = [
         Counter::SimplexPivots,
         Counter::SetPartSolves,
         Counter::SetPartNodesExplored,
@@ -91,6 +102,9 @@ impl Counter {
         Counter::SessionPartitionsRecomputed,
         Counter::SessionEcosApplied,
         Counter::SessionCompatReused,
+        Counter::SetPartCandidatesFiltered,
+        Counter::CompatEdgesRemoved,
+        Counter::SetPartLpBoundCuts,
     ];
 
     /// The stable dotted name used in traces and bench JSON.
@@ -119,6 +133,9 @@ impl Counter {
             Counter::SessionPartitionsRecomputed => "core.session.partitions_recomputed",
             Counter::SessionEcosApplied => "core.session.ecos_applied",
             Counter::SessionCompatReused => "core.session.compat_reused",
+            Counter::SetPartCandidatesFiltered => "core.candidates.filtered",
+            Counter::CompatEdgesRemoved => "core.compat.edges_removed",
+            Counter::SetPartLpBoundCuts => "lp.setpart.lp_bound_cuts",
         }
     }
 

@@ -200,9 +200,84 @@ pub fn d5() -> DesignSpec {
     }
 }
 
-/// All five presets, in order.
+/// All five paper-calibrated presets, in order. These are the ~18×
+/// down-scaled suite every tier-1 test sweeps; the paper-scale presets
+/// ([`d6`]..[`d8`]) live in [`paper_presets`] so nothing iterates into a
+/// 500k-register generate by accident.
 pub fn all_presets() -> Vec<DesignSpec> {
     vec![d1(), d2(), d3(), d4(), d5()]
+}
+
+/// D6: full paper scale (≈20k registers, the Table 1 ballpark), 1-bit
+/// heavy like D2 so the set-partitioning load is maximal. The die grows
+/// ~3.5× over the scaled suite, so `wire_scale` drops to keep the paper's
+/// feasible-region-to-die ratio — the quantity that shapes compatibility
+/// density — rather than inheriting the scaled-up parasitics of d1–d5.
+pub fn d6() -> DesignSpec {
+    DesignSpec {
+        name: "d6".into(),
+        seed: 0xD6,
+        cluster_grid: 8,
+        groups_per_cluster: 52,
+        regs_per_group: 4..=8,
+        width_mix: [0.52, 0.24, 0.14, 0.10],
+        fixed_fraction: 0.10,
+        scan_fraction: 0.30,
+        ordered_scan_fraction: 0.15,
+        extra_buffer_depth: 4,
+        utilization: 0.40,
+        clock_period: 460.0,
+        clock_domains: 1,
+        wire_scale: 0.3,
+    }
+}
+
+/// D7: 5× beyond the paper (≈100k registers), balanced width mix.
+pub fn d7() -> DesignSpec {
+    DesignSpec {
+        name: "d7".into(),
+        seed: 0xD7,
+        cluster_grid: 12,
+        groups_per_cluster: 116,
+        regs_per_group: 4..=8,
+        width_mix: [0.42, 0.22, 0.20, 0.16],
+        fixed_fraction: 0.14,
+        scan_fraction: 0.25,
+        ordered_scan_fraction: 0.20,
+        extra_buffer_depth: 4,
+        utilization: 0.40,
+        clock_period: 460.0,
+        clock_domains: 2,
+        wire_scale: 0.13,
+    }
+}
+
+/// D8: ≈500k registers — an order of magnitude past Table 1, for probing
+/// where the bounded solver and the enumeration budgets saturate.
+pub fn d8() -> DesignSpec {
+    DesignSpec {
+        name: "d8".into(),
+        seed: 0xD8,
+        cluster_grid: 20,
+        groups_per_cluster: 208,
+        regs_per_group: 4..=8,
+        width_mix: [0.46, 0.24, 0.18, 0.12],
+        fixed_fraction: 0.12,
+        scan_fraction: 0.25,
+        ordered_scan_fraction: 0.20,
+        extra_buffer_depth: 4,
+        utilization: 0.40,
+        clock_period: 460.0,
+        clock_domains: 4,
+        wire_scale: 0.06,
+    }
+}
+
+/// The paper-scale presets [`d6`]..[`d8`], in order. Deliberately not part
+/// of [`all_presets`]: generating d8 alone takes longer than the whole
+/// scaled suite, so these are opt-in (scale tests, the `scale` bench).
+pub fn paper_presets() -> Vec<DesignSpec> {
+    vec![d6(), d7(), d8()]
 }
 
 /// Runs `f` once per preset on the parallel executor, returning results in
@@ -716,6 +791,27 @@ mod tests {
                 spec.name
             );
         }
+    }
+
+    #[test]
+    fn paper_presets_hit_paper_scale() {
+        // d6 is cheap enough to generate in tier-1; d7/d8 are budgeted by
+        // arithmetic only (generation is the scale tests' job).
+        let lib = standard_library();
+        let d = d6().generate(&lib);
+        let regs = d.live_register_count();
+        assert!(
+            (17_000..24_000).contains(&regs),
+            "d6 must sit at the paper's ≈20k registers, got {regs}"
+        );
+        let expected = |s: &DesignSpec| {
+            let mean = (s.regs_per_group.start() + s.regs_per_group.end()) / 2;
+            s.cluster_grid * s.cluster_grid * s.groups_per_cluster * mean
+        };
+        assert!((90_000..115_000).contains(&expected(&d7())));
+        assert!((450_000..550_000).contains(&expected(&d8())));
+        let names: Vec<_> = paper_presets().iter().map(|s| s.name.clone()).collect();
+        assert_eq!(names, ["d6", "d7", "d8"]);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
-# Fast CI entrypoint: lints, the tier-1 gate, a figure reproduction, and
-# the cross-stage invariant check.
+# Fast CI entrypoint: lints, the tier-1 gate, a figure reproduction, the
+# cross-stage invariant check, the pruning differential suites, and a
+# paper-scale (d6) bounded-compose smoke.
 #
 # Everything here runs fully offline — the workspace has zero external
 # dependencies (see crates/testkit). Usage: scripts/verify.sh
@@ -31,6 +32,19 @@ MBR_BENCH_QUICK=1 MBR_BENCH_OUT=target cargo run --release -q -p mbr-bench --bin
 
 echo "==> bench: incr suite smoke (quick samples, counter guards)"
 MBR_BENCH_QUICK=1 MBR_BENCH_OUT=target cargo run --release -q -p mbr-bench --bin bench -- incr
+
+echo "==> bench: scale suite smoke (quick samples, paper-scale d6 stages)"
+MBR_BENCH_QUICK=1 MBR_BENCH_OUT=target cargo run --release -q -p mbr-bench --bin bench -- scale
+test -s target/BENCH_scale.json
+
+echo "==> pruning: solver-level differential suite (release)"
+cargo test --release -q -p mbr-lp --test differential
+
+echo "==> pruning: flow-level byte-identity differential (release)"
+cargo test --release -q --test pruning
+
+echo "==> scale: d6 bounded-compose smoke (release, zero check errors)"
+MBR_SCALE_TESTS=1 cargo test --release -q --test file_scale -- --ignored
 
 echo "==> check: flow invariants on d1 (traced)"
 MBR_TRACE=target/trace-d1.jsonl cargo run --release -q --bin check -- d1

@@ -26,7 +26,7 @@ use mbr::core::{apply_eco, infer_grid, Composer, ComposerOptions, CompositionSes
 use mbr::liberty::{standard_library, Library};
 use mbr::obs::summary::Summary;
 use mbr::sta::DelayModel;
-use mbr::workloads::{all_presets, eco_script_for, sweep_presets, DesignSpec};
+use mbr::workloads::{all_presets, eco_script_for, paper_presets, sweep_presets, DesignSpec};
 
 /// ECOs per differential script: enough to exercise both the move and the
 /// retarget profile and to touch several partitions.
@@ -39,7 +39,11 @@ struct Args {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: check [--report] [--eco-seed <n>] [d1|d2|d3|d4|d5|all]...   (default: d1)");
+    eprintln!(
+        "usage: check [--report] [--eco-seed <n>] [d1|..|d8|all]...   (default: d1)\n\
+         `all` expands to the scaled suite d1..d5; the paper-scale presets\n\
+         d6..d8 must be named explicitly."
+    );
     std::process::exit(2);
 }
 
@@ -72,7 +76,11 @@ fn parse_args() -> Args {
     for name in &names {
         if name == "all" {
             specs.extend(all_presets());
-        } else if let Some(spec) = all_presets().into_iter().find(|s| &s.name == name) {
+        } else if let Some(spec) = all_presets()
+            .into_iter()
+            .chain(paper_presets())
+            .find(|s| &s.name == name)
+        {
             specs.push(spec);
         } else {
             eprintln!("unknown preset: {name}");

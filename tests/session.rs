@@ -37,7 +37,7 @@ fn options_for(name: &str) -> ComposerOptions {
         },
         max_candidates_per_partition: 1_000,
         subclique_visit_multiplier: 8,
-        ilp_node_limit: 10_000,
+        node_budget: 10_000,
         ..ComposerOptions::default()
     }
 }
