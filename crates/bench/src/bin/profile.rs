@@ -6,7 +6,6 @@ use mbr_core::compat::CompatGraph;
 use mbr_core::{Composer, ComposerOptions};
 use mbr_obs::table::{fmt_ns, Table};
 use mbr_sta::Sta;
-use std::time::Instant;
 
 /// Collects `(stage, elapsed, note)` rows and renders them as one table.
 struct Profile {
@@ -21,9 +20,11 @@ impl Profile {
     }
 
     fn time<T>(&mut self, stage: &str, f: impl FnOnce() -> (T, String)) -> T {
-        let t = Instant::now();
+        // Reads time through the injectable mbr-obs clock, so a MockClock
+        // test can drive this path deterministically.
+        let t0 = mbr_obs::now_ns();
         let (value, note) = f();
-        let ns = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let ns = mbr_obs::now_ns().saturating_sub(t0);
         self.table.row([stage.to_string(), fmt_ns(ns), note]);
         value
     }

@@ -7,7 +7,9 @@
 //! rounds up to one under the area rule — becomes a candidate, weighted by
 //! the Section 3.2 blocking heuristic.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::BTreeMap;
+// Membership-only bitmask dedup on the hot subclique walk; never iterated.
+use std::collections::HashSet; // mbr-lint: allow(D1, membership-only dedup set, never iterated)
 
 use mbr_geom::{Point, Rect};
 use mbr_graph::{partition_geometric, BitGraph, SubcliqueStep};
@@ -190,6 +192,7 @@ fn enumerate_partition(
         .max()
         .unwrap_or(0);
 
+    // mbr-lint: allow(D1, membership-only dedup set, never iterated)
     let mut seen: HashSet<u64> = HashSet::new();
     let cap = options.max_candidates_per_partition;
     // Dense partitions (e.g. fields of decomposed 1-bit registers) reject
@@ -406,7 +409,7 @@ struct CachedPartition {
 /// and solution, so a hit replays the memo verbatim.
 #[derive(Clone, Debug, Default)]
 pub(crate) struct PartitionCache {
-    map: HashMap<Vec<u64>, CachedPartition>,
+    map: BTreeMap<Vec<u64>, CachedPartition>,
 }
 
 impl PartitionCache {

@@ -19,7 +19,7 @@
 //!   negative-D/positive-Q), slack magnitudes within a similarity bound,
 //!   and overlapping useful-skew windows.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use mbr_geom::{Point, Rect};
 use mbr_graph::UnGraph;
@@ -87,7 +87,7 @@ impl CompatGraph {
 
         // Spatial hash over region bounding boxes.
         let cell_size: i64 = 40_000; // 40 µm buckets
-        let mut buckets: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+        let mut buckets: BTreeMap<(i64, i64), Vec<usize>> = BTreeMap::new();
         let bucket_of = |p: Point| (p.x.div_euclid(cell_size), p.y.div_euclid(cell_size));
         for (i, reg) in regs.iter().enumerate() {
             let lo = bucket_of(reg.region.lo());
@@ -99,13 +99,13 @@ impl CompatGraph {
             }
         }
 
-        let mut checked: HashMap<(usize, usize), ()> = HashMap::new();
+        let mut checked: BTreeSet<(usize, usize)> = BTreeSet::new();
         let mut removed = 0u64;
         for bucket in buckets.values() {
             for (k, &i) in bucket.iter().enumerate() {
                 for &j in &bucket[k + 1..] {
                     let key = (i.min(j), i.max(j));
-                    if checked.insert(key, ()).is_some() {
+                    if !checked.insert(key) {
                         continue;
                     }
                     if compatible(design, &regs[i], &regs[j], options) {
@@ -225,9 +225,9 @@ fn composable_entry(
 #[derive(Clone, Debug, Default)]
 pub(crate) struct CompatCache {
     /// Composable entries by instance, as of the last pass.
-    entries: HashMap<InstId, ComposableRegister>,
+    entries: BTreeMap<InstId, ComposableRegister>,
     /// Compatibility edges as normalized `(lo, hi)` instance pairs.
-    edges: HashSet<(InstId, InstId)>,
+    edges: BTreeSet<(InstId, InstId)>,
     /// Whether the cache holds a complete pass result. An unprimed cache
     /// cannot distinguish "not composable" from "never computed", so
     /// refreshes against it treat every register as dirty.
@@ -238,7 +238,7 @@ impl CompatCache {
     /// Replaces the cache contents with a freshly built graph.
     fn store(&mut self, graph: &CompatGraph) {
         self.entries = graph.regs.iter().map(|r| (r.inst, r.clone())).collect();
-        self.edges = HashSet::new();
+        self.edges = BTreeSet::new();
         for (i, r) in graph.regs.iter().enumerate() {
             for j in graph.graph.neighbors(i) {
                 if j > i {
@@ -290,7 +290,7 @@ pub(crate) fn build_incremental(
     let n = regs.len();
     let mut graph = UnGraph::new(n);
     let cell_size: i64 = 40_000;
-    let mut buckets: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+    let mut buckets: BTreeMap<(i64, i64), Vec<usize>> = BTreeMap::new();
     let bucket_of = |p: Point| (p.x.div_euclid(cell_size), p.y.div_euclid(cell_size));
     for (i, reg) in regs.iter().enumerate() {
         let lo = bucket_of(reg.region.lo());
@@ -301,13 +301,13 @@ pub(crate) fn build_incremental(
             }
         }
     }
-    let mut checked: HashMap<(usize, usize), ()> = HashMap::new();
+    let mut checked: BTreeSet<(usize, usize)> = BTreeSet::new();
     let mut removed = 0u64;
     for bucket in buckets.values() {
         for (k, &i) in bucket.iter().enumerate() {
             for &j in &bucket[k + 1..] {
                 let key = (i.min(j), i.max(j));
-                if checked.insert(key, ()).is_some() {
+                if !checked.insert(key) {
                     continue;
                 }
                 // Cached edges are post-prune, so the width-sum filter only

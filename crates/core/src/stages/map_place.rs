@@ -6,7 +6,7 @@
 //! common feasible region and performs the merges. Always runs in full —
 //! it mutates the design.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use mbr_geom::Rect;
 use mbr_liberty::Library;
@@ -22,7 +22,7 @@ pub(crate) fn run(
     design: &mut Design,
     lib: &Library,
     picked: &[CandidateMbr],
-    regions: &HashMap<InstId, Rect>,
+    regions: &BTreeMap<InstId, Rect>,
     outcome: &mut ComposeOutcome,
 ) -> Vec<InstId> {
     let mut new_mbrs = Vec::new();

@@ -29,7 +29,7 @@ pub(crate) mod skew;
 pub(crate) mod stitch;
 pub(crate) mod timing;
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use mbr_check::{check_netlist, check_partition, Diagnostic, MergeGroup, Paranoia, PartitionCover};
 use mbr_geom::Rect;
@@ -98,7 +98,7 @@ impl EcoDirty {
 /// moved.
 pub(crate) struct Dirty {
     /// Instances whose compat entry may have changed.
-    pub insts: HashSet<InstId>,
+    pub insts: BTreeSet<InstId>,
     /// Full-rebuild pass: ignore `insts`, recompute everything (caches are
     /// still *re-populated* so the next pass can be incremental).
     pub structural: bool,
@@ -187,7 +187,7 @@ pub(crate) fn run_flow(
     let span = Span::enter(FlowStage::Compat.span_name());
     let compat = compat::run(design, lib, sta, options, compat_cache, dirty.as_ref());
     outcome.composable = compat.regs.len();
-    let regions: HashMap<InstId, Rect> = compat.regs.iter().map(|r| (r.inst, r.region)).collect();
+    let regions: BTreeMap<InstId, Rect> = compat.regs.iter().map(|r| (r.inst, r.region)).collect();
     drop(span);
     timings.add(FlowStage::Compat, obs::now_ns() - t0);
 
@@ -224,7 +224,7 @@ pub(crate) fn run_flow(
                     cell: c.cell,
                 })
                 .collect();
-            let in_merge: HashSet<InstId> = groups
+            let in_merge: BTreeSet<InstId> = groups
                 .iter()
                 .flat_map(|g| g.members.iter().copied())
                 .collect();

@@ -6,7 +6,7 @@
 //! translate the reported [`mbr_sta::StaDelta`] into the instance-level
 //! [`Dirty`] set the compatibility and candidate stages reuse against.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use mbr_liberty::Library;
 use mbr_netlist::{Design, InstId};
@@ -36,13 +36,13 @@ pub(crate) fn refresh(
     if eco.structural || sta.is_none() {
         *sta = Some(Sta::new(design, lib, model)?);
         return Ok(Dirty {
-            insts: HashSet::new(),
+            insts: BTreeSet::new(),
             structural: true,
         });
     }
     let analyzer = sta.as_mut().expect("checked above");
     let delta = analyzer.update_after_change(design, lib, &eco.touched);
-    let mut insts: HashSet<InstId> = eco.touched.iter().copied().collect();
+    let mut insts: BTreeSet<InstId> = eco.touched.iter().copied().collect();
     for pin in &delta.changed_pins {
         insts.insert(design.pin(*pin).inst);
     }

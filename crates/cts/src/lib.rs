@@ -464,7 +464,7 @@ pub fn assign_useful_skew(
         ..SkewReport::default()
     };
 
-    let mut adjusted = std::collections::HashSet::new();
+    let mut adjusted = std::collections::BTreeSet::new();
     for _ in 0..config.passes {
         let snapshot: Vec<(InstId, f64)> = regs
             .iter()

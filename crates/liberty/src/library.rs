@@ -262,11 +262,7 @@ impl Library {
                     true
                 }
             })
-            .min_by(|&a, &b| {
-                let fa = self.mapping_merit(a);
-                let fb = self.mapping_merit(b);
-                fa.partial_cmp(&fb).expect("pin caps are finite")
-            })
+            .min_by(|&a, &b| self.mapping_merit(a).total_cmp(&self.mapping_merit(b)))
     }
 
     /// Figure of merit used by [`Library::select_cell`]: clock pin cap with

@@ -1,0 +1,151 @@
+//! The P1 baseline ratchet.
+//!
+//! `LINT_baseline.txt` (committed at the workspace root) records the
+//! accepted number of `.unwrap()`/`.expect(` sites per file. On every run
+//! the freshly counted sites are compared against it: any increase is an
+//! error, a decrease is a warning prompting `--update-baseline`, and a file
+//! with sites but no baseline row fails outright — so the count can only
+//! ever go down.
+
+use std::collections::BTreeMap;
+
+use crate::report::{Finding, Severity};
+use crate::rules::Rule;
+
+/// Default baseline file name, resolved against the workspace root.
+pub const BASELINE_FILE: &str = "LINT_baseline.txt";
+
+/// Parses a baseline file: one `<count>\t<path>` row per line, `#` comments
+/// and blank lines ignored.
+///
+/// # Errors
+///
+/// Returns the 1-based line number and a description for the first
+/// malformed row.
+pub fn parse(text: &str) -> Result<BTreeMap<String, u32>, String> {
+    let mut map = BTreeMap::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((count, path)) = line.split_once('\t') else {
+            return Err(format!("line {}: expected `<count>\\t<path>`", idx + 1));
+        };
+        let count: u32 = count
+            .trim()
+            .parse()
+            .map_err(|_| format!("line {}: bad count `{count}`", idx + 1))?;
+        map.insert(path.to_string(), count);
+    }
+    Ok(map)
+}
+
+/// Formats counts as a baseline file (sorted, with a header comment).
+pub fn format(counts: &BTreeMap<String, u32>) -> String {
+    let mut out = String::from(
+        "# mbr-lint P1 baseline: accepted unwrap()/expect() sites per file.\n\
+         # The ratchet only turns one way: regenerate with `mbr-lint --update-baseline`\n\
+         # after removing sites; any increase fails the build.\n",
+    );
+    for (path, count) in counts {
+        out.push_str(&count.to_string());
+        out.push('\t');
+        out.push_str(path);
+        out.push('\n');
+    }
+    out
+}
+
+/// Compares fresh counts against the baseline and appends ratchet findings.
+pub fn compare(
+    baseline: &BTreeMap<String, u32>,
+    current: &BTreeMap<String, u32>,
+    findings: &mut Vec<Finding>,
+) {
+    for (path, &count) in current {
+        let allowed = baseline.get(path).copied().unwrap_or(0);
+        if count > allowed {
+            findings.push(Finding {
+                rule: Some(Rule::P1),
+                severity: Severity::Error,
+                file: path.clone(),
+                line: 0,
+                message: format!(
+                    "P1 ratchet: {count} unwrap()/expect() site(s), baseline allows {allowed}; \
+                     handle the error or suppress with `// mbr-lint: allow(P1, reason)`"
+                ),
+            });
+        } else if count < allowed {
+            findings.push(Finding {
+                rule: Some(Rule::P1),
+                severity: Severity::Warning,
+                file: path.clone(),
+                line: 0,
+                message: format!(
+                    "P1 ratchet can tighten: {count} site(s) vs baseline {allowed}; \
+                     run `mbr-lint --update-baseline`"
+                ),
+            });
+        }
+    }
+    for (path, &allowed) in baseline {
+        if allowed > 0 && !current.contains_key(path) {
+            findings.push(Finding {
+                rule: Some(Rule::P1),
+                severity: Severity::Warning,
+                file: path.clone(),
+                line: 0,
+                message: format!(
+                    "stale baseline row: file has no P1 sites any more (baseline allows {allowed}); \
+                     run `mbr-lint --update-baseline`"
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_format_round_trip() {
+        let counts = BTreeMap::from([
+            ("crates/netlist/src/edit.rs".to_string(), 9),
+            ("crates/liberty/src/lib.rs".to_string(), 2),
+        ]);
+        let text = format(&counts);
+        assert_eq!(parse(&text).unwrap(), counts);
+        assert!(parse("x\ty\n").is_err());
+        assert!(parse("no tab here\n").is_err());
+    }
+
+    #[test]
+    fn ratchet_directions() {
+        let baseline = BTreeMap::from([
+            ("a.rs".to_string(), 3),
+            ("gone.rs".to_string(), 2),
+            ("same.rs".to_string(), 1),
+        ]);
+        let current = BTreeMap::from([
+            ("a.rs".to_string(), 5),
+            ("new.rs".to_string(), 1),
+            ("same.rs".to_string(), 1),
+        ]);
+        let mut findings = Vec::new();
+        compare(&baseline, &current, &mut findings);
+        let errs: Vec<&str> = findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .map(|f| f.file.as_str())
+            .collect();
+        let warns: Vec<&str> = findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warning)
+            .map(|f| f.file.as_str())
+            .collect();
+        assert_eq!(errs, ["a.rs", "new.rs"]);
+        assert_eq!(warns, ["gone.rs"]);
+    }
+}

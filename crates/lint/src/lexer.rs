@@ -1,0 +1,430 @@
+//! A handwritten Rust token scanner — the same hand-rolled-lexer style as
+//! the `.design`/`.mbrlib` parsers in `mbr-netlist`/`mbr-liberty`, aimed at
+//! Rust source instead of netlists.
+//!
+//! The scanner is deliberately *not* a full Rust lexer: it produces exactly
+//! the token stream the rule catalog needs — identifiers, single-character
+//! punctuation, literals reduced to opaque tokens, comments collected on
+//! the side — with a 1-based line number per token. String/char/raw-string
+//! contents never leak into the identifier stream, so a `"HashMap"` inside
+//! a diagnostic message can never trip rule D1, and comment text never
+//! counts as code for any rule.
+
+/// What a token is. Literal payloads are dropped: no rule matches on the
+/// inside of a literal, only on its presence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`HashMap`, `unwrap`, `fn`, `r#type`, ...).
+    Ident,
+    /// One punctuation character (`.` `:` `#` `(` `)` `{` `}` ...).
+    Punct,
+    /// A numeric literal.
+    Num,
+    /// A string, raw-string, byte-string, or char literal.
+    Literal,
+    /// A lifetime or loop label (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One scanned token with its 1-based source line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// Kind of token.
+    pub kind: TokKind,
+    /// The token text. Empty for [`TokKind::Literal`] (contents are
+    /// intentionally opaque); the single character for [`TokKind::Punct`].
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        (self.kind == TokKind::Ident).then_some(self.text.as_str())
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+}
+
+/// A comment (line or block, doc or plain) with the line it starts on.
+/// Suppression directives (`mbr-lint: allow(...)`) live in comments, so the
+/// scanner keeps them on a side channel instead of discarding them.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Full comment text including the `//` / `/*` introducer.
+    pub text: String,
+    /// True when only whitespace precedes the comment on its line — a
+    /// standalone comment suppresses the *next* line, a trailing comment
+    /// its own.
+    pub own_line: bool,
+}
+
+/// The scan result: code tokens in order plus the comment side channel.
+#[derive(Clone, Debug, Default)]
+pub struct Scan {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Scans Rust source into tokens and comments. Never fails: unterminated
+/// constructs are closed at end of input (the rustc build is the authority
+/// on well-formedness; the linter only needs a best-effort stream).
+pub fn scan(src: &str) -> Scan {
+    let b = src.as_bytes();
+    let mut out = Scan::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut line_has_code = false;
+
+    fn is_ident_start(c: u8) -> bool {
+        c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+    }
+    fn is_ident_continue(c: u8) -> bool {
+        c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                line_has_code = false;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            // Line comment (incl. `///` and `//!`).
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: String::from_utf8_lossy(&b[start..i]).into_owned(),
+                    own_line: !line_has_code,
+                });
+            }
+            // Block comment, possibly nested (Rust allows nesting).
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let start_line = line;
+                let own = !line_has_code;
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    line: start_line,
+                    text: String::from_utf8_lossy(&b[start..i]).into_owned(),
+                    own_line: own,
+                });
+            }
+            // Raw strings r"..." / r#"..."#, and br variants via the ident
+            // path below (a lone `r`/`br` followed by `"`/`#` lands here).
+            b'r' | b'b'
+                if {
+                    let j = if c == b'b' && b.get(i + 1) == Some(&b'r') {
+                        i + 2
+                    } else if c == b'r' {
+                        i + 1
+                    } else {
+                        usize::MAX
+                    };
+                    j != usize::MAX && matches!(b.get(j), Some(b'"') | Some(b'#'))
+                } =>
+            {
+                let start_line = line;
+                let mut j = if c == b'b' { i + 2 } else { i + 1 };
+                let mut hashes = 0usize;
+                while b.get(j) == Some(&b'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if b.get(j) != Some(&b'"') {
+                    // `r#ident` (raw identifier) or `b#...`: lex as ident.
+                    let start = i;
+                    i += 1;
+                    while i < b.len() && (is_ident_continue(b[i]) || b[i] == b'#') {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Ident,
+                        text: String::from_utf8_lossy(&b[start..i]).into_owned(),
+                        line,
+                    });
+                    line_has_code = true;
+                    continue;
+                }
+                j += 1; // past the opening quote
+                'raw: while j < b.len() {
+                    if b[j] == b'\n' {
+                        line += 1;
+                        j += 1;
+                        continue;
+                    }
+                    if b[j] == b'"' {
+                        let mut k = 0usize;
+                        while k < hashes && b.get(j + 1 + k) == Some(&b'#') {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            j += 1 + hashes;
+                            break 'raw;
+                        }
+                    }
+                    j += 1;
+                }
+                i = j;
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line: start_line,
+                });
+                line_has_code = true;
+            }
+            // Plain or byte string.
+            b'"' => {
+                let start_line = line;
+                i += 1;
+                while i < b.len() {
+                    match b[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line: start_line,
+                });
+                line_has_code = true;
+            }
+            // Char literal vs lifetime. `'a` (no closing quote right after)
+            // is a lifetime; `'a'`, `'\n'`, `'\''` are char literals.
+            b'\'' => {
+                let next = b.get(i + 1).copied().unwrap_or(0);
+                if next == b'\\' {
+                    // Escaped char literal: consume through the closing quote.
+                    i += 2; // quote + backslash
+                    if i < b.len() {
+                        i += 1; // the escaped character (or first of \u{...})
+                    }
+                    while i < b.len() && b[i] != b'\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                    out.tokens.push(Token {
+                        kind: TokKind::Literal,
+                        text: String::new(),
+                        line,
+                    });
+                } else if is_ident_start(next) && b.get(i + 2) != Some(&b'\'') {
+                    // Lifetime / label: `'` + ident run, no closing quote.
+                    let start = i;
+                    i += 2;
+                    while i < b.len() && is_ident_continue(b[i]) {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Lifetime,
+                        text: String::from_utf8_lossy(&b[start..i]).into_owned(),
+                        line,
+                    });
+                } else {
+                    // Plain char literal like 'a' or '{'.
+                    i += 2;
+                    while i < b.len() && b[i] != b'\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                    out.tokens.push(Token {
+                        kind: TokKind::Literal,
+                        text: String::new(),
+                        line,
+                    });
+                }
+                line_has_code = true;
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                i += 1;
+                while i < b.len() {
+                    let d = b[i];
+                    if d.is_ascii_alphanumeric() || d == b'_' {
+                        i += 1;
+                    } else if d == b'.'
+                        && b.get(i + 1).is_some_and(|n| n.is_ascii_digit())
+                        && b.get(i.wrapping_sub(1)) != Some(&b'.')
+                    {
+                        // `1.5` continues the number; `1..5` does not.
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Num,
+                    text: String::from_utf8_lossy(&b[start..i]).into_owned(),
+                    line,
+                });
+                line_has_code = true;
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                i += 1;
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: String::from_utf8_lossy(&b[start..i]).into_owned(),
+                    line,
+                });
+                line_has_code = true;
+            }
+            _ => {
+                out.tokens.push(Token {
+                    kind: TokKind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                line_has_code = true;
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        scan(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn literals_and_comments_never_leak_identifiers() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashMap in /* a nested */ block */
+            let s = "HashMap";
+            let r = r#"HashMap "quoted" inside"#;
+            let c = 'H';
+            let real = HashMap::new();
+        "##;
+        let ids = idents(src);
+        assert_eq!(
+            ids.iter().filter(|s| s.as_str() == "HashMap").count(),
+            1,
+            "{ids:?}"
+        );
+        let s = scan(src);
+        assert_eq!(s.comments.len(), 2);
+        assert!(s.comments[0].own_line);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let s = scan("fn f<'a>(x: &'a str) -> char { 'a' }");
+        let lifetimes: Vec<_> = s
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars = s
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .count();
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn escaped_char_literals_do_not_derail_the_scan() {
+        let s = scan(r"let q = '\''; let n = '\n'; let u = '\u{1F600}'; after");
+        assert!(s.tokens.iter().any(|t| t.is_ident("after")));
+        assert_eq!(
+            s.tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Literal)
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"two\nlines\"\nb /* c\nd */ e\nf";
+        let s = scan(src);
+        let find = |name: &str| {
+            s.tokens
+                .iter()
+                .find(|t| t.is_ident(name))
+                .map(|t| t.line)
+                .unwrap_or(0)
+        };
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("b"), 4);
+        assert_eq!(find("e"), 5);
+        assert_eq!(find("f"), 6);
+    }
+
+    #[test]
+    fn number_vs_range_punctuation() {
+        let s = scan("for i in 0..10 { x += 1.5; }");
+        let nums: Vec<_> = s
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, ["0", "10", "1.5"]);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_identifiers() {
+        let ids = idents("let r#type = 1; let x = r#type;");
+        assert_eq!(ids.iter().filter(|s| s.as_str() == "r#type").count(), 2);
+    }
+}

@@ -1,0 +1,495 @@
+//! Findings and the `LINT_report.json` serialization — a handwritten JSON
+//! emitter plus a minimal parser, in the same zero-dependency style as
+//! `mbr-obs`'s trace writer, so the report can be round-tripped in tests
+//! and consumed by CI without any external crate.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::rules::Rule;
+
+/// How severe a finding is. Errors fail the run; warnings do not.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the lint run (exit code 1).
+    Error,
+    /// Reported but non-fatal (unused suppressions, stale baseline rows).
+    Warning,
+}
+
+impl Severity {
+    /// Stable lowercase name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+/// One lint finding at a source location.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Finding {
+    /// The rule that fired; `None` for findings about the lint machinery
+    /// itself (e.g. a malformed suppression directive).
+    pub rule: Option<Rule>,
+    /// Error or warning.
+    pub severity: Severity,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line (0 when the finding is not tied to a line).
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// A complete lint report: findings plus the P1 per-file site counts.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Report {
+    /// All findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Unsuppressed `.unwrap()`/`.expect(` sites per file.
+    pub p1_counts: BTreeMap<String, u32>,
+}
+
+impl Report {
+    /// Number of error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warning)
+            .count()
+    }
+
+    /// Total P1 sites across the workspace.
+    pub fn p1_total(&self) -> u32 {
+        self.p1_counts.values().sum()
+    }
+
+    /// Renders the human-readable report (one line per finding, then a
+    /// summary).
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let rule = f.rule.map_or("lint", Rule::id);
+            let _ = writeln!(
+                out,
+                "{}: [{}] {}:{}: {}",
+                f.severity.name(),
+                rule,
+                f.file,
+                f.line,
+                f.message
+            );
+        }
+        let _ = writeln!(
+            out,
+            "mbr-lint: {} error(s), {} warning(s), {} P1 site(s) in {} file(s)",
+            self.errors(),
+            self.warnings(),
+            self.p1_total(),
+            self.p1_counts.len()
+        );
+        out
+    }
+
+    /// Serializes the report as JSON (the `LINT_report.json` artifact).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"tool\": \"mbr-lint\",\n");
+        let _ = writeln!(s, "  \"errors\": {},", self.errors());
+        let _ = writeln!(s, "  \"warnings\": {},", self.warnings());
+        let _ = writeln!(s, "  \"p1_total\": {},", self.p1_total());
+        s.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            s.push_str("    {\"rule\": ");
+            match f.rule {
+                Some(r) => {
+                    s.push('"');
+                    s.push_str(r.id());
+                    s.push('"');
+                }
+                None => s.push_str("null"),
+            }
+            let _ = write!(s, ", \"severity\": \"{}\", \"file\": ", f.severity.name());
+            write_json_string(&mut s, &f.file);
+            let _ = write!(s, ", \"line\": {}, \"message\": ", f.line);
+            write_json_string(&mut s, &f.message);
+            s.push('}');
+        }
+        s.push_str("\n  ],\n  \"p1\": [");
+        for (i, (file, count)) in self.p1_counts.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            s.push_str("    {\"file\": ");
+            write_json_string(&mut s, file);
+            let _ = write!(s, ", \"count\": {count}}}");
+        }
+        s.push_str("\n  ]\n}\n");
+        s
+    }
+
+    /// Parses a report back from its JSON form (used by the round-trip
+    /// self-test and by tooling that post-processes the artifact).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first malformed construct.
+    pub fn from_json(src: &str) -> Result<Report, String> {
+        let value = json::parse(src)?;
+        let obj = value.as_object().ok_or("top level is not an object")?;
+        let mut report = Report::default();
+        let findings = obj
+            .get("findings")
+            .and_then(Value::as_array)
+            .ok_or("missing `findings` array")?;
+        for f in findings {
+            let f = f.as_object().ok_or("finding is not an object")?;
+            let rule = match f.get("rule") {
+                Some(Value::Null) | None => None,
+                Some(Value::Str(s)) => {
+                    Some(Rule::from_id(s).ok_or_else(|| format!("unknown rule `{s}`"))?)
+                }
+                Some(_) => return Err("`rule` is neither string nor null".into()),
+            };
+            let severity = match f.get("severity").and_then(Value::as_str) {
+                Some("error") => Severity::Error,
+                Some("warning") => Severity::Warning,
+                other => return Err(format!("bad severity {other:?}")),
+            };
+            report.findings.push(Finding {
+                rule,
+                severity,
+                file: f
+                    .get("file")
+                    .and_then(Value::as_str)
+                    .ok_or("finding without `file`")?
+                    .to_string(),
+                line: f.get("line").and_then(Value::as_u32).ok_or("bad `line`")?,
+                message: f
+                    .get("message")
+                    .and_then(Value::as_str)
+                    .ok_or("finding without `message`")?
+                    .to_string(),
+            });
+        }
+        let p1 = obj
+            .get("p1")
+            .and_then(Value::as_array)
+            .ok_or("missing `p1` array")?;
+        for row in p1 {
+            let row = row.as_object().ok_or("p1 row is not an object")?;
+            let file = row
+                .get("file")
+                .and_then(Value::as_str)
+                .ok_or("p1 row without `file`")?;
+            let count = row
+                .get("count")
+                .and_then(Value::as_u32)
+                .ok_or("bad p1 `count`")?;
+            report.p1_counts.insert(file.to_string(), count);
+        }
+        Ok(report)
+    }
+}
+
+/// Writes `s` as a JSON string literal with full escaping.
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parsed JSON value — only what the report schema needs.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number (reports only use non-negative integers).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object.
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+    fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    fn as_u32(&self) -> Option<u32> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= f64::from(u32::MAX) =>
+            {
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                Some(*n as u32)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// A minimal recursive-descent JSON parser (no external deps).
+mod json {
+    use super::Value;
+    use std::collections::BTreeMap;
+
+    pub fn parse(src: &str) -> Result<Value, String> {
+        let b = src.as_bytes();
+        let mut i = 0usize;
+        let v = value(b, &mut i)?;
+        skip_ws(b, &mut i);
+        if i != b.len() {
+            return Err(format!("trailing input at byte {i}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], i: &mut usize) {
+        while *i < b.len() && b[*i].is_ascii_whitespace() {
+            *i += 1;
+        }
+    }
+
+    fn expect(b: &[u8], i: &mut usize, c: u8) -> Result<(), String> {
+        skip_ws(b, i);
+        if b.get(*i) == Some(&c) {
+            *i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", c as char, i))
+        }
+    }
+
+    fn value(b: &[u8], i: &mut usize) -> Result<Value, String> {
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b'{') => {
+                *i += 1;
+                let mut map = BTreeMap::new();
+                skip_ws(b, i);
+                if b.get(*i) == Some(&b'}') {
+                    *i += 1;
+                    return Ok(Value::Obj(map));
+                }
+                loop {
+                    skip_ws(b, i);
+                    let key = match value(b, i)? {
+                        Value::Str(s) => s,
+                        _ => return Err(format!("object key is not a string at byte {i}")),
+                    };
+                    expect(b, i, b':')?;
+                    map.insert(key, value(b, i)?);
+                    skip_ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b'}') => {
+                            *i += 1;
+                            return Ok(Value::Obj(map));
+                        }
+                        _ => return Err(format!("expected `,` or `}}` at byte {i}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *i += 1;
+                let mut arr = Vec::new();
+                skip_ws(b, i);
+                if b.get(*i) == Some(&b']') {
+                    *i += 1;
+                    return Ok(Value::Arr(arr));
+                }
+                loop {
+                    arr.push(value(b, i)?);
+                    skip_ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b']') => {
+                            *i += 1;
+                            return Ok(Value::Arr(arr));
+                        }
+                        _ => return Err(format!("expected `,` or `]` at byte {i}")),
+                    }
+                }
+            }
+            Some(b'"') => string(b, i).map(Value::Str),
+            Some(b't') if b[*i..].starts_with(b"true") => {
+                *i += 4;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') if b[*i..].starts_with(b"false") => {
+                *i += 5;
+                Ok(Value::Bool(false))
+            }
+            Some(b'n') if b[*i..].starts_with(b"null") => {
+                *i += 4;
+                Ok(Value::Null)
+            }
+            Some(c) if c.is_ascii_digit() || *c == b'-' => {
+                let start = *i;
+                *i += 1;
+                while *i < b.len()
+                    && (b[*i].is_ascii_digit() || matches!(b[*i], b'.' | b'e' | b'E' | b'+' | b'-'))
+                {
+                    *i += 1;
+                }
+                std::str::from_utf8(&b[start..*i])
+                    .ok()
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .map(Value::Num)
+                    .ok_or_else(|| format!("bad number at byte {start}"))
+            }
+            _ => Err(format!("unexpected input at byte {i}")),
+        }
+    }
+
+    fn string(b: &[u8], i: &mut usize) -> Result<String, String> {
+        *i += 1; // opening quote
+        let mut out = String::new();
+        while *i < b.len() {
+            match b[*i] {
+                b'"' => {
+                    *i += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    *i += 1;
+                    match b.get(*i) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = b
+                                .get(*i + 1..*i + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {i}"))?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            *i += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {i}")),
+                    }
+                    *i += 1;
+                }
+                c => {
+                    // Copy the full UTF-8 sequence starting here.
+                    let len = match c {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = b
+                        .get(*i..*i + len)
+                        .and_then(|s| std::str::from_utf8(s).ok())
+                        .ok_or_else(|| format!("bad utf-8 at byte {i}"))?;
+                    out.push_str(chunk);
+                    *i += len;
+                }
+            }
+        }
+        Err("unterminated string".into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            findings: vec![
+                Finding {
+                    rule: Some(Rule::D1),
+                    severity: Severity::Error,
+                    file: "crates/core/src/compat.rs".into(),
+                    line: 42,
+                    message: "`HashMap` with \"quotes\", a \\ backslash\nand a newline".into(),
+                },
+                Finding {
+                    rule: None,
+                    severity: Severity::Warning,
+                    file: "crates/lp/src/solver.rs".into(),
+                    line: 7,
+                    message: "unused suppression".into(),
+                },
+            ],
+            p1_counts: BTreeMap::from([
+                ("crates/netlist/src/edit.rs".into(), 12),
+                ("crates/liberty/src/builder.rs".into(), 3),
+            ]),
+        }
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let report = sample();
+        let json = report.to_json();
+        let back = Report::from_json(&json).unwrap();
+        assert_eq!(back, report);
+        // And an empty report round-trips too.
+        let empty = Report::default();
+        assert_eq!(Report::from_json(&empty.to_json()).unwrap(), empty);
+    }
+
+    #[test]
+    fn summary_counts() {
+        let r = sample();
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.warnings(), 1);
+        assert_eq!(r.p1_total(), 15);
+        let human = r.render_human();
+        assert!(human.contains("error: [D1] crates/core/src/compat.rs:42:"));
+        assert!(human.contains("1 error(s), 1 warning(s), 15 P1 site(s) in 2 file(s)"));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(Report::from_json("{").is_err());
+        assert!(Report::from_json("[]").is_err());
+        assert!(Report::from_json("{\"findings\": [], \"p1\": []} trailing").is_err());
+    }
+}

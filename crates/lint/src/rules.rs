@@ -1,0 +1,95 @@
+//! The typed rule catalog — the source-level analogue of `mbr-check`'s
+//! `Diagnostic` enum. Each rule guards one invariant the runtime test suite
+//! can only sample; the linter proves it over every source file on every
+//! commit.
+
+use std::fmt;
+
+/// A lint rule. The catalog is closed: suppression comments, CLI toggles
+/// and the JSON report all name rules from this enum, so a typo'd rule id
+/// is itself a lint error rather than a silently dead suppression.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Order-dependent iteration hazard: `std::collections::HashMap` /
+    /// `HashSet` in a result-affecting crate. Byte-identical results at any
+    /// thread count (`tests/determinism.rs`) require every
+    /// iteration order that can reach a result to be defined; the rule
+    /// demands `BTreeMap`/`BTreeSet`, sorted iteration, or a reasoned
+    /// suppression for membership-only uses.
+    D1,
+    /// Wall-clock access (`Instant::now` / `SystemTime`) outside the
+    /// `mbr-obs` `Clock` abstraction and the bench/testkit allowlist.
+    /// MockClock-based tests can only cover code that reads time through
+    /// the injectable clock.
+    D2,
+    /// Thread creation (`thread::spawn` / `scope` / `Builder`) outside
+    /// `mbr-par`. All parallelism must flow through the deterministic
+    /// order-preserving executor.
+    D3,
+    /// `.unwrap()` / `.expect(` in non-test library code. Tracked against a
+    /// committed baseline with a ratchet: the count per file may only go
+    /// down; new sites fail.
+    P1,
+    /// Observability catalog closure: every `Counter::`/`Gauge::` variant
+    /// referenced by instrumented code exists in the `mbr-obs` catalog, and
+    /// every catalog entry is referenced somewhere outside it (no dead
+    /// counters feeding bench JSON).
+    O1,
+    /// Checker catalog closure: every `mbr-check` `Diagnostic` variant is
+    /// constructed by a checker module and named in the mutation self-test,
+    /// so no diagnostic can exist without a proving test.
+    O2,
+}
+
+impl Rule {
+    /// Every rule, in catalog order.
+    pub const ALL: [Rule; 6] = [Rule::D1, Rule::D2, Rule::D3, Rule::P1, Rule::O1, Rule::O2];
+
+    /// The stable rule id used in suppressions, CLI toggles and reports.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::D1 => "D1",
+            Rule::D2 => "D2",
+            Rule::D3 => "D3",
+            Rule::P1 => "P1",
+            Rule::O1 => "O1",
+            Rule::O2 => "O2",
+        }
+    }
+
+    /// One-line description for `--list-rules` and the report header.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Rule::D1 => "unordered std collection in a result-affecting crate",
+            Rule::D2 => "wall-clock access outside the mbr-obs Clock abstraction",
+            Rule::D3 => "thread creation outside mbr-par",
+            Rule::P1 => "unwrap()/expect() in non-test library code (baseline ratchet)",
+            Rule::O1 => "obs counter/gauge catalog closure (used <-> declared)",
+            Rule::O2 => "mbr-check Diagnostic catalog closure (constructed + mutation-tested)",
+        }
+    }
+
+    /// The catalog entry for a rule id, if registered.
+    pub fn from_id(id: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.id() == id)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_round_trip() {
+        for r in Rule::ALL {
+            assert_eq!(Rule::from_id(r.id()), Some(r));
+        }
+        assert_eq!(Rule::from_id("D9"), None);
+    }
+}

@@ -1,0 +1,455 @@
+//! The workspace source model: deterministic file discovery, crate/role
+//! classification, `#[cfg(test)]` region tracking and suppression parsing.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::lexer::{self, Comment, Scan};
+use crate::rules::Rule;
+
+/// One source file, identified by its workspace-relative `/`-separated path.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (`crates/core/src/lib.rs`).
+    pub path: String,
+    /// The file contents.
+    pub text: String,
+}
+
+/// How a file participates in linting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// Library/binary source under a `src/` directory: all rules apply.
+    Lib,
+    /// Test code (a `tests/` directory): exempt from D1/D2/D3/P1, still
+    /// scanned for the O1/O2 cross-reference rules.
+    Test,
+    /// Benches and examples: exempt like tests (panicking in an example is
+    /// idiomatic; benches measure wall time by design).
+    Aux,
+}
+
+/// The set of files a lint run analyzes. Loaded from disk for the real
+/// workspace, or built in-memory by the self-test fixtures.
+#[derive(Clone, Debug, Default)]
+pub struct Workspace {
+    /// Files in sorted path order (the load order is part of the report's
+    /// determinism guarantee).
+    pub files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// Loads every `.rs` file under the workspace's source directories:
+    /// `crates/*/{src,tests,benches}`, plus the root package's `src/`,
+    /// `tests/` and `examples/`. The walk is sorted at every level so two
+    /// runs over the same tree produce byte-identical reports.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from directory walks and file reads.
+    pub fn load(root: &Path) -> io::Result<Workspace> {
+        let mut files = Vec::new();
+        for top in ["crates", "src", "tests", "examples"] {
+            let dir = root.join(top);
+            if dir.is_dir() {
+                walk(&dir, root, &mut files)?;
+            }
+        }
+        files.sort_by(|a, b| a.path.cmp(&b.path));
+        Ok(Workspace { files })
+    }
+
+    /// A workspace over in-memory files (self-test fixtures).
+    pub fn from_files(files: Vec<(&str, &str)>) -> Workspace {
+        let mut files: Vec<SourceFile> = files
+            .into_iter()
+            .map(|(path, text)| SourceFile {
+                path: path.to_string(),
+                text: text.to_string(),
+            })
+            .collect();
+        files.sort_by(|a, b| a.path.cmp(&b.path));
+        Workspace { files }
+    }
+}
+
+fn walk(dir: &Path, root: &Path, out: &mut Vec<SourceFile>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            // `target/` never appears under the walked roots, but guard
+            // against stray build dirs anyway.
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, root, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(SourceFile {
+                path: rel,
+                text: fs::read_to_string(&path)?,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The crate a workspace-relative path belongs to: `crates/<name>/...` maps
+/// to `<name>`; everything else (root `src/`, `tests/`, `examples/`) to the
+/// root package `mbr`.
+pub fn crate_of(path: &str) -> &str {
+    if let Some(rest) = path.strip_prefix("crates/") {
+        if let Some(slash) = rest.find('/') {
+            return &rest[..slash];
+        }
+    }
+    "mbr"
+}
+
+/// The [`Role`] of a workspace-relative path.
+pub fn role_of(path: &str) -> Role {
+    if path.starts_with("tests/") || path.contains("/tests/") {
+        Role::Test
+    } else if path.starts_with("examples/")
+        || path.contains("/examples/")
+        || path.contains("/benches/")
+    {
+        Role::Aux
+    } else {
+        Role::Lib
+    }
+}
+
+/// A parsed suppression directive: `// mbr-lint: allow(RULE, reason)`.
+#[derive(Clone, Debug)]
+pub struct Suppression {
+    /// 1-based line of the comment carrying the directive.
+    pub line: u32,
+    /// The rule being suppressed.
+    pub rule: Rule,
+    /// The mandatory human reason.
+    pub reason: String,
+    /// Whether the comment stood alone on its line (then it covers the
+    /// *next* line; a trailing comment covers its own line).
+    pub own_line: bool,
+}
+
+/// A directive that could not be parsed into a [`Suppression`] — itself a
+/// lint error, so a typo'd rule id or a missing reason can never silently
+/// disable a rule.
+#[derive(Clone, Debug)]
+pub struct BadSuppression {
+    /// 1-based line of the offending comment.
+    pub line: u32,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+/// One file, scanned and classified, ready for the rule passes.
+#[derive(Clone, Debug)]
+pub struct Analyzed {
+    /// Workspace-relative path.
+    pub path: String,
+    /// Owning crate (`crate_of`).
+    pub krate: String,
+    /// Lint role (`role_of`).
+    pub role: Role,
+    /// Token/comment streams.
+    pub scan: Scan,
+    /// Parallel to `scan.tokens`: whether the token sits inside a
+    /// `#[cfg(test)]` item.
+    pub in_test: Vec<bool>,
+    /// Well-formed suppression directives.
+    pub suppressions: Vec<Suppression>,
+    /// Malformed directives (reported as errors by the engine).
+    pub bad_suppressions: Vec<BadSuppression>,
+}
+
+impl Analyzed {
+    /// Scans and classifies one source file.
+    pub fn new(file: &SourceFile) -> Analyzed {
+        let scan = lexer::scan(&file.text);
+        let in_test = mark_cfg_test(&scan);
+        let (suppressions, bad_suppressions) = parse_suppressions(&scan.comments);
+        Analyzed {
+            path: file.path.clone(),
+            krate: crate_of(&file.path).to_string(),
+            role: role_of(&file.path),
+            scan,
+            in_test,
+            suppressions,
+            bad_suppressions,
+        }
+    }
+
+    /// Whether a rule finding at `line` is covered by a suppression.
+    /// Returns the index of the matching suppression, so the engine can
+    /// track which directives actually fired.
+    pub fn suppression_for(&self, rule: Rule, line: u32) -> Option<usize> {
+        self.suppressions.iter().position(|s| {
+            s.rule == rule
+                && if s.own_line {
+                    s.line + 1 == line
+                } else {
+                    s.line == line
+                }
+        })
+    }
+}
+
+/// Computes, per token, whether it sits inside a `#[cfg(test)]`-gated item.
+///
+/// The walk is token-level, not syntactic: on seeing an attribute whose
+/// identifier set contains `cfg` and `test` but not `not` (so
+/// `#[cfg(not(test))]` stays live code), it marks every token through the
+/// end of the annotated item — the next balanced `{...}` block, or a
+/// top-level `;` for brace-less items. Stacked attributes between the
+/// `cfg(test)` and the item are skipped over.
+fn mark_cfg_test(scan: &Scan) -> Vec<bool> {
+    let toks = &scan.tokens;
+    let n = toks.len();
+    let mut flags = vec![false; n];
+    let mut i = 0usize;
+    while i < n {
+        if toks[i].is_punct('#') && i + 1 < n && toks[i + 1].is_punct('[') {
+            let (attr_end, is_test) = scan_attr(scan, i + 1);
+            if is_test {
+                let mut j = i;
+                // Mark the attribute itself.
+                while j < attr_end {
+                    flags[j] = true;
+                    j += 1;
+                }
+                // Skip (and mark) any further stacked attributes.
+                while j + 1 < n && toks[j].is_punct('#') && toks[j + 1].is_punct('[') {
+                    let (end, _) = scan_attr(scan, j + 1);
+                    while j < end {
+                        flags[j] = true;
+                        j += 1;
+                    }
+                }
+                // Consume the annotated item.
+                let mut depth = 0i64;
+                while j < n {
+                    flags[j] = true;
+                    let t = &toks[j];
+                    if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+                        depth += 1;
+                    } else if t.is_punct(')') || t.is_punct(']') {
+                        depth -= 1;
+                    } else if t.is_punct('}') {
+                        depth -= 1;
+                        if depth <= 0 {
+                            j += 1;
+                            break;
+                        }
+                    } else if t.is_punct(';') && depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                    j += 1;
+                }
+                i = j;
+                continue;
+            }
+            i = attr_end;
+            continue;
+        }
+        i += 1;
+    }
+    flags
+}
+
+/// Scans the bracketed attribute starting at the `[` at `open`. Returns the
+/// index one past the closing `]` and whether the attribute gates test-only
+/// code.
+fn scan_attr(scan: &Scan, open: usize) -> (usize, bool) {
+    let toks = &scan.tokens;
+    let mut depth = 0i64;
+    let mut has_cfg = false;
+    let mut has_test = false;
+    let mut has_not = false;
+    let mut j = open;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('[') || t.is_punct('(') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct('}') {
+            depth -= 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return (j + 1, has_cfg && has_test && !has_not);
+            }
+        } else {
+            has_cfg |= t.is_ident("cfg");
+            has_test |= t.is_ident("test");
+            has_not |= t.is_ident("not");
+        }
+        j += 1;
+    }
+    (j, false)
+}
+
+const MARKER: &str = "mbr-lint:";
+
+/// Parses suppression directives. A directive must *start* the comment
+/// (after the `//`/`/*` introducer): `// mbr-lint: allow(RULE, reason)`.
+/// Prose that merely mentions the marker mid-sentence — e.g. documentation
+/// describing the syntax — is not a directive.
+fn parse_suppressions(comments: &[Comment]) -> (Vec<Suppression>, Vec<BadSuppression>) {
+    let mut ok = Vec::new();
+    let mut bad = Vec::new();
+    for c in comments {
+        let stripped = c.text.trim_start_matches(['/', '*', '!']).trim_start();
+        let Some(rest) = stripped.strip_prefix(MARKER) else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(args) = rest
+            .strip_prefix("allow(")
+            .and_then(|r| r.rfind(')').map(|end| &r[..end]))
+        else {
+            bad.push(BadSuppression {
+                line: c.line,
+                message: format!(
+                    "malformed directive `{}`: expected `mbr-lint: allow(RULE, reason)`",
+                    rest.trim_end_matches("*/").trim()
+                ),
+            });
+            continue;
+        };
+        let (rule_id, reason) = match args.split_once(',') {
+            Some((r, why)) => (r.trim(), why.trim()),
+            None => (args.trim(), ""),
+        };
+        let Some(rule) = Rule::from_id(rule_id) else {
+            bad.push(BadSuppression {
+                line: c.line,
+                message: format!("unknown rule `{rule_id}` in suppression"),
+            });
+            continue;
+        };
+        if reason.is_empty() {
+            bad.push(BadSuppression {
+                line: c.line,
+                message: format!(
+                    "suppression for {rule} has no reason: `allow({rule}, why)` is required"
+                ),
+            });
+            continue;
+        }
+        ok.push(Suppression {
+            line: c.line,
+            rule,
+            reason: reason.to_string(),
+            own_line: c.own_line,
+        });
+    }
+    (ok, bad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_and_role_classification() {
+        assert_eq!(crate_of("crates/core/src/lib.rs"), "core");
+        assert_eq!(crate_of("src/bin/check.rs"), "mbr");
+        assert_eq!(crate_of("tests/determinism.rs"), "mbr");
+        assert_eq!(role_of("crates/core/src/lib.rs"), Role::Lib);
+        assert_eq!(role_of("crates/lp/tests/differential.rs"), Role::Test);
+        assert_eq!(role_of("tests/session.rs"), Role::Test);
+        assert_eq!(role_of("examples/quickstart.rs"), Role::Aux);
+        assert_eq!(role_of("crates/bench/benches/old.rs"), Role::Aux);
+    }
+
+    fn analyzed(src: &str) -> Analyzed {
+        Analyzed::new(&SourceFile {
+            path: "crates/x/src/lib.rs".into(),
+            text: src.into(),
+        })
+    }
+
+    #[test]
+    fn cfg_test_modules_are_marked() {
+        let a = analyzed(
+            "fn live() { x.unwrap(); }\n\
+             #[cfg(test)]\n\
+             mod tests {\n    fn t() { y.unwrap(); }\n}\n\
+             fn live2() {}\n",
+        );
+        let unwraps: Vec<bool> = a
+            .scan
+            .tokens
+            .iter()
+            .zip(&a.in_test)
+            .filter(|(t, _)| t.is_ident("unwrap"))
+            .map(|(_, &f)| f)
+            .collect();
+        assert_eq!(unwraps, [false, true]);
+        let live2 = a
+            .scan
+            .tokens
+            .iter()
+            .zip(&a.in_test)
+            .find(|(t, _)| t.is_ident("live2"))
+            .map(|(_, &f)| f);
+        assert_eq!(live2, Some(false), "marking must end with the module");
+    }
+
+    #[test]
+    fn cfg_not_test_stays_live() {
+        let a = analyzed("#[cfg(not(test))]\nfn live() { x.unwrap(); }\n");
+        assert!(a.in_test.iter().all(|&f| !f));
+    }
+
+    #[test]
+    fn stacked_attributes_and_braceless_items() {
+        let a = analyzed("#[cfg(test)]\n#[allow(dead_code)]\nuse foo::bar;\nfn live() {}\n");
+        let bar = a
+            .scan
+            .tokens
+            .iter()
+            .zip(&a.in_test)
+            .find(|(t, _)| t.is_ident("bar"))
+            .map(|(_, &f)| f);
+        assert_eq!(bar, Some(true));
+        let live = a
+            .scan
+            .tokens
+            .iter()
+            .zip(&a.in_test)
+            .find(|(t, _)| t.is_ident("live"))
+            .map(|(_, &f)| f);
+        assert_eq!(live, Some(false));
+    }
+
+    #[test]
+    fn suppressions_parse_and_attach() {
+        let a = analyzed(
+            "use x::HashMap; // mbr-lint: allow(D1, membership-only)\n\
+             // mbr-lint: allow(P1, infallible by construction)\n\
+             let v = o.unwrap();\n\
+             // mbr-lint: allow(D1)\n\
+             // mbr-lint: allow(Q7, nonsense)\n",
+        );
+        assert_eq!(a.suppressions.len(), 2);
+        assert_eq!(a.suppression_for(Rule::D1, 1), Some(0));
+        assert_eq!(a.suppression_for(Rule::P1, 3), Some(1));
+        assert_eq!(a.suppression_for(Rule::P1, 2), None);
+        assert_eq!(a.bad_suppressions.len(), 2, "{:?}", a.bad_suppressions);
+    }
+}

@@ -1,0 +1,301 @@
+//! Cross-file rules: O1 (obs counter/gauge catalog closure) and O2
+//! (`mbr-check` `Diagnostic` catalog closure).
+//!
+//! Both rules compare an enum declaration — the catalog — against
+//! `Enum::Variant` path references gathered from the rest of the workspace,
+//! so a counter nobody bumps or a diagnostic no mutation test names fails
+//! the build instead of silently rotting.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::report::{Finding, Severity};
+use crate::rules::Rule;
+use crate::source::Analyzed;
+
+/// Where the obs catalog lives.
+const OBS_CATALOG: &str = "crates/obs/src/catalog.rs";
+/// Where the checker's diagnostic catalog lives.
+const CHECK_CATALOG: &str = "crates/check/src/lib.rs";
+/// The self-test that must name every diagnostic variant.
+const MUTATIONS: &str = "crates/check/tests/mutations.rs";
+
+/// Extracts the variant names of `enum <name>` from a scanned file, with
+/// the line the declaration starts on. Variant names are exactly the
+/// identifiers at brace depth 1 inside the enum body: payload fields and
+/// tuple types sit at depth ≥ 2, attribute contents inside `[...]` too,
+/// and doc comments never reach the token stream.
+fn enum_variants(file: &Analyzed, name: &str) -> Option<(u32, Vec<String>)> {
+    let toks = &file.scan.tokens;
+    let mut i = 0;
+    while i + 2 < toks.len() {
+        if toks[i].is_ident("enum") && toks[i + 1].is_ident(name) && toks[i + 2].is_punct('{') {
+            let line = toks[i].line;
+            let mut depth = 0i64;
+            let mut variants = Vec::new();
+            let mut j = i + 2;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') {
+                    depth -= 1;
+                } else if t.is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some((line, variants));
+                    }
+                } else if depth == 1 {
+                    if let Some(id) = t.ident() {
+                        variants.push(id.to_string());
+                    }
+                }
+                j += 1;
+            }
+            return Some((line, variants));
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Collects `Enum::Variant` references in one file: identifiers following
+/// `<enum_name> ::` that look like variants (start uppercase and contain a
+/// lowercase letter — this skips associated consts like `Counter::ALL`).
+/// Returns variant name → first line seen.
+fn variant_refs(file: &Analyzed, enum_name: &str) -> BTreeMap<String, u32> {
+    let toks = &file.scan.tokens;
+    let mut out = BTreeMap::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident(enum_name) {
+            continue;
+        }
+        let Some(id) = toks
+            .get(i + 3)
+            .filter(|_| toks[i + 1].is_punct(':') && toks[i + 2].is_punct(':'))
+            .and_then(|t| t.ident())
+        else {
+            continue;
+        };
+        if id.starts_with(|c: char| c.is_ascii_uppercase())
+            && id.contains(|c: char| c.is_ascii_lowercase())
+        {
+            out.entry(id.to_string()).or_insert(toks[i + 3].line);
+        }
+    }
+    out
+}
+
+fn missing_catalog(rule: Rule, path: &str, findings: &mut Vec<Finding>) {
+    findings.push(Finding {
+        rule: Some(rule),
+        severity: Severity::Warning,
+        file: path.to_string(),
+        line: 0,
+        message: format!("{rule} skipped: catalog file `{path}` not in this workspace"),
+    });
+}
+
+/// O1: every `Counter::`/`Gauge::` variant referenced outside `crates/obs`
+/// exists in the catalog, and every catalog variant is referenced somewhere
+/// outside `crates/obs`.
+pub fn check_o1(files: &[Analyzed], findings: &mut Vec<Finding>) {
+    let Some(catalog) = files.iter().find(|f| f.path == OBS_CATALOG) else {
+        missing_catalog(Rule::O1, OBS_CATALOG, findings);
+        return;
+    };
+    for enum_name in ["Counter", "Gauge"] {
+        let Some((decl_line, declared)) = enum_variants(catalog, enum_name) else {
+            findings.push(Finding {
+                rule: Some(Rule::O1),
+                severity: Severity::Error,
+                file: catalog.path.clone(),
+                line: 1,
+                message: format!("catalog enum `{enum_name}` not found in {OBS_CATALOG}"),
+            });
+            continue;
+        };
+        let declared: BTreeSet<&str> = declared.iter().map(String::as_str).collect();
+        let mut used: BTreeMap<String, (String, u32)> = BTreeMap::new();
+        for f in files {
+            if f.krate == "obs" {
+                continue;
+            }
+            for (variant, line) in variant_refs(f, enum_name) {
+                used.entry(variant).or_insert((f.path.clone(), line));
+            }
+        }
+        for (variant, (path, line)) in &used {
+            if !declared.contains(variant.as_str()) {
+                findings.push(Finding {
+                    rule: Some(Rule::O1),
+                    severity: Severity::Error,
+                    file: path.clone(),
+                    line: *line,
+                    message: format!(
+                        "`{enum_name}::{variant}` is not declared in the mbr-obs catalog ({OBS_CATALOG})"
+                    ),
+                });
+            }
+        }
+        for variant in &declared {
+            if !used.contains_key(*variant) {
+                findings.push(Finding {
+                    rule: Some(Rule::O1),
+                    severity: Severity::Error,
+                    file: catalog.path.clone(),
+                    line: decl_line,
+                    message: format!(
+                        "dead catalog entry: `{enum_name}::{variant}` is never referenced outside crates/obs"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// O2: every `Diagnostic` variant is constructed by a checker module
+/// (a `crates/check/src` file other than `lib.rs`, which only matches on
+/// variants) and named in the mutation self-test.
+pub fn check_o2(files: &[Analyzed], findings: &mut Vec<Finding>) {
+    let Some(catalog) = files.iter().find(|f| f.path == CHECK_CATALOG) else {
+        missing_catalog(Rule::O2, CHECK_CATALOG, findings);
+        return;
+    };
+    let Some((decl_line, declared)) = enum_variants(catalog, "Diagnostic") else {
+        findings.push(Finding {
+            rule: Some(Rule::O2),
+            severity: Severity::Error,
+            file: catalog.path.clone(),
+            line: 1,
+            message: format!("catalog enum `Diagnostic` not found in {CHECK_CATALOG}"),
+        });
+        return;
+    };
+    let mut constructed: BTreeSet<String> = BTreeSet::new();
+    for f in files {
+        if f.path.starts_with("crates/check/src/") && f.path != CHECK_CATALOG {
+            constructed.extend(variant_refs(f, "Diagnostic").into_keys());
+        }
+    }
+    let mutation_names: BTreeSet<String> = files
+        .iter()
+        .find(|f| f.path == MUTATIONS)
+        .map(|f| variant_refs(f, "Diagnostic").into_keys().collect())
+        .unwrap_or_default();
+    for variant in &declared {
+        if !constructed.contains(variant) {
+            findings.push(Finding {
+                rule: Some(Rule::O2),
+                severity: Severity::Error,
+                file: catalog.path.clone(),
+                line: decl_line,
+                message: format!(
+                    "`Diagnostic::{variant}` is declared but never constructed by a checker module"
+                ),
+            });
+        }
+        if !mutation_names.contains(variant) {
+            findings.push(Finding {
+                rule: Some(Rule::O2),
+                severity: Severity::Error,
+                file: MUTATIONS.to_string(),
+                line: 1,
+                message: format!(
+                    "`Diagnostic::{variant}` is not named in the mutation self-test ({MUTATIONS})"
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{Analyzed, SourceFile};
+
+    fn analyzed(path: &str, src: &str) -> Analyzed {
+        Analyzed::new(&SourceFile {
+            path: path.into(),
+            text: src.into(),
+        })
+    }
+
+    #[test]
+    fn variants_extracted_at_depth_one_only() {
+        let f = analyzed(
+            "crates/obs/src/catalog.rs",
+            "pub enum Counter {\n\
+               MergedPairs,\n\
+               Solves { count: u64, nested: Inner },\n\
+               Tuple(Vec<u32>),\n\
+             }\n\
+             impl Counter { pub const ALL: [Counter; 3] = [Counter::MergedPairs, Counter::Solves, Counter::Tuple]; }\n",
+        );
+        let (line, vars) = enum_variants(&f, "Counter").unwrap();
+        assert_eq!(line, 1);
+        assert_eq!(vars, ["MergedPairs", "Solves", "Tuple"]);
+        assert!(enum_variants(&f, "Gauge").is_none());
+    }
+
+    #[test]
+    fn variant_refs_skip_assoc_consts_and_methods() {
+        let f = analyzed(
+            "crates/core/src/x.rs",
+            "fn f() { obs.bump(Counter::MergedPairs); let _ = Counter::ALL; Counter::from_name(\"x\"); }\n",
+        );
+        let refs = variant_refs(&f, "Counter");
+        assert_eq!(refs.into_keys().collect::<Vec<_>>(), ["MergedPairs"]);
+    }
+
+    #[test]
+    fn o1_flags_dead_and_unknown_entries() {
+        let files = [
+            analyzed(
+                "crates/obs/src/catalog.rs",
+                "pub enum Counter { Used, Dead }\npub enum Gauge { Level }\n",
+            ),
+            analyzed(
+                "crates/core/src/x.rs",
+                "fn f() { bump(Counter::Used); bump(Counter::Ghost); set(Gauge::Level, 1); }\n",
+            ),
+        ];
+        let mut findings = Vec::new();
+        check_o1(&files, &mut findings);
+        let msgs: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+        assert_eq!(findings.len(), 2, "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("Counter::Ghost")));
+        assert!(msgs.iter().any(|m| m.contains("Counter::Dead")));
+    }
+
+    #[test]
+    fn o2_requires_construction_and_mutation_naming() {
+        let files = [
+            analyzed(
+                "crates/check/src/lib.rs",
+                "pub enum Diagnostic { Constructed, Orphan }\n",
+            ),
+            analyzed(
+                "crates/check/src/netlist.rs",
+                "fn c() -> Diagnostic { Diagnostic::Constructed }\n",
+            ),
+            analyzed(
+                "crates/check/tests/mutations.rs",
+                "#[test]\nfn t() { assert!(matches!(d, Diagnostic::Constructed)); }\n",
+            ),
+        ];
+        let mut findings = Vec::new();
+        check_o2(&files, &mut findings);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings.iter().all(|f| f.message.contains("Orphan")));
+    }
+
+    #[test]
+    fn missing_catalog_is_a_warning_not_an_error() {
+        let files = [analyzed("crates/core/src/x.rs", "fn f() {}\n")];
+        let mut findings = Vec::new();
+        check_o1(&files, &mut findings);
+        check_o2(&files, &mut findings);
+        assert_eq!(findings.len(), 2);
+        assert!(findings.iter().all(|f| f.severity == Severity::Warning));
+    }
+}

@@ -1,0 +1,208 @@
+//! End-to-end self-test of the `mbr-lint` pass: seeded fixture trees on
+//! disk, one firing and one clean per rule, plus the baseline ratchet and
+//! the `LINT_report.json` artifact round-trip.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::PathBuf;
+
+use mbr_lint::{run, Options, Report, Rule, Severity};
+
+/// A scratch workspace under the OS temp dir, removed on drop.
+struct Fixture {
+    root: PathBuf,
+}
+
+impl Fixture {
+    fn new(name: &str) -> Fixture {
+        let root =
+            std::env::temp_dir().join(format!("mbr-lint-selftest-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(&root).expect("create fixture root");
+        Fixture { root }
+    }
+
+    fn file(&self, rel: &str, text: &str) -> &Fixture {
+        let path = self.root.join(rel);
+        fs::create_dir_all(path.parent().expect("rel path has a parent")).expect("mkdir");
+        fs::write(path, text).expect("write fixture file");
+        self
+    }
+
+    fn options(&self) -> Options {
+        Options::new(&self.root)
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+/// Consistent O1/O2 catalogs so a "clean" tree really has zero findings.
+fn closed_catalogs(fx: &Fixture) {
+    fx.file(
+        "crates/obs/src/catalog.rs",
+        "pub enum Counter { Merges }\npub enum Gauge { Level }\n",
+    )
+    .file(
+        "crates/core/src/flow.rs",
+        "fn f() { bump(Counter::Merges); set(Gauge::Level, 1); }\n",
+    )
+    .file(
+        "crates/check/src/lib.rs",
+        "pub enum Diagnostic { Floating }\n",
+    )
+    .file(
+        "crates/check/src/netlist.rs",
+        "fn c() -> Diagnostic { Diagnostic::Floating }\n",
+    )
+    .file(
+        "crates/check/tests/mutations.rs",
+        "fn t(d: Diagnostic) { assert!(matches!(d, Diagnostic::Floating)); }\n",
+    );
+}
+
+fn error_rules(report: &Report) -> BTreeSet<Rule> {
+    report
+        .findings
+        .iter()
+        .filter(|f| f.severity == Severity::Error)
+        .filter_map(|f| f.rule)
+        .collect()
+}
+
+#[test]
+fn seeded_violations_fire_every_rule() {
+    let fx = Fixture::new("firing");
+    closed_catalogs(&fx);
+    // D1: unordered map in a result-affecting crate.
+    fx.file(
+        "crates/core/src/bad.rs",
+        "use std::collections::HashMap;\nfn f() -> HashMap<u32, u32> { HashMap::new() }\n",
+    )
+    // D2: wall clock outside mbr-obs.
+    .file(
+        "crates/sta/src/lib.rs",
+        "fn t() -> std::time::Instant { std::time::Instant::now() }\n",
+    )
+    // D3: raw thread outside mbr-par.
+    .file(
+        "crates/place/src/lib.rs",
+        "fn p() { std::thread::spawn(|| {}); }\n",
+    )
+    // P1: an unwrap with no baseline entry (ratchet vs zero).
+    .file(
+        "crates/netlist/src/edit.rs",
+        "fn e(o: Option<u32>) -> u32 { o.unwrap() }\n",
+    )
+    // O1: a counter bumped but never declared.
+    .file(
+        "crates/lp/src/solve.rs",
+        "fn s() { bump(Counter::Ghost); }\n",
+    );
+    // O2: a diagnostic declared but never constructed / mutation-tested.
+    fx.file(
+        "crates/check/src/lib.rs",
+        "pub enum Diagnostic { Floating, Orphan }\n",
+    );
+
+    let out = run(&fx.options()).expect("lint run");
+    assert_eq!(out.exit_code(), 1);
+    let fired = error_rules(&out.report);
+    for rule in Rule::ALL {
+        assert!(fired.contains(&rule), "{rule} did not fire: {fired:?}");
+    }
+}
+
+#[test]
+fn clean_tree_with_suppressions_and_baseline_is_silent() {
+    let fx = Fixture::new("clean");
+    closed_catalogs(&fx);
+    fx.file(
+        "crates/core/src/ok.rs",
+        "use std::collections::BTreeMap;\n\
+         // mbr-lint: allow(D1, membership-only probe set, never iterated)\n\
+         fn f(s: &std::collections::HashSet<u32>) -> BTreeMap<u32, u32> { BTreeMap::new() }\n",
+    )
+    // unwrap in test code and tests/ files never counts.
+    .file(
+        "crates/netlist/src/edit.rs",
+        "#[cfg(test)]\nmod tests { fn t(o: Option<u32>) { o.unwrap(); } }\n",
+    )
+    .file(
+        "crates/netlist/tests/prop.rs",
+        "fn t(o: Option<u32>) { o.unwrap(); }\n",
+    );
+
+    let out = run(&fx.options()).expect("lint run");
+    assert_eq!(out.exit_code(), 0, "{:#?}", out.report.findings);
+    assert!(out.report.findings.is_empty(), "{:#?}", out.report.findings);
+    assert_eq!(out.report.p1_total(), 0);
+}
+
+#[test]
+fn baseline_ratchet_blocks_growth_and_prompts_on_shrink() {
+    let fx = Fixture::new("ratchet");
+    closed_catalogs(&fx);
+    fx.file(
+        "crates/netlist/src/edit.rs",
+        "fn e(o: Option<u32>) -> u32 { o.unwrap() }\n",
+    );
+
+    // Accept the current debt.
+    let mut opts = fx.options();
+    opts.update_baseline = true;
+    let out = run(&opts).expect("baseline write");
+    assert!(out.baseline_written);
+    assert_eq!(run(&fx.options()).expect("ratchet run").exit_code(), 0);
+
+    // A second unwrap in the same file is an increase: error.
+    fx.file(
+        "crates/netlist/src/edit.rs",
+        "fn e(o: Option<u32>) -> u32 { o.unwrap() + o.unwrap() }\n",
+    );
+    let out = run(&fx.options()).expect("ratchet run");
+    assert_eq!(out.exit_code(), 1);
+    assert!(error_rules(&out.report).contains(&Rule::P1));
+
+    // Removing both leaves the baseline stale: warning, still exit 0.
+    fx.file(
+        "crates/netlist/src/edit.rs",
+        "fn e(o: Option<u32>) -> u32 { o.unwrap_or(0) }\n",
+    );
+    let out = run(&fx.options()).expect("ratchet run");
+    assert_eq!(out.exit_code(), 0);
+    assert!(out
+        .report
+        .findings
+        .iter()
+        .any(|f| f.rule == Some(Rule::P1) && f.severity == Severity::Warning));
+}
+
+#[test]
+fn json_artifact_round_trips() {
+    let fx = Fixture::new("json");
+    fx.file(
+        "crates/core/src/bad.rs",
+        "use std::collections::HashMap;\nfn f(o: Option<u32>) -> u32 { o.unwrap() }\n",
+    );
+
+    let mut opts = fx.options();
+    let json_path = fx.root.join("target/LINT_report.json");
+    opts.json_out = Some(json_path.clone());
+    let out = run(&opts).expect("lint run");
+
+    let text = fs::read_to_string(&json_path).expect("artifact written");
+    let parsed = Report::from_json(&text).expect("artifact parses");
+    assert_eq!(parsed.findings.len(), out.report.findings.len());
+    assert_eq!(parsed.p1_counts, out.report.p1_counts);
+    for (a, b) in parsed.findings.iter().zip(&out.report.findings) {
+        assert_eq!(
+            (a.rule, a.severity, &a.file, a.line),
+            (b.rule, b.severity, &b.file, b.line)
+        );
+        assert_eq!(a.message, b.message);
+    }
+}

@@ -62,6 +62,7 @@ impl Design {
                             let new_net = map_net(&mut out, net);
                             let new_pin = out
                                 .find_pin(new_id, pin.kind)
+                                // mbr-lint: allow(P1, add_register just created the full pin set of the same cell)
                                 .expect("same cell, same pins");
                             out.connect(new_pin, new_net);
                         }
@@ -80,6 +81,7 @@ impl Design {
                         let pin = self.pin(p);
                         let Some(net) = pin.net else { continue };
                         let new_net = map_net(&mut out, net);
+                        // mbr-lint: allow(P1, add_comb just created the full pin set of the same model)
                         let new_pin = out.find_pin(new_id, pin.kind).expect("same model");
                         out.connect(new_pin, new_net);
                     }

@@ -58,6 +58,7 @@ impl Design {
     ///
     /// Panics if the design was default-constructed without a die.
     pub fn die(&self) -> Rect {
+        // mbr-lint: allow(P1, documented panic contract: only default-constructed designs lack a die)
         self.die.expect("design has a die area")
     }
 
@@ -186,7 +187,7 @@ impl Design {
         self.connect(ck, attrs.clock);
 
         if class.has_reset {
-            let net = attrs.reset.expect("class has reset: attrs.reset required");
+            let net = required_control(attrs.reset, "class has reset: attrs.reset required");
             let p = self.push_pin(
                 id,
                 PinKind::Reset,
@@ -197,14 +198,12 @@ impl Design {
             self.connect(p, net);
         }
         if class.has_set {
-            let net = attrs.set.expect("class has set: attrs.set required");
+            let net = required_control(attrs.set, "class has set: attrs.set required");
             let p = self.push_pin(id, PinKind::Set, PinDir::Input, Point::new(w, 0), ctrl_cap);
             self.connect(p, net);
         }
         if class.has_enable {
-            let net = attrs
-                .enable
-                .expect("class has enable: attrs.enable required");
+            let net = required_control(attrs.enable, "class has enable: attrs.enable required");
             let p = self.push_pin(
                 id,
                 PinKind::Enable,
@@ -215,9 +214,10 @@ impl Design {
             self.connect(p, net);
         }
         if class.has_scan {
-            let net = attrs
-                .scan_enable
-                .expect("class has scan: attrs.scan_enable required");
+            let net = required_control(
+                attrs.scan_enable,
+                "class has scan: attrs.scan_enable required",
+            );
             let p = self.push_pin(
                 id,
                 PinKind::ScanEnable,
@@ -584,6 +584,7 @@ impl Design {
             .iter()
             .copied()
             .find(|&p| self.pins[p.index()].kind == PinKind::Clock)
+            // mbr-lint: allow(P1, add_register always creates the clock pin; absence means arena corruption)
             .expect("registers have a clock pin")
     }
 
@@ -671,6 +672,14 @@ impl Design {
             })
             .sum()
     }
+}
+
+/// A control net the register class mandates. Omitting one is the
+/// documented [`Design::add_register`] panic contract ("`attrs` omits a
+/// control net the class requires").
+fn required_control(net: Option<NetId>, msg: &str) -> NetId {
+    // mbr-lint: allow(P1, class-required control nets are a documented add_register panic contract)
+    net.expect(msg)
 }
 
 /// Offset of a register data pin inside its cell: D pins on the left edge,
@@ -839,5 +848,18 @@ mod tests {
         let clk = d.add_net("clk");
         let cell = lib.cell_by_name("DFF_R_1X1").unwrap();
         d.add_register("r0", &lib, cell, Point::ORIGIN, RegisterAttrs::clocked(clk));
+    }
+
+    #[test]
+    #[should_panic(expected = "attrs.scan_enable required")]
+    fn missing_scan_enable_net_panics() {
+        let lib = standard_library();
+        let mut d = Design::new("t", die());
+        let clk = d.add_net("clk");
+        let rst = d.add_net("rst");
+        let cell = lib.cell_by_name("SDFF_R_1X1").unwrap();
+        let mut attrs = RegisterAttrs::clocked(clk);
+        attrs.reset = Some(rst);
+        d.add_register("r0", &lib, cell, Point::ORIGIN, attrs);
     }
 }

@@ -104,6 +104,19 @@ impl fmt::Display for EditError {
 impl Error for EditError {}
 
 impl Design {
+    /// Pin `kind` of a register this edit just created from a library cell
+    /// wide enough to carry it. Only called mid-mutation, after validation
+    /// pinned `kind` inside the cell's pin set — returning an `Err` here
+    /// would break the "design left unchanged whenever an error is
+    /// returned" contract, so a miss (a logic bug) must panic instead.
+    fn fresh_pin(&self, inst: InstId, kind: PinKind) -> crate::PinId {
+        self.find_pin(inst, kind)
+            // mbr-lint: allow(P1, infallible mid-mutation; an Err would violate the leave-unchanged edit contract)
+            .expect("pin of freshly added cell")
+    }
+}
+
+impl Design {
     /// Merges a group of compatible live registers into one instance of the
     /// library MBR cell `new_cell`, placed with its lower-left corner at
     /// `loc`.
@@ -150,16 +163,21 @@ impl Design {
 
         // ---- validation (no mutation yet) ----
         let mut total_bits = 0usize;
+        let mut first_attrs = None;
+        let mut cells = std::collections::BTreeMap::new();
         for &g in group {
             let inst = self.inst(g);
-            if !inst.is_register() {
-                return Err(EditError::NotALiveRegister(inst.name.clone()));
-            }
-            let attrs = inst.register_attrs().expect("checked register");
+            let attrs = match inst.register_attrs() {
+                Some(a) if inst.is_register() => a,
+                _ => return Err(EditError::NotALiveRegister(inst.name.clone())),
+            };
             if attrs.is_untouchable() {
                 return Err(EditError::Untouchable(inst.name.clone()));
             }
-            let cell = lib.cell(inst.register_cell().expect("register"));
+            let Some(cell_id) = inst.register_cell() else {
+                return Err(EditError::NotALiveRegister(inst.name.clone()));
+            };
+            let cell = lib.cell(cell_id);
             if cell.class != target.class {
                 return Err(EditError::ClassMismatch {
                     inst: inst.name.clone(),
@@ -167,6 +185,10 @@ impl Design {
                     found: lib.class(cell.class).name.clone(),
                 });
             }
+            if first_attrs.is_none() {
+                first_attrs = Some(attrs.clone());
+            }
+            cells.insert(g, cell_id);
             total_bits += usize::from(self.register_width(g));
         }
         if total_bits > usize::from(target.width) {
@@ -176,13 +198,13 @@ impl Design {
             });
         }
 
-        let first_attrs = self
-            .inst(group[0])
-            .register_attrs()
-            .expect("register")
-            .clone();
+        let Some(first_attrs) = first_attrs else {
+            return Err(EditError::EmptyGroup);
+        };
         for &g in &group[1..] {
-            let attrs = self.inst(g).register_attrs().expect("register");
+            let Some(attrs) = self.inst(g).register_attrs() else {
+                return Err(EditError::NotALiveRegister(self.inst(g).name.clone()));
+            };
             let name = || self.inst(g).name.clone();
             if attrs.clock != first_attrs.clock {
                 return Err(EditError::IncompatibleControl {
@@ -269,22 +291,23 @@ impl Design {
         let chain_in = self
             .find_pin(ordered[0], PinKind::ScanIn(0))
             .and_then(|p| self.pin(p).net);
-        let chain_out = self
-            .find_pin(*ordered.last().expect("nonempty"), PinKind::ScanOut(0))
+        let chain_out = ordered
+            .last()
+            .and_then(|&last| self.find_pin(last, PinKind::ScanOut(0)))
             .and_then(|p| self.pin(p).net);
 
         let mut k: u8 = 0;
         for &src in &ordered {
-            let src_cell = lib.cell(self.inst(src).register_cell().expect("register"));
+            let src_cell = lib.cell(cells[&src]);
             for bit in self.register_bit_pins(src) {
                 let d_net = self.pin(bit.d).net;
                 let q_net = self.pin(bit.q).net;
                 if let Some(n) = d_net {
-                    let new_d = self.find_pin(mbr, PinKind::D(k)).expect("pin exists");
+                    let new_d = self.fresh_pin(mbr, PinKind::D(k));
                     self.connect(new_d, n);
                 }
                 if let Some(n) = q_net {
-                    let new_q = self.find_pin(mbr, PinKind::Q(k)).expect("pin exists");
+                    let new_q = self.fresh_pin(mbr, PinKind::Q(k));
                     self.connect(new_q, n);
                 }
                 // Per-bit scan cells carry each bit's chain hop across.
@@ -306,11 +329,11 @@ impl Design {
                         _ => None,
                     };
                     if let Some(n) = src_si.and_then(|p| self.pin(p).net) {
-                        let new_si = self.find_pin(mbr, PinKind::ScanIn(k)).expect("pin exists");
+                        let new_si = self.fresh_pin(mbr, PinKind::ScanIn(k));
                         self.connect(new_si, n);
                     }
                     if let Some(n) = src_so.and_then(|p| self.pin(p).net) {
-                        let new_so = self.find_pin(mbr, PinKind::ScanOut(k)).expect("pin exists");
+                        let new_so = self.fresh_pin(mbr, PinKind::ScanOut(k));
                         self.connect(new_so, n);
                     }
                 }
@@ -320,11 +343,11 @@ impl Design {
 
         if target.scan_style == ScanStyle::Internal {
             if let Some(n) = chain_in {
-                let si = self.find_pin(mbr, PinKind::ScanIn(0)).expect("pin exists");
+                let si = self.fresh_pin(mbr, PinKind::ScanIn(0));
                 self.connect(si, n);
             }
             if let Some(n) = chain_out {
-                let so = self.find_pin(mbr, PinKind::ScanOut(0)).expect("pin exists");
+                let so = self.fresh_pin(mbr, PinKind::ScanOut(0));
                 self.connect(so, n);
             }
         }
@@ -352,10 +375,10 @@ impl Design {
     /// [`EditError::Untouchable`] if it is `fixed` or `size_only`.
     pub fn remove_register(&mut self, inst: InstId) -> Result<(), EditError> {
         let instance = self.inst(inst);
-        if !instance.is_register() {
-            return Err(EditError::NotALiveRegister(instance.name.clone()));
-        }
-        let attrs = instance.register_attrs().expect("register");
+        let attrs = match instance.register_attrs() {
+            Some(a) if instance.is_register() => a,
+            _ => return Err(EditError::NotALiveRegister(instance.name.clone())),
+        };
         if attrs.fixed || attrs.size_only {
             return Err(EditError::Untouchable(instance.name.clone()));
         }
@@ -384,13 +407,17 @@ impl Design {
         new_cell: CellId,
     ) -> Result<(), EditError> {
         let instance = self.inst(inst);
-        if !instance.is_register() {
-            return Err(EditError::NotALiveRegister(instance.name.clone()));
-        }
-        if instance.register_attrs().expect("register").fixed {
+        let attrs = match instance.register_attrs() {
+            Some(a) if instance.is_register() => a,
+            _ => return Err(EditError::NotALiveRegister(instance.name.clone())),
+        };
+        if attrs.fixed {
             return Err(EditError::Untouchable(instance.name.clone()));
         }
-        let old = lib.cell(instance.register_cell().expect("register"));
+        let Some(old_cell) = instance.register_cell() else {
+            return Err(EditError::NotALiveRegister(instance.name.clone()));
+        };
+        let old = lib.cell(old_cell);
         let new = lib.cell(new_cell);
         if new.class != old.class || new.width != old.width {
             return Err(EditError::BadSplitTarget(new.name.clone()));
@@ -440,14 +467,17 @@ impl Design {
         bit_cell: CellId,
     ) -> Result<Vec<InstId>, EditError> {
         let instance = self.inst(inst);
-        if !instance.is_register() {
-            return Err(EditError::NotALiveRegister(instance.name.clone()));
-        }
-        let attrs = instance.register_attrs().expect("register").clone();
+        let attrs = match instance.register_attrs() {
+            Some(a) if instance.is_register() => a.clone(),
+            _ => return Err(EditError::NotALiveRegister(instance.name.clone())),
+        };
         if attrs.is_untouchable() {
             return Err(EditError::Untouchable(instance.name.clone()));
         }
-        let src_cell = lib.cell(instance.register_cell().expect("register"));
+        let Some(src_cell_id) = instance.register_cell() else {
+            return Err(EditError::NotALiveRegister(instance.name.clone()));
+        };
+        let src_cell = lib.cell(src_cell_id);
         let target = lib.cell(bit_cell);
         if target.width != 1 || target.class != src_cell.class {
             return Err(EditError::BadSplitTarget(target.name.clone()));
@@ -471,11 +501,11 @@ impl Design {
             let loc = Point::new(base.x + target.footprint_w * i as i64, base.y);
             let new_reg = self.add_register(name, lib, bit_cell, loc, bit_attrs);
             if let Some(n) = d_net {
-                let p = self.find_pin(new_reg, PinKind::D(0)).expect("pin exists");
+                let p = self.fresh_pin(new_reg, PinKind::D(0));
                 self.connect(p, n);
             }
             if let Some(n) = q_net {
-                let p = self.find_pin(new_reg, PinKind::Q(0)).expect("pin exists");
+                let p = self.fresh_pin(new_reg, PinKind::Q(0));
                 self.connect(p, n);
             }
             out.push(new_reg);
@@ -510,10 +540,7 @@ fn merged_scan_info(design: &Design, ordered: &[InstId]) -> Option<ScanInfo> {
             }
         }
     }
-    Some(ScanInfo {
-        partition,
-        section: section.map(|_| infos[0].section.expect("present")),
-    })
+    Some(ScanInfo { partition, section })
 }
 
 #[cfg(test)]
@@ -555,6 +582,35 @@ mod tests {
             regs.push(r);
         }
         (d, regs, lib)
+    }
+
+    /// Every `Err` return must leave the design untouched (the edit
+    /// contract): run the failing call on a clone and diff the observables.
+    #[test]
+    fn failed_edits_leave_the_design_unchanged() {
+        let (mut d, regs, lib) = fixture(3);
+        // Mixed clocks make the group invalid.
+        let clk2 = d.add_net("clk2");
+        d.inst_mut(regs[2]).register_attrs_mut().unwrap().clock = clk2;
+        let cell4 = lib.cell_by_name("DFF_R_4X1").unwrap();
+        let cell2 = lib.cell_by_name("DFF_R_2X1").unwrap();
+
+        let snapshot = d.clone();
+        assert!(d
+            .merge_registers(&regs, &lib, cell4, Point::ORIGIN)
+            .is_err());
+        assert!(d.merge_registers(&[], &lib, cell4, Point::ORIGIN).is_err());
+        assert!(d.resize_register(regs[0], &lib, cell2).is_err());
+        assert!(d.split_register(regs[0], &lib, cell2).is_err());
+
+        assert_eq!(d.live_inst_count(), snapshot.live_inst_count());
+        assert_eq!(d.live_register_count(), snapshot.live_register_count());
+        assert_eq!(d.total_register_bits(), snapshot.total_register_bits());
+        assert_eq!(d.wirelength(), snapshot.wirelength());
+        for (id, inst) in snapshot.live_insts() {
+            assert_eq!(d.inst(id).name, inst.name);
+            assert_eq!(d.inst(id).loc, inst.loc);
+        }
     }
 
     #[test]

@@ -44,10 +44,12 @@ impl Design {
         let mut by_partition: std::collections::BTreeMap<u16, Vec<InstId>> =
             std::collections::BTreeMap::new();
         for (id, inst) in self.registers() {
-            let Some(scan) = inst.register_attrs().expect("register").scan else {
+            let Some(scan) = inst.register_attrs().and_then(|a| a.scan) else {
                 continue;
             };
-            let cell = lib.cell(inst.register_cell().expect("register"));
+            let Some(cell) = inst.register_cell().map(|c| lib.cell(c)) else {
+                continue;
+            };
             if cell.scan_style == ScanStyle::None {
                 continue;
             }
@@ -111,21 +113,20 @@ impl Design {
             let mut upstream: PinId = self.inst(head_port).pins[0];
             let mut upstream_pos = self.pin_position(upstream);
             for &r in &ordered {
-                let cell = lib.cell(self.inst(r).register_cell().expect("register"));
+                let Some(cell) = self.inst(r).register_cell().map(|c| lib.cell(c)) else {
+                    continue;
+                };
+                // Scan pins exist per the cell's scan style; a bit whose pins
+                // are somehow absent is skipped rather than chained blind.
+                let si_so = |b: u8| {
+                    Some((
+                        self.find_pin(r, PinKind::ScanIn(b))?,
+                        self.find_pin(r, PinKind::ScanOut(b))?,
+                    ))
+                };
                 let hops: Vec<(PinId, PinId)> = match cell.scan_style {
-                    ScanStyle::Internal => {
-                        let si = self.find_pin(r, PinKind::ScanIn(0)).expect("SI");
-                        let so = self.find_pin(r, PinKind::ScanOut(0)).expect("SO");
-                        vec![(si, so)]
-                    }
-                    ScanStyle::PerBit => (0..cell.width)
-                        .map(|b| {
-                            (
-                                self.find_pin(r, PinKind::ScanIn(b)).expect("SI"),
-                                self.find_pin(r, PinKind::ScanOut(b)).expect("SO"),
-                            )
-                        })
-                        .collect(),
+                    ScanStyle::Internal => si_so(0).into_iter().collect(),
+                    ScanStyle::PerBit => (0..cell.width).filter_map(si_so).collect(),
                     ScanStyle::None => unreachable!("filtered above"),
                 };
                 for (si, so) in hops {
@@ -174,8 +175,7 @@ fn chain_order(design: &Design, regs: &[InstId]) -> Vec<InstId> {
         match design
             .inst(r)
             .register_attrs()
-            .expect("register")
-            .scan
+            .and_then(|a| a.scan)
             .and_then(|s| s.section)
         {
             Some((sec, pos)) => sectioned.push((sec, pos, r)),
@@ -196,12 +196,12 @@ fn chain_order(design: &Design, regs: &[InstId]) -> Vec<InstId> {
                 .unwrap_or(Point::ORIGIN)
         });
     let mut remaining = free;
-    while !remaining.is_empty() {
-        let (k, _) = remaining
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, &r)| design.inst(r).center().manhattan(cursor))
-            .expect("nonempty");
+    while let Some(k) = remaining
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, &r)| design.inst(r).center().manhattan(cursor))
+        .map(|(k, _)| k)
+    {
         let r = remaining.swap_remove(k);
         cursor = design.inst(r).center();
         order.push(r);

@@ -44,7 +44,7 @@ mod svg;
 
 pub use svg::{render_svg, SvgOptions};
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
@@ -224,10 +224,10 @@ pub fn legalize(
     grid: &PlacementGrid,
     movable: &[InstId],
 ) -> Result<LegalizeReport, LegalizeError> {
-    let movable_set: std::collections::HashSet<InstId> = movable.iter().copied().collect();
+    let movable_set: std::collections::BTreeSet<InstId> = movable.iter().copied().collect();
 
     // Occupancy from all fixed (non-movable) placed instances.
-    let mut rows: HashMap<usize, RowOccupancy> = HashMap::new();
+    let mut rows: BTreeMap<usize, RowOccupancy> = BTreeMap::new();
     for (id, inst) in design.live_insts() {
         if movable_set.contains(&id) || matches!(inst.kind, InstKind::Port { .. }) {
             continue;
@@ -338,7 +338,7 @@ pub fn legalize(
 
 /// Finds a start x that is free in all of `rows_spanned` consecutive rows.
 fn multi_row_gap(
-    rows: &mut HashMap<usize, RowOccupancy>,
+    rows: &mut BTreeMap<usize, RowOccupancy>,
     row: usize,
     rows_spanned: usize,
     grid: &PlacementGrid,
@@ -351,7 +351,7 @@ fn multi_row_gap(
     let lo = grid.die.lo().x;
     let hi = grid.die.hi().x;
     let candidate = base.nearest_gap(grid, target_x, w, probes)?;
-    let fits_all = |x: Dbu, rows: &mut HashMap<usize, RowOccupancy>, probes: &mut u64| {
+    let fits_all = |x: Dbu, rows: &mut BTreeMap<usize, RowOccupancy>, probes: &mut u64| {
         *probes += 1;
         (row..row + rows_spanned).all(|rr| {
             rows.entry(rr)

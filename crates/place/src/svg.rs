@@ -81,7 +81,7 @@ pub fn render_svg(design: &Design, highlight: &[InstId], options: &SvgOptions) -
         }
     };
 
-    let highlighted: std::collections::HashSet<InstId> = highlight.iter().copied().collect();
+    let highlighted: std::collections::BTreeSet<InstId> = highlight.iter().copied().collect();
     // Background layer: logic, then registers, then highlights on top.
     for (id, inst) in design.live_insts() {
         if matches!(inst.kind, InstKind::Comb { .. }) && !highlighted.contains(&id) {

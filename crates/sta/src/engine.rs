@@ -1,6 +1,6 @@
 //! Timing-graph construction and propagation.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 use std::error::Error;
 use std::fmt;
 
@@ -371,8 +371,8 @@ impl Sta {
             "structural edit detected: rebuild Sta with Sta::new"
         );
 
-        let touched_insts: HashSet<InstId> = touched.iter().copied().collect();
-        let mut refreshed_nets: HashSet<mbr_netlist::NetId> = HashSet::new();
+        let touched_insts: BTreeSet<InstId> = touched.iter().copied().collect();
+        let mut refreshed_nets: BTreeSet<mbr_netlist::NetId> = BTreeSet::new();
         let mut net_refreshes = 0u64;
         let mut seeds: Vec<usize> = Vec::new();
         for &inst_id in touched {

@@ -15,6 +15,9 @@ cargo fmt --all --check
 echo "==> lint: cargo clippy --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -q -- -D warnings
 
+echo "==> lint: mbr-lint (determinism/observability/panic-safety invariants)"
+cargo run --release -q --bin mbr-lint
+
 echo "==> tier-1: cargo build --release"
 cargo build --release
 

@@ -1,0 +1,113 @@
+//! The `mbr-lint` CLI: static analysis over the whole workspace.
+//!
+//! ```text
+//! cargo run --release --bin mbr-lint -- [options]
+//!
+//!   --root <dir>         workspace root to scan (default: .)
+//!   --only <R1,R2>       run only these rules
+//!   --skip <R1,R2>       run all rules except these
+//!   --baseline <file>    P1 baseline path (default: <root>/LINT_baseline.txt)
+//!   --update-baseline    rewrite the baseline from current P1 counts
+//!   --json <file>        report path (default: <root>/target/LINT_report.json)
+//!   --no-json            skip writing the JSON report
+//!   --list-rules         print the rule catalog and exit
+//! ```
+//!
+//! Exits 0 when clean, 1 on any error-severity finding (including a P1
+//! baseline regression), 2 on usage or I/O errors.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mbr_lint::{run, Options, Rule};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mbr-lint [--root <dir>] [--only R1,R2] [--skip R1,R2] \
+         [--baseline <file>] [--update-baseline] [--json <file>] [--no-json] [--list-rules]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_rules(spec: &str) -> BTreeSet<Rule> {
+    let mut rules = BTreeSet::new();
+    for id in spec.split(',').filter(|s| !s.is_empty()) {
+        match Rule::from_id(id.trim()) {
+            Some(r) => {
+                rules.insert(r);
+            }
+            None => {
+                eprintln!("unknown rule `{id}` (see --list-rules)");
+                usage();
+            }
+        }
+    }
+    rules
+}
+
+fn main() -> ExitCode {
+    let mut opts = Options::new(&PathBuf::from("."));
+    let mut json: Option<PathBuf> = None;
+    let mut no_json = false;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--root" => opts.root = PathBuf::from(value("--root")),
+            "--only" => opts.enabled = parse_rules(&value("--only")),
+            "--skip" => {
+                for r in parse_rules(&value("--skip")) {
+                    opts.enabled.remove(&r);
+                }
+            }
+            "--baseline" => opts.baseline_path = Some(PathBuf::from(value("--baseline"))),
+            "--update-baseline" => opts.update_baseline = true,
+            "--json" => json = Some(PathBuf::from(value("--json"))),
+            "--no-json" => no_json = true,
+            "--list-rules" => {
+                for r in Rule::ALL {
+                    println!("{r}  {}", r.describe());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+    opts.json_out = if no_json {
+        None
+    } else {
+        Some(json.unwrap_or_else(|| opts.root.join("target").join("LINT_report.json")))
+    };
+
+    match run(&opts) {
+        Ok(outcome) => {
+            print!("{}", outcome.report.render_human());
+            if outcome.baseline_written {
+                println!(
+                    "mbr-lint: baseline rewritten ({} P1 site(s) accepted)",
+                    outcome.report.p1_total()
+                );
+            }
+            if outcome.exit_code() == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("mbr-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
