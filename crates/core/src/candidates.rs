@@ -15,7 +15,7 @@ use mbr_geom::{Point, Rect};
 use mbr_graph::{partition_geometric, BitGraph, SubcliqueStep};
 use mbr_liberty::{CellId, Library, ScanStyle};
 use mbr_netlist::{Design, InstId};
-use mbr_obs::{self as obs, Counter};
+use mbr_obs::{self as obs, Counter, Histogram, HistogramData};
 
 use crate::compat::CompatGraph;
 use crate::stages::assign::Selection;
@@ -116,7 +116,21 @@ pub fn enumerate_candidates(
         Counter::CandidatesEnumerated,
         sets.iter().map(|s| s.candidates.len() as u64).sum(),
     );
+    obs::histogram(
+        Histogram::CandidatesPerPartition,
+        &candidate_size_hist(&sets),
+    );
     sets
+}
+
+/// The per-partition candidate-count distribution, flushed on the main
+/// thread so it is identical at every thread count.
+fn candidate_size_hist(sets: &[CandidateSet]) -> HistogramData {
+    let mut hist = HistogramData::new();
+    for set in sets {
+        hist.record(set.candidates.len() as u64);
+    }
+    hist
 }
 
 /// Intersection of the masked members' feasible regions, if non-empty.
@@ -567,11 +581,18 @@ pub(crate) fn enumerate_incremental(
     obs::counter(Counter::SessionPartitionsReused, hits);
     obs::counter(Counter::SessionPartitionsRecomputed, fresh.len() as u64);
 
+    let sets: Vec<CandidateSet> = sets
+        .into_iter()
+        .map(|s| s.expect("every partition is either cached or fresh"))
+        .collect();
+    // Cached and fresh partitions alike: the distribution describes the
+    // workload the assignment stage is about to see.
+    obs::histogram(
+        Histogram::CandidatesPerPartition,
+        &candidate_size_hist(&sets),
+    );
     Enumeration {
-        sets: sets
-            .into_iter()
-            .map(|s| s.expect("every partition is either cached or fresh"))
-            .collect(),
+        sets,
         reused,
         fresh,
     }

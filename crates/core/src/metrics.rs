@@ -23,7 +23,7 @@ impl BitWidthHistogram {
     pub fn measure(design: &Design) -> Self {
         let mut counts = BTreeMap::new();
         for (id, _) in design.registers() {
-            *counts.entry(design.register_width(id)).or_insert(0) += 1;
+            mbr_obs::hist::tally(&mut counts, design.register_width(id));
         }
         BitWidthHistogram { counts }
     }

@@ -56,7 +56,7 @@ impl CandidateStats {
             ..CandidateStats::default()
         };
         for set in &sets {
-            *stats.partition_sizes.entry(set.elements.len()).or_insert(0) += 1;
+            mbr_obs::hist::tally(&mut stats.partition_sizes, set.elements.len());
             if set.truncated {
                 stats.truncated_partitions += 1;
             }
@@ -65,7 +65,7 @@ impl CandidateStats {
                     stats.singletons += 1;
                 } else if cand.weight <= 1.0 {
                     stats.clean_multi += 1;
-                    *stats.clean_sizes.entry(cand.members.len()).or_insert(0) += 1;
+                    mbr_obs::hist::tally(&mut stats.clean_sizes, cand.members.len());
                 } else {
                     stats.blocked_multi += 1;
                 }

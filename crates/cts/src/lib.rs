@@ -49,7 +49,7 @@
 use mbr_geom::{Dbu, Point};
 use mbr_liberty::Library;
 use mbr_netlist::{Design, InstId, PinKind};
-use mbr_obs::{self as obs, Counter, Gauge};
+use mbr_obs::{self as obs, Counter, Gauge, Histogram, HistogramData};
 use mbr_sta::Sta;
 
 /// Clock-tree estimation parameters.
@@ -530,6 +530,16 @@ pub fn assign_useful_skew(
     obs::counter(Counter::SkewAdjusted, report.adjusted as u64);
     obs::gauge(Gauge::WnsPs, report.wns_after);
     obs::gauge(Gauge::TnsPs, report.tns_after);
+    // Final |offset| magnitudes (rounded to whole ps) of every touched
+    // register — after any rollback, so the distribution matches what the
+    // clock network must actually realize.
+    let mut magnitudes = HistogramData::new();
+    for &r in &adjusted {
+        if let Some(attrs) = design.inst(r).register_attrs() {
+            magnitudes.record(attrs.clock_offset.abs().round() as u64);
+        }
+    }
+    obs::histogram(Histogram::SkewAbsAdjustPs, &magnitudes);
     report
 }
 

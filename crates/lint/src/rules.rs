@@ -30,10 +30,10 @@ pub enum Rule {
     /// committed baseline with a ratchet: the count per file may only go
     /// down; new sites fail.
     P1,
-    /// Observability catalog closure: every `Counter::`/`Gauge::` variant
-    /// referenced by instrumented code exists in the `mbr-obs` catalog, and
-    /// every catalog entry is referenced somewhere outside it (no dead
-    /// counters feeding bench JSON).
+    /// Observability catalog closure: every `Counter::`/`Gauge::`/
+    /// `Histogram::` variant referenced by instrumented code exists in the
+    /// `mbr-obs` catalog, and every catalog entry is referenced somewhere
+    /// outside it (no dead counters feeding bench JSON).
     O1,
     /// Checker catalog closure: every `mbr-check` `Diagnostic` variant is
     /// constructed by a checker module and named in the mutation self-test,
@@ -64,7 +64,7 @@ impl Rule {
             Rule::D2 => "wall-clock access outside the mbr-obs Clock abstraction",
             Rule::D3 => "thread creation outside mbr-par",
             Rule::P1 => "unwrap()/expect() in non-test library code (baseline ratchet)",
-            Rule::O1 => "obs counter/gauge catalog closure (used <-> declared)",
+            Rule::O1 => "obs counter/gauge/histogram catalog closure (used <-> declared)",
             Rule::O2 => "mbr-check Diagnostic catalog closure (constructed + mutation-tested)",
         }
     }

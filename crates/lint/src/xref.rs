@@ -95,15 +95,15 @@ fn missing_catalog(rule: Rule, path: &str, findings: &mut Vec<Finding>) {
     });
 }
 
-/// O1: every `Counter::`/`Gauge::` variant referenced outside `crates/obs`
-/// exists in the catalog, and every catalog variant is referenced somewhere
-/// outside `crates/obs`.
+/// O1: every `Counter::`/`Gauge::`/`Histogram::` variant referenced outside
+/// `crates/obs` exists in the catalog, and every catalog variant is
+/// referenced somewhere outside `crates/obs`.
 pub fn check_o1(files: &[Analyzed], findings: &mut Vec<Finding>) {
     let Some(catalog) = files.iter().find(|f| f.path == OBS_CATALOG) else {
         missing_catalog(Rule::O1, OBS_CATALOG, findings);
         return;
     };
-    for enum_name in ["Counter", "Gauge"] {
+    for enum_name in ["Counter", "Gauge", "Histogram"] {
         let Some((decl_line, declared)) = enum_variants(catalog, enum_name) else {
             findings.push(Finding {
                 rule: Some(Rule::O1),
@@ -252,11 +252,13 @@ mod tests {
         let files = [
             analyzed(
                 "crates/obs/src/catalog.rs",
-                "pub enum Counter { Used, Dead }\npub enum Gauge { Level }\n",
+                "pub enum Counter { Used, Dead }\npub enum Gauge { Level }\n\
+                 pub enum Histogram { SolveNs }\n",
             ),
             analyzed(
                 "crates/core/src/x.rs",
-                "fn f() { bump(Counter::Used); bump(Counter::Ghost); set(Gauge::Level, 1); }\n",
+                "fn f() { bump(Counter::Used); bump(Counter::Ghost); set(Gauge::Level, 1); \
+                 observe(Histogram::SolveNs, 1); }\n",
             ),
         ];
         let mut findings = Vec::new();
@@ -265,6 +267,30 @@ mod tests {
         assert_eq!(findings.len(), 2, "{msgs:?}");
         assert!(msgs.iter().any(|m| m.contains("Counter::Ghost")));
         assert!(msgs.iter().any(|m| m.contains("Counter::Dead")));
+    }
+
+    #[test]
+    fn o1_closes_over_the_histogram_catalog() {
+        // A dead histogram entry and an undeclared histogram reference both
+        // fire; a used one is clean.
+        let files = [
+            analyzed(
+                "crates/obs/src/catalog.rs",
+                "pub enum Counter { Used }\npub enum Gauge { Level }\n\
+                 pub enum Histogram { SolveNs, DeadDist }\n",
+            ),
+            analyzed(
+                "crates/core/src/x.rs",
+                "fn f() { bump(Counter::Used); set(Gauge::Level, 1); \
+                 observe(Histogram::SolveNs, 7); observe(Histogram::Phantom, 7); }\n",
+            ),
+        ];
+        let mut findings = Vec::new();
+        check_o1(&files, &mut findings);
+        let msgs: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+        assert_eq!(findings.len(), 2, "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("Histogram::Phantom")));
+        assert!(msgs.iter().any(|m| m.contains("Histogram::DeadDist")));
     }
 
     #[test]

@@ -44,11 +44,12 @@ impl Drop for Fixture {
 fn closed_catalogs(fx: &Fixture) {
     fx.file(
         "crates/obs/src/catalog.rs",
-        "pub enum Counter { Merges }\npub enum Gauge { Level }\n",
+        "pub enum Counter { Merges }\npub enum Gauge { Level }\n\
+         pub enum Histogram { SolveNs }\n",
     )
     .file(
         "crates/core/src/flow.rs",
-        "fn f() { bump(Counter::Merges); set(Gauge::Level, 1); }\n",
+        "fn f() { bump(Counter::Merges); set(Gauge::Level, 1); observe(Histogram::SolveNs, 1); }\n",
     )
     .file(
         "crates/check/src/lib.rs",

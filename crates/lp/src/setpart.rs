@@ -41,7 +41,7 @@
 use std::error::Error;
 use std::fmt;
 
-use mbr_obs::{self as obs, Counter};
+use mbr_obs::{self as obs, Counter, Histogram};
 
 /// One column of the partitioning problem: a candidate subset with a weight.
 #[derive(Clone, Debug, PartialEq)]
@@ -221,7 +221,20 @@ impl SetPartition {
     ///
     /// Same as [`SetPartition::solve`].
     pub fn solve_bounded(&self, max_nodes: u64) -> Result<SetPartitionSolution, SetPartitionError> {
+        // Clock reads only when a sink is listening: per-solve latency and
+        // node-count distributions feed the `--report`/perfdiff histograms.
+        let start = if obs::installed() {
+            Some(obs::now_ns())
+        } else {
+            None
+        };
         let result = self.solve_impl(max_nodes);
+        if let Some(start) = start {
+            obs::observe(
+                Histogram::SetPartSolveNs,
+                obs::now_ns().saturating_sub(start),
+            );
+        }
         if let Ok(sol) = &result {
             obs::counter(Counter::SetPartSolves, 1);
             obs::counter(Counter::SetPartNodesExplored, sol.nodes_explored);
@@ -231,6 +244,7 @@ impl SetPartition {
                 sol.incumbent_improvements,
             );
             obs::counter(Counter::SetPartLpBoundCuts, sol.lp_bound_cuts);
+            obs::observe(Histogram::SetPartSolveNodes, sol.nodes_explored);
         }
         result
     }

@@ -1,0 +1,221 @@
+//! Diffs two perf artifacts — JSONL traces or `BENCH_*.json` files — or
+//! gates a trace against the committed `PERF_baseline.json`
+//! (DESIGN.md §13).
+//!
+//! ```text
+//! mbr-perfdiff <a> <b> [--tolerance PCT] [--fail-on-timing] [--out PATH]
+//! mbr-perfdiff --baseline PERF_baseline.json <trace.jsonl> [--out PATH]
+//! mbr-perfdiff --write-baseline PERF_baseline.json <trace.jsonl> [--source NOTE]
+//! ```
+//!
+//! Inputs ending in `.jsonl` are traces (validated, then summarised);
+//! anything else is parsed as a bench suite file. Deterministic
+//! quantities (counters, non-timing histograms) must match exactly;
+//! wall-clock quantities are compared within `--tolerance` (default 20%)
+//! and reported as advisory flags unless `--fail-on-timing` promotes
+//! them to failures.
+//!
+//! Exit codes: 0 clean, 1 diff failures (or parse/validation errors),
+//! 2 usage or I/O errors.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use mbr_obs::perfdiff::{
+    diff_against_baseline, diff_bench, diff_traces, parse_baseline, parse_bench, render_baseline,
+    Baseline, DiffReport,
+};
+use mbr_obs::summary::Summary;
+use mbr_obs::{parse_trace, validate_trace};
+
+const USAGE: &str = "usage: mbr-perfdiff <a> <b> [--tolerance PCT] [--fail-on-timing] [--out PATH]
+       mbr-perfdiff --baseline PERF_baseline.json <trace.jsonl> [--out PATH]
+       mbr-perfdiff --write-baseline PERF_baseline.json <trace.jsonl> [--source NOTE]";
+
+struct Args {
+    inputs: Vec<String>,
+    baseline: Option<String>,
+    write_baseline: Option<String>,
+    source: Option<String>,
+    tolerance: f64,
+    fail_on_timing: bool,
+    out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut parsed = Args {
+        inputs: Vec::new(),
+        baseline: None,
+        write_baseline: None,
+        source: None,
+        tolerance: 20.0,
+        fail_on_timing: false,
+        out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => parsed.baseline = Some(args.next().ok_or("--baseline needs a path")?),
+            "--write-baseline" => {
+                parsed.write_baseline = Some(args.next().ok_or("--write-baseline needs a path")?)
+            }
+            "--source" => parsed.source = Some(args.next().ok_or("--source needs a note")?),
+            "--tolerance" => {
+                let v = args.next().ok_or("--tolerance needs a percentage")?;
+                parsed.tolerance = v
+                    .parse()
+                    .ok()
+                    .filter(|t: &f64| t.is_finite() && *t >= 0.0)
+                    .ok_or(format!("--tolerance {v}: not a percentage"))?;
+            }
+            "--fail-on-timing" => parsed.fail_on_timing = true,
+            "--out" => parsed.out = Some(args.next().ok_or("--out needs a path")?),
+            _ if arg.starts_with('-') => return Err(format!("unexpected flag '{arg}'")),
+            _ => parsed.inputs.push(arg),
+        }
+    }
+    let expected = if parsed.baseline.is_some() || parsed.write_baseline.is_some() {
+        1
+    } else {
+        2
+    };
+    if parsed.inputs.len() != expected {
+        return Err(format!(
+            "expected {expected} input path(s), got {}",
+            parsed.inputs.len()
+        ));
+    }
+    Ok(parsed)
+}
+
+enum Loaded {
+    Trace(Summary),
+    Bench(mbr_obs::perfdiff::BenchFile),
+}
+
+/// Failure (exit 1) as `Ok(Err(message))`, I/O trouble (exit 2) as `Err`.
+fn load(path: &str) -> Result<Result<Loaded, String>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    if path.ends_with(".jsonl") {
+        let events = match parse_trace(&text) {
+            Ok(events) => events,
+            Err(e) => return Ok(Err(format!("{path}: parse error: {e}"))),
+        };
+        if let Err(e) = validate_trace(&events) {
+            return Ok(Err(format!("{path}: schema violation: {e}")));
+        }
+        Ok(Ok(Loaded::Trace(Summary::from_events(&events))))
+    } else {
+        match parse_bench(&text) {
+            Ok(bench) => Ok(Ok(Loaded::Bench(bench))),
+            Err(e) => Ok(Err(format!("{path}: bench parse error: {e}"))),
+        }
+    }
+}
+
+fn trace_counters(path: &str) -> Result<Result<BTreeMap<String, u64>, String>, String> {
+    if !path.ends_with(".jsonl") {
+        return Ok(Err(format!(
+            "{path}: baseline gating needs a .jsonl trace input"
+        )));
+    }
+    Ok(match load(path)? {
+        Ok(Loaded::Trace(summary)) => Ok(summary.counters),
+        Ok(Loaded::Bench(_)) => unreachable!("checked extension"),
+        Err(e) => Err(e),
+    })
+}
+
+fn emit(report: &DiffReport, out: &Option<String>) -> Result<(), String> {
+    let text = report.render();
+    print!("{text}");
+    if let Some(path) = out {
+        std::fs::write(path, &text).map_err(|e| format!("{path}: {e}"))?;
+    }
+    Ok(())
+}
+
+fn run(args: &Args) -> Result<Result<DiffReport, String>, String> {
+    if let Some(baseline_path) = &args.write_baseline {
+        let counters = match trace_counters(&args.inputs[0])? {
+            Ok(counters) => counters,
+            Err(e) => return Ok(Err(e)),
+        };
+        let baseline = Baseline {
+            source: args
+                .source
+                .clone()
+                .unwrap_or_else(|| args.inputs[0].clone()),
+            counters,
+        };
+        std::fs::write(baseline_path, render_baseline(&baseline))
+            .map_err(|e| format!("{baseline_path}: {e}"))?;
+        println!(
+            "mbr-perfdiff: wrote {} counters to {baseline_path}",
+            baseline.counters.len()
+        );
+        return Ok(Ok(DiffReport::default()));
+    }
+    if let Some(baseline_path) = &args.baseline {
+        let text =
+            std::fs::read_to_string(baseline_path).map_err(|e| format!("{baseline_path}: {e}"))?;
+        let baseline = match parse_baseline(&text) {
+            Ok(baseline) => baseline,
+            Err(e) => return Ok(Err(format!("{baseline_path}: {e}"))),
+        };
+        let counters = match trace_counters(&args.inputs[0])? {
+            Ok(counters) => counters,
+            Err(e) => return Ok(Err(e)),
+        };
+        return Ok(Ok(diff_against_baseline(&baseline, &counters)));
+    }
+    let a = match load(&args.inputs[0])? {
+        Ok(a) => a,
+        Err(e) => return Ok(Err(e)),
+    };
+    let b = match load(&args.inputs[1])? {
+        Ok(b) => b,
+        Err(e) => return Ok(Err(e)),
+    };
+    match (a, b) {
+        (Loaded::Trace(a), Loaded::Trace(b)) => Ok(Ok(diff_traces(&a, &b, args.tolerance))),
+        (Loaded::Bench(a), Loaded::Bench(b)) => Ok(Ok(diff_bench(&a, &b, args.tolerance))),
+        _ => Ok(Err(
+            "cannot diff a trace against a bench file (mixed .jsonl / .json inputs)".to_string(),
+        )),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("mbr-perfdiff: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(Ok(report)) => {
+            if args.write_baseline.is_some() {
+                return ExitCode::SUCCESS;
+            }
+            if emit(&report, &args.out).is_err() {
+                return ExitCode::from(2);
+            }
+            let failed = !report.is_clean() || (args.fail_on_timing && report.flags > 0);
+            if failed {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Ok(Err(e)) => {
+            eprintln!("mbr-perfdiff: {e}");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("mbr-perfdiff: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Aggregates a JSONL trace into a span-path profile: a top-N hot-path
+//! table (inclusive/exclusive time per path) on stdout and, with
+//! `--folded`, a flamegraph-compatible collapsed-stack file
+//! (DESIGN.md §13).
+//!
+//! ```text
+//! mbr-profile <trace.jsonl> [--top N] [--folded PATH] [--truncated]
+//! ```
+//!
+//! Exit codes: 0 on success, 1 when the trace fails to parse or
+//! validate, 2 on usage or I/O errors.
+
+use std::process::ExitCode;
+
+use mbr_obs::profile::{profile_events, to_folded};
+use mbr_obs::{parse_trace, validate_trace, validate_trace_truncated};
+
+const USAGE: &str = "usage: mbr-profile <trace.jsonl> [--top N] [--folded PATH] [--truncated]";
+
+struct Args {
+    path: String,
+    top: usize,
+    folded: Option<String>,
+    truncated: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut path = None;
+    let mut top = 20usize;
+    let mut folded = None;
+    let mut truncated = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--top" => {
+                let v = args.next().ok_or("--top needs a value")?;
+                top = v.parse().map_err(|_| format!("--top {v}: not a count"))?;
+            }
+            "--folded" => {
+                folded = Some(args.next().ok_or("--folded needs a path")?);
+            }
+            "--truncated" => truncated = true,
+            _ if arg.starts_with('-') || path.is_some() => {
+                return Err(format!("unexpected argument '{arg}'"));
+            }
+            _ => path = Some(arg),
+        }
+    }
+    Ok(Args {
+        path: path.ok_or("missing trace path")?,
+        top,
+        folded,
+        truncated,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("mbr-profile: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let text = match std::fs::read_to_string(&args.path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("mbr-profile: {}: {e}", args.path);
+            return ExitCode::from(2);
+        }
+    };
+    let events = match parse_trace(&text) {
+        Ok(events) => events,
+        Err(e) => {
+            eprintln!("mbr-profile: {}: parse error: {e}", args.path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let validated = if args.truncated {
+        validate_trace_truncated(&events)
+    } else {
+        validate_trace(&events)
+    };
+    if let Err(e) = validated {
+        eprintln!("mbr-profile: {}: schema violation: {e}", args.path);
+        return ExitCode::FAILURE;
+    }
+    let profile = profile_events(&events);
+    println!(
+        "{}: {} spans over {} paths, {}ns root time, {}ns total exclusive",
+        args.path,
+        profile.spans,
+        profile.paths.len(),
+        profile.root_ns,
+        profile.total_exclusive_ns()
+    );
+    print!("{}", profile.render_hot_paths(args.top));
+    if let Some(folded_path) = &args.folded {
+        if let Err(e) = std::fs::write(folded_path, to_folded(&profile)) {
+            eprintln!("mbr-profile: {folded_path}: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "mbr-profile: wrote {} collapsed stacks to {folded_path}",
+            profile.paths.len()
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,22 +1,37 @@
 //! Validates an `MBR_TRACE` JSONL file against the schema in
 //! DESIGN.md §8 and prints its summary. Exit code 0 iff the trace parses
 //! and every schema invariant holds; CI runs this on the trace artifact.
+//!
+//! `--truncated` switches to the relaxed mode for flight-recorder dumps
+//! (DESIGN.md §13): events may reference spans evicted from the ring or
+//! still open at dump time, so unresolved span references are legal while
+//! every invariant among the retained events still holds. Strict mode
+//! (the default) rejects such traces.
 
 use std::process::ExitCode;
 
 use mbr_obs::summary::Summary;
-use mbr_obs::{parse_trace, validate_trace};
+use mbr_obs::{parse_trace, validate_trace, validate_trace_truncated};
+
+const USAGE: &str = "usage: trace-validate [--truncated] <trace.jsonl>";
 
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    let Some(path) = args.next() else {
-        eprintln!("usage: trace-validate <trace.jsonl>");
+    let mut truncated = false;
+    let mut path = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--truncated" => truncated = true,
+            _ if arg.starts_with('-') || path.is_some() => {
+                eprintln!("{USAGE}");
+                return ExitCode::from(2);
+            }
+            _ => path = Some(arg),
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
-    if args.next().is_some() {
-        eprintln!("usage: trace-validate <trace.jsonl>");
-        return ExitCode::from(2);
-    }
     let text = match std::fs::read_to_string(&path) {
         Ok(text) => text,
         Err(e) => {
@@ -31,12 +46,22 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if let Err(e) = validate_trace(&events) {
+    let result = if truncated {
+        validate_trace_truncated(&events)
+    } else {
+        validate_trace(&events)
+    };
+    if let Err(e) = result {
         eprintln!("trace-validate: {path}: schema violation: {e}");
         return ExitCode::FAILURE;
     }
+    let mode = if truncated {
+        "conform to the truncated trace schema"
+    } else {
+        "conform to the trace schema"
+    };
     println!(
-        "{path}: {} events ({} lines) conform to the trace schema",
+        "{path}: {} events ({} lines) {mode}",
         events.len(),
         text.lines().count()
     );

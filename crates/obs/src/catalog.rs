@@ -1,9 +1,10 @@
-//! The closed, typed catalog of counters and gauges the workspace emits.
+//! The closed, typed catalog of counters, gauges and histograms the
+//! workspace emits.
 //!
 //! Keeping the catalog in one enum (instead of free-form strings) makes the
-//! JSONL schema checkable: [`crate::validate_trace`] rejects any counter or
-//! gauge name not registered here, so a typo in an instrumentation site is
-//! a validation failure, not a silently new metric.
+//! JSONL schema checkable: [`crate::validate_trace`] rejects any counter,
+//! gauge or histogram name not registered here, so a typo in an
+//! instrumentation site is a validation failure, not a silently new metric.
 
 use std::fmt;
 
@@ -187,6 +188,73 @@ impl fmt::Display for Gauge {
     }
 }
 
+/// A distribution of per-operation observations, recorded into the
+/// deterministic log-bucketed [`crate::HistogramData`] and flushed via
+/// [`crate::histogram`] / [`crate::observe`]. Timing-valued entries
+/// ([`Histogram::is_timing`]) carry wall-clock readings and are exempt
+/// from the exact-match determinism contract counters obey; all other
+/// entries are pure algorithmic quantities and must be byte-identical at
+/// any thread count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Histogram {
+    /// Per-partition set-partitioning ILP solve latency, nanoseconds.
+    SetPartSolveNs,
+    /// Per-partition branch-and-bound nodes explored by one solve.
+    SetPartSolveNodes,
+    /// Seed pins re-propagated by one incremental timing update.
+    StaSeedPinsPerUpdate,
+    /// Displacement (Manhattan, DBU) of one instance placed by the
+    /// legalizer — including zero for instances legal in place.
+    LegalizeDisplacement,
+    /// Candidates enumerated for one partition (incl. singletons).
+    CandidatesPerPartition,
+    /// Absolute useful-skew adjustment applied to one register, ps.
+    SkewAbsAdjustPs,
+}
+
+impl Histogram {
+    /// Every histogram, in catalog order.
+    pub const ALL: [Histogram; 6] = [
+        Histogram::SetPartSolveNs,
+        Histogram::SetPartSolveNodes,
+        Histogram::StaSeedPinsPerUpdate,
+        Histogram::LegalizeDisplacement,
+        Histogram::CandidatesPerPartition,
+        Histogram::SkewAbsAdjustPs,
+    ];
+
+    /// The stable dotted name used in traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            Histogram::SetPartSolveNs => "lp.setpart.solve_ns",
+            Histogram::SetPartSolveNodes => "lp.setpart.solve_nodes",
+            Histogram::StaSeedPinsPerUpdate => "sta.incremental.seed_pins_per_update",
+            Histogram::LegalizeDisplacement => "place.legalize.displacement_dbu",
+            Histogram::CandidatesPerPartition => "core.candidates.per_partition",
+            Histogram::SkewAbsAdjustPs => "cts.skew.abs_adjust_ps",
+        }
+    }
+
+    /// Whether the observations are wall-clock readings. Timing histograms
+    /// render with time units and are compared with tolerance by
+    /// `mbr-perfdiff`; everything else must match exactly between
+    /// same-seed runs.
+    pub fn is_timing(self) -> bool {
+        matches!(self, Histogram::SetPartSolveNs)
+    }
+
+    /// The catalog entry for a dotted name, if registered.
+    pub fn from_name(name: &str) -> Option<Histogram> {
+        Histogram::ALL.into_iter().find(|h| h.name() == name)
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,7 +277,23 @@ mod tests {
         for g in Gauge::ALL {
             assert_eq!(Gauge::from_name(g.name()), Some(g));
         }
+        for h in Histogram::ALL {
+            assert_eq!(Histogram::from_name(h.name()), Some(h));
+        }
         assert_eq!(Counter::from_name("no.such.counter"), None);
         assert_eq!(Gauge::from_name("no.such.gauge"), None);
+        assert_eq!(Histogram::from_name("no.such.hist"), None);
+    }
+
+    #[test]
+    fn histogram_names_are_unique_and_disjoint_from_counters() {
+        let mut names: Vec<&str> = Histogram::ALL.iter().map(|h| h.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Histogram::ALL.len());
+        for h in Histogram::ALL {
+            assert_eq!(Counter::from_name(h.name()), None, "{h}");
+            assert_eq!(Gauge::from_name(h.name()), None, "{h}");
+        }
     }
 }

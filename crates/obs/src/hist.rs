@@ -1,0 +1,506 @@
+//! Deterministic log-bucketed histograms (DESIGN.md §13).
+//!
+//! A [`HistogramData`] summarises a stream of `u64` observations (latencies
+//! in nanoseconds, node counts, displacements) into fixed power-of-√2
+//! buckets: every power of two is split once at its geometric midpoint, so
+//! any recorded value is reconstructible to within a factor of √2. The
+//! bucket layout is a pure function of the value — no per-histogram
+//! configuration, no floating point — which gives the two properties the
+//! perf pipeline needs:
+//!
+//! * **exact merge**: merging is bucket-wise integer addition, so any
+//!   grouping or ordering of partial histograms produces the same result
+//!   (parallel workers, [`crate::TaskObs`] replay, trace aggregation);
+//! * **deterministic quantiles**: a quantile is the upper bound of the
+//!   bucket holding the ranked observation (clamped to the observed max),
+//!   a pure integer function of the bucket counts.
+//!
+//! The module also hosts the shared small-histogram utilities the rest of
+//! the workspace dedupes onto: [`tally`] for exact count-by-key maps and
+//! [`linear_bins`] for fixed-width f64 binning (timing-report style).
+
+use std::collections::BTreeMap;
+
+/// Largest bucket index [`bucket_index`] can return: bucket 0 holds the
+/// value 0, and values `1..=u64::MAX` span two buckets per power of two.
+pub const MAX_BUCKET: u32 = 128;
+
+/// The bucket a value falls into. Bucket 0 is exactly the value 0; for
+/// `v >= 1` with `2^b <= v < 2^(b+1)`, the bucket is `1 + 2b` when
+/// `v < 2^b·√2` and `1 + 2b + 1` otherwise. The √2 comparison is done in
+/// integers (`v² < 2^(2b+1)`), so the mapping is exact on every platform.
+pub fn bucket_index(v: u64) -> u32 {
+    if v == 0 {
+        return 0;
+    }
+    let b = 63 - v.leading_zeros();
+    let upper = ((v as u128) * (v as u128) >= 1u128 << (2 * b + 1)) as u32;
+    1 + 2 * b + upper
+}
+
+/// Smallest `v` with `(v as u128)² >= target` (integer √2 boundaries).
+fn sqrt_ceil(target: u128) -> u64 {
+    let (mut lo, mut hi) = (0u64, u64::MAX);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if (mid as u128) * (mid as u128) >= target {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo
+}
+
+/// The inclusive `[lo, hi]` value range of a bucket. Bucket `2` (the upper
+/// half of `[1, 2)`, which √2 never splits) is empty and returns `(2, 1)`;
+/// [`bucket_index`] never produces it.
+pub fn bucket_bounds(index: u32) -> (u64, u64) {
+    assert!(index <= MAX_BUCKET, "bucket index {index} out of range");
+    if index == 0 {
+        return (0, 0);
+    }
+    let k = index - 1;
+    let b = k / 2;
+    let split = sqrt_ceil(1u128 << (2 * b + 1));
+    if k.is_multiple_of(2) {
+        (1u64 << b, split - 1)
+    } else {
+        let hi = if b == 63 {
+            u64::MAX
+        } else {
+            (1u64 << (b + 1)) - 1
+        };
+        (split, hi)
+    }
+}
+
+/// A log-bucketed summary of `u64` observations. See the module docs for
+/// the bucket layout and the determinism guarantees.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramData {
+    /// Sparse bucket counts: bucket index → observations in it.
+    buckets: BTreeMap<u32, u64>,
+    /// Total observations.
+    count: u64,
+    /// Sum of all observed values (saturating).
+    sum: u64,
+    /// Smallest observed value (`u64::MAX` while empty).
+    min: u64,
+    /// Largest observed value.
+    max: u64,
+}
+
+impl Default for HistogramData {
+    fn default() -> Self {
+        HistogramData::new()
+    }
+}
+
+impl HistogramData {
+    /// An empty histogram.
+    pub fn new() -> HistogramData {
+        HistogramData {
+            buckets: BTreeMap::new(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        *self.buckets.entry(bucket_index(value)).or_insert(0) += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Merges another histogram into this one — bucket-wise addition, so
+    /// the result is independent of merge grouping and order.
+    pub fn merge(&mut self, other: &HistogramData) {
+        for (&bucket, &n) in &other.buckets {
+            *self.buckets.entry(bucket).or_insert(0) += n;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Whether no observation has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observed values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observed value; 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observed value; 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observed value; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The sparse `(bucket index, count)` pairs in ascending bucket order.
+    pub fn buckets(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.buckets.iter().map(|(&b, &n)| (b, n))
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as a deterministic integer estimate:
+    /// the upper bound of the bucket holding the observation of rank
+    /// `ceil(q·count)`, clamped to the observed maximum. The true quantile
+    /// `t` satisfies `t <= quantile(q) <= t·√2` (bucket width), and
+    /// `quantile(1.0) == max()` exactly. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (&bucket, &n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return bucket_bounds(bucket).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Rebuilds a histogram from its serialised parts (the JSONL trace
+    /// shape), validating internal consistency: buckets in range with
+    /// nonzero counts summing to `count`, and `min`/`max` falling in the
+    /// lowest/highest occupied bucket.
+    pub fn from_parts(
+        buckets: Vec<(u32, u64)>,
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+    ) -> Result<HistogramData, String> {
+        if count == 0 {
+            if buckets.is_empty() && sum == 0 && max == 0 {
+                return Ok(HistogramData::new());
+            }
+            return Err("empty histogram with nonempty parts".to_string());
+        }
+        let mut map = BTreeMap::new();
+        let mut total = 0u64;
+        let mut prev: Option<u32> = None;
+        for (bucket, n) in buckets {
+            if bucket > MAX_BUCKET {
+                return Err(format!("bucket index {bucket} out of range"));
+            }
+            if n == 0 {
+                return Err(format!("bucket {bucket} has a zero count"));
+            }
+            if prev.is_some_and(|p| p >= bucket) {
+                return Err("bucket indices must be strictly increasing".to_string());
+            }
+            prev = Some(bucket);
+            total = total.saturating_add(n);
+            map.insert(bucket, n);
+        }
+        if total != count {
+            return Err(format!("bucket counts sum to {total}, not count {count}"));
+        }
+        if min > max {
+            return Err(format!("min {min} exceeds max {max}"));
+        }
+        let (Some(&first), Some(&last)) = (map.keys().next(), map.keys().next_back()) else {
+            return Err("count is nonzero but no buckets were given".to_string());
+        };
+        if bucket_index(min) != first {
+            return Err(format!("min {min} is not in the lowest bucket {first}"));
+        }
+        if bucket_index(max) != last {
+            return Err(format!("max {max} is not in the highest bucket {last}"));
+        }
+        Ok(HistogramData {
+            buckets: map,
+            count,
+            sum,
+            min,
+            max,
+        })
+    }
+}
+
+/// Adds one occurrence of `key` to an exact count-by-key map — the shared
+/// tally idiom behind `core::stats` partition sizes and
+/// `core::metrics::BitWidthHistogram`.
+pub fn tally<K: Ord>(map: &mut BTreeMap<K, usize>, key: K) {
+    *map.entry(key).or_insert(0) += 1;
+}
+
+/// Bins `values` into `bins` equal-width buckets over `[min, max]`,
+/// returning `(min, max, counts)` — the fixed-width f64 histogram behind
+/// `sta`'s slack report. Values on interior boundaries round down into the
+/// lower bin; the maximum lands in the last bin. Empty input or zero
+/// `bins` yields `(0.0, 0.0, [])`.
+pub fn linear_bins(values: &[f64], bins: usize) -> (f64, f64, Vec<usize>) {
+    if values.is_empty() || bins == 0 {
+        return (0.0, 0.0, Vec::new());
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let mut counts = vec![0usize; bins];
+    let span = (hi - lo).max(1e-12);
+    for &v in values {
+        let b = (((v - lo) / span) * bins as f64) as usize;
+        counts[b.min(bins - 1)] += 1;
+    }
+    (lo, hi, counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift64* for seeded test data (no external deps).
+    struct XorShift(u64);
+
+    impl XorShift {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+    }
+
+    #[test]
+    fn bucket_index_edge_cases() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 3);
+        assert_eq!(bucket_index(3), 4); // 3² = 9 ≥ 2³ = 8
+        assert_eq!(bucket_index(4), 5);
+        assert_eq!(bucket_index(5), 5); // 5² = 25 < 2⁵ = 32
+        assert_eq!(bucket_index(6), 6); // 6² = 36 ≥ 32
+        assert_eq!(bucket_index(u64::MAX), MAX_BUCKET);
+        // Powers of two always start the lower half-bucket.
+        for b in 0..64 {
+            assert_eq!(bucket_index(1u64 << b), 1 + 2 * b, "2^{b}");
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_partition_the_value_space() {
+        // Every bucket's bounds map back to the bucket, and consecutive
+        // nonempty buckets tile the space without gaps.
+        let mut expected_next = 0u64;
+        for index in 0..=MAX_BUCKET {
+            let (lo, hi) = bucket_bounds(index);
+            if lo > hi {
+                assert_eq!(index, 2, "only the unsplit [1,2) upper half is empty");
+                continue;
+            }
+            assert_eq!(bucket_index(lo), index, "lo of {index}");
+            assert_eq!(bucket_index(hi), index, "hi of {index}");
+            assert_eq!(lo, expected_next, "gap before bucket {index}");
+            expected_next = hi.wrapping_add(1);
+        }
+        assert_eq!(expected_next, 0, "last bucket ends at u64::MAX");
+    }
+
+    #[test]
+    fn bucket_width_is_at_most_sqrt2() {
+        for index in 0..=MAX_BUCKET {
+            let (lo, hi) = bucket_bounds(index);
+            if lo > hi || lo == 0 {
+                continue;
+            }
+            // hi < lo·√2 ⟺ hi² < 2·lo² ⟺ hi² − lo² < lo² (u128-safe:
+            // both sides stay below 2^127).
+            let (lo2, hi2) = ((lo as u128) * (lo as u128), (hi as u128) * (hi as u128));
+            assert!(hi2 - lo2 < lo2, "bucket {index} [{lo}, {hi}] wider than √2");
+        }
+    }
+
+    #[test]
+    fn record_tracks_exact_stats() {
+        let mut h = HistogramData::new();
+        for v in [7, 0, 7, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 114);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 100);
+        assert_eq!(h.buckets().map(|(_, n)| n).sum::<u64>(), 4);
+        assert!((h.mean() - 28.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_inert() {
+        let h = HistogramData::new();
+        assert!(h.is_empty());
+        assert_eq!((h.min(), h.max(), h.sum(), h.count()), (0, 0, 0, 0));
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_exact_order_statistics() {
+        let mut rng = XorShift(0x9e37_79b9_7f4a_7c15);
+        for round in 0..20 {
+            let n = 1 + (rng.next() % 200) as usize;
+            let spread = (1 + round * 7).min(63);
+            let mut values: Vec<u64> = (0..n).map(|_| rng.next() % (1u64 << spread)).collect();
+            let mut h = HistogramData::new();
+            for &v in &values {
+                h.record(v);
+            }
+            values.sort_unstable();
+            for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+                let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+                let exact = values[rank - 1];
+                let est = h.quantile(q);
+                let (_, hi) = bucket_bounds(bucket_index(exact));
+                assert!(
+                    exact <= est && est <= hi.min(h.max()),
+                    "round {round} q={q}: exact {exact}, est {est}, bucket hi {hi}"
+                );
+            }
+            assert_eq!(h.quantile(1.0), *values.last().expect("nonempty"));
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_and_order_independent() {
+        let mut rng = XorShift(42);
+        let parts: Vec<Vec<u64>> = (0..3)
+            .map(|_| (0..50).map(|_| rng.next() % 10_000).collect())
+            .collect();
+        let hist_of = |groups: &[&[u64]]| {
+            let mut h = HistogramData::new();
+            for g in groups {
+                let mut part = HistogramData::new();
+                for &v in *g {
+                    part.record(v);
+                }
+                h.merge(&part);
+            }
+            h
+        };
+        let flat: Vec<u64> = parts.iter().flatten().copied().collect();
+        let direct = {
+            let mut h = HistogramData::new();
+            for &v in &flat {
+                h.record(v);
+            }
+            h
+        };
+        // ((a ⊕ b) ⊕ c), (a ⊕ (b ⊕ c)) and reorderings all equal the
+        // directly recorded histogram.
+        let ab_c = {
+            let mut h = hist_of(&[&parts[0], &parts[1]]);
+            h.merge(&hist_of(&[&parts[2]]));
+            h
+        };
+        let a_bc = {
+            let mut h = hist_of(&[&parts[0]]);
+            h.merge(&hist_of(&[&parts[1], &parts[2]]));
+            h
+        };
+        let cba = hist_of(&[&parts[2], &parts[1], &parts[0]]);
+        assert_eq!(ab_c, direct);
+        assert_eq!(a_bc, direct);
+        assert_eq!(cba, direct);
+        // Merging an empty histogram is the identity.
+        let mut with_empty = direct.clone();
+        with_empty.merge(&HistogramData::new());
+        assert_eq!(with_empty, direct);
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_validates() {
+        let mut h = HistogramData::new();
+        for v in [1, 5, 5, 900, 0] {
+            h.record(v);
+        }
+        let parts: Vec<(u32, u64)> = h.buckets().collect();
+        let rebuilt =
+            HistogramData::from_parts(parts.clone(), h.count(), h.sum(), h.min(), h.max())
+                .expect("round trip");
+        assert_eq!(rebuilt, h);
+        // Empty round trip.
+        assert_eq!(
+            HistogramData::from_parts(Vec::new(), 0, 0, 0, 0).expect("empty"),
+            HistogramData::new()
+        );
+        // Rejections.
+        assert!(HistogramData::from_parts(parts.clone(), h.count() + 1, h.sum(), 0, 900).is_err());
+        assert!(HistogramData::from_parts(vec![(1, 0)], 0, 0, 0, 0).is_err());
+        assert!(HistogramData::from_parts(vec![(3, 1), (3, 1)], 2, 4, 2, 2).is_err());
+        assert!(HistogramData::from_parts(vec![(200, 1)], 1, 1, 1, 1).is_err());
+        assert!(
+            HistogramData::from_parts(vec![(1, 1)], 1, 9, 9, 9).is_err(),
+            "min not in bucket"
+        );
+        assert!(
+            HistogramData::from_parts(vec![(1, 1)], 1, 1, 1, 0).is_err(),
+            "min > max"
+        );
+    }
+
+    #[test]
+    fn tally_counts_by_key() {
+        let mut map = BTreeMap::new();
+        for k in [3u8, 1, 3, 3] {
+            tally(&mut map, k);
+        }
+        assert_eq!(map.get(&3), Some(&3));
+        assert_eq!(map.get(&1), Some(&1));
+        assert_eq!(map.len(), 2);
+    }
+
+    #[test]
+    fn linear_bins_matches_fixed_width_binning() {
+        let (lo, hi, counts) = linear_bins(&[0.0, 1.0, 2.0, 3.9, 4.0], 4);
+        assert_eq!((lo, hi), (0.0, 4.0));
+        // The max lands in the last bin (clamped), boundaries round down
+        // into the upper bin — the exact arithmetic of the original
+        // sta::report::slack_histogram this helper dedupes.
+        assert_eq!(counts, vec![1, 1, 1, 2]);
+        // Degenerate spreads collapse into the first bin.
+        let (lo, hi, counts) = linear_bins(&[2.5, 2.5], 3);
+        assert_eq!((lo, hi), (2.5, 2.5));
+        assert_eq!(counts, vec![2, 0, 0]);
+        assert_eq!(linear_bins(&[], 4), (0.0, 0.0, Vec::new()));
+        assert_eq!(linear_bins(&[1.0], 0), (0.0, 0.0, Vec::new()));
+    }
+}

@@ -46,7 +46,11 @@
 
 mod catalog;
 mod clock;
+mod flight;
+pub mod hist;
 mod pass;
+pub mod perfdiff;
+pub mod profile;
 mod sink;
 mod span;
 mod stage;
@@ -55,17 +59,22 @@ pub mod table;
 mod task;
 pub mod trace;
 
-pub use catalog::{Counter, Gauge};
+pub use catalog::{Counter, Gauge, Histogram};
 pub use clock::{now_ns, with_clock, Clock, MockClock, MonotonicClock};
+pub use flight::{dump_flight_recorder, flight_recorder, FlightRecorder};
+pub use hist::HistogramData;
 pub use pass::{current_pass, with_pass};
 pub use sink::{
-    counter, flush_installed, gauge, install, installed, with_sink, CounterTotals, NoopSink,
-    ObsSink, Recorder, Tee,
+    counter, flush_installed, gauge, histogram, install, installed, observe, with_sink,
+    CounterTotals, NoopSink, ObsSink, Recorder, Tee,
 };
 pub use span::Span;
 pub use stage::{FlowStage, StageTimings};
 pub use task::{SpanHandle, TaskObs};
-pub use trace::{parse_trace, to_jsonl, validate_trace, JsonlSink, TraceError, TraceEvent};
+pub use trace::{
+    parse_trace, to_jsonl, validate_trace, validate_trace_truncated, JsonlSink, TraceError,
+    TraceEvent,
+};
 
 use std::sync::Arc;
 
@@ -87,20 +96,38 @@ impl CliObs {
 
 /// Standard observability setup for the flow binaries: if the `MBR_TRACE`
 /// environment variable names a path, a [`JsonlSink`] writing there is
-/// installed; if `report` is true (the `--report` flag), a [`Recorder`] is
-/// installed as well (teed with the tracer) and returned for rendering a
-/// [`summary::Summary`] after the run.
+/// installed; if `MBR_FLIGHT_RECORDER=<n>` is set, a [`FlightRecorder`]
+/// retaining the last `n` events is installed, registered for
+/// [`dump_flight_recorder`], and hooked into the panic handler so a crash
+/// dumps the ring; if `report` is true (the `--report` flag), a
+/// [`Recorder`] is installed as well (teed with the others) and returned
+/// for rendering a [`summary::Summary`] after the run.
 ///
 /// # Panics
 ///
-/// Panics when `MBR_TRACE` is set but the file cannot be created — a
-/// requested trace that silently vanishes is worse than a loud failure.
+/// Panics when `MBR_TRACE` is set but the file cannot be created, or when
+/// `MBR_FLIGHT_RECORDER` is not a positive integer — a requested trace
+/// that silently vanishes is worse than a loud failure.
 pub fn init_cli(report: bool) -> CliObs {
     let mut sinks: Vec<Arc<dyn ObsSink>> = Vec::new();
     if let Some(path) = std::env::var_os("MBR_TRACE") {
         let sink = JsonlSink::create(&path)
             .unwrap_or_else(|e| panic!("MBR_TRACE={}: {e}", path.to_string_lossy()));
         sinks.push(Arc::new(sink));
+    }
+    if let Ok(cap) = std::env::var("MBR_FLIGHT_RECORDER") {
+        let cap: usize =
+            cap.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+                panic!("MBR_FLIGHT_RECORDER={cap}: expected a positive integer")
+            });
+        let recorder = Arc::new(FlightRecorder::new(cap));
+        flight::register(recorder.clone());
+        sinks.push(recorder);
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            previous(info);
+            dump_flight_recorder("panic");
+        }));
     }
     let recorder = if report {
         let rec = Arc::new(Recorder::default());

@@ -1,0 +1,296 @@
+//! Span-tree profiling: aggregate a trace into inclusive/exclusive time
+//! per span *path* and emit flamegraph-compatible collapsed stacks
+//! (DESIGN.md §13).
+//!
+//! A span path is the `;`-joined chain of span names from a root to a
+//! span (`flow.compose;flow.compose.assignment;...`). Inclusive time is
+//! the span's own duration; exclusive time subtracts the durations of its
+//! direct children, i.e. the time actually spent at that tree level. In a
+//! serial trace the exclusive times telescope: summed over all paths they
+//! equal the total root-span duration. In a parallel trace sibling task
+//! spans may overlap their parent, so the subtraction saturates at zero
+//! and the totals become attribution estimates rather than an exact
+//! partition.
+//!
+//! The `.folded` output is the collapsed-stack format flamegraph tooling
+//! consumes: one `path value` line per path, here with exclusive
+//! nanoseconds as the value, sorted lexicographically for determinism.
+
+use std::collections::BTreeMap;
+
+use crate::table::{fmt_ns, Table};
+use crate::trace::TraceEvent;
+
+/// Aggregated timing of one span path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PathStats {
+    /// Spans that closed on this path.
+    pub count: u64,
+    /// Total duration of those spans.
+    pub inclusive_ns: u64,
+    /// Inclusive time minus direct children's inclusive time (saturating).
+    pub exclusive_ns: u64,
+}
+
+/// A profile: per-path aggregates plus whole-trace totals.
+#[derive(Clone, Debug, Default)]
+pub struct Profile {
+    /// Aggregates keyed by `;`-joined span path.
+    pub paths: BTreeMap<String, PathStats>,
+    /// Total duration of root spans (no parent, or parent not in the
+    /// trace — the truncated-dump case).
+    pub root_ns: u64,
+    /// Spans profiled.
+    pub spans: usize,
+}
+
+impl Profile {
+    /// Sum of exclusive time over all paths. Equals [`Profile::root_ns`]
+    /// for serial traces (see the module docs).
+    pub fn total_exclusive_ns(&self) -> u64 {
+        self.paths.values().map(|s| s.exclusive_ns).sum()
+    }
+
+    /// Paths sorted by exclusive time, descending (ties by path name),
+    /// truncated to `top`.
+    pub fn hot_paths(&self, top: usize) -> Vec<(&str, PathStats)> {
+        let mut rows: Vec<(&str, PathStats)> =
+            self.paths.iter().map(|(p, s)| (p.as_str(), *s)).collect();
+        rows.sort_by(|a, b| b.1.exclusive_ns.cmp(&a.1.exclusive_ns).then(a.0.cmp(b.0)));
+        rows.truncate(top);
+        rows
+    }
+
+    /// Renders the top-`top` hot-path table.
+    pub fn render_hot_paths(&self, top: usize) -> String {
+        let mut t =
+            Table::new(["span path", "count", "inclusive", "exclusive"]).right_align([1, 2, 3]);
+        for (path, stats) in self.hot_paths(top) {
+            t.row([
+                path.to_string(),
+                stats.count.to_string(),
+                fmt_ns(stats.inclusive_ns),
+                fmt_ns(stats.exclusive_ns),
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// A frame as it appears in a `.folded` line: `;` separates frames and
+/// the final space separates the value, so both are replaced.
+fn folded_frame(name: &str) -> String {
+    name.replace(';', ":").replace(' ', "_")
+}
+
+/// Profiles the spans of a trace. Counter/gauge/hist events are ignored;
+/// spans with an unresolvable parent (truncated traces) are treated as
+/// roots, and parent cycles — impossible in a validated trace — are cut
+/// at the revisited span.
+pub fn profile_events(events: &[TraceEvent]) -> Profile {
+    struct SpanRec<'a> {
+        parent: Option<u64>,
+        name: &'a str,
+        dur_ns: u64,
+    }
+    let mut spans: BTreeMap<u64, SpanRec<'_>> = BTreeMap::new();
+    for event in events {
+        if let TraceEvent::Span {
+            id,
+            parent,
+            name,
+            dur_ns,
+            ..
+        } = event
+        {
+            spans.insert(
+                *id,
+                SpanRec {
+                    parent: *parent,
+                    name,
+                    dur_ns: *dur_ns,
+                },
+            );
+        }
+    }
+
+    // Direct-children inclusive totals, for the exclusive subtraction.
+    let mut children_ns: BTreeMap<u64, u64> = BTreeMap::new();
+    for rec in spans.values() {
+        if let Some(pid) = rec.parent.filter(|p| spans.contains_key(p)) {
+            *children_ns.entry(pid).or_insert(0) += rec.dur_ns;
+        }
+    }
+
+    let mut profile = Profile {
+        spans: spans.len(),
+        ..Profile::default()
+    };
+    for (&id, rec) in &spans {
+        // Build the root→span frame chain, cutting unresolvable parents
+        // and (malformed-input) cycles.
+        let mut frames = vec![folded_frame(rec.name)];
+        let mut seen = vec![id];
+        let mut cursor = rec.parent;
+        let mut is_root = rec.parent.is_none();
+        while let Some(pid) = cursor {
+            let Some(parent) = spans.get(&pid) else {
+                is_root = true;
+                break;
+            };
+            if seen.contains(&pid) {
+                break;
+            }
+            seen.push(pid);
+            frames.push(folded_frame(parent.name));
+            cursor = parent.parent;
+            is_root = parent.parent.is_none();
+        }
+        frames.reverse();
+        let path = frames.join(";");
+        let stats = profile.paths.entry(path).or_default();
+        stats.count += 1;
+        stats.inclusive_ns += rec.dur_ns;
+        stats.exclusive_ns += rec
+            .dur_ns
+            .saturating_sub(children_ns.get(&id).copied().unwrap_or(0));
+        if is_root && seen.len() == 1 {
+            profile.root_ns += rec.dur_ns;
+        }
+    }
+    profile
+}
+
+/// Serialises a profile as collapsed stacks: one `path exclusive_ns` line
+/// per path, lexicographically sorted, trailing newline.
+pub fn to_folded(profile: &Profile) -> String {
+    let mut out = String::new();
+    for (path, stats) in &profile.paths {
+        out.push_str(path);
+        out.push(' ');
+        out.push_str(&stats.exclusive_ns.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses collapsed-stack text back into `path → value`. Rejects blank
+/// lines, missing values, and duplicate paths — [`to_folded`] output
+/// always round-trips.
+pub fn parse_folded(text: &str) -> Result<BTreeMap<String, u64>, String> {
+    let mut out = BTreeMap::new();
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let Some((path, value)) = line.rsplit_once(' ') else {
+            return Err(format!("folded line {lineno}: expected 'path value'"));
+        };
+        if path.is_empty() {
+            return Err(format!("folded line {lineno}: empty path"));
+        }
+        let value: u64 = value
+            .parse()
+            .map_err(|_| format!("folded line {lineno}: bad value '{value}'"))?;
+        if out.insert(path.to_string(), value).is_some() {
+            return Err(format!("folded line {lineno}: duplicate path '{path}'"));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, parent: Option<u64>, name: &str, start_ns: u64, dur_ns: u64) -> TraceEvent {
+        TraceEvent::Span {
+            id,
+            parent,
+            name: name.to_string(),
+            start_ns,
+            dur_ns,
+            task: None,
+            pass: None,
+        }
+    }
+
+    /// root(100) ─ a(30, twice: 30+20) ─ leaf(10) under the first a.
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            span(3, Some(2), "leaf", 5, 10),
+            span(2, Some(1), "a", 0, 30),
+            span(4, Some(1), "a", 30, 20),
+            span(1, None, "root", 0, 100),
+        ]
+    }
+
+    #[test]
+    fn inclusive_and_exclusive_aggregate_by_path() {
+        let p = profile_events(&sample());
+        assert_eq!(p.spans, 4);
+        assert_eq!(p.root_ns, 100);
+        let root = p.paths.get("root").expect("root path");
+        assert_eq!(
+            (root.count, root.inclusive_ns, root.exclusive_ns),
+            (1, 100, 50)
+        );
+        let a = p.paths.get("root;a").expect("a path");
+        assert_eq!((a.count, a.inclusive_ns, a.exclusive_ns), (2, 50, 40));
+        let leaf = p.paths.get("root;a;leaf").expect("leaf path");
+        assert_eq!(
+            (leaf.count, leaf.inclusive_ns, leaf.exclusive_ns),
+            (1, 10, 10)
+        );
+        // Serial trace: exclusive times telescope to the root duration.
+        assert_eq!(p.total_exclusive_ns(), p.root_ns);
+    }
+
+    #[test]
+    fn truncated_parents_become_roots() {
+        let p = profile_events(&[span(7, Some(99), "orphan", 0, 40)]);
+        assert_eq!(p.root_ns, 40);
+        assert_eq!(p.paths.get("orphan").map(|s| s.exclusive_ns), Some(40));
+    }
+
+    #[test]
+    fn folded_round_trips() {
+        let p = profile_events(&sample());
+        let folded = to_folded(&p);
+        assert_eq!(folded, "root 50\nroot;a 40\nroot;a;leaf 10\n");
+        let parsed = parse_folded(&folded).expect("parse");
+        assert_eq!(parsed.len(), p.paths.len());
+        for (path, stats) in &p.paths {
+            assert_eq!(parsed.get(path), Some(&stats.exclusive_ns), "{path}");
+        }
+        // Total exclusive time survives the round trip.
+        assert_eq!(parsed.values().sum::<u64>(), p.root_ns);
+    }
+
+    #[test]
+    fn folded_parser_rejects_malformed_lines() {
+        assert!(parse_folded("no_value\n").is_err());
+        assert!(parse_folded("a;b x\n").is_err());
+        assert!(parse_folded(" 5\n").is_err());
+        assert!(parse_folded("a 1\na 2\n").is_err());
+        assert_eq!(parse_folded("").expect("empty ok").len(), 0);
+    }
+
+    #[test]
+    fn frames_are_sanitised_for_the_folded_format() {
+        let p = profile_events(&[span(1, None, "odd name;x", 0, 5)]);
+        let folded = to_folded(&p);
+        assert_eq!(folded, "odd_name:x 5\n");
+        parse_folded(&folded).expect("sanitised frames parse");
+    }
+
+    #[test]
+    fn hot_paths_sort_by_exclusive_and_render() {
+        let p = profile_events(&sample());
+        let hot = p.hot_paths(2);
+        assert_eq!(hot[0].0, "root");
+        assert_eq!(hot[1].0, "root;a");
+        let table = p.render_hot_paths(10);
+        assert!(table.contains("span path"), "{table}");
+        assert!(table.contains("root;a;leaf"), "{table}");
+        assert!(table.contains("exclusive"), "{table}");
+    }
+}

@@ -9,7 +9,8 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
-use crate::catalog::{Counter, Gauge};
+use crate::catalog::{Counter, Gauge, Histogram};
+use crate::hist::HistogramData;
 use crate::span;
 use crate::trace::TraceEvent;
 
@@ -213,6 +214,38 @@ pub fn gauge(gauge: Gauge, value: f64) {
     });
 }
 
+/// Flushes a locally accumulated distribution. Mirrors [`counter`]: build
+/// the [`HistogramData`] with plain `record` calls in the hot loop and
+/// flush once per operation; empty histograms are dropped so quiet
+/// operations do not pad traces.
+pub fn histogram(hist: Histogram, data: &HistogramData) {
+    if data.is_empty() || !installed() {
+        return;
+    }
+    emit(&TraceEvent::Hist {
+        name: hist.name().to_string(),
+        data: data.clone(),
+        span: span::current_span_id(),
+        pass: crate::pass::current_pass(),
+    });
+}
+
+/// Records a single observation into a histogram — the one-shot form of
+/// [`histogram`] for per-operation grains (one solve, one update).
+pub fn observe(hist: Histogram, value: u64) {
+    if !installed() {
+        return;
+    }
+    let mut data = HistogramData::new();
+    data.record(value);
+    emit(&TraceEvent::Hist {
+        name: hist.name().to_string(),
+        data,
+        span: span::current_span_id(),
+        pass: crate::pass::current_pass(),
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,10 +289,40 @@ mod tests {
             .map(|e| match e {
                 TraceEvent::Span { pass, .. }
                 | TraceEvent::Counter { pass, .. }
-                | TraceEvent::Gauge { pass, .. } => *pass,
+                | TraceEvent::Gauge { pass, .. }
+                | TraceEvent::Hist { pass, .. } => *pass,
             })
             .collect();
         assert_eq!(passes, [None, Some(2), Some(2), Some(2)]);
+    }
+
+    #[test]
+    fn histogram_flush_drops_empty_and_records_full() {
+        let rec = Arc::new(Recorder::default());
+        with_sink(rec.clone(), || {
+            histogram(Histogram::SetPartSolveNodes, &HistogramData::new());
+            let mut data = HistogramData::new();
+            data.record(3);
+            data.record(40);
+            histogram(Histogram::SetPartSolveNodes, &data);
+            observe(Histogram::StaSeedPinsPerUpdate, 0);
+        });
+        let events = rec.events();
+        assert_eq!(events.len(), 2, "empty histogram must be dropped");
+        let TraceEvent::Hist {
+            name, data, span, ..
+        } = &events[0]
+        else {
+            panic!("expected hist event, got {:?}", events[0]);
+        };
+        assert_eq!(name, "lp.setpart.solve_nodes");
+        assert_eq!((data.count(), data.min(), data.max()), (2, 3, 40));
+        assert_eq!(*span, None);
+        // observe() records a real zero-valued observation (count 1).
+        let TraceEvent::Hist { data, .. } = &events[1] else {
+            panic!("expected hist event");
+        };
+        assert_eq!((data.count(), data.max()), (1, 0));
     }
 
     #[test]

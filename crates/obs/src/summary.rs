@@ -3,12 +3,14 @@
 
 use std::collections::BTreeMap;
 
+use crate::catalog::Histogram;
+use crate::hist::HistogramData;
 use crate::stage::StageTimings;
 use crate::table::{fmt_ns, Table};
 use crate::trace::TraceEvent;
 
 /// Aggregated view of one run's events: per-span-name totals, counter
-/// totals, and last-seen gauge values.
+/// totals, last-seen gauge values, and merged histograms.
 #[derive(Clone, Debug, Default)]
 pub struct Summary {
     /// Per span name: (times entered, total nanoseconds).
@@ -17,6 +19,8 @@ pub struct Summary {
     pub counters: BTreeMap<String, u64>,
     /// Per gauge name: last recorded value.
     pub gauges: BTreeMap<String, f64>,
+    /// Per histogram name: the exact merge of every flushed distribution.
+    pub hists: BTreeMap<String, HistogramData>,
 }
 
 impl Summary {
@@ -35,6 +39,13 @@ impl Summary {
                 }
                 TraceEvent::Gauge { name, value, .. } => {
                     summary.gauges.insert(name.clone(), *value);
+                }
+                TraceEvent::Hist { name, data, .. } => {
+                    summary
+                        .hists
+                        .entry(name.clone())
+                        .or_insert_with(HistogramData::new)
+                        .merge(data);
                 }
             }
         }
@@ -69,6 +80,28 @@ impl Summary {
             let mut t = Table::new(["gauge", "value"]).right_align([1]);
             for (name, value) in &self.gauges {
                 t.row([name.clone(), format!("{value:.3}")]);
+            }
+            out.push_str(&t.render());
+        }
+        if !self.hists.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            let mut t = Table::new(["histogram", "count", "p50", "p90", "p99", "max"])
+                .right_align([1, 2, 3, 4, 5]);
+            for (name, data) in &self.hists {
+                // Timing-valued histograms render with time units; pure
+                // count distributions as plain integers.
+                let timing = Histogram::from_name(name).is_some_and(Histogram::is_timing);
+                let cell = |v: u64| if timing { fmt_ns(v) } else { v.to_string() };
+                t.row([
+                    name.clone(),
+                    data.count().to_string(),
+                    cell(data.quantile(0.5)),
+                    cell(data.quantile(0.9)),
+                    cell(data.quantile(0.99)),
+                    cell(data.max()),
+                ]);
             }
             out.push_str(&t.render());
         }
@@ -152,6 +185,52 @@ mod tests {
         let rendered = s.render();
         assert!(rendered.contains("lp.simplex.pivots"));
         assert!(rendered.contains("-0.500"));
+    }
+
+    #[test]
+    fn summary_merges_histograms_and_renders_quantiles() {
+        let mut a = HistogramData::new();
+        a.record(4);
+        a.record(4);
+        let mut b = HistogramData::new();
+        b.record(100);
+        let events = vec![
+            TraceEvent::Hist {
+                name: "lp.setpart.solve_nodes".to_string(),
+                data: a,
+                span: None,
+                pass: None,
+            },
+            TraceEvent::Hist {
+                name: "lp.setpart.solve_nodes".to_string(),
+                data: b,
+                span: None,
+                pass: None,
+            },
+        ];
+        let s = Summary::from_events(&events);
+        let merged = s.hists.get("lp.setpart.solve_nodes").expect("merged");
+        assert_eq!((merged.count(), merged.min(), merged.max()), (3, 4, 100));
+        let rendered = s.render();
+        assert!(rendered.contains("histogram"), "{rendered}");
+        for col in ["count", "p50", "p90", "p99", "max"] {
+            assert!(rendered.contains(col), "missing {col}: {rendered}");
+        }
+        assert!(rendered.contains("100"), "{rendered}");
+    }
+
+    #[test]
+    fn timing_histograms_render_with_time_units() {
+        let mut d = HistogramData::new();
+        d.record(1_500_000);
+        let s = Summary::from_events(&[TraceEvent::Hist {
+            name: "lp.setpart.solve_ns".to_string(),
+            data: d,
+            span: None,
+            pass: None,
+        }]);
+        let rendered = s.render();
+        assert!(rendered.contains("ms"), "{rendered}");
     }
 
     #[test]

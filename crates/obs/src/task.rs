@@ -208,6 +208,17 @@ impl TaskObs {
                     span: remap_parent(span),
                     pass: stamp(pass),
                 },
+                TraceEvent::Hist {
+                    name,
+                    data,
+                    span,
+                    pass,
+                } => TraceEvent::Hist {
+                    name,
+                    data,
+                    span: remap_parent(span),
+                    pass: stamp(pass),
+                },
             };
             sink::emit(&remapped);
         }
@@ -419,9 +430,63 @@ mod tests {
         for e in &events {
             let (TraceEvent::Span { pass, .. }
             | TraceEvent::Counter { pass, .. }
-            | TraceEvent::Gauge { pass, .. }) = e;
+            | TraceEvent::Gauge { pass, .. }
+            | TraceEvent::Hist { pass, .. }) = e;
             assert_eq!(*pass, Some(5));
         }
+    }
+
+    #[test]
+    fn replay_remaps_histogram_span_references() {
+        use crate::catalog::Histogram;
+        let rec = Arc::new(Recorder::default());
+        with_clock(Arc::new(MockClock::new(2)), || {
+            with_sink(rec.clone(), || {
+                let root = Span::enter("test.root");
+                let handle = SpanHandle::current();
+                let obs = std::thread::scope(|s| {
+                    let h = &handle;
+                    s.spawn(move || {
+                        TaskObs::capture(h, || {
+                            let span = h.attach("test.task");
+                            crate::observe(Histogram::SetPartSolveNodes, 12);
+                            drop(span);
+                            // Span-less observation: re-parents onto root.
+                            crate::observe(Histogram::StaSeedPinsPerUpdate, 3);
+                        })
+                        .1
+                    })
+                    .join()
+                    .unwrap()
+                });
+                obs.replay(&handle);
+                drop(root);
+            })
+        });
+        let events = rec.events();
+        validate_trace(&events).expect("replayed hist trace validates");
+        let task_span_id = events
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::Span { id, name, .. } if name == "test.task" => Some(*id),
+                _ => None,
+            })
+            .expect("task span");
+        let root_id = events
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::Span { id, name, .. } if name == "test.root" => Some(*id),
+                _ => None,
+            })
+            .expect("root span");
+        let hist_spans: Vec<Option<u64>> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Hist { span, .. } => Some(*span),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(hist_spans, [Some(task_span_id), Some(root_id)]);
     }
 
     #[test]

@@ -2,12 +2,13 @@
 //!
 //! A trace is a sequence of newline-terminated JSON objects, one per
 //! event, in emission order. Field order is fixed so a deterministic run
-//! produces a byte-identical file. Three event shapes exist:
+//! produces a byte-identical file. Four event shapes exist:
 //!
 //! ```text
 //! {"type":"span","id":3,"parent":1,"name":"flow.compose.timing","start_ns":120,"dur_ns":480}
 //! {"type":"counter","name":"lp.simplex.pivots","value":42,"span":3}
 //! {"type":"gauge","name":"sta.wns_ps","value":-12.5,"span":null}
+//! {"type":"hist","name":"lp.setpart.solve_nodes","count":3,"sum":10,"min":1,"max":7,"buckets":[[1,1],[4,2]],"span":3}
 //! ```
 //!
 //! * `span` — emitted when the span **closes**; `parent` is the id of the
@@ -25,6 +26,17 @@
 //! * `gauge` — a point-in-time value; same `span` rule, `name` from the
 //!   [`Gauge`] catalog. `value` is finite and rendered with a decimal
 //!   point (`17` serialises as `17.0`) so the shapes stay distinguishable.
+//! * `hist` — a flushed [`HistogramData`] distribution; same `span` rule,
+//!   `name` from the [`Histogram`] catalog. `buckets` is the sparse
+//!   `[index, count]` list in ascending index order (DESIGN.md §13);
+//!   empty histograms are dropped at the flush site, so `count` is
+//!   positive in any valid trace.
+//!
+//! Validation has two modes: [`validate_trace`] enforces the full schema,
+//! while [`validate_trace_truncated`] additionally accepts the dumps a
+//! bounded flight recorder produces — the trace may begin mid-run, so
+//! references to spans evicted from the ring buffer (or still open at the
+//! time of the dump) are allowed to dangle.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -33,7 +45,8 @@ use std::io::{BufWriter, Write};
 use std::path::Path;
 use std::sync::Mutex;
 
-use crate::catalog::{Counter, Gauge};
+use crate::catalog::{Counter, Gauge, Histogram};
+use crate::hist::HistogramData;
 use crate::sink::ObsSink;
 
 /// One trace event. The enum mirrors the wire shapes above.
@@ -78,6 +91,17 @@ pub enum TraceEvent {
         /// Innermost open span at flush time, if any.
         span: Option<u64>,
         /// Composition pass the measurement belongs to ([`crate::with_pass`]).
+        pass: Option<u64>,
+    },
+    /// A flushed distribution of per-operation observations.
+    Hist {
+        /// Catalog name ([`Histogram::name`]).
+        name: String,
+        /// The bucketed distribution (nonempty in any valid trace).
+        data: HistogramData,
+        /// Innermost open span at flush time, if any.
+        span: Option<u64>,
+        /// Composition pass the flush belongs to ([`crate::with_pass`]).
         pass: Option<u64>,
     },
 }
@@ -188,6 +212,37 @@ impl TraceEvent {
                 }
                 out.push('}');
             }
+            TraceEvent::Hist {
+                name,
+                data,
+                span,
+                pass,
+            } => {
+                out.push_str("{\"type\":\"hist\",\"name\":");
+                write_json_string(&mut out, name);
+                out.push_str(",\"count\":");
+                out.push_str(&data.count().to_string());
+                out.push_str(",\"sum\":");
+                out.push_str(&data.sum().to_string());
+                out.push_str(",\"min\":");
+                out.push_str(&data.min().to_string());
+                out.push_str(",\"max\":");
+                out.push_str(&data.max().to_string());
+                out.push_str(",\"buckets\":[");
+                for (i, (bucket, n)) in data.buckets().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("[{bucket},{n}]"));
+                }
+                out.push_str("],\"span\":");
+                write_opt_u64(&mut out, *span);
+                if let Some(pass) = pass {
+                    out.push_str(",\"pass\":");
+                    out.push_str(&pass.to_string());
+                }
+                out.push('}');
+            }
         }
         out
     }
@@ -242,6 +297,7 @@ enum JsonValue {
     UInt(u64),
     Float(f64),
     Null,
+    Arr(Vec<JsonValue>),
 }
 
 impl<'a> LineParser<'a> {
@@ -339,6 +395,27 @@ impl<'a> LineParser<'a> {
     fn parse_value(&mut self) -> Result<JsonValue, TraceError> {
         match self.peek() {
             Some(b'"') => Ok(JsonValue::Str(self.parse_string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(JsonValue::Arr(items));
+                        }
+                        _ => return err(self.line, "expected ',' or ']'"),
+                    }
+                }
+            }
             Some(b'n') => {
                 if self.bytes[self.pos..].starts_with(b"null") {
                     self.pos += 4;
@@ -463,6 +540,34 @@ impl Fields {
         }
     }
 
+    /// Takes a `[[bucket, count], ...]` array (the `hist` bucket list).
+    fn take_buckets(&mut self, key: &str) -> Result<Vec<(u32, u64)>, TraceError> {
+        let JsonValue::Arr(items) = self.take(key)? else {
+            return err(self.line, format!("field '{key}' must be an array"));
+        };
+        let mut out = Vec::with_capacity(items.len());
+        for item in items {
+            let JsonValue::Arr(pair) = item else {
+                return err(
+                    self.line,
+                    format!("field '{key}' must hold [bucket, count] pairs"),
+                );
+            };
+            match pair.as_slice() {
+                [JsonValue::UInt(bucket), JsonValue::UInt(n)] if *bucket <= u32::MAX as u64 => {
+                    out.push((*bucket as u32, *n));
+                }
+                _ => {
+                    return err(
+                        self.line,
+                        format!("field '{key}' must hold [bucket, count] pairs"),
+                    )
+                }
+            }
+        }
+        Ok(out)
+    }
+
     fn take_f64(&mut self, key: &str) -> Result<f64, TraceError> {
         match self.take(key)? {
             JsonValue::Float(v) => Ok(v),
@@ -513,6 +618,27 @@ pub fn parse_trace(text: &str) -> Result<Vec<TraceEvent>, TraceError> {
                 span: fields.take_opt_u64("span")?,
                 pass: fields.take_absent_u64("pass")?,
             },
+            "hist" => {
+                let name = fields.take_str("name")?;
+                let count = fields.take_u64("count")?;
+                let sum = fields.take_u64("sum")?;
+                let min = fields.take_u64("min")?;
+                let max = fields.take_u64("max")?;
+                let buckets = fields.take_buckets("buckets")?;
+                let data =
+                    HistogramData::from_parts(buckets, count, sum, min, max).map_err(|e| {
+                        TraceError {
+                            line: lineno,
+                            message: format!("histogram '{name}': {e}"),
+                        }
+                    })?;
+                TraceEvent::Hist {
+                    name,
+                    data,
+                    span: fields.take_opt_u64("span")?,
+                    pass: fields.take_absent_u64("pass")?,
+                }
+            }
             other => return err(lineno, format!("unknown event type '{other}'")),
         };
         fields.finish()?;
@@ -524,10 +650,11 @@ pub fn parse_trace(text: &str) -> Result<Vec<TraceEvent>, TraceError> {
 /// Validates the schema invariants a well-formed trace must satisfy:
 ///
 /// 1. span ids are unique and positive;
-/// 2. every `parent` and counter/gauge `span` reference resolves to a span
-///    present in the trace;
-/// 3. counter and gauge names are in the typed catalogs, counter values
-///    are positive, gauge values finite;
+/// 2. every `parent` and counter/gauge/hist `span` reference resolves to a
+///    span present in the trace;
+/// 3. counter, gauge and histogram names are in the typed catalogs,
+///    counter values are positive, gauge values finite, histograms
+///    nonempty and internally consistent;
 /// 4. spans nest: a child's `[start, start+dur]` lies within its parent's
 ///    — also across task groups, which is how a worker task's spans are
 ///    checked against the main-thread span they were attached to — and a
@@ -536,6 +663,20 @@ pub fn parse_trace(text: &str) -> Result<Vec<TraceEvent>, TraceError> {
 ///    task group* (untagged spans form one group). Independent tasks run
 ///    concurrently, so no close order holds across groups.
 pub fn validate_trace(events: &[TraceEvent]) -> Result<(), TraceError> {
+    validate_trace_mode(events, false)
+}
+
+/// Like [`validate_trace`], but accepts the truncated traces a bounded
+/// flight recorder dumps: the ring buffer keeps only the newest events, so
+/// a `parent` or `span` reference may point at a span that was evicted at
+/// the buffer's head — or that was still open (never closed, hence never
+/// emitted) when the dump was taken. Such dangling references are allowed;
+/// every invariant among the *retained* events is still enforced.
+pub fn validate_trace_truncated(events: &[TraceEvent]) -> Result<(), TraceError> {
+    validate_trace_mode(events, true)
+}
+
+fn validate_trace_mode(events: &[TraceEvent], truncated: bool) -> Result<(), TraceError> {
     // Pass 1: collect spans.
     let mut span_info: Vec<(u64, Option<u64>, u64, u64, usize)> = Vec::new();
     let mut ids = BTreeSet::new();
@@ -578,28 +719,34 @@ pub fn validate_trace(events: &[TraceEvent]) -> Result<(), TraceError> {
                     return err(lineno, "span name must not be empty");
                 }
                 if let Some(pid) = parent {
-                    let Some(&(_, _, p_start, p_dur, p_line)) = lookup(*pid) else {
-                        return err(lineno, format!("span {id} parent {pid} not in trace"));
-                    };
                     if *pid == *id {
                         return err(lineno, format!("span {id} is its own parent"));
                     }
-                    let end = start_ns + dur_ns;
-                    if *start_ns < p_start || end > p_start + p_dur {
-                        return err(
-                            lineno,
-                            format!("span {id} [{start_ns}, {end}] escapes parent {pid}"),
-                        );
-                    }
-                    // Close order: a parent is open while its children run,
-                    // so its close event must come later — this holds even
-                    // across threads, where a replayed task's spans land
-                    // before the enclosing main-thread span closes.
-                    if p_line <= lineno {
-                        return err(
-                            lineno,
-                            format!("span {id} is emitted after its parent {pid} closed"),
-                        );
+                    // In truncated mode a missing parent is legal: it
+                    // closed after the dump (still open) or was evicted at
+                    // the ring-buffer head, so there is nothing to check
+                    // the child against.
+                    if let Some(&(_, _, p_start, p_dur, p_line)) = lookup(*pid) {
+                        let end = start_ns + dur_ns;
+                        if *start_ns < p_start || end > p_start + p_dur {
+                            return err(
+                                lineno,
+                                format!("span {id} [{start_ns}, {end}] escapes parent {pid}"),
+                            );
+                        }
+                        // Close order: a parent is open while its children
+                        // run, so its close event must come later — this
+                        // holds even across threads, where a replayed
+                        // task's spans land before the enclosing
+                        // main-thread span closes.
+                        if p_line <= lineno {
+                            return err(
+                                lineno,
+                                format!("span {id} is emitted after its parent {pid} closed"),
+                            );
+                        }
+                    } else if !truncated {
+                        return err(lineno, format!("span {id} parent {pid} not in trace"));
                     }
                 }
                 let end = start_ns + dur_ns;
@@ -626,7 +773,7 @@ pub fn validate_trace(events: &[TraceEvent]) -> Result<(), TraceError> {
                     return err(lineno, format!("counter '{name}' flushed a zero total"));
                 }
                 if let Some(sid) = span {
-                    if lookup(*sid).is_none() {
+                    if lookup(*sid).is_none() && !truncated {
                         return err(lineno, format!("counter references missing span {sid}"));
                     }
                 }
@@ -641,8 +788,23 @@ pub fn validate_trace(events: &[TraceEvent]) -> Result<(), TraceError> {
                     return err(lineno, format!("gauge '{name}' is not finite"));
                 }
                 if let Some(sid) = span {
-                    if lookup(*sid).is_none() {
+                    if lookup(*sid).is_none() && !truncated {
                         return err(lineno, format!("gauge references missing span {sid}"));
+                    }
+                }
+            }
+            TraceEvent::Hist {
+                name, data, span, ..
+            } => {
+                if Histogram::from_name(name).is_none() {
+                    return err(lineno, format!("histogram '{name}' not in catalog"));
+                }
+                if data.is_empty() {
+                    return err(lineno, format!("histogram '{name}' flushed empty"));
+                }
+                if let Some(sid) = span {
+                    if lookup(*sid).is_none() && !truncated {
+                        return err(lineno, format!("histogram references missing span {sid}"));
                     }
                 }
             }
@@ -959,6 +1121,102 @@ mod tests {
         let events = vec![span(1, None, 0, 400, None), span(2, Some(1), 10, 20, None)];
         let e = validate_trace(&events).expect_err("must fail");
         assert!(e.message.contains("after its parent"), "{e}");
+    }
+
+    fn sample_hist(span: Option<u64>) -> TraceEvent {
+        let mut data = HistogramData::new();
+        for v in [1, 1, 7] {
+            data.record(v);
+        }
+        TraceEvent::Hist {
+            name: "lp.setpart.solve_nodes".to_string(),
+            data,
+            span,
+            pass: None,
+        }
+    }
+
+    #[test]
+    fn hist_events_round_trip_with_documented_shape() {
+        let events = vec![sample_hist(Some(1)), span(1, None, 0, 100, None)];
+        let text = to_jsonl(&events);
+        assert_eq!(
+            text.lines().next().expect("line"),
+            "{\"type\":\"hist\",\"name\":\"lp.setpart.solve_nodes\",\"count\":3,\"sum\":9,\
+             \"min\":1,\"max\":7,\"buckets\":[[1,2],[6,1]],\"span\":1}"
+        );
+        let parsed = parse_trace(&text).expect("parse");
+        assert_eq!(parsed, events);
+        assert_eq!(to_jsonl(&parsed), text);
+        validate_trace(&events).expect("valid");
+    }
+
+    #[test]
+    fn hist_validation_rejects_unknown_name_and_dangling_span() {
+        let mut events = vec![sample_hist(None)];
+        if let TraceEvent::Hist { name, .. } = &mut events[0] {
+            *name = "lp.setpart.solve_nodez".to_string();
+        }
+        let e = validate_trace(&events).expect_err("unknown name");
+        assert!(e.message.contains("not in catalog"), "{e}");
+
+        let dangling = vec![sample_hist(Some(9))];
+        let e = validate_trace(&dangling).expect_err("dangling span");
+        assert!(e.message.contains("missing span"), "{e}");
+        validate_trace_truncated(&dangling).expect("tolerated when truncated");
+    }
+
+    #[test]
+    fn hist_parse_rejects_inconsistent_parts() {
+        // count disagrees with the bucket sum.
+        let line = "{\"type\":\"hist\",\"name\":\"lp.setpart.solve_nodes\",\"count\":4,\
+                    \"sum\":9,\"min\":1,\"max\":7,\"buckets\":[[1,2],[6,1]],\"span\":null}\n";
+        let e = parse_trace(line).expect_err("must fail");
+        assert!(e.message.contains("sum to 3"), "{e}");
+        // Buckets must be [index, count] pairs.
+        let line = "{\"type\":\"hist\",\"name\":\"lp.setpart.solve_nodes\",\"count\":1,\
+                    \"sum\":1,\"min\":1,\"max\":1,\"buckets\":[[1]],\"span\":null}\n";
+        assert!(parse_trace(line).is_err());
+    }
+
+    #[test]
+    fn truncated_mode_accepts_ring_buffer_suffixes() {
+        // A valid trace whose head was evicted: keep only the tail. Span 2
+        // references parent 1 whose close event is gone, and the counter
+        // references span 3 which was still open at dump time.
+        let events = vec![
+            span(2, Some(1), 10, 20, None),
+            TraceEvent::Counter {
+                name: "lp.simplex.pivots".to_string(),
+                value: 4,
+                span: Some(3),
+                pass: None,
+            },
+        ];
+        let e = validate_trace(&events).expect_err("strict rejects dangling parent");
+        assert!(e.message.contains("not in trace"), "{e}");
+        validate_trace_truncated(&events).expect("truncated accepts");
+    }
+
+    #[test]
+    fn truncated_mode_still_rejects_real_violations() {
+        // Duplicate ids.
+        let dup = vec![span(2, None, 0, 5, None), span(2, None, 5, 5, None)];
+        assert!(validate_trace_truncated(&dup).is_err());
+        // Unknown counter names.
+        let bad_name = vec![TraceEvent::Counter {
+            name: "no.such".to_string(),
+            value: 1,
+            span: None,
+            pass: None,
+        }];
+        assert!(validate_trace_truncated(&bad_name).is_err());
+        // Same-group close-order violations among retained events.
+        let disorder = vec![span(1, None, 0, 500, None), span(2, None, 10, 20, None)];
+        assert!(validate_trace_truncated(&disorder).is_err());
+        // A child escaping a *retained* parent is still checked.
+        let escape = vec![span(2, Some(1), 50, 100, None), span(1, None, 0, 120, None)];
+        assert!(validate_trace_truncated(&escape).is_err());
     }
 
     #[test]

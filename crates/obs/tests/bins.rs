@@ -1,0 +1,236 @@
+//! End-to-end tests for the perf tooling binaries: `trace-validate`
+//! (strict and `--truncated`), `mbr-profile` (hot paths + `.folded`
+//! emission), and `mbr-perfdiff` (trace diff, bench diff, baseline gate).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+use std::sync::Arc;
+
+use mbr_obs::{self as obs, parse_trace, to_jsonl, Counter, Histogram, MockClock, Recorder, Span};
+
+fn temp_file(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("mbr-bins-{}-{name}", std::process::id()))
+}
+
+/// A small valid serial trace: root(te.root) wrapping two children, one
+/// counter and one histogram observation.
+fn serial_trace() -> String {
+    let rec = Arc::new(Recorder::default());
+    obs::with_clock(Arc::new(MockClock::new(10)), || {
+        obs::with_sink(rec.clone(), || {
+            let root = Span::enter("te.root");
+            {
+                let _a = Span::enter("te.a");
+                obs::counter(Counter::SimplexPivots, 5);
+            }
+            {
+                let _b = Span::enter("te.b");
+                obs::observe(Histogram::SetPartSolveNodes, 17);
+            }
+            drop(root);
+        })
+    });
+    to_jsonl(&rec.events())
+}
+
+/// The same trace with one span-close line dropped, flight-recorder
+/// style: the counter's span reference now dangles, which strict
+/// validation rejects and truncated validation tolerates.
+fn truncated_trace() -> String {
+    let full = serial_trace();
+    let lines: Vec<&str> = full.lines().collect();
+    // Line order is counter, te.a close, hist, te.b close, te.root close;
+    // drop the close of `te.a` so the counter references a missing span.
+    let kept: Vec<&str> = lines
+        .iter()
+        .enumerate()
+        .filter_map(|(i, l)| (i != 1).then_some(*l))
+        .collect();
+    kept.join("\n") + "\n"
+}
+
+fn run(bin: &str, args: &[&str]) -> Output {
+    Command::new(bin)
+        .args(args)
+        .output()
+        .expect("binary spawns")
+}
+
+fn exit_code(out: &Output) -> i32 {
+    out.status.code().expect("no signal")
+}
+
+#[test]
+fn trace_validate_strict_vs_truncated() {
+    let good = temp_file("good.jsonl");
+    let cut = temp_file("cut.jsonl");
+    std::fs::write(&good, serial_trace()).expect("write");
+    std::fs::write(&cut, truncated_trace()).expect("write");
+    let bin = env!("CARGO_BIN_EXE_trace-validate");
+
+    let out = run(bin, &[good.to_str().expect("utf-8")]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+
+    // Strict mode rejects the truncated file; --truncated accepts it.
+    let out = run(bin, &[cut.to_str().expect("utf-8")]);
+    assert_eq!(exit_code(&out), 1, "{out:?}");
+    let out = run(bin, &["--truncated", cut.to_str().expect("utf-8")]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(stdout.contains("truncated trace schema"), "{stdout}");
+
+    let out = run(bin, &["--bogus", good.to_str().expect("utf-8")]);
+    assert_eq!(exit_code(&out), 2, "{out:?}");
+
+    std::fs::remove_file(&good).ok();
+    std::fs::remove_file(&cut).ok();
+}
+
+#[test]
+fn profile_emits_folded_stacks_that_telescope() {
+    let trace = temp_file("prof.jsonl");
+    let folded = temp_file("prof.folded");
+    std::fs::write(&trace, serial_trace()).expect("write");
+    let bin = env!("CARGO_BIN_EXE_mbr-profile");
+
+    let out = run(
+        bin,
+        &[
+            trace.to_str().expect("utf-8"),
+            "--top",
+            "10",
+            "--folded",
+            folded.to_str().expect("utf-8"),
+        ],
+    );
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(stdout.contains("te.root"), "{stdout}");
+    assert!(stdout.contains("exclusive"), "{stdout}");
+
+    // The folded file parses, and in a serial trace the exclusive values
+    // sum to the root span's duration.
+    let text = std::fs::read_to_string(&folded).expect("folded written");
+    let stacks = mbr_obs::profile::parse_folded(&text).expect("folded parses");
+    let events = parse_trace(&std::fs::read_to_string(&trace).expect("read")).expect("parse");
+    let root_dur = events
+        .iter()
+        .find_map(|e| match e {
+            mbr_obs::TraceEvent::Span {
+                name,
+                dur_ns,
+                parent: None,
+                ..
+            } if name == "te.root" => Some(*dur_ns),
+            _ => None,
+        })
+        .expect("root span present");
+    assert_eq!(stacks.values().sum::<u64>(), root_dur);
+
+    // Truncated traces profile only under --truncated.
+    let cut = temp_file("prof-cut.jsonl");
+    std::fs::write(&cut, truncated_trace()).expect("write");
+    assert_eq!(exit_code(&run(bin, &[cut.to_str().expect("utf-8")])), 1);
+    assert_eq!(
+        exit_code(&run(bin, &["--truncated", cut.to_str().expect("utf-8")])),
+        0
+    );
+
+    for p in [&trace, &folded, &cut] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn perfdiff_traces_and_baseline_gate() {
+    let a = temp_file("a.jsonl");
+    std::fs::write(&a, serial_trace()).expect("write");
+    let bin = env!("CARGO_BIN_EXE_mbr-perfdiff");
+
+    // A trace against itself is clean.
+    let out = run(
+        bin,
+        &[a.to_str().expect("utf-8"), a.to_str().expect("utf-8")],
+    );
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(stdout.contains("0 failure(s)"), "{stdout}");
+
+    // A counter drift fails with a named counter.
+    let b = temp_file("b.jsonl");
+    std::fs::write(&b, serial_trace().replace("\"value\":5", "\"value\":6")).expect("write");
+    let out = run(
+        bin,
+        &[a.to_str().expect("utf-8"), b.to_str().expect("utf-8")],
+    );
+    assert_eq!(exit_code(&out), 1, "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(stdout.contains("lp.simplex.pivots"), "{stdout}");
+
+    // Baseline write + gate: clean against itself, fails against the
+    // regressed trace, and the report lands in --out.
+    let baseline = temp_file("baseline.json");
+    let report_path = temp_file("report.txt");
+    let out = run(
+        bin,
+        &[
+            "--write-baseline",
+            baseline.to_str().expect("utf-8"),
+            a.to_str().expect("utf-8"),
+        ],
+    );
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    let out = run(
+        bin,
+        &[
+            "--baseline",
+            baseline.to_str().expect("utf-8"),
+            a.to_str().expect("utf-8"),
+        ],
+    );
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    let out = run(
+        bin,
+        &[
+            "--baseline",
+            baseline.to_str().expect("utf-8"),
+            b.to_str().expect("utf-8"),
+            "--out",
+            report_path.to_str().expect("utf-8"),
+        ],
+    );
+    assert_eq!(exit_code(&out), 1, "{out:?}");
+    let report = std::fs::read_to_string(&report_path).expect("report written");
+    assert!(report.contains("regressed"), "{report}");
+
+    // Usage errors exit 2.
+    let out = run(bin, &[a.to_str().expect("utf-8")]);
+    assert_eq!(exit_code(&out), 2, "{out:?}");
+
+    for p in [&a, &b, &baseline, &report_path] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn perfdiff_bench_files() {
+    let bench_a = temp_file("bench-a.json");
+    let bench_b = temp_file("bench-b.json");
+    let text = "{\"suite\":\"s\",\"unit\":\"ns\",\"results\":[{\"name\":\"d1\",\"samples\":3,\
+                \"median_ns\":1000,\"mean_ns\":1000,\"min_ns\":900,\"max_ns\":1100,\
+                \"counters\":{\"lp.simplex.pivots\":42}}]}\n";
+    std::fs::write(&bench_a, text).expect("write");
+    std::fs::write(&bench_b, text.replace("42", "43")).expect("write");
+    let bin = env!("CARGO_BIN_EXE_mbr-perfdiff");
+
+    let a = bench_a.to_str().expect("utf-8");
+    let b = bench_b.to_str().expect("utf-8");
+    assert_eq!(exit_code(&run(bin, &[a, a])), 0);
+    let out = run(bin, &[a, b]);
+    assert_eq!(exit_code(&out), 1, "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(stdout.contains("lp.simplex.pivots"), "{stdout}");
+
+    std::fs::remove_file(&bench_a).ok();
+    std::fs::remove_file(&bench_b).ok();
+}

@@ -105,7 +105,7 @@ fn counters_attach_to_their_enclosing_span() {
                 assert_eq!(*span, expected, "counter {name}");
             }
             TraceEvent::Gauge { span, .. } => assert_eq!(*span, Some(1)),
-            TraceEvent::Span { .. } => {}
+            TraceEvent::Span { .. } | TraceEvent::Hist { .. } => {}
         }
     }
 }

@@ -50,7 +50,7 @@ use std::fmt;
 
 use mbr_geom::{Dbu, Point, Rect};
 use mbr_netlist::{Design, InstId, InstKind};
-use mbr_obs::{self as obs, Counter, Gauge};
+use mbr_obs::{self as obs, Counter, Gauge, Histogram, HistogramData};
 
 /// The row/site structure of the die.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -249,6 +249,7 @@ pub fn legalize(
 
     let mut report = LegalizeReport::default();
     let mut probes = 0u64;
+    let mut displacements = HistogramData::new();
     let num_rows = grid.num_rows();
     for id in order {
         let inst = design.inst(id);
@@ -319,6 +320,9 @@ pub fn legalize(
             report.total_displacement += cost;
             report.max_displacement = report.max_displacement.max(cost);
         }
+        // Zero-displacement cells are real observations: the distribution
+        // distinguishes "mostly in place" from "everything shoved".
+        displacements.record(cost.unsigned_abs());
         design.inst_mut(id).loc = new_loc;
         for rr in row..row + rows_spanned {
             let occ = rows.entry(rr).or_default();
@@ -327,6 +331,7 @@ pub fn legalize(
     }
     obs::counter(Counter::LegalizeGapProbes, probes);
     obs::counter(Counter::LegalizeCellsMoved, report.moved as u64);
+    obs::histogram(Histogram::LegalizeDisplacement, &displacements);
     if report.moved > 0 {
         obs::gauge(
             Gauge::LegalizeMaxDisplacement,

@@ -6,7 +6,7 @@ use std::fmt;
 
 use mbr_liberty::Library;
 use mbr_netlist::{Design, InstId, InstKind, PinDir, PinId, PinKind, PortDir};
-use mbr_obs::{self as obs, Counter};
+use mbr_obs::{self as obs, Counter, Histogram};
 
 use crate::report::TimingReport;
 use crate::DelayModel;
@@ -465,6 +465,7 @@ impl Sta {
         obs::counter(Counter::StaIncrementalUpdates, 1);
         obs::counter(Counter::StaNetsTouched, net_refreshes);
         obs::counter(Counter::StaSeedPins, seeds.len() as u64);
+        obs::observe(Histogram::StaSeedPinsPerUpdate, seeds.len() as u64);
         let mut changed = Vec::new();
         self.propagate_arrivals(&seeds, &mut changed);
         self.propagate_required(&seeds, &mut changed);

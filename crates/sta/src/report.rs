@@ -150,18 +150,7 @@ impl TimingReport {
             .iter()
             .filter_map(|&p| self.slack(p))
             .collect();
-        if slacks.is_empty() || bins == 0 {
-            return (0.0, 0.0, Vec::new());
-        }
-        let lo = slacks.iter().copied().fold(f64::INFINITY, f64::min);
-        let hi = slacks.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let mut counts = vec![0usize; bins];
-        let span = (hi - lo).max(1e-12);
-        for s in slacks {
-            let b = (((s - lo) / span) * bins as f64) as usize;
-            counts[b.min(bins - 1)] += 1;
-        }
-        (lo, hi, counts)
+        mbr_obs::hist::linear_bins(&slacks, bins)
     }
 
     /// The feasible additional-skew window of a register:

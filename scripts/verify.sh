@@ -58,4 +58,18 @@ cargo run --release -q --bin check -- --eco-seed 1 all
 echo "==> obs: validate the d1 trace"
 cargo run --release -q -p mbr-obs --bin trace-validate -- target/trace-d1.jsonl
 
+echo "==> obs: profile the d1 trace (hot paths + collapsed stacks)"
+cargo run --release -q -p mbr-obs --bin mbr-profile -- \
+    target/trace-d1.jsonl --top 15 --folded target/trace-d1.folded
+test -s target/trace-d1.folded
+
+echo "==> perf: second traced run must perfdiff clean (determinism)"
+MBR_TRACE=target/trace-d1-b.jsonl cargo run --release -q --bin check -- d1 > /dev/null
+cargo run --release -q -p mbr-obs --bin mbr-perfdiff -- \
+    target/trace-d1.jsonl target/trace-d1-b.jsonl
+
+echo "==> perf: regression gate against PERF_baseline.json"
+cargo run --release -q -p mbr-obs --bin mbr-perfdiff -- \
+    --baseline PERF_baseline.json target/trace-d1.jsonl --out target/PERFDIFF_report.txt
+
 echo "verify: OK"

@@ -292,7 +292,18 @@ fn main() -> ExitCode {
     }
     obs.finish();
 
+    // Fault injection: MBR_CHECK_INJECT_FAIL marks an otherwise-clean run
+    // failed so the failure-path plumbing (flight-recorder dump, nonzero
+    // exit) can be exercised deterministically without corrupting a design.
+    if std::env::var_os("MBR_CHECK_INJECT_FAIL").is_some() {
+        eprintln!("check: injected failure (MBR_CHECK_INJECT_FAIL)");
+        failed = true;
+    }
+
     if failed {
+        // Post-mortem forensics for the failed run (no-op unless
+        // MBR_FLIGHT_RECORDER installed a ring).
+        mbr::obs::dump_flight_recorder("check errors");
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

@@ -127,6 +127,8 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("mbr-compose: {e}");
+            // No-op unless MBR_FLIGHT_RECORDER installed a ring.
+            mbr::obs::dump_flight_recorder("error exit");
             ExitCode::FAILURE
         }
     };

@@ -11,8 +11,10 @@ use std::sync::Arc;
 use mbr::check::Paranoia;
 use mbr::core::{ComposeOutcome, Composer, ComposerOptions};
 use mbr::liberty::standard_library;
+use mbr::obs::summary::Summary;
 use mbr::obs::{
-    validate_trace, with_clock, with_sink, CounterTotals, MockClock, Recorder, TraceEvent,
+    validate_trace, with_clock, with_sink, CounterTotals, Histogram, MockClock, ObsSink, Recorder,
+    Tee, TraceEvent,
 };
 use mbr::sta::DelayModel;
 use mbr::workloads::{all_presets, DesignSpec};
@@ -58,14 +60,47 @@ fn snapshot(outcome: ComposeOutcome, totals: &CounterTotals) -> (String, String)
     (format!("{scrubbed:?}"), format!("{:?}", totals.totals()))
 }
 
-fn run_flow(spec: &DesignSpec, threads: usize) -> (String, String) {
+/// The thread-count-invariant view of a run's histograms: non-timing
+/// histograms must match bucket-for-bucket (and hence quantile-for-
+/// quantile); timing-valued ones carry wall-clock values, so only their
+/// observation counts are part of the contract.
+fn hist_snapshot(events: &[TraceEvent]) -> String {
+    let summary = Summary::from_events(events);
+    let mut out = String::new();
+    for (name, data) in &summary.hists {
+        if Histogram::from_name(name).is_some_and(Histogram::is_timing) {
+            out.push_str(&format!("{name} count={}\n", data.count()));
+        } else {
+            out.push_str(&format!(
+                "{name} {data:?} p50={} p90={} p99={}\n",
+                data.quantile(0.5),
+                data.quantile(0.9),
+                data.quantile(0.99)
+            ));
+        }
+    }
+    out
+}
+
+/// A counter-totals + event-recorder tee for snapshotting a run.
+fn tee_sinks() -> (Arc<CounterTotals>, Arc<Recorder>, Arc<Tee>) {
+    let totals = Arc::new(CounterTotals::default());
+    let rec = Arc::new(Recorder::default());
+    let tee = Arc::new(Tee::new(vec![
+        totals.clone() as Arc<dyn ObsSink>,
+        rec.clone() as Arc<dyn ObsSink>,
+    ]));
+    (totals, rec, tee)
+}
+
+fn run_flow(spec: &DesignSpec, threads: usize) -> (String, String, String) {
     let lib = standard_library();
     let mut design = spec.generate(&lib);
     let composer = Composer::new(options_for(&spec.name, threads), model_for(spec));
-    let totals = Arc::new(CounterTotals::default());
-    let outcome =
-        with_sink(totals.clone(), || composer.compose(&mut design, &lib)).expect("flow succeeds");
-    snapshot(outcome, &totals)
+    let (totals, rec, tee) = tee_sinks();
+    let outcome = with_sink(tee, || composer.compose(&mut design, &lib)).expect("flow succeeds");
+    let (outcome, counters) = snapshot(outcome, &totals);
+    (outcome, counters, hist_snapshot(&rec.events()))
 }
 
 #[test]
@@ -82,6 +117,11 @@ fn flow_is_identical_at_every_thread_count() {
             assert_eq!(
                 serial.1, parallel.1,
                 "{}: counter totals differ at {threads} threads",
+                spec.name
+            );
+            assert_eq!(
+                serial.2, parallel.2,
+                "{}: histograms differ at {threads} threads",
                 spec.name
             );
         }
@@ -103,8 +143,8 @@ fn session_recompose_is_identical_at_every_thread_count() {
             let lib = standard_library();
             let design = spec.generate(&lib);
             let script = eco_script_for(&spec, &design, &lib, 8);
-            let totals = Arc::new(CounterTotals::default());
-            let (outcome, text) = with_sink(totals.clone(), || {
+            let (totals, rec, tee) = tee_sinks();
+            let (outcome, text) = with_sink(tee, || {
                 let mut session = CompositionSession::open(
                     design,
                     &lib,
@@ -120,7 +160,7 @@ fn session_recompose_is_identical_at_every_thread_count() {
                 )
             });
             let (outcome, counters) = snapshot(outcome, &totals);
-            (outcome, counters, text)
+            (outcome, counters, hist_snapshot(&rec.events()), text)
         };
         let serial = run(1);
         for threads in [2, 8] {
@@ -137,6 +177,11 @@ fn session_recompose_is_identical_at_every_thread_count() {
             );
             assert_eq!(
                 serial.2, parallel.2,
+                "{}: session histograms differ at {threads} threads",
+                spec.name
+            );
+            assert_eq!(
+                serial.3, parallel.3,
                 "{}: composed design differs at {threads} threads",
                 spec.name
             );
@@ -153,12 +198,13 @@ fn decomposition_flow_is_identical_at_every_thread_count() {
         let lib = standard_library();
         let mut design = spec.generate(&lib);
         let composer = Composer::new(options_for(&spec.name, threads), model_for(&spec));
-        let totals = Arc::new(CounterTotals::default());
-        let outcome = with_sink(totals.clone(), || {
+        let (totals, rec, tee) = tee_sinks();
+        let outcome = with_sink(tee, || {
             composer.compose_with_decomposition(&mut design, &lib)
         })
         .expect("flow succeeds");
-        snapshot(outcome, &totals)
+        let (outcome, counters) = snapshot(outcome, &totals);
+        (outcome, counters, hist_snapshot(&rec.events()))
     };
     let serial = run(1);
     for threads in [2, 8] {
@@ -192,6 +238,16 @@ fn parallel_trace_has_the_serial_event_sequence() {
                 TraceEvent::Span { name, .. } => format!("span {name}"),
                 TraceEvent::Counter { name, value, .. } => format!("counter {name}={value}"),
                 TraceEvent::Gauge { name, value, .. } => format!("gauge {name}={value}"),
+                // Timing-valued histograms read the (mock) clock, whose
+                // readings shift with worker interleaving; their counts
+                // and every other histogram are part of the contract.
+                TraceEvent::Hist { name, data, .. } => {
+                    if Histogram::from_name(name).is_some_and(Histogram::is_timing) {
+                        format!("hist {name} count={}", data.count())
+                    } else {
+                        format!("hist {name} {data:?}")
+                    }
+                }
             })
             .collect()
     };
