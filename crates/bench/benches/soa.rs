@@ -1,0 +1,10 @@
+//! Arena/SoA thread-sweep target: full composes of the scaled presets at
+//! 1/2/4/8 worker threads with per-measurement work counters, plus the
+//! thread-invariance guard on the counter totals.
+//!
+//! Run with `cargo bench -p mbr-bench --bench soa`; results land in
+//! `BENCH_soa.json`. Set `MBR_SCALE_TESTS=1` to include the d6 sweep.
+
+fn main() {
+    mbr_bench::suites::soa();
+}

@@ -2,8 +2,8 @@
 //!
 //! Usage: `cargo run --release -p mbr-bench --bin bench -- [suite ...]`
 //! where each suite is one of `table1`, `fig5`, `fig6`, `ablations`,
-//! `solvers`, `obs`, `par`, `incr`, `scale`; with no arguments every
-//! suite runs.
+//! `solvers`, `obs`, `par`, `incr`, `scale`, `soa`; with no arguments
+//! every suite runs.
 //! Set `MBR_BENCH_QUICK=1` for a three-sample smoke run.
 
 use mbr_bench::suites;
@@ -25,9 +25,10 @@ fn main() {
             "par" => suites::par(),
             "incr" => suites::incr(),
             "scale" => suites::scale(),
+            "soa" => suites::soa(),
             other => {
                 eprintln!(
-                    "unknown suite `{other}` (expected table1|fig5|fig6|ablations|solvers|obs|par|incr|scale)"
+                    "unknown suite `{other}` (expected table1|fig5|fig6|ablations|solvers|obs|par|incr|scale|soa)"
                 );
                 std::process::exit(2);
             }

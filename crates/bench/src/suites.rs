@@ -1,4 +1,4 @@
-//! The five benchmark suites, shared between the `benches/` targets and the
+//! The benchmark suites, shared between the `benches/` targets and the
 //! `bench` binary.
 //!
 //! Each function builds one [`mbr_test::bench::Suite`], times its workloads,
@@ -516,6 +516,70 @@ pub fn scale() {
     suite.finish();
 }
 
+/// The arena/SoA hot path under a thread sweep: a full compose of every
+/// scaled preset (d1–d5, plus d6 when `MBR_SCALE_TESTS=1`) at 1/2/4/8
+/// worker threads, with the work counters of an observed pass attached to
+/// each measurement in `BENCH_soa.json`. A per-preset counter guard then
+/// asserts the *entire* counter map — `lp.setpart.nodes_explored`
+/// included — is identical at every thread count: the parallel-B&B
+/// ordered-commit protocol and the buffered-observability replay promise
+/// thread-invariant work accounting, and this suite is the standing
+/// evidence. Wall-clock scales; the algorithm does not change.
+pub fn soa() {
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    use mbr_obs::{with_sink, CounterTotals};
+
+    let lib = library();
+    let mut suite = Suite::new("soa");
+    let mut specs = mbr_workloads::all_presets();
+    if std::env::var("MBR_SCALE_TESTS").is_ok_and(|v| v != "0") {
+        specs.push(mbr_workloads::d6());
+    }
+    for spec in specs {
+        let design = generate(&spec, &lib);
+        let model = model_for(&spec);
+        let mut per_thread: BTreeMap<usize, BTreeMap<String, u64>> = BTreeMap::new();
+        for threads in [1usize, 2, 4, 8] {
+            let composer = Composer::new(
+                ComposerOptions {
+                    threads,
+                    ..ComposerOptions::default()
+                },
+                model,
+            );
+            suite.bench(&format!("compose/{}/threads_{threads}", spec.name), || {
+                let mut work = design.clone();
+                composer.compose(&mut work, &lib).expect("flow")
+            });
+            // One more observed pass for the invariance guard (the pass
+            // `bench` observes is attached to the JSON, not returned).
+            let totals = Arc::new(CounterTotals::default());
+            with_sink(totals.clone(), || {
+                let mut work = design.clone();
+                composer.compose(&mut work, &lib).expect("flow");
+            });
+            per_thread.insert(threads, totals.totals());
+        }
+        let reference = per_thread.get(&1).expect("serial sweep ran").clone();
+        assert!(
+            reference.get("lp.setpart.nodes_explored").copied() > Some(0),
+            "{}: compose explored no B&B nodes — the guard would be vacuous",
+            spec.name,
+        );
+        for (threads, totals) in &per_thread {
+            assert_eq!(
+                totals, &reference,
+                "{}: counter totals diverged at {threads} threads — \
+                 thread-invariant work accounting regressed",
+                spec.name,
+            );
+        }
+    }
+    suite.finish();
+}
+
 /// Runs every suite, in a deterministic order.
 pub fn run_all() {
     table1();
@@ -527,4 +591,5 @@ pub fn run_all() {
     par();
     incr();
     scale();
+    soa();
 }

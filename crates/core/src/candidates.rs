@@ -7,15 +7,12 @@
 //! rounds up to one under the area rule — becomes a candidate, weighted by
 //! the Section 3.2 blocking heuristic.
 
-use std::collections::BTreeMap;
-// Membership-only bitmask dedup on the hot subclique walk; never iterated.
-use std::collections::HashSet; // mbr-lint: allow(D1, membership-only dedup set, never iterated)
-
+use mbr_arena::U64Set;
 use mbr_geom::{Point, Rect};
 use mbr_graph::{partition_geometric, BitGraph, SubcliqueStep};
 use mbr_liberty::{CellId, Library, ScanStyle};
 use mbr_netlist::{Design, InstId};
-use mbr_obs::{self as obs, Counter, Histogram, HistogramData};
+use mbr_obs::{self as obs, Counter, Gauge, Histogram, HistogramData};
 
 use crate::compat::CompatGraph;
 use crate::stages::assign::Selection;
@@ -206,8 +203,9 @@ fn enumerate_partition(
         .max()
         .unwrap_or(0);
 
-    // mbr-lint: allow(D1, membership-only dedup set, never iterated)
-    let mut seen: HashSet<u64> = HashSet::new();
+    // Membership-only bitmask dedup on the hot subclique walk; the arena
+    // set's fixed hashing keeps it off the D1 (HashMap/HashSet) ban list.
+    let mut seen = U64Set::new();
     let cap = options.max_candidates_per_partition;
     // Dense partitions (e.g. fields of decomposed 1-bit registers) reject
     // almost every subset as blocked (w = ∞), so bounding only *accepted*
@@ -398,14 +396,22 @@ fn validate_candidate(
     ))
 }
 
-/// One memoized partition: its candidate set and the raw assignment
-/// solution computed for it (selected candidate indices and
-/// branch-and-bound nodes).
+/// One memoized partition: its content key, the pass that last used it,
+/// its candidate set and the raw assignment solution computed for it
+/// (selected candidate indices and branch-and-bound nodes).
 #[derive(Clone, Debug)]
-struct CachedPartition {
+struct MemoSlot {
+    key: Vec<u64>,
+    last_used: u64,
     set: CandidateSet,
     solve: (Vec<usize>, u64),
 }
+
+/// Passes a memo slot survives without being hit before eviction reclaims
+/// it. An ECO that perturbs a partition's key and a later ECO that
+/// restores it land within a handful of passes in practice; anything
+/// colder is dead weight the session would otherwise carry forever.
+const MEMO_RETENTION_PASSES: u64 = 8;
 
 /// Cross-pass memo of candidate enumeration *and* assignment solving, keyed
 /// by exact partition content, owned by a [`crate::CompositionSession`].
@@ -421,27 +427,126 @@ struct CachedPartition {
 /// within any candidate's polygon always changes the key. Library and
 /// options are session constants. Equal key ⟹ bitwise-equal candidate set
 /// and solution, so a hit replays the memo verbatim.
+///
+/// Storage is arena-shaped (DESIGN.md §14): slots live in a dense `Vec`
+/// (freed slots recycled through a free list), reached through a sorted
+/// `(key hash, slot)` index — binary search on the hash, full-key compare
+/// on the (rare) colliding run. Each hit re-stamps its slot with the pass
+/// number; [`PartitionCache::begin_pass`] evicts slots cold for more than
+/// [`MEMO_RETENTION_PASSES`], so a long session's memo tracks its working
+/// set instead of its history.
 #[derive(Clone, Debug, Default)]
 pub(crate) struct PartitionCache {
-    map: BTreeMap<Vec<u64>, CachedPartition>,
+    /// Dense slot arena; `None` slots are free and listed in `free`.
+    slots: Vec<Option<MemoSlot>>,
+    /// Freed slot indices, reused before the arena grows.
+    free: Vec<u32>,
+    /// `(key hash, slot)` pairs sorted ascending.
+    index: Vec<(u64, u32)>,
+    /// Current pass number; stamps hits and fresh stores.
+    pass: u64,
+}
+
+/// FNV-1a over the key words — deterministic and collision-resistant
+/// enough that the sorted index degenerates to full-key compares only on
+/// hash ties.
+fn memo_key_hash(key: &[u64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &word in key {
+        for byte in word.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
 }
 
 impl PartitionCache {
+    /// Opens a new session pass: advances the pass stamp and evicts every
+    /// slot that has not been hit for [`MEMO_RETENTION_PASSES`] passes.
+    pub(crate) fn begin_pass(&mut self) {
+        self.pass += 1;
+        let horizon = self.pass.saturating_sub(MEMO_RETENTION_PASSES);
+        let mut evicted = false;
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if slot.as_ref().is_some_and(|s| s.last_used < horizon) {
+                *slot = None;
+                self.free.push(i as u32);
+                evicted = true;
+            }
+        }
+        if evicted {
+            let slots = &self.slots;
+            self.index.retain(|&(_, s)| slots[s as usize].is_some());
+        }
+    }
+
+    /// Number of live memo slots.
+    fn live(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// The index position of `key`'s entry, if memoized.
+    fn find(&self, hash: u64, key: &[u64]) -> Option<usize> {
+        let start = self.index.partition_point(|&(h, _)| h < hash);
+        self.index[start..]
+            .iter()
+            .take_while(|&&(h, _)| h == hash)
+            .position(|&(_, s)| {
+                self.slots[s as usize]
+                    .as_ref()
+                    .is_some_and(|m| m.key == key)
+            })
+            .map(|offset| start + offset)
+    }
+
+    /// Looks up a partition by content key; a hit re-stamps the slot and
+    /// clones out the memoized candidate set and solution.
+    fn lookup(&mut self, key: &[u64]) -> Option<(CandidateSet, (Vec<usize>, u64))> {
+        let pos = self.find(memo_key_hash(key), key)?;
+        let slot = self.index[pos].1 as usize;
+        let memo = self.slots[slot].as_mut()?;
+        memo.last_used = self.pass;
+        Some((memo.set.clone(), memo.solve.clone()))
+    }
+
     /// Stores the freshly enumerated partitions of a pass, together with
     /// their just-computed assignment solutions. Failed solves are not
-    /// cached (the pass itself errors out anyway).
+    /// cached (the pass itself errors out anyway). Flushes the
+    /// [`Gauge::PartitionMemoSlots`] end-of-pass memo size.
     pub(crate) fn absorb(&mut self, enumeration: &Enumeration, selected: &Selection) {
         for (set_idx, key) in &enumeration.fresh {
             if let Some(Some(solve)) = selected.solves.get(*set_idx) {
-                self.map.insert(
-                    key.clone(),
-                    CachedPartition {
-                        set: enumeration.sets[*set_idx].clone(),
-                        solve: solve.clone(),
-                    },
-                );
+                let memo = MemoSlot {
+                    key: key.clone(),
+                    last_used: self.pass,
+                    set: enumeration.sets[*set_idx].clone(),
+                    solve: solve.clone(),
+                };
+                let hash = memo_key_hash(key);
+                if let Some(pos) = self.find(hash, key) {
+                    // Fresh work on a memoized key only happens when a
+                    // lookup raced an earlier absorb of the same pass;
+                    // keys are content, so the payload is identical.
+                    let slot = self.index[pos].1 as usize;
+                    self.slots[slot] = Some(memo);
+                    continue;
+                }
+                let slot = match self.free.pop() {
+                    Some(s) => {
+                        self.slots[s as usize] = Some(memo);
+                        s
+                    }
+                    None => {
+                        self.slots.push(Some(memo));
+                        (self.slots.len() - 1) as u32
+                    }
+                };
+                let at = self.index.partition_point(|&entry| entry < (hash, slot));
+                self.index.insert(at, (hash, slot));
             }
         }
+        obs::gauge(Gauge::PartitionMemoSlots, self.live() as f64);
     }
 }
 
@@ -534,14 +639,15 @@ pub(crate) fn enumerate_incremental(
         .map(|part| partition_key(design, &index, compat, part))
         .collect();
 
+    cache.begin_pass();
     let mut sets: Vec<Option<CandidateSet>> = vec![None; partitions.len()];
     let mut reused: Vec<Option<(Vec<usize>, u64)>> = vec![None; partitions.len()];
     let mut fresh_work: Vec<(usize, &Vec<usize>)> = Vec::new();
     for (i, key) in keys.iter().enumerate() {
-        match cache.map.get(key) {
-            Some(hit) => {
-                sets[i] = Some(hit.set.clone());
-                reused[i] = Some(hit.solve.clone());
+        match cache.lookup(key) {
+            Some((set, solve)) => {
+                sets[i] = Some(set);
+                reused[i] = Some(solve);
             }
             None => fresh_work.push((i, &partitions[i])),
         }

@@ -19,8 +19,9 @@
 //!   negative-D/positive-Q), slack magnitudes within a similarity bound,
 //!   and overlapping useful-skew windows.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
+use mbr_arena::{GenTable, U64Set};
 use mbr_geom::{Point, Rect};
 use mbr_graph::UnGraph;
 use mbr_liberty::{ClassId, Library};
@@ -99,13 +100,12 @@ impl CompatGraph {
             }
         }
 
-        let mut checked: BTreeSet<(usize, usize)> = BTreeSet::new();
+        let mut checked = U64Set::new();
         let mut removed = 0u64;
         for bucket in buckets.values() {
             for (k, &i) in bucket.iter().enumerate() {
                 for &j in &bucket[k + 1..] {
-                    let key = (i.min(j), i.max(j));
-                    if !checked.insert(key) {
+                    if !checked.insert(pair_key(i.min(j), i.max(j))) {
                         continue;
                     }
                     if compatible(design, &regs[i], &regs[j], options) {
@@ -212,6 +212,13 @@ fn composable_entry(
     })
 }
 
+/// A node-pair (or instance-pair) packed into one `u64` set key; callers
+/// normalize so `lo <= hi`.
+fn pair_key(lo: usize, hi: usize) -> u64 {
+    debug_assert!(lo <= hi && hi <= u32::MAX as usize);
+    ((lo as u64) << 32) | hi as u64
+}
+
 /// Cross-pass cache of the compatibility stage, owned by a
 /// [`crate::CompositionSession`].
 ///
@@ -222,12 +229,21 @@ fn composable_entry(
 /// input that function reads (attributes, cell, width, location, die, own
 /// bit-pin slacks, options, delay model) is unchanged. The same holds for
 /// a cached edge between two clean registers.
+///
+/// Storage is arena-shaped (DESIGN.md §14): entries live in a
+/// [`GenTable`] slotted by dense instance index and stamped with the pass
+/// generation that wrote them — a lookup is valid iff its stamp equals the
+/// current generation, so invalidation is a stamp bump, not a tree walk —
+/// and edges are normalized instance pairs packed into a [`U64Set`].
 #[derive(Clone, Debug, Default)]
 pub(crate) struct CompatCache {
-    /// Composable entries by instance, as of the last pass.
-    entries: BTreeMap<InstId, ComposableRegister>,
-    /// Compatibility edges as normalized `(lo, hi)` instance pairs.
-    edges: BTreeSet<(InstId, InstId)>,
+    /// Composable entries slotted by `InstId::index()`, stamped with the
+    /// generation of the pass that stored them.
+    entries: GenTable<ComposableRegister>,
+    /// Compatibility edges as packed normalized `(lo, hi)` instance pairs.
+    edges: U64Set,
+    /// Generation of the last complete pass result stored.
+    generation: u64,
     /// Whether the cache holds a complete pass result. An unprimed cache
     /// cannot distinguish "not composable" from "never computed", so
     /// refreshes against it treat every register as dirty.
@@ -235,16 +251,37 @@ pub(crate) struct CompatCache {
 }
 
 impl CompatCache {
+    /// The cached entry for `inst`, if stored by the last completed pass.
+    fn entry(&self, inst: InstId) -> Option<&ComposableRegister> {
+        self.entries
+            .get(inst.index())
+            .filter(|&(stamp, _)| stamp == self.generation)
+            .map(|(_, entry)| entry)
+    }
+
+    /// Whether the last completed pass stored a compatibility edge between
+    /// the two instances.
+    fn has_edge(&self, a: InstId, b: InstId) -> bool {
+        let (lo, hi) = (a.min(b), a.max(b));
+        self.edges.contains(pair_key(lo.index(), hi.index()))
+    }
+
     /// Replaces the cache contents with a freshly built graph.
     fn store(&mut self, graph: &CompatGraph) {
-        self.entries = graph.regs.iter().map(|r| (r.inst, r.clone())).collect();
-        self.edges = BTreeSet::new();
+        self.generation += 1;
+        for r in &graph.regs {
+            self.entries.put(r.inst.index(), self.generation, r.clone());
+        }
+        // Slots not rewritten this pass keep their old stamp and fail the
+        // generation check; drop their payloads so the table stays lean.
+        self.entries.evict_older_than(self.generation);
+        self.edges.clear();
         for (i, r) in graph.regs.iter().enumerate() {
             for j in graph.graph.neighbors(i) {
                 if j > i {
-                    let a = r.inst;
-                    let b = graph.regs[j].inst;
-                    self.edges.insert((a.min(b), a.max(b)));
+                    let (a, b) = (r.inst, graph.regs[j].inst);
+                    let (lo, hi) = (a.min(b), a.max(b));
+                    self.edges.insert(pair_key(lo.index(), hi.index()));
                 }
             }
         }
@@ -277,7 +314,7 @@ pub(crate) fn build_incremental(
                 regs.push(entry);
                 recomputed.push(true);
             }
-        } else if let Some(entry) = cache.entries.get(&inst_id) {
+        } else if let Some(entry) = cache.entry(inst_id) {
             regs.push(entry.clone());
             recomputed.push(false);
             reused_entries += 1;
@@ -301,13 +338,12 @@ pub(crate) fn build_incremental(
             }
         }
     }
-    let mut checked: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let mut checked = U64Set::new();
     let mut removed = 0u64;
     for bucket in buckets.values() {
         for (k, &i) in bucket.iter().enumerate() {
             for &j in &bucket[k + 1..] {
-                let key = (i.min(j), i.max(j));
-                if !checked.insert(key) {
+                if !checked.insert(pair_key(i.min(j), i.max(j))) {
                     continue;
                 }
                 // Cached edges are post-prune, so the width-sum filter only
@@ -324,9 +360,7 @@ pub(crate) fn build_incremental(
                             true
                         }
                 } else {
-                    let a = regs[i].inst;
-                    let b = regs[j].inst;
-                    cache.edges.contains(&(a.min(b), a.max(b)))
+                    cache.has_edge(regs[i].inst, regs[j].inst)
                 };
                 if has_edge {
                     graph.add_edge(i, j);

@@ -425,6 +425,12 @@ pub(crate) struct SessionState {
     pub(crate) parts: PartitionCache,
     /// The legalization grid (a die/library invariant).
     pub(crate) grid: Option<PlacementGrid>,
+    /// Validated per-cell legalization decisions of the last pass: cells
+    /// whose gap search provably reads unchanged rows replay their landing.
+    pub(crate) legalize: mbr_place::LegalizeReplay,
+    /// Validated per-sink useful-skew decisions of the last pass: sinks
+    /// with bit-identical slacks and offsets replay their adjustment.
+    pub(crate) skew: mbr_cts::SkewReplay,
 }
 
 /// A reusable composition flow over one evolving design. See the module

@@ -4,10 +4,18 @@
 //! Each partition is an independent set-partitioning instance, so they
 //! solve in parallel; workers buffer their solver counters/spans and the
 //! main thread replays them in partition order, keeping traces and counter
-//! totals identical to the serial flow. On the session backend, partitions
-//! with a memoized solution skip the solver entirely and replay the stored
-//! selection (node counts included, so [`ComposeOutcome::ilp_nodes`] still
-//! totals exactly what a batch run reports).
+//! totals identical to the serial flow. Instances large enough to dominate
+//! the stage's wall-clock (see [`PARALLEL_SOLVE_MIN_CANDIDATES`] /
+//! [`PARALLEL_SOLVE_MIN_ELEMENTS`]) instead solve *inline* on the calling
+//! thread with the solver's own speculative-subtree pool engaged — one big
+//! tree across all workers beats one worker per tree when a single tree is
+//! the critical path. The split is decided by instance shape alone, and the
+//! solver's ordered commit protocol keeps node accounting thread-invariant,
+//! so counters and results never depend on the thread count. On the session
+//! backend, partitions with a memoized solution skip the solver entirely
+//! and replay the stored selection (node counts included, so
+//! [`ComposeOutcome::ilp_nodes`] still totals exactly what a batch run
+//! reports).
 
 use mbr_liberty::Library;
 use mbr_lp::{SetPartition, SetPartitionError};
@@ -30,6 +38,15 @@ pub(crate) struct Selection {
     pub solves: Vec<Option<(Vec<usize>, u64)>>,
 }
 
+/// Candidate-count threshold above which a partition's ILP solves inline
+/// with the solver's speculative-subtree pool instead of as one worker task.
+const PARALLEL_SOLVE_MIN_CANDIDATES: usize = 256;
+
+/// Element-count threshold for the same inline-solve split (search-tree
+/// depth grows with elements, so wide-and-deep instances dominate the
+/// stage even with few candidates).
+const PARALLEL_SOLVE_MIN_ELEMENTS: usize = 24;
+
 /// Solves the assignment problem of every partition.
 pub(crate) fn run(
     design: &Design,
@@ -47,29 +64,62 @@ pub(crate) fn run(
         .iter()
         .zip(enumeration.reused.iter())
         .collect();
-    let results = mbr_par::par_map(options.threads, &work, |_, (set, reused)| {
-        TaskObs::capture(&handle, || -> SolveResult {
-            if let Some((selected, nodes)) = reused {
-                return Ok((selected.clone(), *nodes));
-            }
-            match strategy {
-                Strategy::Ilp => {
-                    let _solve = handle.attach("flow.compose.assignment.solve");
-                    let mut sp = SetPartition::new(set.elements.len());
-                    sp.set_lp_bound(options.lp_bound)
-                        .set_dual_order(options.dual_ordering);
-                    for idx in &set.member_idx {
-                        // weights are finite by construction
-                        let w = set.candidates[sp.num_candidates()].weight;
-                        sp.add_candidate(idx, w);
-                    }
-                    let sol = sp.solve_bounded(node_limit)?;
-                    Ok((sol.selected, sol.nodes_explored))
+    let solve_one = |set: &CandidateSet,
+                     reused: &Option<(Vec<usize>, u64)>,
+                     solver_threads: usize|
+     -> SolveResult {
+        if let Some((selected, nodes)) = reused {
+            return Ok((selected.clone(), *nodes));
+        }
+        match strategy {
+            Strategy::Ilp => {
+                let _solve = handle.attach("flow.compose.assignment.solve");
+                let mut sp = SetPartition::new(set.elements.len());
+                sp.set_lp_bound(options.lp_bound)
+                    .set_dual_order(options.dual_ordering)
+                    .set_threads(solver_threads);
+                for idx in &set.member_idx {
+                    // weights are finite by construction
+                    let w = set.candidates[sp.num_candidates()].weight;
+                    sp.add_candidate(idx, w);
                 }
-                Strategy::Greedy => Ok((greedy_select(design, lib, set), 0)),
+                let sol = sp.solve_bounded(node_limit)?;
+                Ok((sol.selected, sol.nodes_explored))
             }
-        })
+            Strategy::Greedy => Ok((greedy_select(design, lib, set), 0)),
+        }
+    };
+
+    // Shape-based split (thread-count-independent by construction): big
+    // instances get the whole pool inside one solve, the rest fan out one
+    // per worker with a serial solver.
+    let is_big = |set: &CandidateSet| {
+        set.candidates.len() >= PARALLEL_SOLVE_MIN_CANDIDATES
+            || set.elements.len() >= PARALLEL_SOLVE_MIN_ELEMENTS
+    };
+    let small: Vec<usize> = (0..work.len()).filter(|&i| !is_big(work[i].0)).collect();
+    let small_results = mbr_par::par_map(options.threads, &small, |_, &i| {
+        let (set, reused) = work[i];
+        TaskObs::capture(&handle, || solve_one(set, reused, 1))
     });
+    // Merge back into partition order: `small` is ascending and par_map
+    // returns results in input order, so one forward pass interleaves the
+    // fanned-out results with the inline big solves (still obs-buffered, so
+    // the replay below keeps the event stream in partition order).
+    let mut small_next = small.iter().zip(small_results).peekable();
+    let mut results: Vec<(SolveResult, TaskObs)> = Vec::with_capacity(work.len());
+    for (i, &(set, reused)) in work.iter().enumerate() {
+        match small_next.peek() {
+            Some(&(&j, _)) if j == i => {
+                if let Some((_, res)) = small_next.next() {
+                    results.push(res);
+                }
+            }
+            _ => results.push(TaskObs::capture(&handle, || {
+                solve_one(set, reused, options.threads)
+            })),
+        }
+    }
 
     let mut selection = Selection {
         picked: Vec::new(),

@@ -12,12 +12,15 @@
 //!   timing stage refreshes the persistent [`Sta`] incrementally, the
 //!   compatibility stage recomputes only dirty registers and their incident
 //!   edges, and candidate enumeration + the assignment ILP are memoized per
-//!   partition by exact content. Every stage that *mutates* the design
-//!   (mapping, legalization, skew, sizing, stitch) always runs in full, so a
-//!   session pass produces byte-identical results to a batch run on the same
-//!   design by construction — the reuse is confined to stages whose outputs
-//!   are proven bitwise-equal (incremental STA) or keyed on every input they
-//!   read (compat entries, partition candidates).
+//!   partition by exact content. Legalization and useful skew additionally
+//!   carry validated replay caches: per-cell and per-sink decisions whose
+//!   inputs are provably unchanged since the previous pass are replayed
+//!   instead of re-searched. A session pass still produces byte-identical
+//!   results to a batch run on the same design by construction — every
+//!   reuse is either proven bitwise-equal (incremental STA), keyed on every
+//!   input it reads (compat entries, partition candidates), or validated
+//!   against the current state before being trusted (legalize/skew replay);
+//!   only the *work* counters differ.
 
 pub(crate) mod assign;
 pub(crate) mod candidates;
@@ -137,16 +140,19 @@ pub(crate) fn run_flow(
 
     // The session state splits into independently-borrowed caches up
     // front, so the stages below can hold each across the others' borrows.
-    let (sta_cache, compat_cache, mut parts_cache, grid_cache, eco) = match backend {
-        Backend::Batch => (None, None, None, None, None),
-        Backend::Session { state, eco } => (
-            Some(&mut state.sta),
-            Some(&mut state.compat),
-            Some(&mut state.parts),
-            Some(&mut state.grid),
-            Some(eco),
-        ),
-    };
+    let (sta_cache, compat_cache, mut parts_cache, grid_cache, legalize_cache, skew_cache, eco) =
+        match backend {
+            Backend::Batch => (None, None, None, None, None, None, None),
+            Backend::Session { state, eco } => (
+                Some(&mut state.sta),
+                Some(&mut state.compat),
+                Some(&mut state.parts),
+                Some(&mut state.grid),
+                Some(&mut state.legalize),
+                Some(&mut state.skew),
+                Some(eco),
+            ),
+        };
 
     // 1. Timing analysis on the incoming placement. The batch backend
     // analyzes from scratch; the session backend refreshes its persistent
@@ -245,8 +251,11 @@ pub(crate) fn run_flow(
     }
 
     // 6. Mapping is pre-resolved per candidate; place (Section 4.2),
-    // merge, then legalize. These stages mutate the design and run in full
-    // under every backend.
+    // merge, then legalize. These stages mutate the design under every
+    // backend, but the session backend carries validated replay caches:
+    // legalization and skew decisions whose inputs are provably unchanged
+    // since the previous pass are replayed instead of recomputed, for a
+    // byte-identical outcome at strictly less work.
     let t0 = obs::now_ns();
     let span = Span::enter(FlowStage::Mapping.span_name());
     let new_mbrs = map_place::run(design, lib, &selected.picked, &regions, &mut outcome);
@@ -256,7 +265,7 @@ pub(crate) fn run_flow(
     let t0 = obs::now_ns();
     let span = Span::enter(FlowStage::Legalization.span_name());
     let grid = legalize::grid(design, lib, grid_cache);
-    outcome.legalize = mbr_place::legalize(design, &grid, &new_mbrs)?;
+    outcome.legalize = mbr_place::legalize_with_replay(design, &grid, &new_mbrs, legalize_cache)?;
     drop(span);
     timings.add(FlowStage::Legalization, obs::now_ns() - t0);
 
@@ -284,7 +293,14 @@ pub(crate) fn run_flow(
     if options.apply_useful_skew && !new_mbrs.is_empty() {
         let t0 = obs::now_ns();
         let span = Span::enter(FlowStage::Skew.span_name());
-        outcome.skew = Some(skew::run(design, lib, &mut post_sta, &new_mbrs, options));
+        outcome.skew = Some(skew::run(
+            design,
+            lib,
+            &mut post_sta,
+            &new_mbrs,
+            options,
+            skew_cache,
+        ));
         drop(span);
         timings.add(FlowStage::Skew, obs::now_ns() - t0);
     }

@@ -1,6 +1,6 @@
 //! Stage 7a: useful-skew assignment for the composed MBRs (paper Fig. 4).
 
-use mbr_cts::{assign_useful_skew, SkewReport};
+use mbr_cts::{assign_useful_skew_with_replay, SkewReplay, SkewReport};
 use mbr_liberty::Library;
 use mbr_netlist::{Design, InstId};
 use mbr_sta::Sta;
@@ -8,12 +8,17 @@ use mbr_sta::Sta;
 use crate::ComposerOptions;
 
 /// Assigns per-MBR clock offsets within the members' shared skew windows.
+///
+/// The session backend passes its persistent [`SkewReplay`] so sinks whose
+/// slacks and offsets are bit-identical to the previous pass skip the
+/// balance computation; the batch backend passes `None`.
 pub(crate) fn run(
     design: &mut Design,
     lib: &Library,
     sta: &mut Sta,
     new_mbrs: &[InstId],
     options: &ComposerOptions,
+    replay: Option<&mut SkewReplay>,
 ) -> SkewReport {
-    assign_useful_skew(design, lib, sta, new_mbrs, &options.skew)
+    assign_useful_skew_with_replay(design, lib, sta, new_mbrs, &options.skew, replay)
 }

@@ -75,11 +75,24 @@ pub enum Counter {
     /// (the static fractional bound alone would not have cut the node),
     /// including root solves closed outright by the relaxation.
     SetPartLpBoundCuts,
+    /// Row probe-sets the dirty-region legalizer replayed from the session
+    /// cache instead of re-probing (strictly less work than batch).
+    LegalizeRowsSkipped,
+    /// Skew sinks whose cached adjustment a session pass replayed after
+    /// validating its timing inputs, instead of recomputing the decision.
+    SkewSinksSkipped,
+    /// Root subtrees the set-partitioning solver handed to the speculative
+    /// parallel branch-and-bound commit loop (thread-count invariant).
+    SetPartSubtreesSpawned,
+    /// Speculative subtrees whose result could not be committed (an earlier
+    /// branch improved the incumbent first, or the node budget intervened)
+    /// and were re-explored serially for determinism.
+    SetPartSubtreeRestarts,
 }
 
 impl Counter {
     /// Every counter, in catalog order (documentation and validation).
-    pub const ALL: [Counter; 26] = [
+    pub const ALL: [Counter; 30] = [
         Counter::SimplexPivots,
         Counter::SetPartSolves,
         Counter::SetPartNodesExplored,
@@ -106,6 +119,10 @@ impl Counter {
         Counter::SetPartCandidatesFiltered,
         Counter::CompatEdgesRemoved,
         Counter::SetPartLpBoundCuts,
+        Counter::LegalizeRowsSkipped,
+        Counter::SkewSinksSkipped,
+        Counter::SetPartSubtreesSpawned,
+        Counter::SetPartSubtreeRestarts,
     ];
 
     /// The stable dotted name used in traces and bench JSON.
@@ -137,6 +154,10 @@ impl Counter {
             Counter::SetPartCandidatesFiltered => "core.candidates.filtered",
             Counter::CompatEdgesRemoved => "core.compat.edges_removed",
             Counter::SetPartLpBoundCuts => "lp.setpart.lp_bound_cuts",
+            Counter::LegalizeRowsSkipped => "place.legalize.rows_skipped",
+            Counter::SkewSinksSkipped => "cts.skew.sinks_skipped",
+            Counter::SetPartSubtreesSpawned => "lp.setpart.subtrees_spawned",
+            Counter::SetPartSubtreeRestarts => "lp.setpart.subtree_restarts",
         }
     }
 
@@ -161,11 +182,21 @@ pub enum Gauge {
     TnsPs,
     /// Largest single displacement a legalization pass caused, DBU.
     LegalizeMaxDisplacement,
+    /// Timing arcs in the CSR arena after a from-scratch graph build.
+    StaArenaArcs,
+    /// Occupied slots in the session's SoA partition memo after a pass.
+    PartitionMemoSlots,
 }
 
 impl Gauge {
     /// Every gauge, in catalog order.
-    pub const ALL: [Gauge; 3] = [Gauge::WnsPs, Gauge::TnsPs, Gauge::LegalizeMaxDisplacement];
+    pub const ALL: [Gauge; 5] = [
+        Gauge::WnsPs,
+        Gauge::TnsPs,
+        Gauge::LegalizeMaxDisplacement,
+        Gauge::StaArenaArcs,
+        Gauge::PartitionMemoSlots,
+    ];
 
     /// The stable dotted name used in traces.
     pub fn name(self) -> &'static str {
@@ -173,6 +204,8 @@ impl Gauge {
             Gauge::WnsPs => "sta.wns_ps",
             Gauge::TnsPs => "sta.tns_ps",
             Gauge::LegalizeMaxDisplacement => "place.legalize.max_displacement_dbu",
+            Gauge::StaArenaArcs => "sta.arena.arcs",
+            Gauge::PartitionMemoSlots => "core.session.memo_slots",
         }
     }
 

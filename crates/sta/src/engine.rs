@@ -1,12 +1,21 @@
 //! Timing-graph construction and propagation.
+//!
+//! The graph lives in CSR-style struct-of-arrays arenas (DESIGN.md §14):
+//! per direction, one flat target array and one flat delay array addressed
+//! through an offset table ([`mbr_arena::Csr`]). Full and incremental
+//! propagation are linear scans over contiguous slot ranges instead of
+//! per-pin `Vec<Vec<_>>` walks, and an incremental delay refresh rewrites
+//! slots in place — the arc *topology* of a non-structural update never
+//! changes, only the delays stored in the arena.
 
 use std::collections::{BTreeSet, VecDeque};
 use std::error::Error;
 use std::fmt;
 
+use mbr_arena::{Csr, CsrBuilder};
 use mbr_liberty::Library;
 use mbr_netlist::{Design, InstId, InstKind, PinDir, PinId, PinKind, PortDir};
-use mbr_obs::{self as obs, Counter, Histogram};
+use mbr_obs::{self as obs, Counter, Gauge, Histogram};
 
 use crate::report::TimingReport;
 use crate::DelayModel;
@@ -34,11 +43,29 @@ impl fmt::Display for StaError {
 
 impl Error for StaError {}
 
-/// One directed timing arc.
-#[derive(Clone, Copy, Debug)]
-struct Arc {
-    to: u32,
-    delay: f64,
+/// One direction of the timing graph in CSR form: `csr.range(pin)` indexes
+/// the flat `to` / `delay` arenas.
+#[derive(Clone, Debug, Default)]
+struct ArcArena {
+    csr: Csr,
+    to: Vec<u32>,
+    delay: Vec<f64>,
+}
+
+impl ArcArena {
+    /// The arc slots leaving (forward) or entering (reverse) `pin`.
+    fn range(&self, pin: usize) -> std::ops::Range<usize> {
+        self.csr.range(pin)
+    }
+
+    /// Overwrites the delay of the arc `pin -> other`, if present.
+    fn set_delay(&mut self, pin: usize, other: usize, delay: f64) {
+        for slot in self.csr.range(pin) {
+            if self.to[slot] as usize == other {
+                self.delay[slot] = delay;
+            }
+        }
+    }
 }
 
 /// What an incremental update actually changed, reported by
@@ -61,10 +88,10 @@ pub struct StaDelta {
 #[derive(Clone, Debug)]
 pub struct Sta {
     model: DelayModel,
-    /// Forward arcs per pin.
-    arcs: Vec<Vec<Arc>>,
-    /// Reverse arcs per pin (for required-time propagation).
-    rev: Vec<Vec<Arc>>,
+    /// Forward arcs (driver → sink) in CSR layout.
+    fwd: ArcArena,
+    /// Reverse arcs (for required-time propagation) in CSR layout.
+    rev: ArcArena,
     /// Fixed arrival per pin for sources (input ports, register Q).
     source_arrival: Vec<Option<f64>>,
     /// Fixed required per pin for endpoints (register D, output ports).
@@ -83,8 +110,8 @@ impl Sta {
         let n = design.all_insts().map(|(_, i)| i.pins.len()).sum::<usize>();
         let mut sta = Sta {
             model,
-            arcs: vec![Vec::new(); n],
-            rev: vec![Vec::new(); n],
+            fwd: ArcArena::default(),
+            rev: ArcArena::default(),
             source_arrival: vec![None; n],
             endpoint_required: vec![None; n],
             report: TimingReport::empty(n),
@@ -106,7 +133,7 @@ impl Sta {
     }
 
     fn pin_count(&self) -> usize {
-        self.arcs.len()
+        self.source_arrival.len()
     }
 
     // ------------------------------------------------------------------
@@ -114,12 +141,6 @@ impl Sta {
     // ------------------------------------------------------------------
 
     fn build_arcs(&mut self, design: &Design, lib: &Library) -> Result<(), StaError> {
-        for a in &mut self.arcs {
-            a.clear();
-        }
-        for a in &mut self.rev {
-            a.clear();
-        }
         for s in &mut self.source_arrival {
             *s = None;
         }
@@ -127,7 +148,14 @@ impl Sta {
             *e = None;
         }
 
-        // Net arcs (driver → sinks) and instance sources/endpoints.
+        // Enumerate every arc once, in a deterministic order (wire arcs in
+        // live-net order, then gate arcs in live-instance order), into a
+        // flat scratch list; the CSR arenas are then built with the classic
+        // count → prefix-sum → fill passes over it. Sources and endpoints
+        // are set along the way.
+        let mut edges: Vec<(u32, u32, f64)> = Vec::new();
+
+        // Net arcs (driver → sinks).
         for (net_id, _) in design.live_nets() {
             if design.is_clock_net(net_id) {
                 continue; // ideal clock: no graph arcs
@@ -141,7 +169,7 @@ impl Sta {
                 let delay = self
                     .model
                     .wire_delay(dpos.manhattan(spos), design.pin(sink).cap);
-                self.add_arc(driver, sink, delay);
+                edges.push((driver.index() as u32, sink.index() as u32, delay));
             }
         }
 
@@ -177,7 +205,7 @@ impl Sta {
                         if design.pin(p).dir == PinDir::Input
                             && matches!(design.pin(p).kind, PinKind::GateIn(_))
                         {
-                            self.add_arc(p, out, delay);
+                            edges.push((p.index() as u32, out.index() as u32, delay));
                         }
                     }
                 }
@@ -207,19 +235,33 @@ impl Sta {
             }
         }
 
+        let n = self.pin_count();
+        let mut fb = CsrBuilder::new(n);
+        let mut rb = CsrBuilder::new(n);
+        for &(from, to, _) in &edges {
+            fb.count(from as usize);
+            rb.count(to as usize);
+        }
+        let total = fb.finish_counts();
+        rb.finish_counts();
+        self.fwd.to = vec![0; total];
+        self.fwd.delay = vec![0.0; total];
+        self.rev.to = vec![0; total];
+        self.rev.delay = vec![0.0; total];
+        for &(from, to, delay) in &edges {
+            let slot = fb.fill(from as usize);
+            self.fwd.to[slot] = to;
+            self.fwd.delay[slot] = delay;
+            let slot = rb.fill(to as usize);
+            self.rev.to[slot] = from;
+            self.rev.delay[slot] = delay;
+        }
+        self.fwd.csr = fb.build();
+        self.rev.csr = rb.build();
+        obs::gauge(Gauge::StaArenaArcs, total as f64);
+
         // Cycle check via Kahn's algorithm over the arc graph.
         self.check_acyclic(design)
-    }
-
-    fn add_arc(&mut self, from: PinId, to: PinId, delay: f64) {
-        self.arcs[from.index()].push(Arc {
-            to: to.index() as u32,
-            delay,
-        });
-        self.rev[to.index()].push(Arc {
-            to: from.index() as u32,
-            delay,
-        });
     }
 
     /// Total load on a net: sink pin caps + distributed wire cap (HPWL).
@@ -230,19 +272,18 @@ impl Sta {
     fn check_acyclic(&self, design: &Design) -> Result<(), StaError> {
         let n = self.pin_count();
         let mut indeg = vec![0u32; n];
-        for arcs in &self.arcs {
-            for a in arcs {
-                indeg[a.to as usize] += 1;
-            }
+        for &t in &self.fwd.to {
+            indeg[t as usize] += 1;
         }
         let mut queue: VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
         let mut seen = 0usize;
         while let Some(v) = queue.pop_front() {
             seen += 1;
-            for a in &self.arcs[v] {
-                indeg[a.to as usize] -= 1;
-                if indeg[a.to as usize] == 0 {
-                    queue.push_back(a.to as usize);
+            for slot in self.fwd.range(v) {
+                let t = self.fwd.to[slot] as usize;
+                indeg[t] -= 1;
+                if indeg[t] == 0 {
+                    queue.push_back(t);
                 }
             }
         }
@@ -288,12 +329,13 @@ impl Sta {
         }
         while let Some(v) = queue.pop_front() {
             queued[v] = false;
-            // Recompute arrival(v) from sources and fan-in.
+            // Recompute arrival(v) from sources and fan-in — a linear scan
+            // over the contiguous reverse-arc slots of v.
             let mut arr = self.source_arrival[v].unwrap_or(f64::NEG_INFINITY);
-            for a in &self.rev[v] {
-                let ua = self.report.arrival[a.to as usize];
+            for slot in self.rev.range(v) {
+                let ua = self.report.arrival[self.rev.to[slot] as usize];
                 if ua > f64::NEG_INFINITY {
-                    arr = arr.max(ua + a.delay);
+                    arr = arr.max(ua + self.rev.delay[slot]);
                 }
             }
             // Exact comparison, not an epsilon: relaxation on a DAG has a
@@ -305,8 +347,8 @@ impl Sta {
             if arr != self.report.arrival[v] {
                 changed.push(v);
                 self.report.arrival[v] = arr;
-                for a in &self.arcs[v] {
-                    let t = a.to as usize;
+                for slot in self.fwd.range(v) {
+                    let t = self.fwd.to[slot] as usize;
                     if !queued[t] {
                         queued[t] = true;
                         queue.push_back(t);
@@ -326,18 +368,18 @@ impl Sta {
         while let Some(v) = queue.pop_front() {
             queued[v] = false;
             let mut req = self.endpoint_required[v].unwrap_or(f64::INFINITY);
-            for a in &self.arcs[v] {
-                let tr = self.report.required[a.to as usize];
+            for slot in self.fwd.range(v) {
+                let tr = self.report.required[self.fwd.to[slot] as usize];
                 if tr < f64::INFINITY {
-                    req = req.min(tr - a.delay);
+                    req = req.min(tr - self.fwd.delay[slot]);
                 }
             }
             // Exact comparison — see the arrival mirror for why.
             if req != self.report.required[v] {
                 changed.push(v);
                 self.report.required[v] = req;
-                for a in &self.rev[v] {
-                    let t = a.to as usize;
+                for slot in self.rev.range(v) {
+                    let t = self.rev.to[slot] as usize;
                     if !queued[t] {
                         queued[t] = true;
                         queue.push_back(t);
@@ -404,10 +446,11 @@ impl Sta {
                     if let Some(driver) = design.net_driver(net) {
                         let driver_moved = touched_insts.contains(&design.pin(driver).inst);
                         let dpos = design.pin_position(driver);
-                        if driver_moved {
-                            // Every wire arc changed; rebuild the fan-out.
-                            self.arcs[driver.index()].clear();
-                        }
+                        // The arc topology of a non-structural update never
+                        // changes, so a moved driver rewrites its whole
+                        // fan-out range in place — the CSR slots were filled
+                        // in net_sinks order, so the cursor walks them 1:1.
+                        let mut cursor = self.fwd.range(driver.index()).start;
                         for sink in design.net_sinks(net) {
                             if !driver_moved && !touched_insts.contains(&design.pin(sink).inst) {
                                 continue;
@@ -417,22 +460,17 @@ impl Sta {
                                 .model
                                 .wire_delay(dpos.manhattan(spos), design.pin(sink).cap);
                             // Update reverse arc in place.
-                            if let Some(r) = self.rev[sink.index()]
-                                .iter_mut()
-                                .find(|r| r.to as usize == driver.index())
-                            {
-                                r.delay = delay;
-                            }
+                            self.rev.set_delay(sink.index(), driver.index(), delay);
                             if driver_moved {
-                                self.arcs[driver.index()].push(Arc {
-                                    to: sink.index() as u32,
-                                    delay,
-                                });
-                            } else if let Some(a) = self.arcs[driver.index()]
-                                .iter_mut()
-                                .find(|a| a.to as usize == sink.index())
-                            {
-                                a.delay = delay;
+                                debug_assert_eq!(
+                                    self.fwd.to[cursor] as usize,
+                                    sink.index(),
+                                    "CSR fan-out order diverged from net_sinks"
+                                );
+                                self.fwd.delay[cursor] = delay;
+                                cursor += 1;
+                            } else {
+                                self.fwd.set_delay(driver.index(), sink.index(), delay);
                             }
                             seeds.push(sink.index());
                         }
@@ -496,16 +534,8 @@ impl Sta {
                 let delay = m.delay(load);
                 for &p in &inst.pins {
                     if matches!(design.pin(p).kind, PinKind::GateIn(_)) {
-                        for a in &mut self.arcs[p.index()] {
-                            if a.to as usize == driver.index() {
-                                a.delay = delay;
-                            }
-                        }
-                        for r in &mut self.rev[driver.index()] {
-                            if r.to as usize == p.index() {
-                                r.delay = delay;
-                            }
-                        }
+                        self.fwd.set_delay(p.index(), driver.index(), delay);
+                        self.rev.set_delay(driver.index(), p.index(), delay);
                     }
                 }
             }
@@ -573,13 +603,13 @@ impl Sta {
                             break; // launched here
                         }
                     }
-                    let Some(pred) = self.rev[v].iter().find(|a| {
-                        let ua = self.report.arrival[a.to as usize];
-                        ua > f64::NEG_INFINITY && (ua + a.delay - arr_v).abs() <= 1e-9
+                    let Some(pred) = self.rev.range(v).find(|&slot| {
+                        let ua = self.report.arrival[self.rev.to[slot] as usize];
+                        ua > f64::NEG_INFINITY && (ua + self.rev.delay[slot] - arr_v).abs() <= 1e-9
                     }) else {
                         break;
                     };
-                    v = pred.to as usize;
+                    v = self.rev.to[pred] as usize;
                     pins.push(PinId::from_index(v));
                 }
                 pins.reverse();

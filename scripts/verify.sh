@@ -40,6 +40,10 @@ echo "==> bench: scale suite smoke (quick samples, paper-scale d6 stages)"
 MBR_BENCH_QUICK=1 MBR_BENCH_OUT=target cargo run --release -q -p mbr-bench --bin bench -- scale
 test -s target/BENCH_scale.json
 
+echo "==> bench: soa suite smoke (quick samples, thread-invariance guard)"
+MBR_BENCH_QUICK=1 MBR_BENCH_OUT=target cargo run --release -q -p mbr-bench --bin bench -- soa
+test -s target/BENCH_soa.json
+
 echo "==> pruning: solver-level differential suite (release)"
 cargo test --release -q -p mbr-lp --test differential
 
@@ -71,5 +75,13 @@ cargo run --release -q -p mbr-obs --bin mbr-perfdiff -- \
 echo "==> perf: regression gate against PERF_baseline.json"
 cargo run --release -q -p mbr-obs --bin mbr-perfdiff -- \
     --baseline PERF_baseline.json target/trace-d1.jsonl --out target/PERFDIFF_report.txt
+
+echo "==> check: session-only traced run (incremental work counters)"
+MBR_TRACE=target/trace-session-d1.jsonl cargo run --release -q --bin check -- \
+    --eco-seed 1 --session-only d1
+
+echo "==> perf: incremental-work gate against PERF_baseline_incr.json"
+cargo run --release -q -p mbr-obs --bin mbr-perfdiff -- \
+    --baseline PERF_baseline_incr.json target/trace-session-d1.jsonl
 
 echo "verify: OK"

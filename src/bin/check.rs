@@ -17,6 +17,13 @@
 //! byte-identical — and the outcome equal modulo wall-clock — to a fresh
 //! batch compose of the same mutated design. Any divergence is a bug in
 //! the session's reuse logic and fails the run.
+//!
+//! Adding `--session-only` drops the batch arm and the comparison: the run
+//! is just open → ECO script → recompose, so an `MBR_TRACE` capture holds
+//! *only* the session's counters — the input `mbr-perfdiff --baseline
+//! PERF_baseline_incr.json` gates, pinning the reduced legalize/CTS work
+//! (`place.legalize.rows_skipped` > 0 et al.) against regression to
+//! full-pass behavior.
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -36,11 +43,12 @@ struct Args {
     specs: Vec<DesignSpec>,
     report: bool,
     eco_seed: Option<u64>,
+    session_only: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: check [--report] [--eco-seed <n>] [d1|..|d8|all]...   (default: d1)\n\
+        "usage: check [--report] [--eco-seed <n> [--session-only]] [d1|..|d8|all]...   (default: d1)\n\
          `all` expands to the scaled suite d1..d5; the paper-scale presets\n\
          d6..d8 must be named explicitly."
     );
@@ -50,11 +58,13 @@ fn usage() -> ! {
 fn parse_args() -> Args {
     let mut report = false;
     let mut eco_seed = None;
+    let mut session_only = false;
     let mut names = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--report" => report = true,
+            "--session-only" => session_only = true,
             "--eco-seed" => {
                 let v = it.next().unwrap_or_else(|| {
                     eprintln!("missing value for --eco-seed");
@@ -87,10 +97,15 @@ fn parse_args() -> Args {
             usage();
         }
     }
+    if session_only && eco_seed.is_none() {
+        eprintln!("--session-only requires --eco-seed");
+        usage();
+    }
     Args {
         specs,
         report,
         eco_seed,
+        session_only,
     }
 }
 
@@ -180,8 +195,15 @@ fn scrubbed(outcome: &mbr::core::ComposeOutcome) -> String {
 }
 
 /// The incremental differential for one preset: session-with-ECOs versus
-/// batch-on-mutated-design must agree to the byte.
-fn run_eco_spec(spec: &DesignSpec, lib: &Library, eco_seed: u64) -> (String, String, bool) {
+/// batch-on-mutated-design must agree to the byte. With `session_only` the
+/// batch arm and the comparison are skipped — the run exists to put the
+/// session's counters (alone) into an `MBR_TRACE` capture.
+fn run_eco_spec(
+    spec: &DesignSpec,
+    lib: &Library,
+    eco_seed: u64,
+    session_only: bool,
+) -> (String, String, bool) {
     let mut out = String::new();
     let design = spec.generate(lib);
     let model = model_for(spec);
@@ -209,6 +231,19 @@ fn run_eco_spec(spec: &DesignSpec, lib: &Library, eco_seed: u64) -> (String, Str
     }
     if let Err(e) = session.recompose() {
         return (out, format!("{}: recompose failed: {e}\n", spec.name), true);
+    }
+    if session_only {
+        let _ = writeln!(
+            out,
+            "{}: session-only ({} ecos, seed {}): {} -> {} registers, {} merges",
+            spec.name,
+            script.ecos.len(),
+            eco_seed,
+            session.outcome().registers_before,
+            session.outcome().registers_after,
+            session.outcome().merges,
+        );
+        return (out, String::new(), false);
     }
 
     // Batch arm: the same ECOs folded into a fresh clone, composed from
@@ -277,7 +312,7 @@ fn main() -> ExitCode {
     // observability in preset order, so output, trace, and exit code are
     // identical at every thread count.
     let results = sweep_presets(&args.specs, |spec| match args.eco_seed {
-        Some(seed) => run_eco_spec(spec, &lib, seed),
+        Some(seed) => run_eco_spec(spec, &lib, seed, args.session_only),
         None => run_spec(spec, &lib),
     });
     let mut failed = false;

@@ -6,12 +6,15 @@
 //! a second `recompose` changes nothing, and a rejected ECO leaves the
 //! session untouched.
 
+use std::sync::Arc;
+
 use mbr::check::Paranoia;
 use mbr::core::{
     apply_eco, ComposeOutcome, Composer, ComposerOptions, CompositionSession, Eco, EcoError,
     EcoScript,
 };
 use mbr::liberty::standard_library;
+use mbr::obs::{with_sink, CounterTotals, ObsSink};
 use mbr::sta::DelayModel;
 use mbr::workloads::{all_presets, d1, eco_script_for, DesignSpec};
 
@@ -132,6 +135,93 @@ fn structural_ecos_match_batch_too() {
     };
     assert!(script.ecos.iter().all(|e| e.is_structural()));
     assert_differential(&spec, &script);
+}
+
+/// The dirty-region payoff, preset by preset: an incremental recompose must
+/// *do* strictly less legalization and skew work than the equivalent batch
+/// run (whose byte-identical result `recompose_matches_batch_on_every_preset`
+/// already proves) — fewer gap probes and fewer freshly computed skew
+/// adjustments, with the replayed work showing up in the skip counters that
+/// batch runs report as zero.
+#[test]
+fn recompose_does_strictly_less_legalize_and_skew_work_than_batch() {
+    for spec in all_presets() {
+        let lib = standard_library();
+        let design = spec.generate(&lib);
+        let options = options_for(&spec.name);
+        let model = model_for(&spec);
+        let script = eco_script_for(&spec, &design, &lib, 12);
+
+        let mut session = CompositionSession::open(design.clone(), &lib, options.clone(), model)
+            .expect("session opens");
+        session.apply_script(&script).expect("ecos apply");
+        let incr_totals = Arc::new(CounterTotals::default());
+        with_sink(incr_totals.clone() as Arc<dyn ObsSink>, || {
+            session.recompose()
+        })
+        .expect("recompose succeeds");
+
+        let mut batch_design = design;
+        let mut batch_model = model;
+        for eco in &script.ecos {
+            apply_eco(&mut batch_design, &mut batch_model, &lib, eco).expect("ecos apply");
+        }
+        let batch_totals = Arc::new(CounterTotals::default());
+        with_sink(batch_totals.clone() as Arc<dyn ObsSink>, || {
+            Composer::new(options, batch_model).compose(&mut batch_design, &lib)
+        })
+        .expect("batch flow succeeds");
+
+        let incr = incr_totals.totals();
+        let batch = batch_totals.totals();
+        let get = |totals: &std::collections::BTreeMap<String, u64>, key: &str| {
+            totals.get(key).copied().unwrap_or(0)
+        };
+
+        // Legalization: the replay skips rows (batch never does) and every
+        // skipped row is a gap search not re-probed.
+        let rows_skipped = get(&incr, "place.legalize.rows_skipped");
+        assert!(
+            rows_skipped > 0,
+            "{}: incremental legalize replayed nothing",
+            spec.name
+        );
+        assert_eq!(
+            get(&batch, "place.legalize.rows_skipped"),
+            0,
+            "{}: batch legalize must not skip rows",
+            spec.name
+        );
+        assert!(
+            get(&incr, "place.legalize.gap_probes") < get(&batch, "place.legalize.gap_probes"),
+            "{}: incremental gap probes {} not below batch {}",
+            spec.name,
+            get(&incr, "place.legalize.gap_probes"),
+            get(&batch, "place.legalize.gap_probes"),
+        );
+
+        // Skew: replayed sink decisions (batch: zero) shrink the *computed*
+        // adjustment counter while the reported SkewReport stays identical.
+        let sinks_skipped = get(&incr, "cts.skew.sinks_skipped");
+        assert!(
+            sinks_skipped > 0,
+            "{}: incremental skew replayed nothing",
+            spec.name
+        );
+        assert_eq!(
+            get(&batch, "cts.skew.sinks_skipped"),
+            0,
+            "{}: batch skew must not skip sinks",
+            spec.name
+        );
+        assert!(
+            get(&incr, "cts.skew.adjusted") < get(&batch, "cts.skew.adjusted"),
+            "{}: incremental skew adjustments {} not below batch {}",
+            spec.name,
+            get(&incr, "cts.skew.adjusted"),
+            get(&batch, "cts.skew.adjusted"),
+        );
+    }
 }
 
 #[test]
